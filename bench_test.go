@@ -1,0 +1,274 @@
+// Package repro's top-level benchmarks regenerate every table and figure
+// of the HighLight paper's evaluation (§7) at the paper's scale. Run:
+//
+//	go test -bench=. -benchmem
+//
+// Each benchmark executes the corresponding experiment once per iteration
+// and reports the headline values via b.ReportMetric, so `go test -bench`
+// output is a compact paper-vs-measured summary; cmd/hlbench prints the
+// full tables.
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/dev"
+	"repro/internal/dump"
+	"repro/internal/jukebox"
+	"repro/internal/lfs"
+	"repro/internal/sim"
+)
+
+// BenchmarkTable2_LargeObject regenerates Table 2: the Stonebraker/Olson
+// large-object benchmark on FFS, base LFS, HighLight on-disk, and
+// HighLight in-cache. Paper headline: HighLight within a few percent of
+// base LFS when data are disk resident.
+func BenchmarkTable2_LargeObject(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := bench.Table2(bench.FullScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		m := rep.Metrics
+		b.ReportMetric(m["FFS/sequential read/KBs"], "ffs-seqrd-KB/s")
+		b.ReportMetric(m["Base LFS/sequential write/KBs"], "lfs-seqwr-KB/s")
+		b.ReportMetric(m["HighLight on-disk/sequential read/KBs"], "hl-seqrd-KB/s")
+		b.ReportMetric(m["HighLight in-cache/random read/KBs"], "hl-cache-rndrd-KB/s")
+		b.ReportMetric(m["Base LFS/random write/KBs"], "lfs-rndwr-KB/s")
+	}
+}
+
+// BenchmarkTable3_AccessDelays regenerates Table 3: time-to-first-byte and
+// total read time for disk-resident, cached, and uncached files. Paper
+// headline: ~3.5 s first byte for uncached files, size-independent.
+func BenchmarkTable3_AccessDelays(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := bench.Table3(bench.FullScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		m := rep.Metrics
+		b.ReportMetric(m["FFS/10KB/first"], "ffs-10KB-first-s")
+		b.ReportMetric(m["HighLight in-cache/10KB/first"], "hl-cache-10KB-first-s")
+		b.ReportMetric(m["HighLight uncached/10KB/first"], "hl-uncached-10KB-first-s")
+		b.ReportMetric(m["HighLight uncached/10MB/total"], "hl-uncached-10MB-total-s")
+	}
+}
+
+// BenchmarkTable4_MigrationBreakdown regenerates Table 4: the share of
+// migration time in the Footprint library, the I/O server's disk reads,
+// and queuing. Paper: 62% / 37% / 1%.
+func BenchmarkTable4_MigrationBreakdown(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := bench.Table4(bench.FullScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rep.Metrics["footprint%"], "footprint-%")
+		b.ReportMetric(rep.Metrics["ioread%"], "ioread-%")
+		b.ReportMetric(rep.Metrics["queue%"], "queue-%")
+	}
+}
+
+// BenchmarkTable5_RawDevices regenerates Table 5: raw sequential transfer
+// rates and the volume-change latency. Paper: MO 451/204 KB/s, RZ57
+// 1417/993 KB/s, RZ58 1491/1261 KB/s, 13.5 s volume change.
+func BenchmarkTable5_RawDevices(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := bench.Table5(bench.FullScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		m := rep.Metrics
+		b.ReportMetric(m["Raw MO read"], "mo-rd-KB/s")
+		b.ReportMetric(m["Raw MO write"], "mo-wr-KB/s")
+		b.ReportMetric(m["Raw RZ57 read"], "rz57-rd-KB/s")
+		b.ReportMetric(m["Raw RZ57 write"], "rz57-wr-KB/s")
+		b.ReportMetric(m["Volume change"], "volchange-s")
+	}
+}
+
+// BenchmarkTable6_MigratorThroughput regenerates Table 6: migrator
+// throughput with and without disk-arm contention for the three staging
+// configurations. Paper headline: contention costs throughput; a second
+// staging spindle recovers ~15%; a slow HP-IB disk degrades everything.
+func BenchmarkTable6_MigratorThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := bench.Table6(bench.FullScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		m := rep.Metrics
+		b.ReportMetric(m["RZ57/contention"], "rz57-contention-KB/s")
+		b.ReportMetric(m["RZ57/nocontention"], "rz57-clear-KB/s")
+		b.ReportMetric(m["RZ57+RZ58/contention"], "rz58stage-contention-KB/s")
+		b.ReportMetric(m["RZ57+HP7958A/overall"], "hpstage-overall-KB/s")
+	}
+}
+
+// demoInstance builds the small HighLight instance the figure benchmarks
+// drive.
+func demoInstance(b *testing.B, k *sim.Kernel) *core.HighLight {
+	disk := dev.NewDisk(k, dev.RZ57, 128*64, nil)
+	juke := jukebox.New(k, jukebox.MO6300, 2, 4, 32, 64*lfs.BlockSize, nil)
+	var hl *core.HighLight
+	k.RunProc(func(p *sim.Proc) {
+		var err error
+		hl, err = core.New(p, core.Config{
+			SegBlocks: 64,
+			Disks:     []dev.BlockDev{disk},
+			Jukeboxes: []jukebox.Footprint{juke},
+			CacheSegs: 24,
+			MaxInodes: 256,
+		}, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+	})
+	return hl
+}
+
+// BenchmarkFigure2_HierarchyFlow drives the Figure 2 data path — write to
+// the disk farm, automatic migration, ejection, demand fetch — and reports
+// the demand-fetch latency.
+func BenchmarkFigure2_HierarchyFlow(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		k := sim.NewKernel()
+		hl := demoInstance(b, k)
+		var fetchSecs float64
+		k.RunProc(func(p *sim.Proc) {
+			if err := dump.Hierarchy(p, discard{}, hl); err != nil {
+				b.Fatal(err)
+			}
+			st := hl.Svc.Stats()
+			fetchSecs = st.FootprintRead.Seconds()
+		})
+		k.Stop()
+		b.ReportMetric(fetchSecs, "footprint-read-s")
+	}
+}
+
+// BenchmarkFigure5_DemandFetchPath walks one demand fetch through every
+// layer of Figure 5 and reports the end-to-end request latency.
+func BenchmarkFigure5_DemandFetchPath(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		k := sim.NewKernel()
+		hl := demoInstance(b, k)
+		var total float64
+		k.RunProc(func(p *sim.Proc) {
+			t0 := p.Now()
+			if err := dump.DataPath(p, discard{}, hl); err != nil {
+				b.Fatal(err)
+			}
+			total = (p.Now() - t0).Seconds()
+		})
+		k.Stop()
+		b.ReportMetric(total, "virtual-s")
+	}
+}
+
+// BenchmarkFigure1and3_Layout parses and renders the on-media layout of a
+// populated file system (Figures 1 and 3).
+func BenchmarkFigure1and3_Layout(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		k := sim.NewKernel()
+		hl := demoInstance(b, k)
+		k.RunProc(func(p *sim.Proc) {
+			f, err := hl.FS.Create(p, "/file")
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := f.WriteAt(p, make([]byte, 1<<20), 0); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := hl.MigrateFiles(p, []uint32{f.Inum()}, false); err != nil {
+				b.Fatal(err)
+			}
+			if err := hl.CompleteMigration(p); err != nil {
+				b.Fatal(err)
+			}
+			if err := dump.Layout(p, discard{}, hl, 0); err != nil {
+				b.Fatal(err)
+			}
+		})
+		k.Stop()
+	}
+}
+
+// BenchmarkFigure4_AddressMap exercises the block address space math of
+// Figure 4 (segment/offset mapping and tertiary location resolution).
+func BenchmarkFigure4_AddressMap(b *testing.B) {
+	k := sim.NewKernel()
+	hl := demoInstance(b, k)
+	amap := hl.Amap
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for idx := 0; idx < amap.TertSegs(); idx++ {
+			seg := amap.SegForIndex(idx)
+			if j, ok := amap.TertIndex(seg); !ok || j != idx {
+				b.Fatal("address map round trip failed")
+			}
+		}
+	}
+	k.Stop()
+}
+
+// discard is an io.Writer that drops output (the figure benchmarks render
+// into it).
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }
+
+// BenchmarkAblation_CacheEviction compares segment-cache eviction policies
+// (LRU / FIFO / random / first-reference bypass) under reuse locality.
+func BenchmarkAblation_CacheEviction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := bench.AblationCachePolicy()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rep.Metrics["LRU/fetches"], "lru-fetches")
+		b.ReportMetric(rep.Metrics["Random/fetches"], "random-fetches")
+	}
+}
+
+// BenchmarkAblation_CopyoutScheduling compares immediate vs delayed
+// copy-outs (§5.4).
+func BenchmarkAblation_CopyoutScheduling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := bench.AblationCopyout()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rep.Metrics["immediate/staging-s"], "immediate-staging-s")
+		b.ReportMetric(rep.Metrics["delayed/staging-s"], "delayed-staging-s")
+	}
+}
+
+// BenchmarkAblation_STPExponents compares space-time-product ranking
+// exponents (§5.1) by future re-read cost.
+func BenchmarkAblation_STPExponents(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := bench.AblationSTP()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rep.Metrics["STP (t^1 * s^1)/fetches"], "stp-fetches")
+		b.ReportMetric(rep.Metrics["size only (s^1)/fetches"], "sizeonly-fetches")
+	}
+}
+
+// BenchmarkAblation_MigrationGranularity compares whole-file vs block-range
+// migration (§5.2) by post-migration hot-query latency.
+func BenchmarkAblation_MigrationGranularity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := bench.AblationBlockRange()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rep.Metrics["whole-file/hotquery-ms"], "wholefile-hotquery-ms")
+		b.ReportMetric(rep.Metrics["block-range/hotquery-ms"], "blockrange-hotquery-ms")
+	}
+}

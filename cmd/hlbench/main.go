@@ -1,0 +1,81 @@
+// Command hlbench regenerates the evaluation tables of the HighLight paper
+// (USENIX Winter 1993): the large-object benchmark (Table 2), file access
+// delays (Table 3), the migration time breakdown (Table 4), raw device
+// measurements (Table 5), and migrator throughput under disk-arm
+// contention (Table 6).
+//
+// Usage:
+//
+//	hlbench [-table N] [-quick]
+//
+// Without -table every table is produced. -quick runs a reduced-scale
+// configuration (seconds instead of a minute); the default reproduces the
+// paper's configuration: an 848 MB RZ57 partition, a 3.2 MB buffer cache,
+// an HP 6300 MO jukebox constrained to 40 MB per platter, and a 51.2 MB
+// large object.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	table := flag.Int("table", 0, "produce only this table (1-6); 0 = all")
+	quick := flag.Bool("quick", false, "reduced-scale configuration for a fast run")
+	ablations := flag.Bool("ablations", false, "also run the policy ablations (cache eviction, copy-out scheduling, STP exponents, migration granularity)")
+	flag.Parse()
+
+	scale := bench.FullScale()
+	if *quick {
+		scale = bench.QuickScale()
+	}
+
+	type entry struct {
+		n   int
+		run func() (*bench.Report, error)
+	}
+	entries := []entry{
+		{1, func() (*bench.Report, error) { return bench.Table1(), nil }},
+		{2, func() (*bench.Report, error) { return bench.Table2(scale) }},
+		{3, func() (*bench.Report, error) { return bench.Table3(scale) }},
+		{4, func() (*bench.Report, error) { return bench.Table4(scale) }},
+		{5, func() (*bench.Report, error) { return bench.Table5(scale) }},
+		{6, func() (*bench.Report, error) { return bench.Table6(scale) }},
+	}
+	ran := false
+	for _, e := range entries {
+		if *table != 0 && e.n != *table {
+			continue
+		}
+		ran = true
+		rep, err := e.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hlbench: table %d: %v\n", e.n, err)
+			os.Exit(1)
+		}
+		fmt.Println(rep)
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "hlbench: no such table %d\n", *table)
+		os.Exit(2)
+	}
+	if *ablations {
+		for _, run := range []func() (*bench.Report, error){
+			bench.AblationCachePolicy,
+			bench.AblationCopyout,
+			bench.AblationSTP,
+			bench.AblationBlockRange,
+		} {
+			rep, err := run()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "hlbench: ablation: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Println(rep)
+		}
+	}
+}

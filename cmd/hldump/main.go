@@ -1,0 +1,142 @@
+// Command hldump renders the HighLight paper's figures from a live
+// demonstration file system:
+//
+//	-layout     LFS / HighLight on-media layout with segment states and
+//	            log contents (Figures 1 and 3)
+//	-addrmap    block address allocation across disks and tertiary
+//	            volumes (Figure 4)
+//	-hierarchy  storage hierarchy data flow: write, migrate, demand
+//	            fetch (Figure 2)
+//	-datapath   layered demand-fetch request flow (Figure 5)
+//	-summary    the partial-segment summary block format (Table 1)
+//
+// Without flags all five are produced. The demo instance is one simulated
+// RZ57 disk plus a small MO jukebox; -img DIR instead loads a file system
+// image directory created by hlfs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/dev"
+	"repro/internal/dump"
+	"repro/internal/imagefs"
+	"repro/internal/jukebox"
+	"repro/internal/lfs"
+	"repro/internal/sim"
+)
+
+func main() {
+	layout := flag.Bool("layout", false, "figures 1 & 3: on-media layout")
+	addrmap := flag.Bool("addrmap", false, "figure 4: block address allocation")
+	hierarchy := flag.Bool("hierarchy", false, "figure 2: storage hierarchy data flow")
+	datapath := flag.Bool("datapath", false, "figure 5: layered demand-fetch path")
+	summary := flag.Bool("summary", false, "table 1: partial-segment summary format")
+	volumes := flag.Bool("volumes", false, "tertiary volume usage (tsegfile view)")
+	img := flag.String("img", "", "load a file system image directory (from hlfs) instead of the demo")
+	maxSegs := flag.Int("maxsegs", 64, "cap per-segment detail in -layout (0 = all)")
+	flag.Parse()
+
+	all := !*layout && !*addrmap && !*hierarchy && !*datapath && !*summary && !*volumes
+
+	if *summary || all {
+		fmt.Println(bench.Table1())
+	}
+
+	k := sim.NewKernel()
+	var hl *core.HighLight
+	var err error
+	if *img != "" {
+		var inst *imagefs.Instance
+		inst, err = imagefs.Load(k, *img)
+		if inst != nil {
+			hl = inst.HL
+		}
+	} else {
+		hl, err = demo(k)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hldump: %v\n", err)
+		os.Exit(1)
+	}
+	if *addrmap || all {
+		dump.AddrMap(os.Stdout, hl)
+		fmt.Println()
+	}
+	k.RunProc(func(p *sim.Proc) {
+		if (*hierarchy || all) && *img == "" {
+			if err := dump.Hierarchy(p, os.Stdout, hl); err != nil {
+				fmt.Fprintf(os.Stderr, "hldump: hierarchy: %v\n", err)
+			}
+			fmt.Println()
+		}
+		if (*datapath || all) && *img == "" {
+			if err := dump.DataPath(p, os.Stdout, hl); err != nil {
+				fmt.Fprintf(os.Stderr, "hldump: datapath: %v\n", err)
+			}
+			fmt.Println()
+		}
+		if *layout || all {
+			if err := dump.Layout(p, os.Stdout, hl, *maxSegs); err != nil {
+				fmt.Fprintf(os.Stderr, "hldump: layout: %v\n", err)
+			}
+		}
+		if *volumes || all {
+			fmt.Println("\nTertiary volume usage:")
+			for _, u := range hl.VolumeUsages() {
+				fmt.Printf("  device %d volume %2d: %2d used segs, %8d live bytes, %2d no-store\n",
+					u.Device, u.Volume, u.UsedSegs, u.LiveBytes, u.NoStoreSegs)
+			}
+		}
+	})
+	k.Stop()
+}
+
+// demo builds a small populated HighLight instance.
+func demo(k *sim.Kernel) (*core.HighLight, error) {
+	disk := dev.NewDisk(k, dev.RZ57, 256*64, nil)
+	juke := jukebox.New(k, jukebox.MO6300, 2, 4, 32, 64*lfs.BlockSize, nil)
+	var hl *core.HighLight
+	var err error
+	k.RunProc(func(p *sim.Proc) {
+		hl, err = core.New(p, core.Config{
+			SegBlocks: 64,
+			Disks:     []dev.BlockDev{disk},
+			Jukeboxes: []jukebox.Footprint{juke},
+			CacheSegs: 24,
+			MaxInodes: 256,
+		}, true)
+		if err != nil {
+			return
+		}
+		// Populate: a couple of files, one migrated.
+		for i, name := range []string{"/alpha", "/beta"} {
+			f, e := hl.FS.Create(p, name)
+			if e != nil {
+				err = e
+				return
+			}
+			data := make([]byte, (i+1)*40*lfs.BlockSize)
+			for j := range data {
+				data[j] = byte(j * (i + 1))
+			}
+			if _, e := f.WriteAt(p, data, 0); e != nil {
+				err = e
+				return
+			}
+		}
+		if err = hl.FS.Sync(p); err != nil {
+			return
+		}
+		f, _ := hl.FS.Open(p, "/beta")
+		if _, err = hl.MigrateFiles(p, []uint32{f.Inum()}, false); err != nil {
+			return
+		}
+		err = hl.CompleteMigration(p)
+	})
+	return hl, err
+}

@@ -1,0 +1,414 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/dev"
+	"repro/internal/jukebox"
+	"repro/internal/lfs"
+	"repro/internal/migrate"
+	"repro/internal/sim"
+)
+
+// Ablations for the policy knobs the paper leaves open (§5): cache
+// eviction policy, copy-out scheduling, STP ranking exponents, and
+// whole-file versus block-range migration. Each returns a Report with the
+// measured trade-off.
+
+// ablationRig is a mid-size HighLight instance for policy studies.
+func ablationRig(policy cache.Policy, bypass bool) (*sim.Kernel, *core.HighLight) {
+	k := sim.NewKernel()
+	bus := dev.NewBus(k, "scsi", dev.SCSIBusRate)
+	disk := dev.NewDisk(k, dev.RZ57, 192*256, bus)
+	juke := jukebox.New(k, jukebox.MO6300, 2, 8, 40, 256*lfs.BlockSize, bus)
+	var hl *core.HighLight
+	k.RunProc(func(p *sim.Proc) {
+		var err error
+		hl, err = core.New(p, core.Config{
+			SegBlocks:   256,
+			Disks:       []dev.BlockDev{disk},
+			Jukeboxes:   []jukebox.Footprint{juke},
+			CacheSegs:   8, // deliberately scarce: eviction policy matters
+			MaxInodes:   1024,
+			BufferBytes: 1 << 20,
+			CachePolicy: policy,
+		}, true)
+		if err != nil {
+			panic(err)
+		}
+		hl.Cache.BypassFirstRef = bypass
+	})
+	return k, hl
+}
+
+// AblationCachePolicy compares segment-cache eviction policies (§5.4:
+// "cache flushing could be handled by any of the standard policies") on a
+// workload with reuse locality: 24 migrated files, accessed with an 80/20
+// split between a hot subset and the long tail.
+func AblationCachePolicy() (*Report, error) {
+	rep := newReport("Ablation: segment cache eviction policy (8-line cache, 80/20 reuse)")
+	rep.addf("%-18s %10s %12s %12s", "policy", "fetches", "cache hits", "elapsed")
+	type cfg struct {
+		name   string
+		policy cache.Policy
+		bypass bool
+	}
+	for _, c := range []cfg{
+		{"LRU", cache.LRU, false},
+		{"FIFO", cache.FIFO, false},
+		{"Random", cache.Random, false},
+		{"LRU+bypass(§10)", cache.LRU, true},
+	} {
+		k, hl := ablationRig(c.policy, c.bypass)
+		var fetches, hits int64
+		var elapsed sim.Time
+		var err error
+		k.RunProc(func(p *sim.Proc) {
+			const nfiles = 24
+			var inums []uint32
+			for i := 0; i < nfiles; i++ {
+				f, e := hl.FS.Create(p, fmt.Sprintf("/f%02d", i))
+				if e != nil {
+					err = e
+					return
+				}
+				if _, e := f.WriteAt(p, make([]byte, 255*lfs.BlockSize), 0); e != nil {
+					err = e
+					return
+				}
+				inums = append(inums, f.Inum())
+			}
+			if _, e := hl.MigrateFiles(p, inums, false); e != nil {
+				err = e
+				return
+			}
+			if e := hl.CompleteMigration(p); e != nil {
+				err = e
+				return
+			}
+			for _, l := range hl.Cache.Lines() {
+				if e := hl.Svc.Eject(l.Tag); e != nil {
+					err = e
+					return
+				}
+			}
+			// Access pattern: 80% to 4 hot files, 20% to the tail.
+			rng := sim.NewRNG(11)
+			buf := make([]byte, lfs.BlockSize)
+			start := p.Now()
+			for q := 0; q < 300; q++ {
+				var i int
+				if rng.Intn(100) < 80 {
+					i = rng.Intn(4)
+				} else {
+					i = 4 + rng.Intn(nfiles-4)
+				}
+				f, e := hl.FS.OpenInum(p, inums[i])
+				if e != nil {
+					err = e
+					return
+				}
+				hl.FS.DropFileBuffers(p, inums[i])
+				if _, e := f.ReadAt(p, buf, int64(rng.Intn(255))*lfs.BlockSize); e != nil && e != io.EOF {
+					err = e
+					return
+				}
+			}
+			elapsed = p.Now() - start
+			fetches = hl.Svc.Stats().Fetches
+			hits = hl.Cache.Stats().Hits
+		})
+		k.Stop()
+		if err != nil {
+			return rep, err
+		}
+		rep.addf("%-18s %10d %12d %10.1f s", c.name, fetches, hits, elapsed.Seconds())
+		rep.metric(c.name+"/fetches", float64(fetches))
+		rep.metric(c.name+"/elapsed", elapsed.Seconds())
+	}
+	return rep, nil
+}
+
+// AblationCopyout compares immediate versus delayed copy-out scheduling
+// (§5.4 "writing fresh tertiary segments"): a migration runs while an
+// interactive application keeps reading a disk-resident file; delayed
+// copy-outs keep the disk arm free of I/O-server reads during staging at
+// the cost of reserved disk space and a long drain afterwards.
+func AblationCopyout() (*Report, error) {
+	rep := newReport("Ablation: immediate vs delayed tertiary copy-outs (§5.4)")
+	rep.addf("%-12s %16s %16s %14s", "schedule", "interactive avg", "staging done", "all durable")
+	for _, delayed := range []bool{false, true} {
+		k, hl := ablationRig(cache.LRU, false)
+		hl.DelayCopyouts = delayed
+		var avgRead, stagingDone, total float64
+		var err error
+		k.RunProc(func(p *sim.Proc) {
+			hot, e := hl.FS.Create(p, "/interactive")
+			if e != nil {
+				err = e
+				return
+			}
+			if _, e := hot.WriteAt(p, make([]byte, 1<<20), 0); e != nil {
+				err = e
+				return
+			}
+			bulk, e := hl.FS.Create(p, "/bulk")
+			if e != nil {
+				err = e
+				return
+			}
+			if _, e := bulk.WriteAt(p, make([]byte, 6<<20), 0); e != nil {
+				err = e
+				return
+			}
+			if e := hl.FS.Sync(p); e != nil {
+				err = e
+				return
+			}
+			// Interactive reader in the background.
+			var reads int
+			var readTime sim.Time
+			stop := false
+			k.GoDaemon("reader", func(rp *sim.Proc) {
+				buf := make([]byte, lfs.BlockSize)
+				rng := sim.NewRNG(3)
+				for !stop {
+					rp.Sleep(200 * time.Millisecond)
+					hl.FS.DropFileBuffers(rp, hot.Inum())
+					t0 := rp.Now()
+					if _, e := hot.ReadAt(rp, buf, int64(rng.Intn(256))*lfs.BlockSize); e != nil && e != io.EOF {
+						return
+					}
+					readTime += rp.Now() - t0
+					reads++
+				}
+			})
+			start := p.Now()
+			if _, e := hl.MigrateFiles(p, []uint32{bulk.Inum()}, false); e != nil {
+				err = e
+				return
+			}
+			stagingDone = (p.Now() - start).Seconds()
+			stop = true
+			if e := hl.CompleteMigration(p); e != nil {
+				err = e
+				return
+			}
+			total = (p.Now() - start).Seconds()
+			if reads > 0 {
+				avgRead = readTime.Seconds() / float64(reads) * 1000
+			}
+		})
+		k.Stop()
+		if err != nil {
+			return rep, err
+		}
+		name := "immediate"
+		if delayed {
+			name = "delayed"
+		}
+		rep.addf("%-12s %13.1f ms %13.1f s %11.1f s", name, avgRead, stagingDone, total)
+		rep.metric(name+"/interactive-ms", avgRead)
+		rep.metric(name+"/staging-s", stagingDone)
+		rep.metric(name+"/total-s", total)
+	}
+	return rep, nil
+}
+
+// AblationSTP compares space-time-product exponents (§5.1): pure
+// access-time ranking (size exponent 0), pure size ranking (time exponent
+// 0), and the recommended STP (both 1). Quality metric: demand fetches
+// when "the future" re-reads the files that were accessed most recently —
+// fewer fetches mean the policy migrated the right (dormant) data.
+func AblationSTP() (*Report, error) {
+	rep := newReport("Ablation: STP ranking exponents (§5.1)")
+	rep.addf("%-22s %10s %14s", "policy", "fetches", "future reread")
+	type cfg struct {
+		name    string
+		timeExp float64
+		sizeExp float64
+	}
+	for _, c := range []cfg{
+		{"atime only (t^1)", 1, 0},
+		{"size only (s^1)", 0, 1},
+		{"STP (t^1 * s^1)", 1, 1},
+	} {
+		k, hl := ablationRig(cache.LRU, false)
+		var fetches int64
+		var rereadS float64
+		var err error
+		k.RunProc(func(p *sim.Proc) {
+			// File population: large dormant files, small dormant
+			// files, and recently touched files of both sizes.
+			mk := func(name string, blocks int) *lfs.File {
+				f, e := hl.FS.Create(p, name)
+				if e != nil {
+					err = e
+					return nil
+				}
+				if _, e := f.WriteAt(p, make([]byte, blocks*lfs.BlockSize), 0); e != nil {
+					err = e
+					return nil
+				}
+				return f
+			}
+			var recent []*lfs.File
+			for i := 0; i < 4; i++ {
+				mk(fmt.Sprintf("/dormant-big-%d", i), 400)
+				mk(fmt.Sprintf("/dormant-small-%d", i), 16)
+			}
+			p.Sleep(24 * time.Hour)
+			// Recent files are slightly larger, so a pure size ranking
+			// prefers exactly the wrong candidates.
+			for i := 0; i < 4; i++ {
+				recent = append(recent, mk(fmt.Sprintf("/recent-big-%d", i), 550))
+				recent = append(recent, mk(fmt.Sprintf("/recent-small-%d", i), 16))
+			}
+			if err != nil {
+				return
+			}
+			buf := make([]byte, lfs.BlockSize)
+			for _, f := range recent {
+				if _, e := f.ReadAt(p, buf, 0); e != nil && e != io.EOF {
+					err = e
+					return
+				}
+			}
+			m := migrate.NewMigrator(hl)
+			m.Policy = &migrate.STP{TimeExp: c.timeExp, SizeExp: c.sizeExp}
+			// Free half the data's worth of disk.
+			if _, e := m.RunOnce(p, 7<<20); e != nil {
+				err = e
+				return
+			}
+			for _, l := range hl.Cache.Lines() {
+				if e := hl.Svc.Eject(l.Tag); e != nil {
+					err = e
+					return
+				}
+			}
+			// The future: recently-active files get read again.
+			start := p.Now()
+			for _, f := range recent {
+				sz, _ := f.Size(p)
+				for off := int64(0); off < int64(sz); off += lfs.BlockSize {
+					if _, e := f.ReadAt(p, buf, off); e != nil && e != io.EOF {
+						err = e
+						return
+					}
+				}
+			}
+			rereadS = (p.Now() - start).Seconds()
+			fetches = hl.Svc.Stats().Fetches
+		})
+		k.Stop()
+		if err != nil {
+			return rep, err
+		}
+		rep.addf("%-22s %10d %11.1f s", c.name, fetches, rereadS)
+		rep.metric(c.name+"/fetches", float64(fetches))
+		rep.metric(c.name+"/reread-s", rereadS)
+	}
+	return rep, nil
+}
+
+// AblationBlockRange compares whole-file migration against block-range
+// (sub-file) migration (§5.2) on the database workload: a large relation
+// whose newest 10% stays hot. Quality metric: hot-query latency after
+// migration.
+func AblationBlockRange() (*Report, error) {
+	rep := newReport("Ablation: whole-file vs block-range migration (§5.2)")
+	rep.addf("%-14s %14s %12s %14s", "granularity", "hot query avg", "fetches", "bytes staged")
+	for _, whole := range []bool{true, false} {
+		k, hl := ablationRig(cache.LRU, false)
+		var avgMS float64
+		var fetches, staged int64
+		var err error
+		k.RunProc(func(p *sim.Proc) {
+			tracker := migrate.NewRangeTracker(k)
+			hl.FS.OnAccess = tracker.Hook
+			rel, e := hl.FS.Create(p, "/relation")
+			if e != nil {
+				err = e
+				return
+			}
+			const pages = 2048
+			page := make([]byte, lfs.BlockSize)
+			for i := 0; i < pages; i++ {
+				if _, e := rel.WriteAt(p, page, int64(i)*lfs.BlockSize); e != nil {
+					err = e
+					return
+				}
+			}
+			if e := hl.FS.Sync(p); e != nil {
+				err = e
+				return
+			}
+			p.Sleep(time.Hour)
+			hot := pages * 9 / 10
+			rng := sim.NewRNG(5)
+			for q := 0; q < 300; q++ {
+				pg := hot + rng.Intn(pages-hot)
+				if _, e := rel.ReadAt(p, page, int64(pg)*lfs.BlockSize); e != nil && e != io.EOF {
+					err = e
+					return
+				}
+			}
+			if whole {
+				staged, e = hl.MigrateFiles(p, []uint32{rel.Inum()}, false)
+			} else {
+				br := &migrate.BlockRange{Tracker: tracker, MinAge: 30 * time.Minute}
+				var cold []lfs.BlockRef
+				cold, e = br.ColdRefs(p, hl, rel.Inum())
+				if e == nil {
+					staged, e = hl.MigrateRefs(p, cold)
+				}
+			}
+			if e != nil {
+				err = e
+				return
+			}
+			if e := hl.CompleteMigration(p); e != nil {
+				err = e
+				return
+			}
+			if e := hl.FS.FlushCaches(p); e != nil {
+				err = e
+				return
+			}
+			for _, l := range hl.Cache.Lines() {
+				if e := hl.Svc.Eject(l.Tag); e != nil {
+					err = e
+					return
+				}
+			}
+			start := p.Now()
+			const queries = 100
+			for q := 0; q < queries; q++ {
+				pg := hot + rng.Intn(pages-hot)
+				if _, e := rel.ReadAt(p, page, int64(pg)*lfs.BlockSize); e != nil && e != io.EOF {
+					err = e
+					return
+				}
+			}
+			avgMS = (p.Now() - start).Seconds() / queries * 1000
+			fetches = hl.Svc.Stats().Fetches
+		})
+		k.Stop()
+		if err != nil {
+			return rep, err
+		}
+		name := "block-range"
+		if whole {
+			name = "whole-file"
+		}
+		rep.addf("%-14s %11.1f ms %12d %11.1f MB", name, avgMS, fetches, float64(staged)/(1<<20))
+		rep.metric(name+"/hotquery-ms", avgMS)
+		rep.metric(name+"/fetches", float64(fetches))
+	}
+	return rep, nil
+}

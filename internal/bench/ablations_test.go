@@ -1,0 +1,66 @@
+package bench
+
+import "testing"
+
+func TestAblationCachePolicy(t *testing.T) {
+	rep, err := AblationCachePolicy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := rep.Metrics
+	// LRU must exploit the 80/20 reuse at least as well as Random.
+	if m["LRU/fetches"] > m["Random/fetches"]*1.15 {
+		t.Errorf("LRU fetches (%.0f) should not exceed Random (%.0f)",
+			m["LRU/fetches"], m["Random/fetches"])
+	}
+	for _, k := range []string{"LRU", "FIFO", "Random", "LRU+bypass(§10)"} {
+		if m[k+"/fetches"] == 0 {
+			t.Errorf("%s recorded no fetches", k)
+		}
+	}
+}
+
+func TestAblationCopyout(t *testing.T) {
+	rep, err := AblationCopyout()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := rep.Metrics
+	// Delayed copy-outs finish staging sooner (no I/O-server contention
+	// during assembly) but take longer to be fully durable.
+	if m["delayed/staging-s"] >= m["immediate/staging-s"] {
+		t.Errorf("delayed staging (%.1fs) should beat immediate (%.1fs)",
+			m["delayed/staging-s"], m["immediate/staging-s"])
+	}
+	if m["delayed/total-s"] < m["delayed/staging-s"] {
+		t.Error("total durable time cannot precede staging completion")
+	}
+}
+
+func TestAblationSTP(t *testing.T) {
+	rep, err := AblationSTP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := rep.Metrics
+	// STP must not re-fetch more than the size-only policy, which
+	// migrates big recent files and pays for it on the reread.
+	if m["STP (t^1 * s^1)/fetches"] > m["size only (s^1)/fetches"] {
+		t.Errorf("STP fetches (%.0f) should not exceed size-only (%.0f)",
+			m["STP (t^1 * s^1)/fetches"], m["size only (s^1)/fetches"])
+	}
+}
+
+func TestAblationBlockRange(t *testing.T) {
+	rep, err := AblationBlockRange()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := rep.Metrics
+	// Block-range migration keeps hot queries fast; whole-file migration
+	// sends the hot pages to tape too.
+	if m["block-range/hotquery-ms"] >= m["whole-file/hotquery-ms"] {
+		t.Errorf("block-range hot queries (%.1fms) should beat whole-file (%.1fms)",
+			m["block-range/hotquery-ms"], m["whole-file/hotquery-ms"])
+	}
+}

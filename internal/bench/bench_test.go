@@ -1,0 +1,140 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// The quick-scale tests assert the paper's qualitative shape: who wins,
+// and by roughly what factor. Absolute numbers are checked at full scale
+// by the repository-level benchmarks and recorded in EXPERIMENTS.md.
+
+func TestTable2QuickShape(t *testing.T) {
+	rep, err := Table2(QuickScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := rep.Metrics
+	// LFS random writes beat FFS random writes (log vs in-place).
+	if m["Base LFS/random write/KBs"] <= m["FFS/random write/KBs"] {
+		t.Errorf("LFS random write (%.0f) should beat FFS (%.0f)",
+			m["Base LFS/random write/KBs"], m["FFS/random write/KBs"])
+	}
+	// HighLight on-disk is within ~20%% of base LFS on sequential reads.
+	lr, hr := m["Base LFS/sequential read/KBs"], m["HighLight on-disk/sequential read/KBs"]
+	if hr < 0.8*lr {
+		t.Errorf("HighLight on-disk sequential read %.0f too far below base LFS %.0f", hr, lr)
+	}
+	// In-cache is close to on-disk (cached tertiary segments are disk
+	// resident).
+	ic := m["HighLight in-cache/sequential read/KBs"]
+	if ic < 0.7*hr {
+		t.Errorf("in-cache sequential read %.0f too far below on-disk %.0f", ic, hr)
+	}
+	// Random reads are far slower than sequential reads everywhere.
+	if m["FFS/random read/KBs"] >= m["FFS/sequential read/KBs"] {
+		t.Error("FFS random read should be slower than sequential read")
+	}
+}
+
+func TestTable3QuickShape(t *testing.T) {
+	rep, err := Table3(QuickScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := rep.Metrics
+	// Uncached first byte costs a tertiary fetch: much slower than
+	// cached/FFS first byte.
+	if m["HighLight uncached/10KB/first"] < 5*m["HighLight in-cache/10KB/first"] {
+		t.Errorf("uncached first byte (%.2fs) should dwarf in-cache (%.2fs)",
+			m["HighLight uncached/10KB/first"], m["HighLight in-cache/10KB/first"])
+	}
+	// FFS first byte is at least as fast as HighLight's (fewer metadata
+	// fetches).
+	if m["FFS/10KB/first"] > m["HighLight in-cache/10KB/first"]*1.6 {
+		t.Errorf("FFS first byte (%.3fs) should not exceed HighLight in-cache (%.3fs) by much",
+			m["FFS/10KB/first"], m["HighLight in-cache/10KB/first"])
+	}
+	// First-byte time is roughly size independent for uncached access.
+	f10, f1m := m["HighLight uncached/10KB/first"], m["HighLight uncached/1MB/first"]
+	if f1m > 3*f10 {
+		t.Errorf("uncached first byte grows with size: %.2fs vs %.2fs", f10, f1m)
+	}
+}
+
+func TestTable4QuickShape(t *testing.T) {
+	rep, err := Table4(QuickScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := rep.Metrics
+	// Footprint write dominates; queuing is negligible (paper: 62/37/1).
+	if m["footprint%"] <= m["ioread%"] {
+		t.Errorf("footprint write %%%.1f should dominate I/O server read %%%.1f",
+			m["footprint%"], m["ioread%"])
+	}
+	if m["queue%"] > 15 {
+		t.Errorf("queuing %%%.1f should be small", m["queue%"])
+	}
+	total := m["footprint%"] + m["ioread%"] + m["queue%"]
+	if total < 99.9 || total > 100.1 {
+		t.Errorf("percentages sum to %.1f", total)
+	}
+}
+
+func TestTable5MatchesPaper(t *testing.T) {
+	rep, err := Table5(QuickScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := rep.Metrics
+	within := func(name string, want, tolPct float64) {
+		got := m[name]
+		if got < want*(1-tolPct/100) || got > want*(1+tolPct/100) {
+			t.Errorf("%s = %.1f, want %.1f +/- %.0f%%", name, got, want, tolPct)
+		}
+	}
+	within("Raw MO read", 451, 5)
+	within("Raw MO write", 204, 5)
+	within("Raw RZ57 read", 1417, 4)
+	within("Raw RZ57 write", 993, 4)
+	within("Raw RZ58 read", 1491, 4)
+	within("Raw RZ58 write", 1261, 4)
+	within("Volume change", 13.5, 5)
+}
+
+func TestTable6QuickShape(t *testing.T) {
+	rep, err := Table6(QuickScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := rep.Metrics
+	// Contention phase is slower than the no-contention phase on the
+	// single-spindle config (small tolerance: the quick scale has few
+	// segments per phase).
+	if m["RZ57/contention"] >= m["RZ57/nocontention"]*1.05 {
+		t.Errorf("contention (%.0f) should be below no-contention (%.0f)",
+			m["RZ57/contention"], m["RZ57/nocontention"])
+	}
+	// A second staging spindle improves (or at worst matches) the
+	// contention phase — the paper measured ~15%% improvement.
+	if m["RZ57+RZ58/contention"] < m["RZ57/contention"]*0.95 {
+		t.Errorf("RZ58 staging (%.0f) should not be below single-spindle contention (%.0f)",
+			m["RZ57+RZ58/contention"], m["RZ57/contention"])
+	}
+	// The slow HP-IB staging disk degrades throughput significantly.
+	if m["RZ57+HP7958A/overall"] >= m["RZ57/overall"]*0.95 {
+		t.Errorf("HP7958A staging (%.0f) should degrade overall throughput (vs %.0f)",
+			m["RZ57+HP7958A/overall"], m["RZ57/overall"])
+	}
+}
+
+func TestTable1Renders(t *testing.T) {
+	rep := Table1()
+	s := rep.String()
+	for _, want := range []string{"ss_sumsum", "ss_next", "ss_nfinfo", "inode block"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Table 1 missing %q", want)
+		}
+	}
+}

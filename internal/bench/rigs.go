@@ -1,0 +1,203 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/addr"
+	"repro/internal/core"
+	"repro/internal/dev"
+	"repro/internal/ffs"
+	"repro/internal/jukebox"
+	"repro/internal/lfs"
+	"repro/internal/sim"
+	"repro/internal/wl"
+)
+
+// Scale parameterizes the rigs. Full reproduces the paper's configuration
+// (§7): an 848 MB RZ57 partition, a 3.2 MB buffer cache, an HP 6300 MO
+// changer with two drives and 32 cartridges constrained to 40 MB each, and
+// a 51.2 MB large object. Quick shrinks everything for unit tests.
+type Scale struct {
+	SegBlocks   int
+	DiskSegs    int // 1 MB segments on the main disk
+	CacheSegs   int
+	BufferBytes int
+	Vols        int
+	SegsPerVol  int
+	Frames      int
+	SeqFrames   int
+	SmallFrames int
+	FileSizes   []int64 // Table 3 file sizes
+	StageSegs   int     // staging-spindle size for Table 6 variants
+}
+
+// HP9000/370 CPU model: the paper's test machine copies data slowly enough
+// to matter. AssemblyCopyRate is solved so base LFS's sequential write
+// lands at Table 2's 639 KB/s (the "extra buffer copies performed inside
+// the LFS code"); UserCopyRate so FFS's sequential read lands near
+// 1002 KB/s (raw 1417 KB/s minus the copy to user space).
+const (
+	hp370AssemblyCopyRate = 1880 * 1024
+	hp370UserCopyRate     = 3150 * 1024
+)
+
+// FullScale is the paper's configuration.
+func FullScale() Scale {
+	return Scale{
+		SegBlocks:   256,
+		DiskSegs:    848,
+		CacheSegs:   96,
+		BufferBytes: 3200 * 1024,
+		Vols:        32,
+		SegsPerVol:  40,
+		Frames:      12500,
+		SeqFrames:   2500,
+		SmallFrames: 250,
+		FileSizes:   []int64{10 * 1024, 100 * 1024, 1024 * 1024, 10 * 1024 * 1024},
+		StageSegs:   112,
+	}
+}
+
+// QuickScale is a reduced configuration for fast test runs.
+func QuickScale() Scale {
+	return Scale{
+		SegBlocks:   64,
+		DiskSegs:    256,
+		CacheSegs:   48,
+		BufferBytes: 1024 * 1024,
+		Vols:        4,
+		SegsPerVol:  64,
+		Frames:      2048,
+		SeqFrames:   512,
+		SmallFrames: 64,
+		FileSizes:   []int64{10 * 1024, 100 * 1024, 1024 * 1024},
+		StageSegs:   56,
+	}
+}
+
+func (s Scale) spec(path string) wl.LargeObjectSpec {
+	return wl.LargeObjectSpec{
+		Path:        path,
+		Frames:      s.Frames,
+		SeqFrames:   s.SeqFrames,
+		SmallFrames: s.SmallFrames,
+		Seed:        42,
+	}
+}
+
+func (s Scale) objectMB() float64 {
+	return float64(s.Frames) * wl.FrameSize / (1024 * 1024)
+}
+
+// ffsRig builds the baseline FFS on an RZ57 behind a SCSI bus.
+type ffsRig struct {
+	k    *sim.Kernel
+	disk *dev.Disk
+	fs   *ffs.FS
+}
+
+func newFFSRig(s Scale) *ffsRig {
+	k := sim.NewKernel()
+	bus := dev.NewBus(k, "scsi", dev.SCSIBusRate)
+	disk := dev.NewDisk(k, dev.RZ57, int64(s.DiskSegs*s.SegBlocks), bus)
+	r := &ffsRig{k: k, disk: disk}
+	k.RunProc(func(p *sim.Proc) {
+		fs, err := ffs.Format(p, disk, ffs.Options{BufferBytes: s.BufferBytes, UserCopyRate: hp370UserCopyRate})
+		if err != nil {
+			panic(err)
+		}
+		r.fs = fs
+	})
+	return r
+}
+
+// lfsRig builds a base 4.4BSD LFS (no tertiary level).
+type lfsRig struct {
+	k    *sim.Kernel
+	disk *dev.Disk
+	fs   *lfs.FS
+}
+
+func newLFSRig(s Scale) *lfsRig {
+	k := sim.NewKernel()
+	bus := dev.NewBus(k, "scsi", dev.SCSIBusRate)
+	disk := dev.NewDisk(k, dev.RZ57, int64(s.DiskSegs*s.SegBlocks), bus)
+	r := &lfsRig{k: k, disk: disk}
+	amap := addr.New(s.SegBlocks, s.DiskSegs)
+	k.RunProc(func(p *sim.Proc) {
+		fs, err := lfs.Format(p, lfs.DiskDevice{BD: disk}, amap, lfs.Options{
+			BufferBytes:      s.BufferBytes,
+			AssemblyCopyRate: hp370AssemblyCopyRate,
+			UserCopyRate:     hp370UserCopyRate,
+		})
+		if err != nil {
+			panic(err)
+		}
+		r.fs = fs
+	})
+	return r
+}
+
+// hlRig builds HighLight: RZ57 (plus an optional staging spindle) and the
+// MO jukebox, all on one SCSI bus — except an HP-IB staging disk, which
+// gets its own channel, as in the paper's HP7958A test.
+type hlRig struct {
+	k       *sim.Kernel
+	bus     *dev.Bus
+	main    *dev.Disk
+	staging *dev.Disk // nil when staging shares the main spindle
+	juke    *jukebox.Jukebox
+	hl      *core.HighLight
+}
+
+// stagingKind selects the Table 6 configuration.
+type stagingKind int
+
+const (
+	stageOnMain stagingKind = iota // RZ57 only
+	stageOnRZ58
+	stageOnHP7958A
+)
+
+func newHLRig(s Scale, kind stagingKind) *hlRig {
+	k := sim.NewKernel()
+	bus := dev.NewBus(k, "scsi", dev.SCSIBusRate)
+	main := dev.NewDisk(k, dev.RZ57, int64(s.DiskSegs*s.SegBlocks), bus)
+	juke := jukebox.New(k, jukebox.MO6300, 2, s.Vols, s.SegsPerVol, s.SegBlocks*lfs.BlockSize, bus)
+	r := &hlRig{k: k, bus: bus, main: main, juke: juke}
+	cfg := core.Config{
+		SegBlocks:         s.SegBlocks,
+		Disks:             []dev.BlockDev{main},
+		Jukeboxes:         []jukebox.Footprint{juke},
+		CacheSegs:         s.CacheSegs,
+		MaxInodes:         4096,
+		BufferBytes:       s.BufferBytes,
+		AssemblyCopyRate:  hp370AssemblyCopyRate,
+		UserCopyRate:      hp370UserCopyRate,
+		GatherChunkBlocks: 1, // lfs_bmapv + block-at-a-time raw reads (§6.7)
+	}
+	switch kind {
+	case stageOnRZ58:
+		r.staging = dev.NewDisk(k, dev.RZ58, int64(s.StageSegs*s.SegBlocks), bus)
+	case stageOnHP7958A:
+		// HP-IB connected: a private channel, not the shared SCSI bus.
+		r.staging = dev.NewDisk(k, dev.HP7958A, int64(s.StageSegs*s.SegBlocks), nil)
+	}
+	if r.staging != nil {
+		cfg.Disks = append(cfg.Disks, r.staging)
+		cfg.CacheSegs = s.StageSegs
+		cfg.CacheSegLo = s.DiskSegs
+		cfg.CacheSegHi = s.DiskSegs + s.StageSegs
+	}
+	k.RunProc(func(p *sim.Proc) {
+		hl, err := core.New(p, cfg, true)
+		if err != nil {
+			panic(fmt.Sprintf("bench: building HighLight rig: %v", err))
+		}
+		r.hl = hl
+	})
+	return r
+}
+
+// stop tears the rig's daemons down.
+func (r *hlRig) stop() { r.k.Stop() }

@@ -1,0 +1,497 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/dev"
+	"repro/internal/jukebox"
+	"repro/internal/lfs"
+	"repro/internal/sim"
+	"repro/internal/wl"
+)
+
+// Table2 runs the large-object benchmark (§7.1) on the four
+// configurations of the paper: FFS with clustering, base 4.4BSD LFS,
+// HighLight with non-migrated files (on-disk), and HighLight with migrated
+// files resident in the segment cache (in-cache).
+func Table2(s Scale) (*Report, error) {
+	rep := newReport(fmt.Sprintf("Table 2: large-object performance (%.1f MB object)", s.objectMB()))
+	rep.addf("%-28s %10s %12s", "phase / configuration", "elapsed", "throughput")
+
+	type cfg struct {
+		name string
+		run  func() ([]wl.PhaseResult, error)
+	}
+	configs := []cfg{
+		{"FFS", func() ([]wl.PhaseResult, error) {
+			r := newFFSRig(s)
+			var out []wl.PhaseResult
+			var err error
+			r.k.RunProc(func(p *sim.Proc) {
+				t := wl.FFSTarget{Label: "ffs", FS: r.fs}
+				f, e := wl.CreateLargeObject(p, t, s.spec("/obj"))
+				if e != nil {
+					err = e
+					return
+				}
+				out, err = wl.RunLargeObject(p, t, f, s.spec("/obj"))
+			})
+			return out, err
+		}},
+		{"Base LFS", func() ([]wl.PhaseResult, error) {
+			r := newLFSRig(s)
+			var out []wl.PhaseResult
+			var err error
+			r.k.RunProc(func(p *sim.Proc) {
+				t := wl.LFSTarget{Label: "lfs", FS: r.fs}
+				f, e := wl.CreateLargeObject(p, t, s.spec("/obj"))
+				if e != nil {
+					err = e
+					return
+				}
+				out, err = wl.RunLargeObject(p, t, f, s.spec("/obj"))
+			})
+			return out, err
+		}},
+		{"HighLight on-disk", func() ([]wl.PhaseResult, error) {
+			r := newHLRig(s, stageOnMain)
+			defer r.stop()
+			var out []wl.PhaseResult
+			var err error
+			r.k.RunProc(func(p *sim.Proc) {
+				t := wl.HLTarget("hl", r.hl)
+				f, e := wl.CreateLargeObject(p, t, s.spec("/obj"))
+				if e != nil {
+					err = e
+					return
+				}
+				out, err = wl.RunLargeObject(p, t, f, s.spec("/obj"))
+			})
+			return out, err
+		}},
+		{"HighLight in-cache", func() ([]wl.PhaseResult, error) {
+			r := newHLRig(s, stageOnMain)
+			defer r.stop()
+			var out []wl.PhaseResult
+			var err error
+			r.k.RunProc(func(p *sim.Proc) {
+				t := wl.HLTarget("hl", r.hl)
+				f, e := wl.CreateLargeObject(p, t, s.spec("/obj"))
+				if e != nil {
+					err = e
+					return
+				}
+				fh, e := r.hl.FS.Open(p, "/obj")
+				if e != nil {
+					err = e
+					return
+				}
+				if _, e := r.hl.MigrateFiles(p, []uint32{fh.Inum()}, false); e != nil {
+					err = e
+					return
+				}
+				if e := r.hl.CompleteMigration(p); e != nil {
+					err = e
+					return
+				}
+				out, err = wl.RunLargeObject(p, t, f, s.spec("/obj"))
+			})
+			return out, err
+		}},
+	}
+	for _, c := range configs {
+		results, err := c.run()
+		if err != nil {
+			return rep, fmt.Errorf("table 2 %s: %w", c.name, err)
+		}
+		rep.addf("%s:", c.name)
+		for _, ph := range results {
+			rep.addf("  %s", ph)
+			rep.metric(c.name+"/"+ph.Name+"/KBs", ph.ThroughputKBs())
+		}
+	}
+	return rep, nil
+}
+
+// Table3 measures access delays (§7.2): time to first byte and total
+// elapsed time for whole-file reads on FFS, HighLight with the file in the
+// segment cache, and HighLight with the file uncached (demand fetch from
+// the MO jukebox, volume already in a drive).
+func Table3(s Scale) (*Report, error) {
+	rep := newReport("Table 3: access delays for files")
+	rep.addf("%-8s %-22s %12s %12s", "size", "configuration", "first byte", "total")
+
+	record := func(cfgName string, size int64, fb, tot sim.Time) {
+		rep.addf("%-8s %-22s %10.2f s %10.2f s", sizeName(size), cfgName, fb.Seconds(), tot.Seconds())
+		rep.metric(fmt.Sprintf("%s/%s/first", cfgName, sizeName(size)), fb.Seconds())
+		rep.metric(fmt.Sprintf("%s/%s/total", cfgName, sizeName(size)), tot.Seconds())
+	}
+
+	// FFS.
+	{
+		r := newFFSRig(s)
+		var err error
+		r.k.RunProc(func(p *sim.Proc) {
+			t := wl.FFSTarget{Label: "ffs", FS: r.fs}
+			for _, size := range s.FileSizes {
+				path := "/" + sizeName(size)
+				if e := writeSized(p, t, path, size); e != nil {
+					err = e
+					return
+				}
+			}
+			for _, size := range s.FileSizes {
+				if e := t.FlushCaches(p); e != nil {
+					err = e
+					return
+				}
+				f, e := t.Open(p, "/"+sizeName(size))
+				if e != nil {
+					err = e
+					return
+				}
+				fb, tot, e := wl.SequentialScan(p, f, size)
+				if e != nil {
+					err = e
+					return
+				}
+				record("FFS", size, fb, tot)
+			}
+		})
+		if err != nil {
+			return rep, fmt.Errorf("table 3 ffs: %w", err)
+		}
+	}
+
+	// HighLight in-cache, then uncached.
+	{
+		r := newHLRig(s, stageOnMain)
+		defer r.stop()
+		var err error
+		r.k.RunProc(func(p *sim.Proc) {
+			t := wl.HLTarget("hl", r.hl)
+			var inums []uint32
+			for _, size := range s.FileSizes {
+				path := "/" + sizeName(size)
+				if e := writeSized(p, t, path, size); e != nil {
+					err = e
+					return
+				}
+				f, e := r.hl.FS.Open(p, path)
+				if e != nil {
+					err = e
+					return
+				}
+				inums = append(inums, f.Inum())
+			}
+			if _, e := r.hl.MigrateFiles(p, inums, false); e != nil {
+				err = e
+				return
+			}
+			if e := r.hl.CompleteMigration(p); e != nil {
+				err = e
+				return
+			}
+			// In-cache: migrated but still cached on disk.
+			for _, size := range s.FileSizes {
+				if e := t.FlushCaches(p); e != nil {
+					err = e
+					return
+				}
+				f, _ := t.Open(p, "/"+sizeName(size))
+				fb, tot, e := wl.SequentialScan(p, f, size)
+				if e != nil {
+					err = e
+					return
+				}
+				record("HighLight in-cache", size, fb, tot)
+			}
+			// Uncached: eject the cache and demand-fetch from the MO
+			// jukebox ("the tertiary volume was in the drive when the
+			// tests began" — the write drive still holds it).
+			for _, size := range s.FileSizes {
+				if e := t.FlushCaches(p); e != nil {
+					err = e
+					return
+				}
+				for _, l := range r.hl.Cache.Lines() {
+					if e := r.hl.Svc.Eject(l.Tag); e != nil {
+						err = e
+						return
+					}
+				}
+				f, _ := t.Open(p, "/"+sizeName(size))
+				fb, tot, e := wl.SequentialScan(p, f, size)
+				if e != nil {
+					err = e
+					return
+				}
+				record("HighLight uncached", size, fb, tot)
+			}
+		})
+		if err != nil {
+			return rep, fmt.Errorf("table 3 highlight: %w", err)
+		}
+	}
+	return rep, nil
+}
+
+func sizeName(n int64) string {
+	switch {
+	case n >= 1024*1024:
+		return fmt.Sprintf("%dMB", n/(1024*1024))
+	default:
+		return fmt.Sprintf("%dKB", n/1024)
+	}
+}
+
+func writeSized(p *sim.Proc, t wl.Target, path string, size int64) error {
+	f, err := t.Create(p, path)
+	if err != nil {
+		return err
+	}
+	chunk := make([]byte, 64*1024)
+	for off := int64(0); off < size; off += int64(len(chunk)) {
+		n := int64(len(chunk))
+		if size-off < n {
+			n = size - off
+		}
+		for i := range chunk[:n] {
+			chunk[i] = byte(off + int64(i))
+		}
+		if _, err := f.WriteAt(p, chunk[:n], off); err != nil {
+			return err
+		}
+	}
+	return t.Sync(p)
+}
+
+// migrationRun migrates a freshly written large object and reports the
+// phase timings and service statistics (shared by Tables 4 and 6).
+type migrationRun struct {
+	stageDone    sim.Time // migrator finished assembling (T1)
+	drainDone    sim.Time // all copyouts on tertiary media (T2)
+	bytesAtStage int64
+	bytesTotal   int64
+	statsAtEnd   interface{ String() string }
+	rig          *hlRig
+}
+
+func runMigration(s Scale, kind stagingKind) (*hlRig, sim.Time, sim.Time, int64, int64, error) {
+	r := newHLRig(s, kind)
+	var t1, t2 sim.Time
+	var b1, b2 int64
+	var err error
+	r.k.RunProc(func(p *sim.Proc) {
+		t := wl.HLTarget("hl", r.hl)
+		if _, e := wl.CreateLargeObject(p, t, s.spec("/obj")); e != nil {
+			err = e
+			return
+		}
+		f, e := r.hl.FS.Open(p, "/obj")
+		if e != nil {
+			err = e
+			return
+		}
+		start := p.Now()
+		if _, e := r.hl.MigrateFiles(p, []uint32{f.Inum()}, false); e != nil {
+			err = e
+			return
+		}
+		t1 = p.Now() - start
+		b1 = r.hl.Svc.Stats().BytesOut
+		if e := r.hl.CompleteMigration(p); e != nil {
+			err = e
+			return
+		}
+		t2 = p.Now() - start
+		b2 = r.hl.Svc.Stats().BytesOut
+	})
+	return r, t1, t2, b1, b2, err
+}
+
+// Table4 breaks down where migration time goes: inside the Footprint
+// library (media change, seek, tertiary transfer), in the I/O server
+// reading staged segments off disk, and queuing.
+func Table4(s Scale) (*Report, error) {
+	rep := newReport("Table 4: migration time breakdown (magnetic to MO disk)")
+	r, _, _, _, _, err := runMigration(s, stageOnMain)
+	if err != nil {
+		return rep, err
+	}
+	defer r.stop()
+	st := r.hl.Svc.Stats()
+	total := st.FootprintWrite + st.IORead + st.Queue
+	if total == 0 {
+		return rep, fmt.Errorf("table 4: no migration activity recorded")
+	}
+	pct := func(t sim.Time) float64 { return 100 * float64(t) / float64(total) }
+	rep.addf("%-24s %8s", "phase", "percent")
+	rep.addf("%-24s %7.1f%%", "Footprint write", pct(st.FootprintWrite))
+	rep.addf("%-24s %7.1f%%", "I/O server read", pct(st.IORead))
+	rep.addf("%-24s %7.1f%%", "Migrator queuing", pct(st.Queue))
+	rep.metric("footprint%", pct(st.FootprintWrite))
+	rep.metric("ioread%", pct(st.IORead))
+	rep.metric("queue%", pct(st.Queue))
+	return rep, nil
+}
+
+// Table5 measures raw device bandwidth with whole-segment sequential
+// transfers, and the volume-change latency.
+func Table5(s Scale) (*Report, error) {
+	rep := newReport("Table 5: raw device measurements")
+	rep.addf("%-22s %12s", "I/O type", "performance")
+
+	segBytes := 1024 * 1024
+	diskRate := func(prof dev.DiskProfile, write bool) float64 {
+		k := sim.NewKernel()
+		bus := dev.NewBus(k, "scsi", dev.SCSIBusRate)
+		d := dev.NewDisk(k, prof, int64(64*256), bus)
+		var elapsed sim.Time
+		k.RunProc(func(p *sim.Proc) {
+			buf := make([]byte, segBytes)
+			start := p.Now()
+			for i := int64(0); i < 16; i++ {
+				var err error
+				if write {
+					err = d.WriteBlocks(p, i*256, buf)
+				} else {
+					err = d.ReadBlocks(p, i*256, buf)
+				}
+				if err != nil {
+					panic(err)
+				}
+			}
+			elapsed = p.Now() - start
+		})
+		return 16 * 1024 / elapsed.Seconds()
+	}
+	moRate := func(write bool) float64 {
+		k := sim.NewKernel()
+		bus := dev.NewBus(k, "scsi", dev.SCSIBusRate)
+		j := jukebox.New(k, jukebox.MO6300, 2, 2, 64, segBytes, bus)
+		var elapsed sim.Time
+		k.RunProc(func(p *sim.Proc) {
+			buf := make([]byte, segBytes)
+			// Prime the drive so the swap is excluded.
+			if err := j.WriteSegment(p, 0, 0, buf); err != nil {
+				panic(err)
+			}
+			start := p.Now()
+			for i := 1; i <= 16; i++ {
+				var err error
+				if write {
+					err = j.WriteSegment(p, 0, i, buf)
+				} else {
+					err = j.ReadSegment(p, 0, i, buf)
+				}
+				if err != nil {
+					panic(err)
+				}
+			}
+			elapsed = p.Now() - start
+		})
+		return 16 * 1024 / elapsed.Seconds()
+	}
+	volumeChange := func() float64 {
+		// Table 5 definition: from an eject command to a completed read
+		// of ONE SECTOR on the MO platter — so the probe jukebox uses a
+		// single-block transfer unit.
+		k := sim.NewKernel()
+		j := jukebox.New(k, jukebox.MO6300, 1, 2, 4, lfs.BlockSize, nil)
+		var swap sim.Time
+		k.RunProc(func(p *sim.Proc) {
+			buf := make([]byte, lfs.BlockSize)
+			if err := j.ReadSegment(p, 0, 0, buf); err != nil {
+				panic(err)
+			}
+			t0 := p.Now()
+			if err := j.ReadSegment(p, 1, 0, buf); err != nil {
+				panic(err)
+			}
+			swap = p.Now() - t0
+		})
+		return swap.Seconds()
+	}
+
+	rows := []struct {
+		name string
+		v    float64
+		unit string
+	}{
+		{"Raw MO read", moRate(false), "KB/s"},
+		{"Raw MO write", moRate(true), "KB/s"},
+		{"Raw RZ57 read", diskRate(dev.RZ57, false), "KB/s"},
+		{"Raw RZ57 write", diskRate(dev.RZ57, true), "KB/s"},
+		{"Raw RZ58 read", diskRate(dev.RZ58, false), "KB/s"},
+		{"Raw RZ58 write", diskRate(dev.RZ58, true), "KB/s"},
+		{"Volume change", volumeChange(), "s"},
+	}
+	for _, row := range rows {
+		rep.addf("%-22s %9.1f %s", row.name, row.v, row.unit)
+		rep.metric(row.name, row.v)
+	}
+	return rep, nil
+}
+
+// Table6 measures migrator throughput while the migrator contends for the
+// disk arm (staging and copy-out simultaneously) and after it finishes
+// (copy-out only), for the three staging configurations of the paper.
+func Table6(s Scale) (*Report, error) {
+	rep := newReport(fmt.Sprintf("Table 6: migrator throughput (%.1f MB migrated)", s.objectMB()))
+	rep.addf("%-24s %14s %14s %14s", "phase", "RZ57", "RZ57+RZ58", "RZ57+HP7958A")
+
+	type res struct{ contention, noContention, overall float64 }
+	var results []res
+	for _, kind := range []stagingKind{stageOnMain, stageOnRZ58, stageOnHP7958A} {
+		r, t1, t2, b1, b2, err := runMigration(s, kind)
+		if err != nil {
+			return rep, fmt.Errorf("table 6 config %d: %w", kind, err)
+		}
+		var rr res
+		if t1 > 0 {
+			rr.contention = float64(b1) / 1024 / t1.Seconds()
+		}
+		if t2 > t1 {
+			rr.noContention = float64(b2-b1) / 1024 / (t2 - t1).Seconds()
+		}
+		if t2 > 0 {
+			rr.overall = float64(b2) / 1024 / t2.Seconds()
+		}
+		results = append(results, rr)
+		r.stop()
+	}
+	rep.addf("%-24s %9.1f KB/s %9.1f KB/s %9.1f KB/s", "arm contention",
+		results[0].contention, results[1].contention, results[2].contention)
+	rep.addf("%-24s %9.1f KB/s %9.1f KB/s %9.1f KB/s", "no arm contention",
+		results[0].noContention, results[1].noContention, results[2].noContention)
+	rep.addf("%-24s %9.1f KB/s %9.1f KB/s %9.1f KB/s", "overall",
+		results[0].overall, results[1].overall, results[2].overall)
+	names := []string{"RZ57", "RZ57+RZ58", "RZ57+HP7958A"}
+	for i, n := range names {
+		rep.metric(n+"/contention", results[i].contention)
+		rep.metric(n+"/nocontention", results[i].noContention)
+		rep.metric(n+"/overall", results[i].overall)
+	}
+	return rep, nil
+}
+
+// Table1 renders the partial-segment summary block format (Table 1) from
+// the implementation's own encoder, verifying the documented sizes.
+func Table1() *Report {
+	rep := newReport("Table 1: partial segment summary block")
+	rep.addf("%-12s %6s  %s", "field", "bytes", "description")
+	rep.addf("%-12s %6d  %s", "ss_sumsum", 4, "check sum of summary block")
+	rep.addf("%-12s %6d  %s", "ss_datasum", 4, "check sum of data")
+	rep.addf("%-12s %6d  %s", "ss_next", 4, "segment number of next segment in log")
+	rep.addf("%-12s %6d  %s", "ss_create", 8, "creation time stamp (virtual ns)")
+	rep.addf("%-12s %6d  %s", "ss_nfinfo", 2, "number of file info structures")
+	rep.addf("%-12s %6d  %s", "ss_ninos", 2, "number of inode blocks in summary")
+	rep.addf("%-12s %6d  %s", "ss_flags", 2, "flags (checkpoint / staging)")
+	rep.addf("%-12s %6d  %s", "ss_nblocks", 2, "blocks in this partial segment")
+	rep.addf("%-12s %6d  %s", "ss_serial", 8, "checkpoint epoch")
+	rep.addf("%-12s %6s  %s", "...", "12+4n", "per distinct file: file block descriptions")
+	rep.addf("%-12s %6s  %s", "...", "4", "per inode block: disk address")
+	rep.addf("(HighLight uses a %d-byte summary block: block pointers address 4 KB units)", lfs.BlockSize)
+	return rep
+}

@@ -1,0 +1,234 @@
+// Package cache implements HighLight's disk-resident segment cache (§4,
+// §5.4): whole tertiary segments staged on disk segments, managed by a
+// cache directory keyed by tertiary segment index. Cached lines are almost
+// always read-only copies of the tertiary-resident version and may be
+// discarded at any time; the exception is staging segments being assembled
+// before transfer, which stay pinned until copied out.
+package cache
+
+import (
+	"fmt"
+
+	"repro/internal/addr"
+	"repro/internal/sim"
+)
+
+// Policy selects eviction victims.
+type Policy int
+
+const (
+	// LRU evicts the least-recently-used clean line.
+	LRU Policy = iota
+	// FIFO evicts the oldest-fetched clean line.
+	FIFO
+	// Random evicts a uniformly random clean line.
+	Random
+)
+
+func (p Policy) String() string {
+	switch p {
+	case LRU:
+		return "lru"
+	case FIFO:
+		return "fifo"
+	case Random:
+		return "random"
+	}
+	return "unknown"
+}
+
+// Line is one cache line: a disk segment holding a copy of one tertiary
+// segment.
+type Line struct {
+	Tag     int        // tertiary segment index
+	DiskSeg addr.SegNo // the disk segment holding the copy
+	Staging bool       // freshly assembled, not yet on tertiary storage
+	Pins    int        // active readers / in-flight copyout
+
+	FetchTime sim.Time // when the line was filled (FIFO)
+	LastUse   sim.Time // last access (LRU)
+	Worthy    bool     // false until re-referenced (§10 bypass variant)
+}
+
+// Stats counts cache activity.
+type Stats struct {
+	Hits, Misses    int64
+	Inserts, Evicts int64
+	StagingLines    int64
+}
+
+// Cache is the segment cache directory. It owns a fixed pool of disk
+// segments claimed from the file system at mount time (the static cache
+// split of §6.4) and is safe to use from any sim process: all operations
+// complete without blocking.
+type Cache struct {
+	policy   Policy
+	lines    map[int]*Line
+	free     []addr.SegNo
+	capacity int
+	rng      *sim.RNG
+	stats    Stats
+
+	// BypassFirstRef, when set, marks newly fetched lines "least worthy":
+	// they are preferred eviction victims until referenced again (the
+	// §10 future-work variant approximating cache-bypassing reads).
+	BypassFirstRef bool
+}
+
+// New returns a cache over the given pre-claimed disk segments.
+func New(policy Policy, pool []addr.SegNo, seed uint64) *Cache {
+	c := &Cache{
+		policy:   policy,
+		lines:    make(map[int]*Line),
+		capacity: len(pool),
+		rng:      sim.NewRNG(seed),
+	}
+	c.free = append(c.free, pool...)
+	return c
+}
+
+// Capacity reports the total line count (free + used).
+func (c *Cache) Capacity() int { return c.capacity }
+
+// Len reports the number of occupied lines.
+func (c *Cache) Len() int { return len(c.lines) }
+
+// FreeLines reports the number of unoccupied pool segments.
+func (c *Cache) FreeLines() int { return len(c.free) }
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// Lookup finds the line caching tertiary segment tag, updating recency.
+func (c *Cache) Lookup(tag int, now sim.Time) (*Line, bool) {
+	l, ok := c.lines[tag]
+	if !ok {
+		c.stats.Misses++
+		return nil, false
+	}
+	l.LastUse = now
+	l.Worthy = true
+	c.stats.Hits++
+	return l, true
+}
+
+// Peek finds a line without touching recency or statistics.
+func (c *Cache) Peek(tag int) (*Line, bool) {
+	l, ok := c.lines[tag]
+	return l, ok
+}
+
+// Insert binds a pool segment to tag and returns the new line. The caller
+// must have obtained seg from TakeFree or a prior Evict.
+func (c *Cache) Insert(tag int, seg addr.SegNo, staging bool, now sim.Time) *Line {
+	if _, dup := c.lines[tag]; dup {
+		panic(fmt.Sprintf("cache: duplicate line for tertiary segment %d", tag))
+	}
+	l := &Line{
+		Tag:       tag,
+		DiskSeg:   seg,
+		Staging:   staging,
+		FetchTime: now,
+		LastUse:   now,
+		Worthy:    !c.BypassFirstRef,
+	}
+	c.lines[tag] = l
+	c.stats.Inserts++
+	if staging {
+		c.stats.StagingLines++
+	}
+	return l
+}
+
+// TakeFree claims an unoccupied pool segment, if any.
+func (c *Cache) TakeFree() (addr.SegNo, bool) {
+	if len(c.free) == 0 {
+		return 0, false
+	}
+	s := c.free[len(c.free)-1]
+	c.free = c.free[:len(c.free)-1]
+	return s, true
+}
+
+// Victim selects an evictable line per the policy: never staging (the sole
+// copy of migrated data) and never pinned. Returns nil if none qualifies.
+func (c *Cache) Victim() *Line {
+	var cands []*Line
+	for _, l := range c.lines {
+		if l.Staging || l.Pins > 0 {
+			continue
+		}
+		cands = append(cands, l)
+	}
+	if len(cands) == 0 {
+		return nil
+	}
+	// Unworthy (never re-referenced) lines go first regardless of policy.
+	var pick *Line
+	better := func(a, b *Line) bool {
+		if a.Worthy != b.Worthy {
+			return !a.Worthy
+		}
+		switch c.policy {
+		case LRU:
+			if a.LastUse != b.LastUse {
+				return a.LastUse < b.LastUse
+			}
+		case FIFO:
+			if a.FetchTime != b.FetchTime {
+				return a.FetchTime < b.FetchTime
+			}
+		case Random:
+			// Handled below.
+		}
+		return a.Tag < b.Tag // deterministic tiebreak
+	}
+	if c.policy == Random {
+		// Still prefer unworthy lines; choose randomly among the rest.
+		var unworthy []*Line
+		for _, l := range cands {
+			if !l.Worthy {
+				unworthy = append(unworthy, l)
+			}
+		}
+		if len(unworthy) > 0 {
+			cands = unworthy
+		}
+		return cands[c.rng.Intn(len(cands))]
+	}
+	for _, l := range cands {
+		if pick == nil || better(l, pick) {
+			pick = l
+		}
+	}
+	return pick
+}
+
+// Evict removes the line and returns its disk segment for reuse.
+func (c *Cache) Evict(l *Line) addr.SegNo {
+	if l.Staging {
+		panic("cache: evicting a staging line would lose the sole copy")
+	}
+	if l.Pins > 0 {
+		panic("cache: evicting a pinned line")
+	}
+	if c.lines[l.Tag] != l {
+		panic("cache: evicting unknown line")
+	}
+	delete(c.lines, l.Tag)
+	c.stats.Evicts++
+	return l.DiskSeg
+}
+
+// Release returns a disk segment to the free pool (used when a line is
+// dropped without immediate reuse).
+func (c *Cache) Release(seg addr.SegNo) { c.free = append(c.free, seg) }
+
+// Lines returns all occupied lines (iteration order unspecified).
+func (c *Cache) Lines() []*Line {
+	out := make([]*Line, 0, len(c.lines))
+	for _, l := range c.lines {
+		out = append(out, l)
+	}
+	return out
+}

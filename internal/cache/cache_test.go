@@ -1,0 +1,233 @@
+package cache
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/addr"
+	"repro/internal/sim"
+)
+
+func pool(n int) []addr.SegNo {
+	out := make([]addr.SegNo, n)
+	for i := range out {
+		out[i] = addr.SegNo(100 + i)
+	}
+	return out
+}
+
+func TestLookupMissAndInsert(t *testing.T) {
+	c := New(LRU, pool(4), 1)
+	if _, ok := c.Lookup(7, 0); ok {
+		t.Fatal("hit on empty cache")
+	}
+	seg, ok := c.TakeFree()
+	if !ok {
+		t.Fatal("no free line in fresh cache")
+	}
+	c.Insert(7, seg, false, 10)
+	l, ok := c.Lookup(7, 20)
+	if !ok || l.DiskSeg != seg {
+		t.Fatalf("lookup after insert: %v %v", l, ok)
+	}
+	if l.LastUse != 20 {
+		t.Fatal("lookup did not update recency")
+	}
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 1 || s.Inserts != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestDuplicateInsertPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	c := New(LRU, pool(2), 1)
+	s1, _ := c.TakeFree()
+	s2, _ := c.TakeFree()
+	c.Insert(1, s1, false, 0)
+	c.Insert(1, s2, false, 0)
+}
+
+func TestLRUVictim(t *testing.T) {
+	c := New(LRU, pool(3), 1)
+	for i := 0; i < 3; i++ {
+		s, _ := c.TakeFree()
+		c.Insert(i, s, false, sim.Time(i)*time.Second)
+	}
+	// Touch 0 so 1 becomes least recent.
+	c.Lookup(0, 10*time.Second)
+	v := c.Victim()
+	if v == nil || v.Tag != 1 {
+		t.Fatalf("LRU victim = %v, want tag 1", v)
+	}
+}
+
+func TestFIFOVictim(t *testing.T) {
+	c := New(FIFO, pool(3), 1)
+	for i := 0; i < 3; i++ {
+		s, _ := c.TakeFree()
+		c.Insert(i, s, false, sim.Time(i)*time.Second)
+	}
+	c.Lookup(0, 10*time.Second) // recency must NOT matter for FIFO
+	v := c.Victim()
+	if v == nil || v.Tag != 0 {
+		t.Fatalf("FIFO victim = %v, want tag 0 (oldest fetch)", v)
+	}
+}
+
+func TestRandomVictimIsClean(t *testing.T) {
+	c := New(Random, pool(4), 7)
+	for i := 0; i < 4; i++ {
+		s, _ := c.TakeFree()
+		l := c.Insert(i, s, false, 0)
+		if i == 2 {
+			l.Pins = 1
+		}
+		if i == 3 {
+			l.Staging = true
+		}
+	}
+	for i := 0; i < 50; i++ {
+		v := c.Victim()
+		if v == nil {
+			t.Fatal("no victim")
+		}
+		if v.Tag == 2 || v.Tag == 3 {
+			t.Fatalf("random victim picked pinned/staging line %d", v.Tag)
+		}
+	}
+}
+
+func TestStagingAndPinnedNeverEvicted(t *testing.T) {
+	c := New(LRU, pool(2), 1)
+	s1, _ := c.TakeFree()
+	l1 := c.Insert(1, s1, true, 0) // staging
+	s2, _ := c.TakeFree()
+	l2 := c.Insert(2, s2, false, 0)
+	l2.Pins = 1
+	if v := c.Victim(); v != nil {
+		t.Fatalf("victim %d despite all lines protected", v.Tag)
+	}
+	l1.Staging = false
+	l2.Pins = 0
+	if v := c.Victim(); v == nil {
+		t.Fatal("no victim after unprotecting")
+	}
+}
+
+func TestEvictReturnsSegmentForReuse(t *testing.T) {
+	c := New(LRU, pool(1), 1)
+	s, _ := c.TakeFree()
+	l := c.Insert(5, s, false, 0)
+	got := c.Evict(l)
+	if got != s {
+		t.Fatalf("evict returned %d, want %d", got, s)
+	}
+	if _, ok := c.Peek(5); ok {
+		t.Fatal("line still present after evict")
+	}
+	c.Release(got)
+	if _, ok := c.TakeFree(); !ok {
+		t.Fatal("released segment not reusable")
+	}
+}
+
+func TestBypassFirstRefPrefersUnworthy(t *testing.T) {
+	c := New(LRU, pool(3), 1)
+	c.BypassFirstRef = true
+	for i := 0; i < 3; i++ {
+		s, _ := c.TakeFree()
+		c.Insert(i, s, false, sim.Time(i)*time.Second)
+	}
+	// Re-reference 0 and 1; 2 stays unworthy and must be the victim even
+	// though it is the most recently fetched.
+	c.Lookup(0, 5*time.Second)
+	c.Lookup(1, 6*time.Second)
+	v := c.Victim()
+	if v == nil || v.Tag != 2 {
+		t.Fatalf("victim = %v, want unworthy tag 2", v)
+	}
+}
+
+func TestEvictStagingPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	c := New(LRU, pool(1), 1)
+	s, _ := c.TakeFree()
+	l := c.Insert(1, s, true, 0)
+	c.Evict(l)
+}
+
+// TestPropertyCacheInvariants drives the cache with random operations and
+// checks structural invariants after each: occupied + free == capacity,
+// no tag appears twice, and victims are never staging or pinned.
+func TestPropertyCacheInvariants(t *testing.T) {
+	rng := sim.NewRNG(12345)
+	c := New(LRU, pool(6), 99)
+	type held struct {
+		line *Line
+	}
+	lines := map[int]*held{}
+	now := sim.Time(0)
+	for op := 0; op < 2000; op++ {
+		now += sim.Time(rng.Intn(1000)) * time.Millisecond
+		switch rng.Intn(5) {
+		case 0: // insert
+			if seg, ok := c.TakeFree(); ok {
+				tag := rng.Intn(50)
+				if _, dup := lines[tag]; dup {
+					c.Release(seg)
+					continue
+				}
+				l := c.Insert(tag, seg, rng.Intn(4) == 0, now)
+				lines[tag] = &held{l}
+			}
+		case 1: // lookup
+			if len(lines) > 0 {
+				for tag := range lines {
+					c.Lookup(tag, now)
+					break
+				}
+			}
+		case 2: // evict victim
+			if v := c.Victim(); v != nil {
+				if v.Staging || v.Pins > 0 {
+					t.Fatalf("op %d: victim %d is staging/pinned", op, v.Tag)
+				}
+				seg := c.Evict(v)
+				c.Release(seg)
+				delete(lines, v.Tag)
+			}
+		case 3: // toggle pins
+			for tag, h := range lines {
+				if rng.Intn(2) == 0 {
+					h.line.Pins = rng.Intn(2)
+				}
+				_ = tag
+				break
+			}
+		case 4: // clear staging
+			for _, h := range lines {
+				h.line.Staging = false
+				break
+			}
+		}
+		if c.Len()+c.FreeLines() != c.Capacity() {
+			t.Fatalf("op %d: %d occupied + %d free != %d capacity", op, c.Len(), c.FreeLines(), c.Capacity())
+		}
+		seen := map[addr.SegNo]bool{}
+		for _, l := range c.Lines() {
+			if seen[l.DiskSeg] {
+				t.Fatalf("op %d: disk segment %d bound to two lines", op, l.DiskSeg)
+			}
+			seen[l.DiskSeg] = true
+		}
+	}
+}

@@ -1,0 +1,348 @@
+// Package core assembles HighLight: the 4.4BSD-LFS-derived file system
+// (internal/lfs) extended with tertiary storage (§6 of the paper). It
+// provides the block-map pseudo-device that dispatches the uniform block
+// address space to the disk farm, the on-disk segment cache, or the
+// tertiary devices; claims the static cache split; runs the service and
+// I/O processes; and implements the staging-segment migration mechanism
+// driven by the user-level migrator policies in internal/migrate.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/addr"
+	"repro/internal/cache"
+	"repro/internal/dev"
+	"repro/internal/jukebox"
+	"repro/internal/lfs"
+	"repro/internal/sim"
+	"repro/internal/stripe"
+	"repro/internal/tertiary"
+)
+
+// Config describes a HighLight instance.
+type Config struct {
+	// SegBlocks is the segment size in 4 KB blocks (default 256 = 1 MB).
+	SegBlocks int
+	// Disks form the disk farm, concatenated by the striping driver.
+	Disks []dev.BlockDev
+	// Jukeboxes are the tertiary devices (device 0 is consumed first).
+	Jukeboxes []jukebox.Footprint
+	// CacheSegs is the static limit of disk segments used as the
+	// tertiary segment cache (§6.4). Default: 1/4 of the disk segments.
+	CacheSegs int
+	// CacheSegLo/CacheSegHi restrict the cache (and thus the staging
+	// area) to a disk-segment range, e.g. a dedicated staging spindle
+	// appended to the disk farm (Table 6's RZ58 / HP7958A configs).
+	CacheSegLo, CacheSegHi int
+	// CachePolicy selects the cache eviction policy (default LRU).
+	CachePolicy cache.Policy
+	// MaxInodes and BufferBytes configure the file system.
+	MaxInodes   int
+	BufferBytes int
+	// AssemblyCopyRate / UserCopyRate model host CPU copy costs (see
+	// lfs.Options); zero disables them.
+	AssemblyCopyRate int64
+	UserCopyRate     int64
+	// GatherChunkBlocks caps the migrator's raw-read granularity (see
+	// lfs.Options). 1 matches the paper's block-at-a-time gathering.
+	GatherChunkBlocks int
+	// Replicas configures tertiary segment replication (§5.4); see
+	// HighLight.Replicas. Values below 2 disable it.
+	Replicas int
+	// Seed feeds the random eviction policy.
+	Seed uint64
+}
+
+// HighLight is a mounted HighLight file system with its support processes.
+type HighLight struct {
+	K     *sim.Kernel
+	Amap  *addr.Map
+	Disk  *stripe.Concat
+	FS    *lfs.FS
+	Cache *cache.Cache
+	Svc   *tertiary.Service
+
+	jukes []jukebox.Footprint
+
+	// Migration state: the staging segment currently being filled.
+	stageTag int        // tertiary segment index, -1 if none
+	stageSeg addr.SegNo // cache-line disk segment holding the image
+	stageOff int        // next free block in the staging segment
+	nextTert int        // next never-used tertiary segment index
+
+	// DelayCopyouts holds completed staging segments until FlushCopyouts
+	// instead of scheduling them immediately ("delaying segment writes to
+	// a later idle period when there will be no contention for the disk
+	// drive arm", §5.4).
+	DelayCopyouts bool
+	delayed       []copyoutRec
+
+	// RearrangeTertiary lets MigrateFiles re-stage blocks that already
+	// live on tertiary storage — the §5.4 data-rearrangement policy that
+	// re-clusters segments by observed access patterns. Off by default:
+	// whole-file migration then only moves disk-resident blocks.
+	RearrangeTertiary bool
+
+	// Replicas is the number of tertiary copies written per staged
+	// segment (§5.4's replication variant: "maintain several segment
+	// replicas on tertiary storage, and have the staging code simply
+	// read the closest copy"). Replicas land on different volumes, are
+	// not counted as live data, and the catalog mapping primaries to
+	// replicas is an in-memory performance hint (the paper's suggested
+	// bookkeeping sidestep). 1 (or 0) disables replication.
+	Replicas   int
+	replicaOf  map[int][]int // primary tag -> replica tags
+	replicaTag map[int]int   // replica tag -> primary tag
+}
+
+type copyoutRec struct {
+	tag    int
+	seg    addr.SegNo
+	pinTag int
+}
+
+// New formats (format=true) or mounts a HighLight file system.
+func New(p *sim.Proc, cfg Config, format bool) (*HighLight, error) {
+	if cfg.SegBlocks <= 0 {
+		cfg.SegBlocks = 256
+	}
+	if len(cfg.Disks) == 0 {
+		return nil, fmt.Errorf("core: no disks")
+	}
+	// Always concatenate, even a single disk: AddDisk appends spindles
+	// to the farm on-line (§6.4).
+	disk := stripe.New(cfg.Disks...)
+	diskSegs := int(disk.NumBlocks()) / cfg.SegBlocks
+	var geoms []addr.Geom
+	for _, j := range cfg.Jukeboxes {
+		geoms = append(geoms, addr.Geom{Vols: j.Volumes(), SegsPerVol: j.SegmentsPerVolume()})
+	}
+	amap := addr.New(cfg.SegBlocks, diskSegs, geoms...)
+	if cfg.CacheSegs <= 0 {
+		cfg.CacheSegs = diskSegs / 4
+	}
+	hl := &HighLight{
+		K:          p.Kernel(),
+		Amap:       amap,
+		Disk:       disk,
+		jukes:      cfg.Jukeboxes,
+		stageTag:   -1,
+		replicaOf:  make(map[int][]int),
+		replicaTag: make(map[int]int),
+	}
+	bm := &blockMap{hl: hl}
+	opts := lfs.Options{
+		MaxInodes:         cfg.MaxInodes,
+		BufferBytes:       cfg.BufferBytes,
+		CacheSegs:         cfg.CacheSegs,
+		CacheSegLo:        cfg.CacheSegLo,
+		CacheSegHi:        cfg.CacheSegHi,
+		AssemblyCopyRate:  cfg.AssemblyCopyRate,
+		UserCopyRate:      cfg.UserCopyRate,
+		GatherChunkBlocks: cfg.GatherChunkBlocks,
+	}
+	var fs *lfs.FS
+	var err error
+	if format {
+		fs, err = lfs.Format(p, bm, amap, opts)
+	} else {
+		fs, err = lfs.Mount(p, bm, amap, opts)
+	}
+	if err != nil {
+		return nil, err
+	}
+	hl.FS = fs
+
+	// Claim the static cache split: the pool of disk segments reserved
+	// for caching tertiary segments.
+	var pool []addr.SegNo
+	if format {
+		for i := 0; i < cfg.CacheSegs; i++ {
+			s, err := fs.AllocCacheSegment(p, lfs.NilCacheTag, false)
+			if err != nil {
+				return nil, fmt.Errorf("core: claiming cache segment %d of %d: %w", i, cfg.CacheSegs, err)
+			}
+			pool = append(pool, s)
+		}
+		// Persist the claim: the pool is part of the static disk split
+		// and must survive a remount.
+		if err := fs.Checkpoint(p); err != nil {
+			return nil, err
+		}
+	} else {
+		// Rebuild the pool and directory from the checkpointed segment
+		// usage table.
+		claimed := 0
+		for s := 0; s < amap.DiskSegs(); s++ {
+			su := fs.SegUsage(addr.SegNo(s))
+			if su.Flags&lfs.SegCached == 0 {
+				continue
+			}
+			claimed++
+			if su.CacheTag == lfs.NilCacheTag {
+				pool = append(pool, addr.SegNo(s))
+			}
+		}
+		// Self-heal a short pool (e.g. images created before claims
+		// were checkpointed, or a crash mid-claim).
+		for claimed < fs.MaxCacheSegs() {
+			s, err := fs.AllocCacheSegment(p, lfs.NilCacheTag, false)
+			if err != nil {
+				break
+			}
+			pool = append(pool, s)
+			claimed++
+		}
+	}
+	hl.Cache = cache.New(cfg.CachePolicy, pool, cfg.Seed)
+	hl.Svc = tertiary.New(p.Kernel(), amap, cfg.Jukeboxes, disk, hl.Cache, tertiary.Hooks{
+		LineBound: func(tag int, seg addr.SegNo, staging bool) {
+			fs.SetCacheBinding(seg, uint32(tag), staging)
+		},
+		LineEvicted: func(tag int, seg addr.SegNo) {
+			fs.SetCacheBinding(seg, lfs.NilCacheTag, false)
+		},
+		CopyoutDone: func(tag int, seg addr.SegNo) {
+			if _, isReplica := hl.replicaTag[tag]; isReplica {
+				return // replicas stay uncounted (§5.4)
+			}
+			fs.SetCacheBinding(seg, uint32(tag), false)
+			fs.MarkTsegWritten(tag)
+		},
+	})
+	hl.Svc.AltCopies = func(tag int) []int { return hl.replicaOf[tag] }
+	if cfg.Replicas > 1 {
+		hl.Replicas = cfg.Replicas
+	}
+	if !format {
+		// Re-insert bound lines; re-schedule staging lines that never
+		// reached tertiary storage before the crash.
+		now := p.Now()
+		for s := 0; s < amap.DiskSegs(); s++ {
+			su := fs.SegUsage(addr.SegNo(s))
+			if su.Flags&lfs.SegCached == 0 || su.CacheTag == lfs.NilCacheTag {
+				continue
+			}
+			staging := su.Flags&lfs.SegStaging != 0
+			hl.Cache.Insert(int(su.CacheTag), addr.SegNo(s), staging, now)
+			if staging {
+				hl.Svc.ScheduleCopyout(p, int(su.CacheTag), addr.SegNo(s))
+			}
+		}
+		hl.Svc.DrainCopyouts(p)
+	}
+	hl.nextTert = hl.scanNextTert()
+	return hl, nil
+}
+
+// scanNextTert finds the first never-used tertiary segment index (media
+// are consumed one at a time in index order, §6.5).
+func (hl *HighLight) scanNextTert() int {
+	for i := 0; i < hl.FS.TsegCount(); i++ {
+		if hl.FS.TsegUsage(i).Flags == 0 && hl.FS.TsegUsage(i).LiveBytes == 0 {
+			if _, cached := hl.Cache.Peek(i); !cached {
+				return i
+			}
+		}
+	}
+	return hl.FS.TsegCount()
+}
+
+// Checkpoint checkpoints the file system.
+func (hl *HighLight) Checkpoint(p *sim.Proc) error { return hl.FS.Checkpoint(p) }
+
+// blockMap is the pseudo-device of §6.6: it compares each block address
+// with the region table and dispatches to the striped disk driver, the
+// segment cache, or (via a demand fetch through the service process) the
+// tertiary driver.
+type blockMap struct {
+	hl *HighLight
+}
+
+var _ lfs.Device = (*blockMap)(nil)
+
+func (bm *blockMap) ReadBlocks(p *sim.Proc, b addr.BlockNo, buf []byte) error {
+	hl := bm.hl
+	for len(buf) > 0 {
+		seg := hl.Amap.SegOf(b)
+		off := hl.Amap.OffOf(b)
+		span := hl.Amap.SegBlocks() - off
+		if span > len(buf)/lfs.BlockSize {
+			span = len(buf) / lfs.BlockSize
+		}
+		chunk := buf[:span*lfs.BlockSize]
+		switch {
+		case hl.Amap.IsDiskSeg(seg):
+			// Disk requests pass straight through; extend the span
+			// across segment boundaries within the disk region.
+			dspan := len(buf) / lfs.BlockSize
+			last := hl.Amap.SegOf(b + addr.BlockNo(dspan-1))
+			if !hl.Amap.IsDiskSeg(last) {
+				return fmt.Errorf("core: read crosses out of disk region at block %d", b)
+			}
+			if err := hl.Disk.ReadBlocks(p, int64(b), buf); err != nil {
+				return err
+			}
+			return nil
+		case hl.Amap.IsTertiarySeg(seg):
+			tag, _ := hl.Amap.TertIndex(seg)
+			line, ok := hl.Cache.Lookup(tag, p.Now())
+			if !ok {
+				var err error
+				line, err = hl.Svc.DemandFetch(p, tag)
+				if err != nil {
+					return err
+				}
+			}
+			if err := hl.Disk.ReadBlocks(p, int64(hl.Amap.BlockOf(line.DiskSeg, off)), chunk); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("core: read of dead-zone block %d", b)
+		}
+		buf = buf[len(chunk):]
+		b += addr.BlockNo(span)
+	}
+	return nil
+}
+
+func (bm *blockMap) WriteBlocks(p *sim.Proc, b addr.BlockNo, buf []byte) error {
+	hl := bm.hl
+	n := len(buf) / lfs.BlockSize
+	if !hl.Amap.IsDiskSeg(hl.Amap.SegOf(b)) || !hl.Amap.IsDiskSeg(hl.Amap.SegOf(b+addr.BlockNo(n-1))) {
+		return fmt.Errorf("core: write to non-disk block %d (tertiary segments are written via the service process)", b)
+	}
+	return hl.Disk.WriteBlocks(p, int64(b), buf)
+}
+
+// Stats aggregates the observability counters of every layer.
+type Stats struct {
+	FS    lfs.Stats
+	Svc   tertiary.Stats
+	Cache cache.Stats
+
+	CleanSegs    int
+	CacheLines   int
+	CacheLineCap int
+	TertSegsUsed int
+}
+
+// Stats returns a snapshot across the file system, the tertiary service,
+// and the segment cache.
+func (hl *HighLight) Stats() Stats {
+	s := Stats{
+		FS:           hl.FS.Stats(),
+		Svc:          hl.Svc.Stats(),
+		Cache:        hl.Cache.Stats(),
+		CleanSegs:    hl.FS.CleanSegs(),
+		CacheLines:   hl.Cache.Len(),
+		CacheLineCap: hl.Cache.Capacity(),
+	}
+	for i := 0; i < hl.FS.TsegCount(); i++ {
+		if hl.FS.TsegUsage(i).Flags&lfs.SegDirty != 0 {
+			s.TertSegsUsed++
+		}
+	}
+	return s
+}

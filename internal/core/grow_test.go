@@ -1,0 +1,160 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/addr"
+	"repro/internal/dev"
+	"repro/internal/jukebox"
+	"repro/internal/lfs"
+	"repro/internal/sim"
+)
+
+func TestAddDiskGrowsCapacityOnline(t *testing.T) {
+	e := newHL(t, 24, 4, 4, 16) // small farm: 24 segments
+	e.run(t, func(p *sim.Proc) {
+		hl := e.hl
+		// Fill until the original disk cannot take another file.
+		var err error
+		var i int
+		for i = 0; i < 64; i++ {
+			f, e2 := hl.FS.Create(p, "/fill"+string(rune('a'+i%26))+string(rune('0'+i/26)))
+			if e2 != nil {
+				err = e2
+				break
+			}
+			if _, e2 := f.WriteAt(p, pat(byte(i), 16*lfs.BlockSize), 0); e2 != nil {
+				err = e2
+				break
+			}
+			if e2 := hl.FS.Sync(p); e2 != nil {
+				err = e2
+				break
+			}
+		}
+		if err == nil {
+			t.Fatal("small disk never filled")
+		}
+		before := hl.FS.CleanSegs()
+		// Plug in a second disk.
+		d2 := dev.NewDisk(e.k, dev.RZ58, int64(24*16), e.bus)
+		segs, err := hl.AddDisk(p, d2)
+		if err != nil {
+			t.Fatalf("AddDisk: %v", err)
+		}
+		if segs != 24 {
+			t.Fatalf("added %d segments, want 24", segs)
+		}
+		// GrowDisk's checkpoint flushes the write that failed above, so a
+		// segment or two of the new space is consumed immediately.
+		if hl.FS.CleanSegs() < before+20 {
+			t.Fatalf("clean segments %d -> %d, want ~+24", before, hl.FS.CleanSegs())
+		}
+		// Writes succeed again and survive verification.
+		data := pat(99, 48*lfs.BlockSize)
+		f := put(t, p, hl, "/after-growth", data)
+		if err := hl.FS.Sync(p); err != nil {
+			t.Fatal(err)
+		}
+		if err := hl.FS.FlushCaches(p); err != nil {
+			t.Fatal(err)
+		}
+		if got := get(t, p, f); !bytes.Equal(got, data) {
+			t.Fatal("data on grown farm corrupted")
+		}
+	})
+	e.k.Stop()
+}
+
+func TestAddDiskPersistsAcrossRemount(t *testing.T) {
+	const segBlocks = 16
+	k := sim.NewKernel()
+	bus := dev.NewBus(k, "scsi", dev.SCSIBusRate)
+	d1 := dev.NewDisk(k, dev.RZ57, int64(32*segBlocks), bus)
+	d2 := dev.NewDisk(k, dev.RZ58, int64(16*segBlocks), bus)
+	juke := jukebox.New(k, jukebox.MO6300, 2, 2, 16, segBlocks*lfs.BlockSize, bus)
+	data := pat(7, 30*lfs.BlockSize)
+	cfg := Config{
+		SegBlocks:   segBlocks,
+		Disks:       []dev.BlockDev{d1},
+		Jukeboxes:   []jukebox.Footprint{juke},
+		CacheSegs:   6,
+		MaxInodes:   128,
+		BufferBytes: 1 << 20,
+	}
+	k.RunProc(func(p *sim.Proc) {
+		hl, err := New(p, cfg, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := hl.AddDisk(p, d2); err != nil {
+			t.Fatal(err)
+		}
+		f := put(t, p, hl, "/grown", data)
+		_ = f
+		if err := hl.FS.Checkpoint(p); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// Remount with both disks present.
+	cfg.Disks = []dev.BlockDev{d1, d2}
+	k.RunProc(func(p *sim.Proc) {
+		hl, err := New(p, cfg, false)
+		if err != nil {
+			t.Fatalf("remount with grown farm: %v", err)
+		}
+		f, err := hl.FS.Open(p, "/grown")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := get(t, p, f); !bytes.Equal(got, data) {
+			t.Fatal("grown-farm data lost across remount")
+		}
+	})
+	k.Stop()
+}
+
+func TestRetireDiskRangeEvacuatesData(t *testing.T) {
+	e := newHL(t, 64, 6, 4, 16)
+	e.run(t, func(p *sim.Proc) {
+		hl := e.hl
+		data := pat(3, 60*lfs.BlockSize)
+		f := put(t, p, hl, "/keep", data)
+		if err := hl.FS.Sync(p); err != nil {
+			t.Fatal(err)
+		}
+		// Retire the middle third of the disk.
+		lo, hi := addr.SegNo(20), addr.SegNo(40)
+		if err := hl.RetireDiskRange(p, lo, hi); err != nil {
+			t.Fatalf("retire: %v", err)
+		}
+		// No live block may remain in the retired range.
+		refs, _ := hl.FS.FileBlockRefs(p, f.Inum())
+		for _, r := range refs {
+			s := hl.Amap.SegOf(r.Addr)
+			if s >= lo && s < hi {
+				t.Fatalf("block %d still lives in retired segment %d", r.Lbn, s)
+			}
+		}
+		if err := hl.FS.FlushCaches(p); err != nil {
+			t.Fatal(err)
+		}
+		if got := get(t, p, f); !bytes.Equal(got, data) {
+			t.Fatal("data corrupted by disk retirement")
+		}
+		// Retired segments never get reused.
+		g := put(t, p, hl, "/new", pat(4, 40*lfs.BlockSize))
+		if err := hl.FS.Sync(p); err != nil {
+			t.Fatal(err)
+		}
+		refs2, _ := hl.FS.FileBlockRefs(p, g.Inum())
+		for _, r := range refs2 {
+			s := hl.Amap.SegOf(r.Addr)
+			if s >= lo && s < hi {
+				t.Fatalf("new data allocated in retired segment %d", s)
+			}
+		}
+	})
+	e.k.Stop()
+}

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"time"
+
+	"repro/internal/dev"
+	"repro/internal/jukebox"
+	"repro/internal/lfs"
+	"repro/internal/sim"
+)
+
+// TestLongevityWeekOfOperation simulates a week of Sequoia-style usage on
+// a small disk with all background machinery live — cleaner daemon,
+// migrator-style nightly migrations, daytime reads with demand fetches,
+// periodic volume cleaning — and checks the steady-state invariants: the
+// disk never wedges, every retained dataset stays intact, and storage
+// accounting stays consistent.
+func TestLongevityWeekOfOperation(t *testing.T) {
+	const segBlocks = 16
+	k := sim.NewKernel()
+	bus := dev.NewBus(k, "scsi", dev.SCSIBusRate)
+	disk := dev.NewDisk(k, dev.RZ57, int64(96*segBlocks), bus) // ~6 MB disk
+	juke := jukebox.New(k, jukebox.MO6300, 2, 8, 32, segBlocks*lfs.BlockSize, bus)
+	var hl *HighLight
+	k.RunProc(func(p *sim.Proc) {
+		var err error
+		hl, err = New(p, Config{
+			SegBlocks:   segBlocks,
+			Disks:       []dev.BlockDev{disk},
+			Jukeboxes:   []jukebox.Footprint{juke},
+			CacheSegs:   12,
+			MaxInodes:   512,
+			BufferBytes: 1 << 20,
+		}, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := hl.FS.Mkdir(p, "/data"); err != nil {
+			t.Fatal(err)
+		}
+	})
+	k.GoDaemon("cleaner", hl.FS.AttachCleaner(8, 14))
+
+	model := map[string][]byte{}
+	rng := sim.NewRNG(20260706)
+	k.RunProc(func(p *sim.Proc) {
+		day := 0
+		for ; day < 7; day++ {
+			// Daytime: ingest a new dataset (~1.5 MB) and re-read two
+			// random old ones (possibly off the jukebox).
+			name := "/data/day" + itoa(day)
+			sz := (300 + rng.Intn(100)) * 1024
+			data := make([]byte, sz)
+			for i := range data {
+				data[i] = byte(rng.Intn(256))
+			}
+			f, err := hl.FS.Create(p, name)
+			if err != nil {
+				t.Fatalf("day %d ingest: %v", day, err)
+			}
+			if _, err := f.WriteAt(p, data, 0); err != nil {
+				t.Fatalf("day %d write: %v", day, err)
+			}
+			model[name] = data
+			if err := hl.FS.Sync(p); err != nil {
+				t.Fatal(err)
+			}
+			for r := 0; r < 2 && day > 0; r++ {
+				old := "/data/day" + itoa(rng.Intn(day))
+				g, err := hl.FS.Open(p, old)
+				if err != nil {
+					t.Fatalf("day %d re-read %s: %v", day, old, err)
+				}
+				got := make([]byte, len(model[old]))
+				if _, err := g.ReadAt(p, got, 0); err != nil && err != io.EOF {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(got, model[old]) {
+					t.Fatalf("day %d: %s corrupted", day, old)
+				}
+			}
+			p.Sleep(12 * time.Hour)
+
+			// Night: migrate everything older than a day, clean a
+			// tertiary volume every third night.
+			var dormant []uint32
+			err = hl.FS.Walk(p, "/data", func(path string, fi lfs.FileInfo) error {
+				if fi.Type == lfs.TypeFile && p.Now()-sim.Time(fi.Atime) > 20*time.Hour {
+					dormant = append(dormant, fi.Inum)
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(dormant) > 0 {
+				if _, err := hl.MigrateFiles(p, dormant, true); err != nil {
+					t.Fatalf("night %d migrate: %v", day, err)
+				}
+				if err := hl.CompleteMigration(p); err != nil {
+					t.Fatalf("night %d complete: %v", day, err)
+				}
+			}
+			if day%3 == 2 {
+				if u, ok := hl.SelectCleanableVolume(); ok && u.LiveBytes == 0 && u.UsedSegs > 0 {
+					if _, err := hl.CleanVolume(p, u.Device, u.Volume); err != nil {
+						t.Fatalf("night %d volume clean: %v", day, err)
+					}
+				}
+			}
+			p.Sleep(12 * time.Hour)
+
+			// Steady-state invariants each day.
+			st := hl.Stats()
+			if st.CleanSegs < 2 {
+				t.Fatalf("day %d: clean pool exhausted (%d)", day, st.CleanSegs)
+			}
+			u := hl.FS.Usage()
+			if u.CleanSegs+u.DirtySegs+u.CacheSegs+u.NoStoreSegs+u.ReservedSegs != u.DiskSegs {
+				t.Fatalf("day %d: segment accounting broken: %+v", day, u)
+			}
+		}
+		// Week's end: verify every dataset byte-for-byte, cold.
+		if err := hl.FS.FlushCaches(p); err != nil {
+			t.Fatal(err)
+		}
+		for _, l := range hl.Cache.Lines() {
+			if l.Staging || l.Pins > 0 {
+				continue
+			}
+			if err := hl.Svc.Eject(l.Tag); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for name, want := range model {
+			f, err := hl.FS.Open(p, name)
+			if err != nil {
+				t.Fatalf("week-end open %s: %v", name, err)
+			}
+			got := make([]byte, len(want))
+			if _, err := f.ReadAt(p, got, 0); err != nil && err != io.EOF {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("week-end: %s corrupted", name)
+			}
+		}
+		if hl.Stats().Svc.Fetches == 0 {
+			t.Fatal("week of operation never exercised demand fetch")
+		}
+	})
+	k.Stop()
+}

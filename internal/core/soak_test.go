@@ -1,0 +1,217 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"time"
+
+	"repro/internal/dev"
+	"repro/internal/jukebox"
+	"repro/internal/lfs"
+	"repro/internal/sim"
+)
+
+// TestFullHierarchySoak drives the entire system with randomized
+// operations — creates, overwrites, deletes, whole-file and partial
+// migration, cache ejection, disk cleaning, tertiary volume cleaning —
+// against an in-memory model, then remounts from the media and verifies
+// every byte. This is the broadest invariant check in the repository:
+// no sequence of mechanisms may ever lose or corrupt a committed byte.
+func TestFullHierarchySoak(t *testing.T) {
+	const segBlocks = 16
+	k := sim.NewKernel()
+	bus := dev.NewBus(k, "scsi", dev.SCSIBusRate)
+	disk := dev.NewDisk(k, dev.RZ57, int64(160*segBlocks), bus)
+	juke := jukebox.New(k, jukebox.MO6300, 2, 6, 24, segBlocks*lfs.BlockSize, bus)
+	cfg := Config{
+		SegBlocks:   segBlocks,
+		Disks:       []dev.BlockDev{disk},
+		Jukeboxes:   []jukebox.Footprint{juke},
+		CacheSegs:   20,
+		MaxInodes:   512,
+		BufferBytes: 1 << 20,
+	}
+	model := map[string][]byte{}
+	var names []string
+	rng := sim.NewRNG(777)
+
+	k.RunProc(func(p *sim.Proc) {
+		hl, err := New(p, cfg, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hl.FS.AttachCleaner(6, 10)
+		verify := func(name string) {
+			f, err := hl.FS.Open(p, name)
+			if err != nil {
+				t.Fatalf("open %s: %v", name, err)
+			}
+			want := model[name]
+			got := make([]byte, len(want))
+			if _, err := f.ReadAt(p, got, 0); err != nil && err != io.EOF {
+				t.Fatalf("read %s: %v", name, err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("%s diverged from model", name)
+			}
+		}
+		for op := 0; op < 250; op++ {
+			p.Sleep(time.Duration(rng.Intn(1000)) * time.Millisecond)
+			switch r := rng.Intn(100); {
+			case r < 30 || len(names) == 0: // create
+				if len(names) >= 25 {
+					continue
+				}
+				name := "/s" + itoa(op)
+				sz := rng.Intn(10*lfs.BlockSize) + 1
+				data := make([]byte, sz)
+				for i := range data {
+					data[i] = byte(rng.Intn(256))
+				}
+				f, err := hl.FS.Create(p, name)
+				if err != nil {
+					t.Fatalf("op %d create: %v", op, err)
+				}
+				if _, err := f.WriteAt(p, data, 0); err != nil {
+					t.Fatalf("op %d write: %v", op, err)
+				}
+				model[name] = data
+				names = append(names, name)
+			case r < 45: // overwrite a slice
+				name := names[rng.Intn(len(names))]
+				cur := model[name]
+				off := rng.Intn(len(cur))
+				n := rng.Intn(2*lfs.BlockSize) + 1
+				patch := make([]byte, n)
+				for i := range patch {
+					patch[i] = byte(rng.Intn(256))
+				}
+				f, err := hl.FS.Open(p, name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := f.WriteAt(p, patch, int64(off)); err != nil {
+					t.Fatal(err)
+				}
+				if off+n > len(cur) {
+					grown := make([]byte, off+n)
+					copy(grown, cur)
+					cur = grown
+				}
+				copy(cur[off:], patch)
+				model[name] = cur
+			case r < 55: // delete
+				i := rng.Intn(len(names))
+				name := names[i]
+				if err := hl.FS.Remove(p, name); err != nil {
+					t.Fatalf("op %d remove: %v", op, err)
+				}
+				delete(model, name)
+				names = append(names[:i], names[i+1:]...)
+			case r < 70: // migrate a random file (whole or partial)
+				name := names[rng.Intn(len(names))]
+				f, err := hl.FS.Open(p, name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if rng.Intn(2) == 0 {
+					_, err = hl.MigrateFiles(p, []uint32{f.Inum()}, rng.Intn(2) == 0)
+				} else {
+					if err := hl.FS.Sync(p); err != nil {
+						t.Fatal(err)
+					}
+					refs, e := hl.FS.FileBlockRefs(p, f.Inum())
+					if e != nil {
+						t.Fatal(e)
+					}
+					if len(refs) > 1 {
+						refs = refs[:1+rng.Intn(len(refs)-1)]
+					}
+					_, err = hl.MigrateRefs(p, refs)
+				}
+				if err != nil && !errors.Is(err, ErrNoTertiarySpace) {
+					t.Fatalf("op %d migrate: %v", op, err)
+				}
+				if err := hl.CompleteMigration(p); err != nil {
+					t.Fatalf("op %d complete: %v", op, err)
+				}
+			case r < 80: // eject cache lines
+				for _, l := range hl.Cache.Lines() {
+					if l.Staging || l.Pins > 0 {
+						continue
+					}
+					if rng.Intn(2) == 0 {
+						if err := hl.Svc.Eject(l.Tag); err != nil {
+							t.Fatal(err)
+						}
+					}
+				}
+			case r < 88: // verify a random file
+				verify(names[rng.Intn(len(names))])
+			case r < 94: // disk cleaning
+				segs := hl.FS.SelectCleanable(2)
+				if len(segs) > 0 {
+					if _, err := hl.FS.CleanSegments(p, segs); err != nil {
+						t.Fatalf("op %d clean: %v", op, err)
+					}
+				}
+			default: // tertiary volume cleaning
+				if u, ok := hl.SelectCleanableVolume(); ok {
+					if _, err := hl.CleanVolume(p, u.Device, u.Volume); err != nil {
+						t.Fatalf("op %d cleanvolume: %v", op, err)
+					}
+				}
+			}
+		}
+		// Verify everything, then checkpoint for the remount phase.
+		for _, name := range names {
+			verify(name)
+		}
+		if err := hl.FS.Checkpoint(p); err != nil {
+			t.Fatal(err)
+		}
+	})
+	k.Stop()
+
+	// Remount from the same media with a fresh kernel-equivalent state and
+	// verify every file once more (including demand fetches for migrated
+	// content).
+	k2 := sim.NewKernel()
+	bus2 := dev.NewBus(k2, "scsi", dev.SCSIBusRate)
+	_ = bus2
+	k2.RunProc(func(p *sim.Proc) {
+		hl, err := New(p, cfg, false)
+		if err != nil {
+			t.Fatalf("remount: %v", err)
+		}
+		for _, name := range names {
+			f, err := hl.FS.Open(p, name)
+			if err != nil {
+				t.Fatalf("open %s after remount: %v", name, err)
+			}
+			want := model[name]
+			got := make([]byte, len(want))
+			if _, err := f.ReadAt(p, got, 0); err != nil && err != io.EOF {
+				t.Fatalf("read %s after remount: %v", name, err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("%s diverged after remount", name)
+			}
+		}
+	})
+	k2.Stop()
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b []byte
+	for i > 0 {
+		b = append([]byte{byte('0' + i%10)}, b...)
+		i /= 10
+	}
+	return string(b)
+}

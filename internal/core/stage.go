@@ -1,0 +1,363 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/addr"
+	"repro/internal/lfs"
+	"repro/internal/sim"
+)
+
+// Migration mechanism (§6.2): to-be-migrated blocks are assembled into a
+// staging segment — a dirty cache line addressed with the block numbers
+// the segment will use on the tertiary volume. When the staging segment
+// fills, the service process copies the whole 1 MB segment to tertiary
+// storage, either immediately or in a delayed batch (§5.4).
+
+// ErrNoTertiarySpace is returned when every tertiary segment has been
+// consumed (the paper's future-work tertiary cleaner reclaims media).
+var ErrNoTertiarySpace = errors.New("core: tertiary storage exhausted")
+
+// ensureStaging makes sure a staging segment is open, allocating the next
+// tertiary segment and a cache line for its assembly.
+func (hl *HighLight) ensureStaging(p *sim.Proc) error {
+	if hl.stageTag >= 0 {
+		return nil
+	}
+	// Scan for the next never-used tertiary segment. After a volume
+	// clean rewinds the cursor, in-use (dirty), reserved (no-store,
+	// e.g. replicas and retired volume tails) and still-cached indices
+	// must all be skipped, not just no-store ones.
+	tag := hl.nextTert
+	for tag < hl.FS.TsegCount() {
+		su := hl.FS.TsegUsage(tag)
+		_, cached := hl.Cache.Peek(tag)
+		if su.Flags == 0 && su.LiveBytes == 0 && !cached {
+			break
+		}
+		tag++
+	}
+	if tag >= hl.FS.TsegCount() {
+		return ErrNoTertiarySpace
+	}
+	var seg addr.SegNo
+	for {
+		var ok bool
+		seg, ok = hl.Cache.TakeFree()
+		if ok {
+			break
+		}
+		if v := hl.Cache.Victim(); v != nil {
+			seg = hl.Cache.Evict(v)
+			hl.FS.SetCacheBinding(seg, lfs.NilCacheTag, false)
+			break
+		}
+		// Every line is pinned or still staging: wait for an in-flight
+		// copyout to finish and retry.
+		if hl.Svc.OutstandingCopyouts() == 0 {
+			if len(hl.delayed) > 0 {
+				// Delayed copyouts are holding every line; write them
+				// out now (the "no idle period arises" fallback, §5.4).
+				hl.FlushCopyouts(p)
+				continue
+			}
+			return fmt.Errorf("core: no cache line available for staging (all pinned or staging)")
+		}
+		hl.Svc.WaitCopyoutProgress(p)
+	}
+	hl.Cache.Insert(tag, seg, true, p.Now())
+	hl.FS.SetCacheBinding(seg, uint32(tag), true)
+	hl.stageTag = tag
+	hl.stageSeg = seg
+	hl.stageOff = 0
+	hl.nextTert = tag + 1
+	return nil
+}
+
+// finishStaging closes the current staging segment and schedules (or
+// defers) its copy — and its replicas, if configured — to tertiary
+// storage.
+func (hl *HighLight) finishStaging(p *sim.Proc) {
+	if hl.stageTag < 0 {
+		return
+	}
+	if hl.stageOff == 0 {
+		// Nothing was staged (e.g. every candidate block turned out
+		// dead): release the line and the tertiary segment instead of
+		// copying out an empty image.
+		if l, ok := hl.Cache.Peek(hl.stageTag); ok {
+			l.Staging = false
+			seg := hl.Cache.Evict(l)
+			hl.FS.SetCacheBinding(seg, lfs.NilCacheTag, false)
+			hl.Cache.Release(seg)
+		}
+		hl.FS.ResetTseg(hl.stageTag)
+		if hl.stageTag < hl.nextTert {
+			hl.nextTert = hl.stageTag
+		}
+		hl.stageTag = -1
+		return
+	}
+	recs := []copyoutRec{{hl.stageTag, hl.stageSeg, hl.stageTag}}
+	for r := 1; r < hl.Replicas; r++ {
+		rtag, ok := hl.allocReplicaTag(hl.stageTag)
+		if !ok {
+			break // no room on another volume: fewer replicas, not an error
+		}
+		hl.replicaOf[hl.stageTag] = append(hl.replicaOf[hl.stageTag], rtag)
+		hl.replicaTag[rtag] = hl.stageTag
+		recs = append(recs, copyoutRec{rtag, hl.stageSeg, hl.stageTag})
+	}
+	if hl.DelayCopyouts {
+		hl.delayed = append(hl.delayed, recs...)
+	} else {
+		for _, rec := range recs {
+			hl.Svc.ScheduleCopyoutAs(p, rec.tag, rec.seg, rec.pinTag)
+		}
+	}
+	hl.stageTag = -1
+}
+
+// allocReplicaTag finds a free tertiary segment on a different volume than
+// the primary and reserves it (no-storage in the tsegfile, so the regular
+// allocator skips it and it is never counted live — §5.4's bookkeeping
+// sidestep).
+func (hl *HighLight) allocReplicaTag(primary int) (int, bool) {
+	pd, pv, _, _ := hl.Amap.Loc(hl.Amap.SegForIndex(primary))
+	for idx := 0; idx < hl.FS.TsegCount(); idx++ {
+		su := hl.FS.TsegUsage(idx)
+		if su.Flags != 0 || su.LiveBytes != 0 {
+			continue
+		}
+		if _, cached := hl.Cache.Peek(idx); cached {
+			continue
+		}
+		d, v, _, ok := hl.Amap.Loc(hl.Amap.SegForIndex(idx))
+		if !ok || (d == pd && v == pv) {
+			continue
+		}
+		hl.FS.MarkTsegNoStore(idx)
+		return idx, true
+	}
+	return 0, false
+}
+
+// FlushCopyouts schedules every delayed copyout (the "later idle period"
+// write of §5.4).
+func (hl *HighLight) FlushCopyouts(p *sim.Proc) {
+	for _, rec := range hl.delayed {
+		hl.Svc.ScheduleCopyoutAs(p, rec.tag, rec.seg, rec.pinTag)
+	}
+	hl.delayed = nil
+}
+
+// StagingOpen reports whether a staging segment is being filled.
+func (hl *HighLight) StagingOpen() bool { return hl.stageTag >= 0 }
+
+// MigrateRefs stages the given block refs (already located via
+// FileBlockRefs/Bmapv) to tertiary storage, opening and closing staging
+// segments as needed. It returns the bytes staged.
+func (hl *HighLight) MigrateRefs(p *sim.Proc, refs []lfs.BlockRef) (int64, error) {
+	var staged int64
+	for len(refs) > 0 {
+		if err := hl.ensureStaging(p); err != nil {
+			return staged, err
+		}
+		res, err := hl.FS.Migratev(p, refs, nil, hl.Amap.SegForIndex(hl.stageTag), hl.stageSeg, hl.stageOff)
+		if err != nil {
+			return staged, err
+		}
+		staged += int64(res.Blocks) * lfs.BlockSize
+		hl.stageOff = res.NextOff
+		refs = refs[res.Consumed:]
+		if res.Full {
+			hl.finishStaging(p)
+		} else if res.Consumed == 0 {
+			return staged, fmt.Errorf("core: staging made no progress at segment %d", hl.stageTag)
+		}
+	}
+	return staged, nil
+}
+
+// stageInodes stages a batch of inodes into the staging segment.
+func (hl *HighLight) stageInodes(p *sim.Proc, inums []uint32) error {
+	for len(inums) > 0 {
+		if err := hl.ensureStaging(p); err != nil {
+			return err
+		}
+		res, err := hl.FS.Migratev(p, nil, inums, hl.Amap.SegForIndex(hl.stageTag), hl.stageSeg, hl.stageOff)
+		if err != nil {
+			return err
+		}
+		hl.stageOff = res.NextOff
+		if res.Full && res.InodesMoved == 0 {
+			hl.finishStaging(p)
+			continue
+		}
+		inums = inums[res.InodesMoved:]
+		if res.Full {
+			hl.finishStaging(p)
+		}
+	}
+	return nil
+}
+
+// MigrateFiles migrates whole files — every data and indirect block, and
+// (when migrateInodes is set) the inodes themselves — to tertiary storage.
+// The files' dirty state is synced first so every block is stable.
+func (hl *HighLight) MigrateFiles(p *sim.Proc, inums []uint32, migrateInodes bool) (int64, error) {
+	if err := hl.FS.Sync(p); err != nil {
+		return 0, err
+	}
+	var staged int64
+	var inodeBatch []uint32
+	for _, inum := range inums {
+		refs, err := hl.FS.FileBlockRefs(p, inum)
+		if err != nil {
+			return staged, err
+		}
+		if !hl.RearrangeTertiary {
+			// Skip blocks already on tertiary storage; re-staging them
+			// is the explicit rearrangement policy of §5.4, not the
+			// default (it consumes tertiary space and fetch bandwidth).
+			kept := refs[:0]
+			for _, r := range refs {
+				if hl.Amap.IsDiskSeg(hl.Amap.SegOf(r.Addr)) {
+					kept = append(kept, r)
+				}
+			}
+			refs = kept
+			if len(refs) == 0 {
+				continue
+			}
+		}
+		n, err := hl.MigrateRefs(p, refs)
+		staged += n
+		if err != nil {
+			return staged, err
+		}
+		if migrateInodes {
+			inodeBatch = append(inodeBatch, inum)
+			if len(inodeBatch) >= lfs.InodesPerBlock {
+				if err := hl.stageInodes(p, inodeBatch); err != nil {
+					return staged, err
+				}
+				inodeBatch = nil
+			}
+		}
+	}
+	if len(inodeBatch) > 0 {
+		if err := hl.stageInodes(p, inodeBatch); err != nil {
+			return staged, err
+		}
+	}
+	return staged, nil
+}
+
+// CompleteMigration closes the open staging segment, flushes delayed
+// copyouts, waits for the tertiary writes, handles end-of-medium retries
+// (re-staging partial segments onto the next volume, §6.3), and
+// checkpoints so the new bindings are durable.
+func (hl *HighLight) CompleteMigration(p *sim.Proc) error {
+	hl.finishStaging(p)
+	hl.FlushCopyouts(p)
+	for {
+		hl.Svc.DrainCopyouts(p)
+		failed := hl.Svc.FailedCopyouts()
+		if len(failed) == 0 {
+			break
+		}
+		for _, tag := range failed {
+			if primary, isReplica := hl.replicaTag[tag]; isReplica {
+				// A replica hit end-of-medium: drop it from the
+				// catalog (the primary is intact) and retire the
+				// volume's free segments.
+				hl.dropReplica(primary, tag)
+				hl.retireVolumeOf(tag)
+				continue
+			}
+			if err := hl.restageSegment(p, tag); err != nil {
+				return err
+			}
+		}
+		hl.finishStaging(p)
+		hl.FlushCopyouts(p)
+	}
+	return hl.FS.Checkpoint(p)
+}
+
+// dropReplica removes one replica binding from the catalog.
+func (hl *HighLight) dropReplica(primary, replica int) {
+	delete(hl.replicaTag, replica)
+	alts := hl.replicaOf[primary]
+	out := alts[:0]
+	for _, a := range alts {
+		if a != replica {
+			out = append(out, a)
+		}
+	}
+	if len(out) == 0 {
+		delete(hl.replicaOf, primary)
+	} else {
+		hl.replicaOf[primary] = out
+	}
+}
+
+// retireVolumeOf marks the unwritten segments of tag's volume no-storage.
+func (hl *HighLight) retireVolumeOf(tag int) {
+	d, v, _, _ := hl.Amap.Loc(hl.Amap.SegForIndex(tag))
+	spv := hl.Amap.Devices()[d].SegsPerVol
+	for s := 0; s < spv; s++ {
+		idx, _ := hl.Amap.TertIndex(hl.Amap.SegForLoc(d, v, s))
+		if hl.FS.TsegUsage(idx).Flags&lfs.SegDirty == 0 {
+			hl.FS.MarkTsegNoStore(idx)
+		}
+	}
+}
+
+// restageSegment handles a copyout that hit end-of-medium: the volume is
+// marked full (its unwritten segments get no storage) and the partially
+// written segment's contents move to a fresh segment on the next volume.
+func (hl *HighLight) restageSegment(p *sim.Proc, tag int) error {
+	line, ok := hl.Cache.Peek(tag)
+	if !ok {
+		return fmt.Errorf("core: failed copyout of segment %d has no cache line", tag)
+	}
+	hl.retireVolumeOf(tag)
+	seg := hl.Amap.SegForIndex(tag)
+	// Parse the staged image off the cache line and rebuild refs with
+	// their (failed) tertiary addresses.
+	segBytes := hl.Amap.SegBlocks() * lfs.BlockSize
+	raw := make([]byte, segBytes)
+	if err := hl.FS.ReadRawBlocks(p, hl.Amap.BlockOf(line.DiskSeg, 0), raw); err != nil {
+		return err
+	}
+	refs, inoRefs, err := hl.parseSegmentImage(raw, seg)
+	if err != nil {
+		return err
+	}
+	var inums []uint32
+	for _, ir := range inoRefs {
+		e := hl.FS.Imap(ir.Inum)
+		if e.Addr == ir.Addr && e.Slot == ir.Slot && e.Version == ir.Version {
+			inums = append(inums, ir.Inum)
+		}
+	}
+	// Move the live contents to a fresh segment (reads come from the
+	// still-bound cache line via the block map).
+	if _, err := hl.MigrateRefs(p, refs); err != nil {
+		return err
+	}
+	if len(inums) > 0 {
+		if err := hl.stageInodes(p, inums); err != nil {
+			return err
+		}
+	}
+	// Retire the failed line: nothing references its addresses now.
+	line.Staging = false
+	freed := hl.Cache.Evict(line)
+	hl.FS.SetCacheBinding(freed, lfs.NilCacheTag, false)
+	hl.Cache.Release(freed)
+	return nil
+}

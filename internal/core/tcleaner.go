@@ -1,0 +1,266 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/addr"
+	"repro/internal/lfs"
+	"repro/internal/sim"
+)
+
+// Tertiary media cleaning — the paper's §10 future work: "HighLight will
+// need a tertiary cleaning mechanism that examines tertiary volumes, a
+// task that would best be done with at least two reader/writer devices to
+// avoid having to swap between the being-cleaned volume and the
+// destination volume."
+//
+// CleanVolume reclaims one whole medium at a time (minimizing media swaps
+// and seek passes, §6.5): every segment of the volume is fetched through
+// the segment cache, its live blocks are re-staged onto the current
+// migration volume, and the emptied medium is erased and returned to
+// service. With the jukebox's write drive pinned to the destination volume
+// and reads served by the other drive, the being-cleaned and destination
+// volumes never contend for one drive.
+
+// VolumeUsage summarizes one tertiary volume for cleaning decisions.
+type VolumeUsage struct {
+	Device, Volume int
+	LiveBytes      int64
+	UsedSegs       int // segments holding (possibly dead) data
+	NoStoreSegs    int // segments with no storage (end-of-medium tail)
+}
+
+// VolumeUsages reports per-volume statistics from the tsegfile.
+func (hl *HighLight) VolumeUsages() []VolumeUsage {
+	var out []VolumeUsage
+	for d, g := range hl.Amap.Devices() {
+		for v := 0; v < g.Vols; v++ {
+			u := VolumeUsage{Device: d, Volume: v}
+			for s := 0; s < g.SegsPerVol; s++ {
+				idx, _ := hl.Amap.TertIndex(hl.Amap.SegForLoc(d, v, s))
+				su := hl.FS.TsegUsage(idx)
+				if su.Flags&lfs.SegNoStore != 0 {
+					u.NoStoreSegs++
+				}
+				if su.Flags&lfs.SegDirty != 0 {
+					u.UsedSegs++
+					u.LiveBytes += int64(su.LiveBytes)
+				}
+			}
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// SelectCleanableVolume picks the used volume with the least live data —
+// the cheapest whole-medium reclaim. Volumes holding the current staging
+// target are skipped. ok is false when no used volume exists.
+func (hl *HighLight) SelectCleanableVolume() (VolumeUsage, bool) {
+	usages := hl.VolumeUsages()
+	sort.Slice(usages, func(a, b int) bool {
+		if usages[a].LiveBytes != usages[b].LiveBytes {
+			return usages[a].LiveBytes < usages[b].LiveBytes
+		}
+		return usages[a].Volume < usages[b].Volume
+	})
+	for _, u := range usages {
+		if u.UsedSegs == 0 && u.NoStoreSegs == 0 {
+			continue
+		}
+		return u, true
+	}
+	return VolumeUsage{}, false
+}
+
+// EraseVolumer is implemented by jukeboxes that can reclaim erased media
+// (the Footprint interface itself stays read/write-only; WORM devices
+// simply do not implement this).
+type EraseVolumer interface {
+	EraseVolume(vol int)
+}
+
+// CleanVolume reclaims tertiary volume (device, vol): live blocks move to
+// fresh segments on the current migration volume, the medium is erased,
+// and its segments return to the allocatable pool. It returns the number
+// of blocks relocated. The caller should invoke CompleteMigration
+// afterwards to drain the re-staging copyouts.
+func (hl *HighLight) CleanVolume(p *sim.Proc, device, vol int) (int, error) {
+	g := hl.Amap.Devices()[device]
+	// Fence allocation away from this volume first: an open staging
+	// segment on it is closed out, and its free segments are marked
+	// no-storage so re-staged data cannot land on the medium about to
+	// be erased.
+	if hl.stageTag >= 0 {
+		if d, v, _, ok := hl.Amap.Loc(hl.Amap.SegForIndex(hl.stageTag)); ok && d == device && v == vol {
+			hl.finishStaging(p)
+			hl.Svc.DrainCopyouts(p)
+		}
+	}
+	var cleanedIdx []int
+	for s := 0; s < g.SegsPerVol; s++ {
+		idx, _ := hl.Amap.TertIndex(hl.Amap.SegForLoc(device, vol, s))
+		cleanedIdx = append(cleanedIdx, idx)
+		if hl.FS.TsegUsage(idx).Flags == 0 {
+			hl.FS.MarkTsegNoStore(idx)
+		}
+	}
+	relocated := 0
+	for s := 0; s < g.SegsPerVol; s++ {
+		seg := hl.Amap.SegForLoc(device, vol, s)
+		idx, _ := hl.Amap.TertIndex(seg)
+		su := hl.FS.TsegUsage(idx)
+		if su.Flags&lfs.SegDirty == 0 {
+			continue
+		}
+		n, err := hl.cleanTertSegment(p, idx, seg)
+		if err != nil {
+			return relocated, fmt.Errorf("core: cleaning volume %d/%d segment %d: %w", device, vol, s, err)
+		}
+		relocated += n
+	}
+	// Close out the re-staged data before touching the medium: the old
+	// copies must never be the sole ones when the volume is erased.
+	if err := hl.CompleteMigration(p); err != nil {
+		return relocated, err
+	}
+	// Drop any cache lines for the cleaned segments and reset the
+	// tsegfile entries; then erase the medium so it can be rewritten.
+	for _, idx := range cleanedIdx {
+		if l, ok := hl.Cache.Peek(idx); ok && !l.Staging && l.Pins == 0 {
+			seg := hl.Cache.Evict(l)
+			hl.FS.SetCacheBinding(seg, lfs.NilCacheTag, false)
+			hl.Cache.Release(seg)
+		}
+		hl.FS.ResetTseg(idx)
+		// Invalidate replica-catalog entries touching the erased medium:
+		// replicas stored here are gone, and primaries stored here were
+		// relocated, so their replicas are orphaned hints.
+		if primary, isReplica := hl.replicaTag[idx]; isReplica {
+			hl.dropReplica(primary, idx)
+		}
+		if alts, isPrimary := hl.replicaOf[idx]; isPrimary {
+			for _, a := range alts {
+				delete(hl.replicaTag, a)
+			}
+			delete(hl.replicaOf, idx)
+		}
+	}
+	if ev, ok := hl.jukes[device].(EraseVolumer); ok {
+		ev.EraseVolume(vol)
+	}
+	// Cleaned segments below the allocation cursor become usable again.
+	if low, _ := hl.Amap.TertIndex(hl.Amap.SegForLoc(device, vol, 0)); low < hl.nextTert {
+		hl.nextTert = low
+	}
+	hl.nextTert = hl.scanNextTert()
+	return relocated, hl.FS.Checkpoint(p)
+}
+
+// RestageTertSegment re-stages the live contents of one tertiary segment
+// onto the current migration volume, leaving the old copy dead (its live
+// bytes drop to zero as pointers move). It is used by the whole-volume
+// cleaner and by the §5.4 rewrite-on-fetch rearrangement policy. The
+// caller completes the migration (CompleteMigration) to make the move
+// durable.
+func (hl *HighLight) RestageTertSegment(p *sim.Proc, idx int) (int, error) {
+	return hl.cleanTertSegment(p, idx, hl.Amap.SegForIndex(idx))
+}
+
+// cleanTertSegment re-stages the live blocks of one tertiary segment.
+func (hl *HighLight) cleanTertSegment(p *sim.Proc, idx int, seg addr.SegNo) (int, error) {
+	// Fetch through the cache (a whole-medium clean walks the volume
+	// sequentially, so fetches are seek-cheap on the jukebox).
+	if _, ok := hl.Cache.Peek(idx); !ok {
+		if _, err := hl.Svc.DemandFetch(p, idx); err != nil {
+			return 0, err
+		}
+	}
+	line, _ := hl.Cache.Peek(idx)
+	line.Pins++
+	defer func() { line.Pins-- }()
+	segBytes := hl.Amap.SegBlocks() * lfs.BlockSize
+	raw := make([]byte, segBytes)
+	if err := hl.FS.ReadRawBlocks(p, hl.Amap.BlockOf(line.DiskSeg, 0), raw); err != nil {
+		return 0, err
+	}
+	refs, inums, err := hl.parseSegmentImage(raw, seg)
+	if err != nil {
+		return 0, err
+	}
+	// Live inodes whose imap entry points into this segment re-stage too.
+	var liveInums []uint32
+	for _, ir := range inums {
+		e := hl.FS.Imap(ir.Inum)
+		if e.Addr == ir.Addr && e.Slot == ir.Slot && e.Version == ir.Version {
+			liveInums = append(liveInums, ir.Inum)
+		}
+	}
+	n, err := hl.MigrateRefs(p, refs)
+	if err != nil {
+		return 0, err
+	}
+	moved := int(n / lfs.BlockSize)
+	if len(liveInums) > 0 {
+		if err := hl.stageInodes(p, liveInums); err != nil {
+			return moved, err
+		}
+		moved += len(liveInums)
+	}
+	return moved, nil
+}
+
+// parseSegmentImage decodes the partial segments of a raw segment image
+// whose blocks are addressed at base segment seg, returning block refs and
+// inode instances.
+func (hl *HighLight) parseSegmentImage(raw []byte, seg addr.SegNo) ([]lfs.BlockRef, []lfs.InodeRef, error) {
+	var refs []lfs.BlockRef
+	var inos []lfs.InodeRef
+	base := hl.Amap.BlockOf(seg, 0)
+	off := 0
+	for off+1 <= hl.Amap.SegBlocks() {
+		sum, err := lfs.DecodeSummary(raw[off*lfs.BlockSize : (off+1)*lfs.BlockSize])
+		if err != nil {
+			break
+		}
+		n := int(sum.NBlocks)
+		if n < 1 || off+n > hl.Amap.SegBlocks() {
+			break
+		}
+		bi := off + 1
+		for _, fi := range sum.Finfos {
+			for _, lbn := range fi.Lbns {
+				refs = append(refs, lfs.BlockRef{
+					Inum:    fi.Inum,
+					Version: fi.Version,
+					Lbn:     lbn,
+					Addr:    base + addr.BlockNo(bi),
+				})
+				bi++
+			}
+		}
+		for _, ia := range sum.InoAddrs {
+			blkIdx := hl.Amap.OffOf(ia)
+			if hl.Amap.SegOf(ia) != seg || blkIdx >= hl.Amap.SegBlocks() {
+				continue
+			}
+			blk := raw[blkIdx*lfs.BlockSize : (blkIdx+1)*lfs.BlockSize]
+			for slot := 0; slot < lfs.InodesPerBlock; slot++ {
+				var ino lfs.Inode
+				lfs.DecodeInode(&ino, blk[slot*lfs.InodeSize:])
+				if ino.Inum == 0 || int(ino.Inum) >= hl.FS.MaxInodes() {
+					continue
+				}
+				inos = append(inos, lfs.InodeRef{
+					Inum:    ino.Inum,
+					Version: ino.Version,
+					Addr:    ia,
+					Slot:    uint32(slot),
+				})
+			}
+		}
+		off += n
+	}
+	return refs, inos, nil
+}

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/lfs"
+	"repro/internal/sim"
+)
+
+func TestVolumeUsagesTracksLiveData(t *testing.T) {
+	e := newHL(t, 64, 8, 3, 8)
+	e.run(t, func(p *sim.Proc) {
+		hl := e.hl
+		f := put(t, p, hl, "/a", pat(1, 20*lfs.BlockSize))
+		if _, err := hl.MigrateFiles(p, []uint32{f.Inum()}, false); err != nil {
+			t.Fatal(err)
+		}
+		if err := hl.CompleteMigration(p); err != nil {
+			t.Fatal(err)
+		}
+		usages := hl.VolumeUsages()
+		if len(usages) != 3 {
+			t.Fatalf("got %d volume usages, want 3", len(usages))
+		}
+		if usages[0].UsedSegs == 0 || usages[0].LiveBytes == 0 {
+			t.Fatalf("volume 0 shows no usage: %+v", usages[0])
+		}
+		if usages[2].UsedSegs != 0 {
+			t.Fatalf("volume 2 should be empty: %+v", usages[2])
+		}
+	})
+	e.k.Stop()
+}
+
+func TestCleanVolumeRelocatesLiveDataAndReclaimsMedium(t *testing.T) {
+	e := newHL(t, 96, 10, 3, 8)
+	e.run(t, func(p *sim.Proc) {
+		hl := e.hl
+		// Two files on volume 0; delete one so the volume is half dead.
+		dataA := pat(1, 30*lfs.BlockSize)
+		fa := put(t, p, hl, "/keep", dataA)
+		fb := put(t, p, hl, "/dead", pat(2, 30*lfs.BlockSize))
+		if _, err := hl.MigrateFiles(p, []uint32{fa.Inum(), fb.Inum()}, false); err != nil {
+			t.Fatal(err)
+		}
+		if err := hl.CompleteMigration(p); err != nil {
+			t.Fatal(err)
+		}
+		if err := hl.FS.Remove(p, "/dead"); err != nil {
+			t.Fatal(err)
+		}
+		if err := hl.FS.Sync(p); err != nil {
+			t.Fatal(err)
+		}
+		// Volume 0 now has dead space; clean it.
+		u, ok := hl.SelectCleanableVolume()
+		if !ok {
+			t.Fatal("no cleanable volume found")
+		}
+		moved, err := hl.CleanVolume(p, u.Device, u.Volume)
+		if err != nil {
+			t.Fatalf("CleanVolume: %v", err)
+		}
+		if moved == 0 {
+			t.Fatal("no blocks relocated off the cleaned volume")
+		}
+		// The cleaned volume's segments are reusable again.
+		after := hl.VolumeUsages()
+		if after[u.Volume].UsedSegs != 0 || after[u.Volume].LiveBytes != 0 {
+			t.Fatalf("cleaned volume not reclaimed: %+v", after[u.Volume])
+		}
+		// The kept file survived, now on another volume.
+		hl.FS.DropFileBuffers(p, fa.Inum())
+		for _, l := range hl.Cache.Lines() {
+			if err := hl.Svc.Eject(l.Tag); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if got := get(t, p, fa); !bytes.Equal(got, dataA) {
+			t.Fatal("live file corrupted by tertiary cleaning")
+		}
+		refs, _ := hl.FS.FileBlockRefs(p, fa.Inum())
+		for _, r := range refs {
+			d, v, _, ok := hl.Amap.Loc(hl.Amap.SegOf(r.Addr))
+			if !ok {
+				t.Fatalf("block %d not tertiary after clean", r.Lbn)
+			}
+			if d == u.Device && v == u.Volume {
+				t.Fatalf("block %d still on the cleaned volume", r.Lbn)
+			}
+		}
+	})
+	e.k.Stop()
+}
+
+func TestCleanVolumeReusesReclaimedSegments(t *testing.T) {
+	e := newHL(t, 96, 10, 2, 6) // tiny tertiary: 12 segments total
+	e.run(t, func(p *sim.Proc) {
+		hl := e.hl
+		// Fill most of both volumes, delete everything, clean, and
+		// verify new migrations can use the reclaimed media.
+		var inums []uint32
+		for i := 0; i < 4; i++ {
+			f := put(t, p, hl, "/f"+string(rune('a'+i)), pat(byte(i), 20*lfs.BlockSize))
+			inums = append(inums, f.Inum())
+		}
+		if _, err := hl.MigrateFiles(p, inums, false); err != nil {
+			t.Fatal(err)
+		}
+		if err := hl.CompleteMigration(p); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 4; i++ {
+			if err := hl.FS.Remove(p, "/f"+string(rune('a'+i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := hl.FS.Sync(p); err != nil {
+			t.Fatal(err)
+		}
+		for v := 0; v < 2; v++ {
+			if _, err := hl.CleanVolume(p, 0, v); err != nil {
+				t.Fatalf("clean volume %d: %v", v, err)
+			}
+		}
+		// New data must fit again (tertiary was exhausted before).
+		g := put(t, p, hl, "/fresh", pat(9, 40*lfs.BlockSize))
+		if _, err := hl.MigrateFiles(p, []uint32{g.Inum()}, false); err != nil {
+			t.Fatalf("migration after volume cleaning: %v", err)
+		}
+		if err := hl.CompleteMigration(p); err != nil {
+			t.Fatal(err)
+		}
+		hl.FS.DropFileBuffers(p, g.Inum())
+		for _, l := range hl.Cache.Lines() {
+			if err := hl.Svc.Eject(l.Tag); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if got := get(t, p, g); !bytes.Equal(got, pat(9, 40*lfs.BlockSize)) {
+			t.Fatal("data on reclaimed media corrupted")
+		}
+	})
+	e.k.Stop()
+}

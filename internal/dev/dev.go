@@ -1,0 +1,331 @@
+// Package dev models timed block devices: magnetic disks with a seek /
+// rotation / media-transfer cost model, and the shared SCSI bus.
+//
+// Timing profiles are calibrated so that the raw sequential 1 MB transfer
+// rates match Table 5 of the HighLight paper (RZ57, RZ58, magneto-optic
+// drive; the HP7958A is inferred from Table 6). Disk-arm contention — the
+// central effect in the paper's migration benchmarks — emerges naturally:
+// each disk's arm is a FIFO sim.Resource, and interleaved request streams to
+// distant regions pay long seeks.
+package dev
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// BlockSize is the file system block size in bytes (§6.2 of the paper:
+// 4-kilobyte units addressed by 32-bit block pointers).
+const BlockSize = 4096
+
+// BlockDev is a random-access array of fixed-size blocks with timed I/O.
+// Reads of never-written blocks return zeroes.
+type BlockDev interface {
+	// ReadBlocks reads len(buf) bytes (a multiple of BlockSize) starting
+	// at block blk.
+	ReadBlocks(p *sim.Proc, blk int64, buf []byte) error
+	// WriteBlocks writes len(buf) bytes (a multiple of BlockSize)
+	// starting at block blk.
+	WriteBlocks(p *sim.Proc, blk int64, buf []byte) error
+	// NumBlocks reports the device capacity in blocks.
+	NumBlocks() int64
+}
+
+// Bus is a shared I/O bus (e.g. one SCSI chain). Devices hold the bus for
+// the host-transfer portion of each request; the robotic autochanger in
+// package jukebox holds it for entire media swaps, reproducing the
+// non-disconnecting driver described in §7 of the paper.
+type Bus struct {
+	res  *sim.Resource
+	rate int64 // bytes per second
+}
+
+// NewBus returns a bus transferring at rate bytes/second.
+func NewBus(k *sim.Kernel, name string, rate int64) *Bus {
+	return &Bus{res: k.NewResource(name), rate: rate}
+}
+
+// Transfer holds the bus for the time needed to move n bytes.
+func (b *Bus) Transfer(p *sim.Proc, n int) {
+	if b == nil || n <= 0 {
+		return
+	}
+	b.res.Acquire(p)
+	p.Sleep(xfer(n, b.rate))
+	b.res.Release(p)
+}
+
+// Hold occupies the bus for d of virtual time (used by media swaps).
+func (b *Bus) Hold(p *sim.Proc, d sim.Time) {
+	if b == nil {
+		return
+	}
+	b.res.Acquire(p)
+	p.Sleep(d)
+	b.res.Release(p)
+}
+
+// BusyTotal reports cumulative bus occupancy.
+func (b *Bus) BusyTotal() sim.Time { return b.res.BusyTotal() }
+
+// WaitTotal reports cumulative time spent waiting for the bus.
+func (b *Bus) WaitTotal() sim.Time { return b.res.WaitTotal() }
+
+// xfer converts a byte count and a byte/second rate into a duration.
+func xfer(n int, rate int64) sim.Time {
+	if rate <= 0 {
+		return 0
+	}
+	return sim.Time(float64(n) / float64(rate) * float64(time.Second))
+}
+
+// DiskProfile is the timing model of one disk model.
+//
+// A request for n bytes at block blk costs:
+//
+//	seek(|blk-headPos|) + Rotation + n/MediaRead(Write)   (arm held)
+//	n/bus rate                                            (bus held)
+//
+// seek(0) = 0; seek(d) scales linearly from SeekMin (1 block) to SeekMax
+// (full stroke). Rotation is charged on every discrete request — even a
+// logically sequential one — because by the time the host issues the next
+// request the platter has rotated past (the paper's FFS/LFS numbers for
+// single-block reads show exactly this). A single large request pays it
+// only once, which is why clustering wins.
+type DiskProfile struct {
+	Name       string
+	SeekMin    sim.Time
+	SeekMax    sim.Time
+	Rotation   sim.Time
+	MediaRead  int64 // bytes/second off the platter
+	MediaWrite int64 // bytes/second onto the platter
+}
+
+// MaxTransfer is the largest single media transfer (the 4.4BSD MAXPHYS
+// limit on raw-device I/O: 64 KB). Larger requests split into chunks, and
+// the arm is re-arbitrated between chunks — which is how competing request
+// streams interleave and seek-thrash against each other (the disk-arm
+// contention of Table 6).
+const MaxTransfer = 64 * 1024
+
+// Calibrated profiles. Media rates are solved from Table 5's effective
+// sequential 1 MB transfer rates R via
+//
+//	1 MB/R = 16*Rotation + 1 MB/Media + 1 MB/BusRate     (BusRate 3.9 MB/s)
+//
+// (a 1 MB raw transfer issues 16 MAXPHYS chunks, each paying a rotational
+// delay) so that the Table 5 bench reproduces the paper's numbers.
+var (
+	// RZ57: Table 5 measures 1417 KB/s read, 993 KB/s write.
+	RZ57 = DiskProfile{
+		Name:       "RZ57",
+		SeekMin:    4 * time.Millisecond,
+		SeekMax:    35 * time.Millisecond,
+		Rotation:   8300 * time.Microsecond,
+		MediaRead:  3129 * 1024,
+		MediaWrite: 1610 * 1024,
+	}
+	// RZ58: Table 5 measures 1491 KB/s read, 1261 KB/s write (read
+	// likely SCSI-I bus limited, per the paper's note).
+	RZ58 = DiskProfile{
+		Name:       "RZ58",
+		SeekMin:    3 * time.Millisecond,
+		SeekMax:    30 * time.Millisecond,
+		Rotation:   8300 * time.Microsecond,
+		MediaRead:  3514 * 1024,
+		MediaWrite: 2458 * 1024,
+	}
+	// HP7958A: a slower HP-IB connected disk; the paper reports no raw
+	// numbers, only that staging on it degrades migration significantly
+	// (Table 6). Effective rates are chosen to land the Table 6 row.
+	HP7958A = DiskProfile{
+		Name:       "HP7958A",
+		SeekMin:    6 * time.Millisecond,
+		SeekMax:    55 * time.Millisecond,
+		Rotation:   16700 * time.Microsecond,
+		MediaRead:  577 * 1024,
+		MediaWrite: 300 * 1024,
+	}
+)
+
+// SCSIBusRate is the modelled SCSI-I host transfer rate.
+const SCSIBusRate = 3900 * 1024
+
+// DiskStats accumulates per-device counters.
+type DiskStats struct {
+	Reads, Writes           int64
+	BytesRead, BytesWritten int64
+	SeekTime, RotTime       sim.Time
+	MediaTime               sim.Time
+}
+
+// Disk is a timed magnetic disk with a sparse in-memory backing store.
+type Disk struct {
+	k       *sim.Kernel
+	prof    DiskProfile
+	nblocks int64
+	arm     *sim.Resource
+	bus     *Bus
+	head    int64 // current arm position, in blocks
+	store   map[int64][]byte
+	stats   DiskStats
+
+	// Fault, if non-nil, is consulted before each operation; a non-nil
+	// return aborts the request with that error (fault injection).
+	Fault func(op string, blk int64) error
+}
+
+// NewDisk returns a disk of nblocks blocks attached to bus (which may be
+// nil for a private channel, e.g. HP-IB).
+func NewDisk(k *sim.Kernel, prof DiskProfile, nblocks int64, bus *Bus) *Disk {
+	return &Disk{
+		k:       k,
+		prof:    prof,
+		nblocks: nblocks,
+		arm:     k.NewResource(prof.Name + ".arm"),
+		bus:     bus,
+		store:   make(map[int64][]byte),
+	}
+}
+
+// NumBlocks reports the disk capacity in blocks.
+func (d *Disk) NumBlocks() int64 { return d.nblocks }
+
+// Profile reports the timing profile.
+func (d *Disk) Profile() DiskProfile { return d.prof }
+
+// Stats returns a snapshot of the per-device counters.
+func (d *Disk) Stats() DiskStats { return d.stats }
+
+// ArmWaitTotal reports cumulative virtual time spent waiting for the arm —
+// the direct measure of disk-arm contention.
+func (d *Disk) ArmWaitTotal() sim.Time { return d.arm.WaitTotal() }
+
+// ArmBusyTotal reports cumulative virtual time the arm was held.
+func (d *Disk) ArmBusyTotal() sim.Time { return d.arm.BusyTotal() }
+
+func (d *Disk) checkRange(op string, blk int64, n int) error {
+	if n%BlockSize != 0 {
+		return fmt.Errorf("dev: %s %s: buffer %d bytes not a multiple of %d", d.prof.Name, op, n, BlockSize)
+	}
+	nb := int64(n / BlockSize)
+	if blk < 0 || blk+nb > d.nblocks {
+		return fmt.Errorf("dev: %s %s: blocks [%d,%d) out of range [0,%d)", d.prof.Name, op, blk, blk+nb, d.nblocks)
+	}
+	return nil
+}
+
+// seekTime is the arm movement cost for a request starting at blk. The
+// curve is concave (square root of the fractional distance), as on real
+// disks: short seeks pay most of the fixed settle cost, and the cost
+// saturates toward SeekMax at full stroke.
+func (d *Disk) seekTime(blk int64) sim.Time {
+	dist := blk - d.head
+	if dist < 0 {
+		dist = -dist
+	}
+	if dist == 0 {
+		return 0
+	}
+	span := d.nblocks - 1
+	if span < 1 {
+		span = 1
+	}
+	frac := math.Sqrt(float64(dist) / float64(span))
+	return d.prof.SeekMin + sim.Time(float64(d.prof.SeekMax-d.prof.SeekMin)*frac)
+}
+
+// ReadBlocks implements BlockDev. Requests larger than MaxTransfer are
+// split into MAXPHYS-sized chunks with the arm re-arbitrated in between,
+// so concurrent streams interleave (and pay seeks against each other).
+func (d *Disk) ReadBlocks(p *sim.Proc, blk int64, buf []byte) error {
+	if err := d.checkRange("read", blk, len(buf)); err != nil {
+		return err
+	}
+	if d.Fault != nil {
+		if err := d.Fault("read", blk); err != nil {
+			return err
+		}
+	}
+	for len(buf) > 0 {
+		n := len(buf)
+		if n > MaxTransfer {
+			n = MaxTransfer
+		}
+		chunk := buf[:n]
+		d.arm.Acquire(p)
+		st := d.seekTime(blk)
+		d.stats.SeekTime += st
+		d.stats.RotTime += d.prof.Rotation
+		media := xfer(n, d.prof.MediaRead)
+		d.stats.MediaTime += media
+		p.Sleep(st + d.prof.Rotation + media)
+		nb := int64(n / BlockSize)
+		for i := int64(0); i < nb; i++ {
+			src, ok := d.store[blk+i]
+			dst := chunk[i*BlockSize : (i+1)*BlockSize]
+			if ok {
+				copy(dst, src)
+			} else {
+				for j := range dst {
+					dst[j] = 0
+				}
+			}
+		}
+		d.head = blk + nb
+		d.arm.Release(p)
+		d.bus.Transfer(p, n)
+		d.stats.BytesRead += int64(n)
+		blk += nb
+		buf = buf[n:]
+	}
+	d.stats.Reads++
+	return nil
+}
+
+// WriteBlocks implements BlockDev, with the same MAXPHYS chunking as
+// ReadBlocks.
+func (d *Disk) WriteBlocks(p *sim.Proc, blk int64, buf []byte) error {
+	if err := d.checkRange("write", blk, len(buf)); err != nil {
+		return err
+	}
+	if d.Fault != nil {
+		if err := d.Fault("write", blk); err != nil {
+			return err
+		}
+	}
+	for len(buf) > 0 {
+		n := len(buf)
+		if n > MaxTransfer {
+			n = MaxTransfer
+		}
+		chunk := buf[:n]
+		d.bus.Transfer(p, n)
+		d.arm.Acquire(p)
+		st := d.seekTime(blk)
+		d.stats.SeekTime += st
+		d.stats.RotTime += d.prof.Rotation
+		media := xfer(n, d.prof.MediaWrite)
+		d.stats.MediaTime += media
+		p.Sleep(st + d.prof.Rotation + media)
+		nb := int64(n / BlockSize)
+		for i := int64(0); i < nb; i++ {
+			blkbuf, ok := d.store[blk+i]
+			if !ok {
+				blkbuf = make([]byte, BlockSize)
+				d.store[blk+i] = blkbuf
+			}
+			copy(blkbuf, chunk[i*BlockSize:(i+1)*BlockSize])
+		}
+		d.head = blk + nb
+		d.arm.Release(p)
+		d.stats.BytesWritten += int64(n)
+		blk += nb
+		buf = buf[n:]
+	}
+	d.stats.Writes++
+	return nil
+}

@@ -1,0 +1,68 @@
+package dev
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Image persistence: a disk's sparse backing store can be saved to and
+// loaded from a stream, so the cmd/hlfs tool can operate on file system
+// images across process runs (the simulation state is genuinely on "media").
+
+const imageMagic = 0x48494d47 // "HIMG"
+
+// SaveStore writes the disk's contents (sparse: only written blocks).
+func (d *Disk) SaveStore(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	var hdr [20]byte
+	binary.LittleEndian.PutUint32(hdr[0:], imageMagic)
+	binary.LittleEndian.PutUint64(hdr[4:], uint64(d.nblocks))
+	binary.LittleEndian.PutUint64(hdr[12:], uint64(len(d.store)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	for blk, data := range d.store {
+		var rec [8]byte
+		binary.LittleEndian.PutUint64(rec[:], uint64(blk))
+		if _, err := bw.Write(rec[:]); err != nil {
+			return err
+		}
+		if _, err := bw.Write(data); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadStore replaces the disk's contents from a stream written by
+// SaveStore. The image's block count must match the disk's.
+func (d *Disk) LoadStore(r io.Reader) error {
+	br := bufio.NewReader(r)
+	var hdr [20]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return err
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != imageMagic {
+		return fmt.Errorf("dev: bad image magic")
+	}
+	if n := int64(binary.LittleEndian.Uint64(hdr[4:])); n != d.nblocks {
+		return fmt.Errorf("dev: image has %d blocks, disk has %d", n, d.nblocks)
+	}
+	count := binary.LittleEndian.Uint64(hdr[12:])
+	d.store = make(map[int64][]byte, count)
+	for i := uint64(0); i < count; i++ {
+		var rec [8]byte
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			return err
+		}
+		blk := int64(binary.LittleEndian.Uint64(rec[:]))
+		data := make([]byte, BlockSize)
+		if _, err := io.ReadFull(br, data); err != nil {
+			return err
+		}
+		d.store[blk] = data
+	}
+	return nil
+}

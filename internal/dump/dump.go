@@ -1,0 +1,250 @@
+// Package dump renders the paper's figures from a live HighLight instance:
+// the LFS on-disk layout with segment states and log contents (Figures 1
+// and 3), the block address allocation (Figure 4), the storage hierarchy
+// data flow (Figure 2), and the layered demand-fetch path (Figure 5).
+package dump
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/addr"
+	"repro/internal/core"
+	"repro/internal/lfs"
+	"repro/internal/sim"
+)
+
+// segStateLetters renders a segment's state in the paper's key:
+// d = dirty, c = clean, a = active, C = cached (Figure 3).
+func segStateLetters(su lfs.Seguse) string {
+	var s []string
+	if su.Flags&lfs.SegDirty != 0 {
+		s = append(s, "d")
+	}
+	if su.Flags&lfs.SegActive != 0 {
+		s = append(s, "a")
+	}
+	if su.Flags&lfs.SegCached != 0 {
+		s = append(s, "C")
+	}
+	if su.Flags&lfs.SegStaging != 0 {
+		s = append(s, "S")
+	}
+	if su.Flags&lfs.SegNoStore != 0 {
+		s = append(s, "-")
+	}
+	if len(s) == 0 {
+		s = append(s, "c")
+	}
+	return strings.Join(s, ",")
+}
+
+// Layout prints the on-media data layout: per-segment states, live bytes,
+// cache bindings, and (for dirty segments) the partial-segment log
+// contents — the textual rendering of Figures 1 and 3. maxSegs bounds the
+// per-segment detail (0 = all).
+func Layout(p *sim.Proc, w io.Writer, hl *core.HighLight, maxSegs int) error {
+	fs := hl.FS
+	fmt.Fprintf(w, "LFS data layout (Figures 1 & 3)  [state key: c=clean d=dirty a=active C=cached S=staging]\n")
+	fmt.Fprintf(w, "disk segments (%d total, %d reserved boot area, %d-block segments):\n",
+		hl.Amap.DiskSegs(), fs.ReservedSegs(), hl.Amap.SegBlocks())
+	shown := 0
+	for s := 0; s < hl.Amap.DiskSegs(); s++ {
+		su := fs.SegUsage(addr.SegNo(s))
+		if su.Flags == 0 && su.LiveBytes == 0 {
+			continue // clean and never used: skip for brevity
+		}
+		if maxSegs > 0 && shown >= maxSegs {
+			fmt.Fprintf(w, "  ... (%d more segments)\n", hl.Amap.DiskSegs()-s)
+			break
+		}
+		shown++
+		tag := ""
+		if su.Flags&lfs.SegCached != 0 {
+			if su.CacheTag == lfs.NilCacheTag {
+				tag = " cache-line: free"
+			} else {
+				tag = fmt.Sprintf(" cache-line for tertiary seg %d", su.CacheTag)
+			}
+		}
+		fmt.Fprintf(w, "  seg %4d [%-3s] live %7d B%s\n", s, segStateLetters(su), su.LiveBytes, tag)
+		if su.Flags&lfs.SegDirty != 0 && su.Flags&lfs.SegCached == 0 {
+			sc, err := fs.ReadSegment(p, addr.SegNo(s))
+			if err != nil {
+				continue
+			}
+			for i, sum := range sc.Psegs {
+				kind := "pseg"
+				if sum.Flags&lfs.SumCheckpoint != 0 {
+					kind = "pseg (checkpoint)"
+				}
+				fmt.Fprintf(w, "    %s @%d: %d blocks, next seg %d, %d files, %d inode blocks\n",
+					kind, sc.Offsets[i], sum.NBlocks, sum.Next, len(sum.Finfos), len(sum.InoAddrs))
+				for _, fi := range sum.Finfos {
+					fmt.Fprintf(w, "      file inum %d v%d: lbns %s\n", fi.Inum, fi.Version, lbnList(fi.Lbns))
+				}
+			}
+		}
+	}
+	// Tertiary side (Figure 3's lower half).
+	fmt.Fprintf(w, "tertiary segments (tsegfile, %d entries):\n", fs.TsegCount())
+	for idx := 0; idx < fs.TsegCount(); idx++ {
+		su := fs.TsegUsage(idx)
+		if su.Flags == 0 && su.LiveBytes == 0 {
+			continue
+		}
+		seg := hl.Amap.SegForIndex(idx)
+		d, v, vs, _ := hl.Amap.Loc(seg)
+		cached := ""
+		if l, ok := hl.Cache.Peek(idx); ok {
+			cached = fmt.Sprintf("  [cached in disk seg %d]", l.DiskSeg)
+		}
+		fmt.Fprintf(w, "  tseg %4d (dev %d vol %d seg %d) [%-3s] live %7d B%s\n",
+			idx, d, v, vs, segStateLetters(su), su.LiveBytes, cached)
+	}
+	return nil
+}
+
+func lbnList(lbns []int32) string {
+	if len(lbns) == 0 {
+		return "-"
+	}
+	// Compress runs: "0-14,-1".
+	var parts []string
+	start := lbns[0]
+	prev := lbns[0]
+	flush := func() {
+		if start == prev {
+			parts = append(parts, fmt.Sprintf("%d", start))
+		} else {
+			parts = append(parts, fmt.Sprintf("%d-%d", start, prev))
+		}
+	}
+	for _, l := range lbns[1:] {
+		if l == prev+1 {
+			prev = l
+			continue
+		}
+		flush()
+		start, prev = l, l
+	}
+	flush()
+	return strings.Join(parts, ",")
+}
+
+// AddrMap prints the block address allocation (Figure 4).
+func AddrMap(w io.Writer, hl *core.HighLight) {
+	fmt.Fprintln(w, "Block address allocation (Figure 4)")
+	fmt.Fprint(w, hl.Amap.Describe())
+}
+
+// Hierarchy narrates the storage hierarchy data flow of Figure 2 by
+// driving a file through it: initial write to the disk farm, automatic
+// migration to the jukebox, ejection, and a demand fetch back into the
+// cache.
+func Hierarchy(p *sim.Proc, w io.Writer, hl *core.HighLight) error {
+	fmt.Fprintln(w, "Storage hierarchy data flow (Figure 2)")
+	report := func(stage string) {
+		st := hl.Svc.Stats()
+		fmt.Fprintf(w, "  [%s] t=%.2fs  cache lines=%d/%d  fetches=%d  copyouts=%d\n",
+			stage, p.Now().Seconds(), hl.Cache.Len(), hl.Cache.Capacity(), st.Fetches, st.Copyouts)
+	}
+	f, err := hl.FS.Create(p, "/figure2-demo")
+	if err != nil {
+		return err
+	}
+	data := make([]byte, 6*hl.Amap.SegBlocks()*lfs.BlockSize/4)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	if _, err := f.WriteAt(p, data, 0); err != nil {
+		return err
+	}
+	if err := hl.FS.Sync(p); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "  reads; initial writes  -> disk farm (log tail)")
+	report("written to disk farm")
+	if _, err := hl.MigrateFiles(p, []uint32{f.Inum()}, false); err != nil {
+		return err
+	}
+	if err := hl.CompleteMigration(p); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "  automigration          -> staging segments copied to tertiary jukebox")
+	report("migrated to tertiary")
+	hl.FS.DropFileBuffers(p, f.Inum())
+	for _, l := range hl.Cache.Lines() {
+		if err := hl.Svc.Eject(l.Tag); err != nil {
+			return err
+		}
+	}
+	report("cache ejected")
+	buf := make([]byte, 8192)
+	if _, err := f.ReadAt(p, buf, 0); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "  caching                <- demand fetch: containing segment cached on disk, read served")
+	report("demand fetched")
+	return nil
+}
+
+// DataPath narrates a demand fetch through the layered architecture of
+// Figure 5: file system -> block map driver -> segment cache -> tertiary
+// driver -> service process -> I/O server -> Footprint -> device.
+func DataPath(p *sim.Proc, w io.Writer, hl *core.HighLight) error {
+	fmt.Fprintln(w, "Layered architecture: demand-fetch request flow (Figure 5)")
+	f, err := hl.FS.Create(p, "/figure5-demo")
+	if err != nil {
+		return err
+	}
+	data := make([]byte, hl.Amap.SegBlocks()*lfs.BlockSize/2)
+	if _, err := f.WriteAt(p, data, 0); err != nil {
+		return err
+	}
+	if _, err := hl.MigrateFiles(p, []uint32{f.Inum()}, false); err != nil {
+		return err
+	}
+	if err := hl.CompleteMigration(p); err != nil {
+		return err
+	}
+	hl.FS.DropFileBuffers(p, f.Inum())
+	for _, l := range hl.Cache.Lines() {
+		if err := hl.Svc.Eject(l.Tag); err != nil {
+			return err
+		}
+	}
+	refs, err := hl.FS.FileBlockRefs(p, f.Inum())
+	if err != nil || len(refs) == 0 {
+		return fmt.Errorf("dump: no refs for demo file: %v", err)
+	}
+	tseg := hl.Amap.SegOf(refs[0].Addr)
+	tag, _ := hl.Amap.TertIndex(tseg)
+	d, v, vs, _ := hl.Amap.Loc(tseg)
+	before := hl.Svc.Stats()
+	t0 := p.Now()
+	buf := make([]byte, lfs.BlockSize)
+	if _, err := f.ReadAt(p, buf, 0); err != nil {
+		return err
+	}
+	after := hl.Svc.Stats()
+	line, _ := hl.Cache.Peek(tag)
+	steps := []string{
+		fmt.Sprintf("application:   read() on /figure5-demo (block addr %d)", refs[0].Addr),
+		"HighLight FS:  inode -> block pointer is a tertiary address",
+		fmt.Sprintf("block map:     segment %d is tertiary (index %d); cache miss", tseg, tag),
+		"tertiary drv:  queue demand fetch, wake service process, sleep",
+		fmt.Sprintf("service proc:  select reusable disk segment %d as cache line", line.DiskSeg),
+		fmt.Sprintf("I/O server:    Footprint.ReadSegment(dev %d, vol %d, seg %d)  [%.2fs in Footprint]",
+			d, v, vs, (after.FootprintRead - before.FootprintRead).Seconds()),
+		fmt.Sprintf("I/O server:    write segment image to raw disk            [%.2fs writing cache line]",
+			(after.IOWrite - before.IOWrite).Seconds()),
+		"service proc:  register cache line, call kernel to restart the I/O",
+		fmt.Sprintf("block map:     re-dispatch to cached copy; request completes in %.2fs total", (p.Now() - t0).Seconds()),
+	}
+	for _, s := range steps {
+		fmt.Fprintf(w, "  %s\n", s)
+	}
+	return nil
+}

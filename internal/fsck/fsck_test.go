@@ -1,0 +1,159 @@
+package fsck
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dev"
+	"repro/internal/jukebox"
+	"repro/internal/lfs"
+	"repro/internal/sim"
+)
+
+func newHL(t *testing.T) (*sim.Kernel, *core.HighLight) {
+	t.Helper()
+	k := sim.NewKernel()
+	disk := dev.NewDisk(k, dev.RZ57, 128*16, nil)
+	juke := jukebox.New(k, jukebox.MO6300, 2, 4, 16, 16*lfs.BlockSize, nil)
+	var hl *core.HighLight
+	k.RunProc(func(p *sim.Proc) {
+		var err error
+		hl, err = core.New(p, core.Config{
+			SegBlocks: 16,
+			Disks:     []dev.BlockDev{disk},
+			Jukeboxes: []jukebox.Footprint{juke},
+			CacheSegs: 12,
+			MaxInodes: 256,
+		}, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	return k, hl
+}
+
+func TestCleanFileSystemPasses(t *testing.T) {
+	k, hl := newHL(t)
+	k.RunProc(func(p *sim.Proc) {
+		if err := hl.FS.Mkdir(p, "/d"); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 5; i++ {
+			f, err := hl.FS.Create(p, "/d/f"+string(rune('0'+i)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := f.WriteAt(p, make([]byte, (i+1)*3*lfs.BlockSize), 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := hl.FS.Sync(p); err != nil {
+			t.Fatal(err)
+		}
+		rep, err := Check(p, hl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.OK() {
+			var b bytes.Buffer
+			rep.Write(&b)
+			t.Fatalf("clean FS reported problems:\n%s", b.String())
+		}
+		if rep.Files != 5 || rep.Dirs != 2 {
+			t.Fatalf("counted %d files / %d dirs, want 5 / 2", rep.Files, rep.Dirs)
+		}
+		if rep.DiskBlocks == 0 || rep.SegsParsed == 0 {
+			t.Fatalf("check did not traverse media: %+v", rep)
+		}
+	})
+	k.Stop()
+}
+
+func TestMigratedFileSystemPasses(t *testing.T) {
+	k, hl := newHL(t)
+	k.RunProc(func(p *sim.Proc) {
+		f, err := hl.FS.Create(p, "/archive")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.WriteAt(p, make([]byte, 30*lfs.BlockSize), 0); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := hl.MigrateFiles(p, []uint32{f.Inum()}, true); err != nil {
+			t.Fatal(err)
+		}
+		if err := hl.CompleteMigration(p); err != nil {
+			t.Fatal(err)
+		}
+		rep, err := Check(p, hl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.OK() {
+			var b bytes.Buffer
+			rep.Write(&b)
+			t.Fatalf("migrated FS reported problems:\n%s", b.String())
+		}
+		if rep.TertBlocks == 0 {
+			t.Fatal("check saw no tertiary blocks despite migration")
+		}
+	})
+	k.Stop()
+}
+
+func TestDetectsUndercountedSegmentUsage(t *testing.T) {
+	k, hl := newHL(t)
+	k.RunProc(func(p *sim.Proc) {
+		f, err := hl.FS.Create(p, "/f")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.WriteAt(p, make([]byte, 8*lfs.BlockSize), 0); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := hl.MigrateFiles(p, []uint32{f.Inum()}, false); err != nil {
+			t.Fatal(err)
+		}
+		if err := hl.CompleteMigration(p); err != nil {
+			t.Fatal(err)
+		}
+		// Sabotage: zero the live-byte count of the tertiary segment
+		// that holds the file.
+		refs, _ := hl.FS.FileBlockRefs(p, f.Inum())
+		idx, _ := hl.Amap.TertIndex(hl.Amap.SegOf(refs[0].Addr))
+		hl.FS.ResetTseg(idx)
+		rep, err := Check(p, hl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.OK() {
+			t.Fatal("fsck missed sabotaged tertiary accounting")
+		}
+		found := false
+		for _, pr := range rep.Problems {
+			if strings.Contains(pr.What, "reachable bytes") || strings.Contains(pr.What, "not marked written") {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("unexpected problem set: %v", rep.Problems)
+		}
+	})
+	k.Stop()
+}
+
+func TestSummaryRendering(t *testing.T) {
+	k, hl := newHL(t)
+	k.RunProc(func(p *sim.Proc) {
+		rep, err := Check(p, hl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(rep.Summary(), "0 problems") {
+			t.Fatalf("summary: %s", rep.Summary())
+		}
+	})
+	k.Stop()
+}

@@ -1,0 +1,241 @@
+// Package imagefs persists a HighLight instance as an image directory so
+// the command-line tools can operate on a file system across process runs:
+// config.json (geometry), disk.img (the disk farm's sparse contents) and
+// juke.img (the jukebox media).
+package imagefs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/core"
+	"repro/internal/dev"
+	"repro/internal/jukebox"
+	"repro/internal/lfs"
+	"repro/internal/sim"
+)
+
+// Config is the persisted geometry of an image.
+type Config struct {
+	SegBlocks  int `json:"seg_blocks"`
+	DiskSegs   int `json:"disk_segs"`
+	CacheSegs  int `json:"cache_segs"`
+	MaxInodes  int `json:"max_inodes"`
+	Vols       int `json:"vols"`
+	SegsPerVol int `json:"segs_per_vol"`
+	Drives     int `json:"drives"`
+	// ExtraDiskSegs lists disks added on-line with "hlfs grow" (§6.4),
+	// each in segments; they are re-attached in order at load time.
+	ExtraDiskSegs []int `json:"extra_disk_segs,omitempty"`
+	// EpochNs is the virtual time at the last save: resumed runs start
+	// here so file ages keep advancing monotonically across invocations.
+	EpochNs int64 `json:"epoch_ns"`
+}
+
+// DefaultConfig is a comfortable laptop-scale instance: a 256 MB disk and
+// a 4x64 MB MO jukebox with 1 MB segments.
+func DefaultConfig() Config {
+	return Config{
+		SegBlocks:  256,
+		DiskSegs:   256,
+		CacheSegs:  32,
+		MaxInodes:  4096,
+		Vols:       4,
+		SegsPerVol: 64,
+		Drives:     2,
+	}
+}
+
+// Instance is a loaded image: the HighLight file system plus its devices.
+type Instance struct {
+	Cfg   Config
+	HL    *core.HighLight
+	Disk  *dev.Disk
+	Extra []*dev.Disk // on-line additions, persisted as disk1.img, ...
+	Juke  *jukebox.Jukebox
+	k     *sim.Kernel
+	dir   string
+}
+
+func paths(dir string) (cfg, disk, juke string) {
+	return filepath.Join(dir, "config.json"),
+		filepath.Join(dir, "disk.img"),
+		filepath.Join(dir, "juke.img")
+}
+
+func extraPath(dir string, i int) string {
+	return filepath.Join(dir, fmt.Sprintf("disk%d.img", i+1))
+}
+
+// AddDisk grows the instance by a fresh disk of segs segments (§6.4),
+// recording it in the image configuration so reloads re-attach it.
+func (inst *Instance) AddDisk(p *sim.Proc, segs int) error {
+	d := dev.NewDisk(inst.k, dev.RZ58, int64(segs*inst.Cfg.SegBlocks), nil)
+	if _, err := inst.HL.AddDisk(p, d); err != nil {
+		return err
+	}
+	inst.Extra = append(inst.Extra, d)
+	inst.Cfg.ExtraDiskSegs = append(inst.Cfg.ExtraDiskSegs, segs)
+	return nil
+}
+
+// Init creates a fresh formatted image in dir (which must not already hold
+// one).
+func Init(k *sim.Kernel, dir string, cfg Config) (*Instance, error) {
+	cfgPath, _, _ := paths(dir)
+	if _, err := os.Stat(cfgPath); err == nil {
+		return nil, fmt.Errorf("imagefs: %s already holds an image", dir)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	inst, err := build(k, dir, cfg, true)
+	if err != nil {
+		return nil, err
+	}
+	data, err := json.MarshalIndent(cfg, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	if err := os.WriteFile(cfgPath, data, 0o644); err != nil {
+		return nil, err
+	}
+	return inst, inst.Save()
+}
+
+// Load mounts an existing image.
+func Load(k *sim.Kernel, dir string) (*Instance, error) {
+	cfgPath, diskPath, jukePath := paths(dir)
+	raw, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return nil, fmt.Errorf("imagefs: %w (is %s an image directory?)", err, dir)
+	}
+	var cfg Config
+	if err := json.Unmarshal(raw, &cfg); err != nil {
+		return nil, err
+	}
+	k.AdvanceTo(sim.Time(cfg.EpochNs))
+	inst, err := buildDevices(k, dir, cfg)
+	if err != nil {
+		return nil, err
+	}
+	df, err := os.Open(diskPath)
+	if err != nil {
+		return nil, err
+	}
+	defer df.Close()
+	if err := inst.Disk.LoadStore(df); err != nil {
+		return nil, err
+	}
+	for i, d := range inst.Extra {
+		ef, err := os.Open(extraPath(dir, i))
+		if err != nil {
+			return nil, err
+		}
+		if err := d.LoadStore(ef); err != nil {
+			ef.Close()
+			return nil, err
+		}
+		ef.Close()
+	}
+	jf, err := os.Open(jukePath)
+	if err != nil {
+		return nil, err
+	}
+	defer jf.Close()
+	if err := inst.Juke.LoadStore(jf); err != nil {
+		return nil, err
+	}
+	return mount(k, inst, false)
+}
+
+func build(k *sim.Kernel, dir string, cfg Config, format bool) (*Instance, error) {
+	inst, err := buildDevices(k, dir, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return mount(k, inst, format)
+}
+
+func buildDevices(k *sim.Kernel, dir string, cfg Config) (*Instance, error) {
+	bus := dev.NewBus(k, "scsi", dev.SCSIBusRate)
+	disk := dev.NewDisk(k, dev.RZ57, int64(cfg.DiskSegs*cfg.SegBlocks), bus)
+	inst := &Instance{Cfg: cfg, Disk: disk, k: k, dir: dir}
+	for _, segs := range cfg.ExtraDiskSegs {
+		inst.Extra = append(inst.Extra, dev.NewDisk(k, dev.RZ58, int64(segs*cfg.SegBlocks), bus))
+	}
+	inst.Juke = jukebox.New(k, jukebox.MO6300, cfg.Drives, cfg.Vols, cfg.SegsPerVol,
+		cfg.SegBlocks*lfs.BlockSize, bus)
+	return inst, nil
+}
+
+func mount(k *sim.Kernel, inst *Instance, format bool) (*Instance, error) {
+	var err error
+	disks := []dev.BlockDev{inst.Disk}
+	for _, d := range inst.Extra {
+		disks = append(disks, d)
+	}
+	k.RunProc(func(p *sim.Proc) {
+		inst.HL, err = core.New(p, core.Config{
+			SegBlocks: inst.Cfg.SegBlocks,
+			Disks:     disks,
+			Jukeboxes: []jukebox.Footprint{inst.Juke},
+			CacheSegs: inst.Cfg.CacheSegs,
+			MaxInodes: inst.Cfg.MaxInodes,
+		}, format)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return inst, nil
+}
+
+// Save checkpoints nothing by itself — callers checkpoint through the FS —
+// but persists the device contents and the virtual epoch back to the
+// image files.
+func (inst *Instance) Save() error {
+	cfgPath, diskPath, jukePath := paths(inst.dir)
+	inst.Cfg.EpochNs = int64(inst.k.Now())
+	meta, err := json.MarshalIndent(inst.Cfg, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(cfgPath, meta, 0o644); err != nil {
+		return err
+	}
+	df, err := os.Create(diskPath)
+	if err != nil {
+		return err
+	}
+	if err := inst.Disk.SaveStore(df); err != nil {
+		df.Close()
+		return err
+	}
+	if err := df.Close(); err != nil {
+		return err
+	}
+	for i, d := range inst.Extra {
+		ef, err := os.Create(extraPath(inst.dir, i))
+		if err != nil {
+			return err
+		}
+		if err := d.SaveStore(ef); err != nil {
+			ef.Close()
+			return err
+		}
+		if err := ef.Close(); err != nil {
+			return err
+		}
+	}
+	jf, err := os.Create(jukePath)
+	if err != nil {
+		return err
+	}
+	if err := inst.Juke.SaveStore(jf); err != nil {
+		jf.Close()
+		return err
+	}
+	return jf.Close()
+}

@@ -1,0 +1,88 @@
+package jukebox
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+const imageMagic = 0x484a424b // "HJBK"
+
+// SaveStore writes every volume's contents (sparse) to a stream so the
+// cmd/hlfs tool can persist a jukebox across runs.
+func (j *Jukebox) SaveStore(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	var hdr [16]byte
+	binary.LittleEndian.PutUint32(hdr[0:], imageMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(j.vols)))
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(j.segBytes))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	for _, v := range j.vols {
+		var vh [16]byte
+		binary.LittleEndian.PutUint32(vh[0:], uint32(v.actualSegs))
+		flags := uint32(0)
+		if v.full {
+			flags = 1
+		}
+		binary.LittleEndian.PutUint32(vh[4:], flags)
+		binary.LittleEndian.PutUint64(vh[8:], uint64(len(v.store)))
+		if _, err := bw.Write(vh[:]); err != nil {
+			return err
+		}
+		for seg, data := range v.store {
+			var rec [4]byte
+			binary.LittleEndian.PutUint32(rec[:], uint32(seg))
+			if _, err := bw.Write(rec[:]); err != nil {
+				return err
+			}
+			if _, err := bw.Write(data); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadStore replaces the jukebox's media contents from a SaveStore stream.
+func (j *Jukebox) LoadStore(r io.Reader) error {
+	br := bufio.NewReader(r)
+	var hdr [16]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return err
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != imageMagic {
+		return fmt.Errorf("jukebox: bad image magic")
+	}
+	if n := int(binary.LittleEndian.Uint32(hdr[4:])); n != len(j.vols) {
+		return fmt.Errorf("jukebox: image has %d volumes, device has %d", n, len(j.vols))
+	}
+	if sb := int(binary.LittleEndian.Uint32(hdr[8:])); sb != j.segBytes {
+		return fmt.Errorf("jukebox: image segment size %d, device %d", sb, j.segBytes)
+	}
+	for _, v := range j.vols {
+		var vh [16]byte
+		if _, err := io.ReadFull(br, vh[:]); err != nil {
+			return err
+		}
+		v.actualSegs = int(binary.LittleEndian.Uint32(vh[0:]))
+		v.full = binary.LittleEndian.Uint32(vh[4:]) == 1
+		count := binary.LittleEndian.Uint64(vh[8:])
+		v.store = make(map[int][]byte, count)
+		for i := uint64(0); i < count; i++ {
+			var rec [4]byte
+			if _, err := io.ReadFull(br, rec[:]); err != nil {
+				return err
+			}
+			seg := int(binary.LittleEndian.Uint32(rec[:]))
+			data := make([]byte, j.segBytes)
+			if _, err := io.ReadFull(br, data); err != nil {
+				return err
+			}
+			v.store[seg] = data
+		}
+	}
+	return nil
+}

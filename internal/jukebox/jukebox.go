@@ -1,0 +1,389 @@
+// Package jukebox models robotic tertiary storage devices: a magneto-optic
+// autochanger (the paper's HP 6300) and a robotic tape library (the
+// Sequoia Metrum unit), exposed through the Footprint abstract robotic
+// device interface of §2/§6.5.
+//
+// A jukebox has a set of drives, a robot picker, and an array of media
+// volumes, each holding a fixed array of segments. Loading a volume costs a
+// swap (13.5 s for the MO changer, Table 5) during which the picker — and,
+// matching the paper's non-disconnecting device driver — the whole SCSI bus
+// is held.
+package jukebox
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/dev"
+	"repro/internal/sim"
+)
+
+// ErrEndOfMedium is returned by WriteSegment when the volume cannot hold
+// the segment (e.g. device-level compression fell short of expectations,
+// §6.3). HighLight responds by marking the volume full and re-writing the
+// segment to the next volume.
+var ErrEndOfMedium = errors.New("jukebox: end of medium")
+
+// Footprint is Sequoia's abstract robotic storage interface: HighLight sees
+// volumes of segments and never the device details (§6.5). The library is
+// linked into the I/O server; an RPC transport could implement the same
+// interface for a remote jukebox.
+type Footprint interface {
+	// ReadSegment reads segment seg of volume vol into buf (whole
+	// segments only; len(buf) must be SegmentBytes).
+	ReadSegment(p *sim.Proc, vol, seg int, buf []byte) error
+	// WriteSegment writes segment seg of volume vol from buf. It returns
+	// ErrEndOfMedium if the volume is full.
+	WriteSegment(p *sim.Proc, vol, seg int, buf []byte) error
+	// Volumes reports the number of media volumes.
+	Volumes() int
+	// SegmentsPerVolume reports the nominal segment capacity per volume.
+	SegmentsPerVolume() int
+	// SegmentBytes reports the transfer unit size in bytes.
+	SegmentBytes() int
+}
+
+// MediaProfile is the timing model of a tertiary device family.
+type MediaProfile struct {
+	Name       string
+	MediaRead  int64    // bytes/second off the medium
+	MediaWrite int64    // bytes/second onto the medium
+	Rotation   sim.Time // per-request rotational latency (0 for tape)
+	SeekBase   sim.Time // minimum positioning time for a non-sequential access
+	SeekPerSeg sim.Time // additional positioning time per segment of distance
+	SwapTime   sim.Time // eject + robot move + load + ready
+	Tape       bool     // sequential medium: long spooling seeks
+}
+
+// Calibrated profiles. Effective rates (with the shared 3.9 MB/s SCSI bus
+// and per-request rotation) match Table 5: MO read 451 KB/s, MO write
+// 204 KB/s, volume change 13.5 s.
+var (
+	// MO6300 models the HP 6300 magneto-optic changer used in §7.
+	MO6300 = MediaProfile{
+		Name:       "HP6300-MO",
+		MediaRead:  513 * 1024,
+		MediaWrite: 215 * 1024,
+		Rotation:   12 * time.Millisecond,
+		SeekBase:   40 * time.Millisecond,
+		SeekPerSeg: 300 * time.Microsecond,
+		SwapTime:   13400 * time.Millisecond,
+	}
+	// Metrum models the 600-cartridge Metrum robotic tape unit (14.5 GB
+	// per cartridge) that provides Sequoia's bulk storage (§2).
+	Metrum = MediaProfile{
+		Name:       "Metrum-VHS",
+		MediaRead:  1200 * 1024,
+		MediaWrite: 1200 * 1024,
+		SeekBase:   12 * time.Second,
+		SeekPerSeg: 20 * time.Millisecond,
+		SwapTime:   50 * time.Second,
+		Tape:       true,
+	}
+	// SonyWORM approximates the Sony write-once optical jukebox (§2).
+	// Writes to a written segment fail (write-once).
+	SonyWORM = MediaProfile{
+		Name:       "Sony-WORM",
+		MediaRead:  600 * 1024,
+		MediaWrite: 300 * 1024,
+		Rotation:   12 * time.Millisecond,
+		SeekBase:   60 * time.Millisecond,
+		SeekPerSeg: 350 * time.Microsecond,
+		SwapTime:   9 * time.Second,
+	}
+)
+
+// Stats accumulates jukebox counters, used for the Table 4 breakdown.
+type Stats struct {
+	Swaps                   int64
+	SwapTime                sim.Time
+	Reads, Writes           int64
+	BytesRead, BytesWritten int64
+	ReadTime, WriteTime     sim.Time // includes positioning and swaps
+}
+
+type volume struct {
+	nominalSegs int
+	actualSegs  int // may be < nominal when compression falls short
+	full        bool
+	store       map[int][]byte
+	writes      int64 // write-once bookkeeping
+}
+
+type drive struct {
+	id      int
+	arm     *sim.Resource
+	loaded  int // volume index, -1 if empty
+	pos     int // head position in segments
+	lastUse sim.Time
+}
+
+// Jukebox is a simulated robotic storage device implementing Footprint.
+type Jukebox struct {
+	k        *sim.Kernel
+	prof     MediaProfile
+	segBytes int
+	drives   []*drive
+	vols     []*volume
+	picker   *sim.Resource
+	bus      *dev.Bus
+	stats    Stats
+
+	// WriteDrive is the drive reserved for the currently-active writing
+	// volume (§7: "one drive was allocated for the currently-active
+	// writing segment, and the other for reading other platters"). Reads
+	// prefer other drives but are served by the write drive when their
+	// volume is already loaded there. -1 disables the reservation.
+	WriteDrive int
+
+	// WriteOnce rejects overwrites of a written segment (Sony WORM).
+	WriteOnce bool
+
+	// Fault, if non-nil, may inject media errors per (op, vol, seg).
+	Fault func(op string, vol, seg int) error
+}
+
+// New returns a jukebox with ndrives drives and nvols volumes of
+// segsPerVol segments of segBytes bytes. bus may be nil.
+func New(k *sim.Kernel, prof MediaProfile, ndrives, nvols, segsPerVol, segBytes int, bus *dev.Bus) *Jukebox {
+	if ndrives < 1 || nvols < 1 || segsPerVol < 1 {
+		panic("jukebox: need at least one drive, volume, and segment")
+	}
+	j := &Jukebox{
+		k:          k,
+		prof:       prof,
+		segBytes:   segBytes,
+		picker:     k.NewResource(prof.Name + ".picker"),
+		bus:        bus,
+		WriteDrive: 0,
+		WriteOnce:  false,
+	}
+	if ndrives == 1 {
+		j.WriteDrive = -1 // no spare drive to reserve
+	}
+	for i := 0; i < ndrives; i++ {
+		j.drives = append(j.drives, &drive{
+			id:     i,
+			arm:    k.NewResource(fmt.Sprintf("%s.drive%d", prof.Name, i)),
+			loaded: -1,
+		})
+	}
+	for i := 0; i < nvols; i++ {
+		j.vols = append(j.vols, &volume{
+			nominalSegs: segsPerVol,
+			actualSegs:  segsPerVol,
+			store:       make(map[int][]byte),
+		})
+	}
+	return j
+}
+
+// Volumes implements Footprint.
+func (j *Jukebox) Volumes() int { return len(j.vols) }
+
+// SegmentsPerVolume implements Footprint.
+func (j *Jukebox) SegmentsPerVolume() int { return j.vols[0].nominalSegs }
+
+// SegmentBytes implements Footprint.
+func (j *Jukebox) SegmentBytes() int { return j.segBytes }
+
+// Stats returns a snapshot of the counters.
+func (j *Jukebox) Stats() Stats { return j.stats }
+
+// Profile reports the media timing profile.
+func (j *Jukebox) Profile() MediaProfile { return j.prof }
+
+// SetActualSegments declares that volume vol can really hold only n
+// segments (modelling worse-than-expected compression, §6.3).
+func (j *Jukebox) SetActualSegments(vol, n int) {
+	j.vols[vol].actualSegs = n
+}
+
+// VolumeFull reports whether vol has returned end-of-medium.
+func (j *Jukebox) VolumeFull(vol int) bool { return j.vols[vol].full }
+
+// EraseVolume discards all data on vol and clears its full mark (media
+// reclamation by the tertiary cleaner).
+func (j *Jukebox) EraseVolume(vol int) {
+	v := j.vols[vol]
+	v.store = make(map[int][]byte)
+	v.full = false
+	v.writes = 0
+}
+
+// LoadedVolume reports which volume drive d holds (-1 if empty).
+func (j *Jukebox) LoadedVolume(d int) int { return j.drives[d].loaded }
+
+// VolumeLoaded reports whether vol currently sits in any drive (no swap
+// needed to access it) — the "closest copy" test of §5.4.
+func (j *Jukebox) VolumeLoaded(vol int) bool {
+	for _, d := range j.drives {
+		if d.loaded == vol {
+			return true
+		}
+	}
+	return false
+}
+
+func (j *Jukebox) checkArgs(vol, seg int, buf []byte) error {
+	if vol < 0 || vol >= len(j.vols) {
+		return fmt.Errorf("jukebox: volume %d out of range [0,%d)", vol, len(j.vols))
+	}
+	if seg < 0 || seg >= j.vols[vol].nominalSegs {
+		return fmt.Errorf("jukebox: segment %d out of range [0,%d)", seg, j.vols[vol].nominalSegs)
+	}
+	if len(buf) != j.segBytes {
+		return fmt.Errorf("jukebox: buffer %d bytes, want %d", len(buf), j.segBytes)
+	}
+	return nil
+}
+
+// driveFor selects and loads a drive for volume vol, paying swap costs as
+// needed, and returns it with its arm held.
+func (j *Jukebox) driveFor(p *sim.Proc, vol int, forWrite bool) *drive {
+	// A volume already in a drive is always served there (the writing
+	// drive also fulfils read requests for its platter, §7).
+	for _, d := range j.drives {
+		if d.loaded == vol {
+			d.arm.Acquire(p)
+			if d.loaded == vol { // still there after waiting
+				d.lastUse = p.Now()
+				return d
+			}
+			d.arm.Release(p)
+			break
+		}
+	}
+	// Choose a drive to (re)load: the reserved write drive for writes,
+	// otherwise the least-recently-used non-reserved drive.
+	var pick *drive
+	if forWrite && j.WriteDrive >= 0 {
+		pick = j.drives[j.WriteDrive]
+	} else {
+		for _, d := range j.drives {
+			if j.WriteDrive >= 0 && d.id == j.WriteDrive && len(j.drives) > 1 && !forWrite {
+				continue
+			}
+			if pick == nil || d.lastUse < pick.lastUse {
+				pick = d
+			}
+		}
+	}
+	pick.arm.Acquire(p)
+	if pick.loaded != vol {
+		// Swap: the picker works while the simple (non-disconnecting)
+		// driver hogs the SCSI bus for the entire media change (§7).
+		j.picker.Acquire(p)
+		if j.bus != nil {
+			j.bus.Hold(p, j.prof.SwapTime)
+		} else {
+			p.Sleep(j.prof.SwapTime)
+		}
+		j.picker.Release(p)
+		pick.loaded = vol
+		pick.pos = 0
+		j.stats.Swaps++
+		j.stats.SwapTime += j.prof.SwapTime
+	}
+	pick.lastUse = p.Now()
+	return pick
+}
+
+// position pays the within-volume positioning cost to reach seg.
+func (j *Jukebox) position(p *sim.Proc, d *drive, seg int) {
+	dist := seg - d.pos
+	if dist < 0 {
+		dist = -dist
+	}
+	var t sim.Time
+	if dist > 0 {
+		t = j.prof.SeekBase + sim.Time(dist)*j.prof.SeekPerSeg
+	}
+	t += j.prof.Rotation
+	if t > 0 {
+		p.Sleep(t)
+	}
+}
+
+// ReadSegment implements Footprint.
+func (j *Jukebox) ReadSegment(p *sim.Proc, vol, seg int, buf []byte) error {
+	if err := j.checkArgs(vol, seg, buf); err != nil {
+		return err
+	}
+	if j.Fault != nil {
+		if err := j.Fault("read", vol, seg); err != nil {
+			return err
+		}
+	}
+	start := p.Now()
+	d := j.driveFor(p, vol, false)
+	j.position(p, d, seg)
+	p.Sleep(xfer(j.segBytes, j.prof.MediaRead))
+	d.pos = seg + 1
+	src, ok := j.vols[vol].store[seg]
+	if ok {
+		copy(buf, src)
+	} else {
+		for i := range buf {
+			buf[i] = 0
+		}
+	}
+	d.arm.Release(p)
+	if j.bus != nil {
+		j.bus.Transfer(p, j.segBytes)
+	}
+	j.stats.Reads++
+	j.stats.BytesRead += int64(j.segBytes)
+	j.stats.ReadTime += p.Now() - start
+	return nil
+}
+
+// WriteSegment implements Footprint.
+func (j *Jukebox) WriteSegment(p *sim.Proc, vol, seg int, buf []byte) error {
+	if err := j.checkArgs(vol, seg, buf); err != nil {
+		return err
+	}
+	if j.Fault != nil {
+		if err := j.Fault("write", vol, seg); err != nil {
+			return err
+		}
+	}
+	v := j.vols[vol]
+	if v.full || seg >= v.actualSegs {
+		v.full = true
+		return ErrEndOfMedium
+	}
+	if j.WriteOnce {
+		if _, written := v.store[seg]; written {
+			return fmt.Errorf("jukebox: %s: segment %d/%d is write-once", j.prof.Name, vol, seg)
+		}
+	}
+	start := p.Now()
+	if j.bus != nil {
+		j.bus.Transfer(p, j.segBytes)
+	}
+	d := j.driveFor(p, vol, true)
+	j.position(p, d, seg)
+	p.Sleep(xfer(j.segBytes, j.prof.MediaWrite))
+	d.pos = seg + 1
+	dst, ok := v.store[seg]
+	if !ok {
+		dst = make([]byte, j.segBytes)
+		v.store[seg] = dst
+	}
+	copy(dst, buf)
+	v.writes++
+	d.arm.Release(p)
+	j.stats.Writes++
+	j.stats.BytesWritten += int64(j.segBytes)
+	j.stats.WriteTime += p.Now() - start
+	return nil
+}
+
+func xfer(n int, rate int64) sim.Time {
+	if rate <= 0 {
+		return 0
+	}
+	return sim.Time(float64(n) / float64(rate) * float64(time.Second))
+}

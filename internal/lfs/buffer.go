@@ -1,0 +1,202 @@
+package lfs
+
+import (
+	"fmt"
+
+	"repro/internal/addr"
+	"repro/internal/sim"
+)
+
+// The buffer cache holds file blocks keyed by (inode, logical block
+// number); negative lbns name a file's indirect blocks. Keying by identity
+// rather than device address is essential in a log-structured file system:
+// a dirty block has no address yet (it gets one when its partial segment is
+// assembled), and relocation by the cleaner changes addresses without
+// changing identity.
+
+type bufKey struct {
+	inum uint32
+	lbn  int32
+}
+
+type buf struct {
+	key   bufKey
+	data  []byte
+	dirty bool
+	// addr is the media address the block was read from or last written
+	// to; NilBlock for newly created blocks.
+	addr addr.BlockNo
+
+	prev, next *buf // LRU list; head = most recently used
+}
+
+// lruRemove unlinks b from the LRU list.
+func (fs *FS) lruRemove(b *buf) {
+	if b.prev != nil {
+		b.prev.next = b.next
+	} else if fs.lruHead == b {
+		fs.lruHead = b.next
+	}
+	if b.next != nil {
+		b.next.prev = b.prev
+	} else if fs.lruTail == b {
+		fs.lruTail = b.prev
+	}
+	b.prev, b.next = nil, nil
+}
+
+// lruFront moves b to the most-recently-used position.
+func (fs *FS) lruFront(b *buf) {
+	if fs.lruHead == b {
+		return
+	}
+	fs.lruRemove(b)
+	b.next = fs.lruHead
+	if fs.lruHead != nil {
+		fs.lruHead.prev = b
+	}
+	fs.lruHead = b
+	if fs.lruTail == nil {
+		fs.lruTail = b
+	}
+}
+
+// evictLocked discards clean buffers from the LRU tail until the cache
+// fits its memory budget. Dirty buffers are pinned, and so is the MRU
+// head: it is the buffer a caller just inserted and may still be about to
+// mutate — evicting it would orphan the caller's pointer and lose the
+// update.
+func (fs *FS) evictLocked() {
+	for fs.bufBytes > fs.opts.BufferBytes {
+		v := fs.lruTail
+		for v != nil && (v.dirty || v == fs.lruHead) {
+			v = v.prev
+		}
+		if v == nil {
+			return // everything dirty; flush will drain
+		}
+		fs.dropBuf(v)
+	}
+}
+
+func (fs *FS) dropBuf(b *buf) {
+	fs.lruRemove(b)
+	delete(fs.bufs, b.key)
+	fs.bufBytes -= BlockSize
+}
+
+// lookupBuf finds a cached block without touching the device.
+func (fs *FS) lookupBuf(inum uint32, lbn int32) *buf {
+	b, ok := fs.bufs[bufKey{inum, lbn}]
+	if ok {
+		fs.lruFront(b)
+		fs.stats.CacheHits++
+		return b
+	}
+	fs.stats.CacheMisses++
+	return nil
+}
+
+// insertBuf adds a block to the cache. data must be BlockSize long and is
+// owned by the cache afterwards.
+func (fs *FS) insertBuf(inum uint32, lbn int32, data []byte, at addr.BlockNo, dirty bool) *buf {
+	key := bufKey{inum, lbn}
+	if old, ok := fs.bufs[key]; ok {
+		fs.dropBuf(old)
+		if old.dirty {
+			fs.dirtyBytes -= BlockSize
+		}
+	}
+	b := &buf{key: key, data: data, addr: at, dirty: dirty}
+	fs.bufs[key] = b
+	fs.bufBytes += BlockSize
+	if dirty {
+		fs.dirtyBytes += BlockSize
+	}
+	fs.lruFront(b)
+	fs.evictLocked()
+	return b
+}
+
+// markDirty flags a buffer for the next segment write.
+func (fs *FS) markDirty(b *buf) {
+	if !b.dirty {
+		b.dirty = true
+		fs.dirtyBytes += BlockSize
+	}
+}
+
+// readBlockAt performs a timed device read of a single block.
+func (fs *FS) readBlockAt(p *sim.Proc, at addr.BlockNo) ([]byte, error) {
+	data := make([]byte, BlockSize)
+	if err := fs.dev.ReadBlocks(p, at, data); err != nil {
+		return nil, err
+	}
+	fs.stats.DevReads++
+	fs.stats.BytesRead += BlockSize
+	return data, nil
+}
+
+// getBlock returns the buffer for (inum, lbn), reading it from the device
+// at address at when not cached. If at is NilBlock a zero block is
+// created (not yet dirty — callers mark it).
+func (fs *FS) getBlock(p *sim.Proc, inum uint32, lbn int32, at addr.BlockNo) (*buf, error) {
+	if b := fs.lookupBuf(inum, lbn); b != nil {
+		return b, nil
+	}
+	var data []byte
+	if at == addr.NilBlock {
+		data = make([]byte, BlockSize)
+	} else {
+		var err error
+		data, err = fs.readBlockAt(p, at)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return fs.insertBuf(inum, lbn, data, at, false), nil
+}
+
+// dirtyList returns the dirty buffers partitioned into data (lbn >= 0) and
+// meta (lbn < 0) sets, each sorted for deterministic layout.
+func (fs *FS) dirtyList() (data, meta []*buf) {
+	for _, b := range fs.bufs {
+		if !b.dirty {
+			continue
+		}
+		if b.key.lbn >= 0 {
+			data = append(data, b)
+		} else {
+			meta = append(meta, b)
+		}
+	}
+	sortBufs(data)
+	sortBufs(meta)
+	return data, meta
+}
+
+func sortBufs(bs []*buf) {
+	// Insertion-friendly ordering: by inum, then lbn ascending (meta
+	// lbns are negative; more deeply nested blocks have lower lbns and
+	// sort first, which is harmless since addresses are pre-assigned).
+	for i := 1; i < len(bs); i++ {
+		for j := i; j > 0 && less(bs[j].key, bs[j-1].key); j-- {
+			bs[j], bs[j-1] = bs[j-1], bs[j]
+		}
+	}
+}
+
+func less(a, b bufKey) bool {
+	if a.inum != b.inum {
+		return a.inum < b.inum
+	}
+	return a.lbn < b.lbn
+}
+
+// DirtyBytes reports bytes of dirty data awaiting a segment write.
+func (fs *FS) DirtyBytes() int { return fs.dirtyBytes }
+
+// String renders cache occupancy for debugging.
+func (fs *FS) cacheString() string {
+	return fmt.Sprintf("bufcache: %d/%d bytes, %d dirty", fs.bufBytes, fs.opts.BufferBytes, fs.dirtyBytes)
+}

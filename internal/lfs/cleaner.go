@@ -1,0 +1,350 @@
+package lfs
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/addr"
+	"repro/internal/sim"
+)
+
+// The cleaner garbage-collects free space: it selects dirty segments,
+// copies their still-live blocks to the tail of the log, and marks the
+// emptied segments clean (§3). In 4.4BSD LFS the cleaner is a user-level
+// process speaking to the kernel through lfs_bmapv/lfs_markv; here the
+// same operations are methods, and the cleaner daemon is a sim process.
+
+// BlockRef names one block instance in the log: the file it belonged to,
+// the file's inode version, its logical position, and the address it was
+// found at. Bmapv declares a ref live iff the file still maps that lbn to
+// that address.
+type BlockRef struct {
+	Inum    uint32
+	Version uint32
+	Lbn     int32
+	Addr    addr.BlockNo
+}
+
+// InodeRef names one inode instance found in an inode block.
+type InodeRef struct {
+	Inum    uint32
+	Version uint32
+	Addr    addr.BlockNo
+	Slot    uint32
+}
+
+// Bmapv reports, for each ref, whether it is the live instance of its
+// block (the lfs_bmapv system call of §6.7).
+func (fs *FS) Bmapv(p *sim.Proc, refs []BlockRef) ([]bool, error) {
+	fs.lock.Acquire(p)
+	defer fs.lock.Release(p)
+	out := make([]bool, len(refs))
+	for i, r := range refs {
+		live, err := fs.refLiveLocked(p, r)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = live
+	}
+	return out, nil
+}
+
+func (fs *FS) refLiveLocked(p *sim.Proc, r BlockRef) (bool, error) {
+	if int(r.Inum) >= len(fs.imap) {
+		return false, nil
+	}
+	e := fs.imap[r.Inum]
+	if e.Addr == addr.NilBlock || e.Version != r.Version {
+		return false, nil
+	}
+	ino, err := fs.iget(p, r.Inum)
+	if err != nil {
+		return false, nil // inode vanished: not live
+	}
+	var cur addr.BlockNo
+	if r.Lbn >= 0 {
+		cur, err = fs.blockPtr(p, ino, r.Lbn)
+		if err != nil {
+			return false, nil
+		}
+	} else {
+		cur, err = fs.metaAddr(p, ino, r.Lbn)
+		if err != nil {
+			return false, nil
+		}
+	}
+	return cur == r.Addr, nil
+}
+
+// SegmentContents describes a parsed on-media segment.
+type SegmentContents struct {
+	Seg     addr.SegNo
+	Psegs   []*Summary
+	Blocks  []BlockRef // every data/meta block instance with its address
+	Inodes  []InodeRef // every inode instance
+	Raw     []byte     // the whole segment image
+	Offsets []int      // block offset of each pseg's summary
+}
+
+// ReadSegment reads and parses a whole segment (one large timed transfer —
+// exactly what the cleaner and migrator do).
+func (fs *FS) ReadSegment(p *sim.Proc, seg addr.SegNo) (*SegmentContents, error) {
+	segBytes := fs.amap.SegBlocks() * BlockSize
+	raw := make([]byte, segBytes)
+	if err := fs.dev.ReadBlocks(p, fs.amap.BlockOf(seg, 0), raw); err != nil {
+		return nil, err
+	}
+	fs.stats.DevReads++
+	fs.stats.BytesRead += int64(segBytes)
+	sc := &SegmentContents{Seg: seg, Raw: raw}
+	off := 0
+	for off+1 <= fs.amap.SegBlocks() {
+		sum, err := DecodeSummary(raw[off*BlockSize : (off+1)*BlockSize])
+		if err != nil {
+			break // end of valid psegs in this segment
+		}
+		n := int(sum.NBlocks)
+		if n < 1 || off+n > fs.amap.SegBlocks() {
+			break
+		}
+		if crc32Sum(raw[(off+1)*BlockSize:(off+n)*BlockSize]) != sum.DataSum {
+			break
+		}
+		sc.Psegs = append(sc.Psegs, sum)
+		sc.Offsets = append(sc.Offsets, off)
+		base := fs.amap.BlockOf(seg, off)
+		bi := 1 // block index within pseg (0 is the summary)
+		for _, fi := range sum.Finfos {
+			for _, lbn := range fi.Lbns {
+				sc.Blocks = append(sc.Blocks, BlockRef{
+					Inum:    fi.Inum,
+					Version: fi.Version,
+					Lbn:     lbn,
+					Addr:    base + addr.BlockNo(bi),
+				})
+				bi++
+			}
+		}
+		for _, ia := range sum.InoAddrs {
+			idx := fs.amap.OffOf(ia)
+			if fs.amap.SegOf(ia) != seg || idx >= fs.amap.SegBlocks() {
+				continue
+			}
+			blk := raw[idx*BlockSize : (idx+1)*BlockSize]
+			for slot := 0; slot < InodesPerBlock; slot++ {
+				var ino Inode
+				ino.decode(blk[slot*InodeSize:])
+				if ino.Inum != 0 {
+					sc.Inodes = append(sc.Inodes, InodeRef{
+						Inum:    ino.Inum,
+						Version: ino.Version,
+						Addr:    ia,
+						Slot:    uint32(slot),
+					})
+				}
+			}
+		}
+		off += n
+	}
+	return sc, nil
+}
+
+// BlockData returns the content of a block instance within a parsed
+// segment.
+func (sc *SegmentContents) BlockData(amap *addr.Map, a addr.BlockNo) []byte {
+	off := amap.OffOf(a)
+	return sc.Raw[off*BlockSize : (off+1)*BlockSize]
+}
+
+// CleanSegment reclaims one dirty segment: live blocks are re-dirtied in
+// the cache (relocating them at the next segment write, the lfs_markv
+// mechanism) and live inodes re-marked. The caller must flush before the
+// segment is reusable; CleanSegments does both.
+func (fs *FS) cleanSegmentLocked(p *sim.Proc, seg addr.SegNo) (relocated int, err error) {
+	su := &fs.seguse[seg]
+	if su.Flags&SegDirty == 0 || su.Flags&(SegActive|SegCached|SegNoStore) != 0 {
+		return 0, fmt.Errorf("lfs: segment %d not cleanable (flags %#x)", seg, su.Flags)
+	}
+	sc, err := fs.ReadSegment(p, seg)
+	if err != nil {
+		return 0, err
+	}
+	for _, r := range sc.Blocks {
+		live, err := fs.refLiveLocked(p, r)
+		if err != nil {
+			return relocated, err
+		}
+		if !live {
+			continue
+		}
+		// Skip if a dirty (newer) copy is already in the cache.
+		if b, ok := fs.bufs[bufKey{r.Inum, r.Lbn}]; ok {
+			fs.markDirty(b)
+		} else {
+			data := make([]byte, BlockSize)
+			copy(data, sc.BlockData(fs.amap, r.Addr))
+			nb := fs.insertBuf(r.Inum, r.Lbn, data, r.Addr, false)
+			fs.markDirty(nb)
+		}
+		relocated++
+	}
+	for _, ir := range sc.Inodes {
+		if int(ir.Inum) >= len(fs.imap) {
+			continue
+		}
+		e := fs.imap[ir.Inum]
+		if e.Addr == ir.Addr && e.Slot == ir.Slot && e.Version == ir.Version {
+			ino, err := fs.iget(p, ir.Inum)
+			if err != nil {
+				continue
+			}
+			fs.markInodeDirty(ino)
+			relocated++
+		}
+	}
+	fs.stats.BlocksRelocated += int64(relocated)
+	return relocated, nil
+}
+
+// markCleanLocked returns a reclaimed segment to the clean pool.
+func (fs *FS) markCleanLocked(seg addr.SegNo) {
+	su := &fs.seguse[seg]
+	su.Flags = 0
+	su.LiveBytes = 0
+	su.CacheTag = 0
+	fs.nclean++
+	fs.stats.SegsCleaned++
+}
+
+// CleanSegments cleans the given segments: relocates live data, flushes,
+// and marks them clean. It returns the number of blocks relocated.
+func (fs *FS) CleanSegments(p *sim.Proc, segs []addr.SegNo) (int, error) {
+	fs.lock.Acquire(p)
+	defer fs.lock.Release(p)
+	return fs.cleanSegmentsLocked(p, segs)
+}
+
+func (fs *FS) cleanSegmentsLocked(p *sim.Proc, segs []addr.SegNo) (int, error) {
+	total := 0
+	for _, seg := range segs {
+		n, err := fs.cleanSegmentLocked(p, seg)
+		if err != nil {
+			return total, err
+		}
+		total += n
+	}
+	if err := fs.flushLocked(p, false); err != nil {
+		return total, err
+	}
+	for _, seg := range segs {
+		fs.markCleanLocked(seg)
+	}
+	return total, nil
+}
+
+// SelectCleanable ranks dirty segments for cleaning. Following Sprite/BSD
+// LFS, segments are ordered by a cost-benefit ratio — free space gained
+// times age over cost — with a pure least-live fallback for young file
+// systems.
+func (fs *FS) SelectCleanable(max int) []addr.SegNo {
+	type cand struct {
+		seg   addr.SegNo
+		score float64
+	}
+	segBytes := uint32(fs.amap.SegBlocks() * BlockSize)
+	now := fs.now()
+	var cands []cand
+	for i := range fs.seguse {
+		su := &fs.seguse[i]
+		if su.Flags&SegDirty == 0 || su.Flags&(SegActive|SegCached|SegNoStore) != 0 {
+			continue
+		}
+		live := su.LiveBytes
+		if live > segBytes {
+			live = segBytes
+		}
+		u := float64(live) / float64(segBytes)
+		age := float64(now-su.LastMod) + 1
+		score := (1 - u) * age / (1 + u)
+		cands = append(cands, cand{addr.SegNo(i), score})
+	}
+	sort.Slice(cands, func(a, b int) bool { return cands[a].score > cands[b].score })
+	if max > 0 && len(cands) > max {
+		cands = cands[:max]
+	}
+	out := make([]addr.SegNo, len(cands))
+	for i, c := range cands {
+		out[i] = c.seg
+	}
+	return out
+}
+
+// cleanerReserve is the number of clean segments normal writes may not
+// consume: the cleaner needs headroom to copy live data forward. Without a
+// reserve a full disk deadlocks (cleaning itself requires free segments).
+const cleanerReserve = 3
+
+// SelectLeastLive ranks dirty segments purely by live bytes, fewest first
+// — the emergency choice, minimizing the data the cleaner must relocate.
+func (fs *FS) SelectLeastLive(max int) []addr.SegNo {
+	type cand struct {
+		seg  addr.SegNo
+		live uint32
+	}
+	var cands []cand
+	for i := range fs.seguse {
+		su := &fs.seguse[i]
+		if su.Flags&SegDirty == 0 || su.Flags&(SegActive|SegCached|SegNoStore) != 0 {
+			continue
+		}
+		cands = append(cands, cand{addr.SegNo(i), su.LiveBytes})
+	}
+	sort.Slice(cands, func(a, b int) bool { return cands[a].live < cands[b].live })
+	if max > 0 && len(cands) > max {
+		cands = cands[:max]
+	}
+	out := make([]addr.SegNo, len(cands))
+	for i, c := range cands {
+		out[i] = c.seg
+	}
+	return out
+}
+
+// AttachCleaner wires a synchronous emergency cleaner into the allocator
+// and returns a function suitable for running as a cleaner daemon: it
+// keeps the number of clean segments between low and high water marks.
+func (fs *FS) AttachCleaner(low, high int) func(p *sim.Proc) {
+	fs.EmergencyClean = func(p *sim.Proc) bool {
+		// Lock already held by the allocator's caller. Clean one
+		// segment at a time, least live data first, so relocation
+		// pressure on the (scarce) clean pool stays minimal.
+		segs := fs.SelectLeastLive(1)
+		if len(segs) == 0 {
+			return false
+		}
+		// Success means one more segment was reclaimed (and, as a side
+		// effect, the inner flush drained all dirty data); each failure
+		// or exhaustion of cleanable segments stops the retry loop.
+		_, err := fs.cleanSegmentsLocked(p, segs)
+		return err == nil
+	}
+	return func(p *sim.Proc) {
+		for {
+			p.Sleep(cleanerPollInterval)
+			if fs.CleanSegs() >= low {
+				continue
+			}
+			for fs.CleanSegs() < high {
+				segs := fs.SelectCleanable(4)
+				if len(segs) == 0 {
+					break
+				}
+				if _, err := fs.CleanSegments(p, segs); err != nil {
+					break
+				}
+			}
+		}
+	}
+}
+
+const cleanerPollInterval = 1e9 // 1 virtual second

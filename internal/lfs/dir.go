@@ -1,0 +1,360 @@
+package lfs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// Directory and pathname operations. Directory files hold packed Dirent
+// records; every namespace mutation rewrites the directory's blocks
+// through the log like any other file data (directories migrate to
+// tertiary storage exactly like file contents, §4).
+
+// splitPath normalizes a slash-separated absolute or relative path.
+func splitPath(path string) []string {
+	var parts []string
+	for _, c := range strings.Split(path, "/") {
+		switch c {
+		case "", ".":
+		default:
+			parts = append(parts, c)
+		}
+	}
+	return parts
+}
+
+// resolveLocked walks path from the root, returning the final inum.
+func (fs *FS) resolveLocked(p *sim.Proc, path string) (uint32, error) {
+	cur := uint32(RootInum)
+	for _, name := range splitPath(path) {
+		ino, err := fs.iget(p, cur)
+		if err != nil {
+			return 0, err
+		}
+		if ino.Type != TypeDir {
+			return 0, ErrNotDir
+		}
+		ents, err := fs.readDirLocked(p, ino)
+		if err != nil {
+			return 0, err
+		}
+		next, ok := findEnt(ents, name)
+		if !ok {
+			return 0, fmt.Errorf("%q: %w", path, ErrNotFound)
+		}
+		cur = next.Inum
+	}
+	return cur, nil
+}
+
+// resolveParentLocked resolves the directory containing the last path
+// component, returning its inode and the leaf name.
+func (fs *FS) resolveParentLocked(p *sim.Proc, path string) (*Inode, string, error) {
+	parts := splitPath(path)
+	if len(parts) == 0 {
+		return nil, "", fmt.Errorf("%q: %w", path, ErrExists)
+	}
+	dirInum := uint32(RootInum)
+	if len(parts) > 1 {
+		var err error
+		dirInum, err = fs.resolveLocked(p, strings.Join(parts[:len(parts)-1], "/"))
+		if err != nil {
+			return nil, "", err
+		}
+	}
+	ino, err := fs.iget(p, dirInum)
+	if err != nil {
+		return nil, "", err
+	}
+	if ino.Type != TypeDir {
+		return nil, "", ErrNotDir
+	}
+	return ino, parts[len(parts)-1], nil
+}
+
+func findEnt(ents []Dirent, name string) (Dirent, bool) {
+	for _, e := range ents {
+		if e.Name == name {
+			return e, true
+		}
+	}
+	return Dirent{}, false
+}
+
+// readDirLocked loads and decodes a directory's entries.
+func (fs *FS) readDirLocked(p *sim.Proc, ino *Inode) ([]Dirent, error) {
+	if ino.Size == 0 {
+		return nil, nil
+	}
+	data := make([]byte, ino.Size)
+	// A whole-file read always ends at EOF; that is not an error here.
+	if _, err := fs.readAtLocked(p, ino.Inum, data, 0); err != nil && err != io.EOF {
+		return nil, err
+	}
+	return decodeDirents(data), nil
+}
+
+// writeDirLocked replaces a directory's contents.
+func (fs *FS) writeDirLocked(p *sim.Proc, ino *Inode, ents []Dirent) error {
+	data := encodeDirents(ents)
+	if uint64(len(data)) < ino.Size {
+		if err := fs.truncateLocked(p, ino, uint64(len(data))); err != nil {
+			return err
+		}
+	}
+	if _, err := fs.writeAtLocked(p, ino.Inum, data, 0); err != nil {
+		return err
+	}
+	if ino.Size != uint64(len(data)) {
+		ino.Size = uint64(len(data))
+		fs.markInodeDirty(ino)
+	}
+	return nil
+}
+
+// Create makes a new empty regular file.
+func (fs *FS) Create(p *sim.Proc, path string) (*File, error) {
+	fs.lock.Acquire(p)
+	defer fs.lock.Release(p)
+	dir, name, err := fs.resolveParentLocked(p, path)
+	if err != nil {
+		return nil, err
+	}
+	ents, err := fs.readDirLocked(p, dir)
+	if err != nil {
+		return nil, err
+	}
+	if _, ok := findEnt(ents, name); ok {
+		return nil, fmt.Errorf("%q: %w", path, ErrExists)
+	}
+	ino, err := fs.iallocLocked(TypeFile)
+	if err != nil {
+		return nil, err
+	}
+	ents = append(ents, Dirent{Inum: ino.Inum, Type: TypeFile, Name: name})
+	if err := fs.writeDirLocked(p, dir, ents); err != nil {
+		return nil, err
+	}
+	return &File{fs: fs, inum: ino.Inum}, nil
+}
+
+// Open opens an existing regular file.
+func (fs *FS) Open(p *sim.Proc, path string) (*File, error) {
+	fs.lock.Acquire(p)
+	defer fs.lock.Release(p)
+	inum, err := fs.resolveLocked(p, path)
+	if err != nil {
+		return nil, err
+	}
+	ino, err := fs.iget(p, inum)
+	if err != nil {
+		return nil, err
+	}
+	if ino.Type == TypeDir {
+		return nil, ErrIsDir
+	}
+	return &File{fs: fs, inum: inum}, nil
+}
+
+// OpenInum opens a file by inode number (used by the migrator, which
+// enumerates the inode map rather than the namespace).
+func (fs *FS) OpenInum(p *sim.Proc, inum uint32) (*File, error) {
+	fs.lock.Acquire(p)
+	defer fs.lock.Release(p)
+	if _, err := fs.iget(p, inum); err != nil {
+		return nil, err
+	}
+	return &File{fs: fs, inum: inum}, nil
+}
+
+// Mkdir creates a directory.
+func (fs *FS) Mkdir(p *sim.Proc, path string) error {
+	fs.lock.Acquire(p)
+	defer fs.lock.Release(p)
+	dir, name, err := fs.resolveParentLocked(p, path)
+	if err != nil {
+		return err
+	}
+	ents, err := fs.readDirLocked(p, dir)
+	if err != nil {
+		return err
+	}
+	if _, ok := findEnt(ents, name); ok {
+		return fmt.Errorf("%q: %w", path, ErrExists)
+	}
+	ino, err := fs.iallocLocked(TypeDir)
+	if err != nil {
+		return err
+	}
+	ino.Nlink = 2
+	if err := fs.writeDirLocked(p, ino, nil); err != nil {
+		return err
+	}
+	ents = append(ents, Dirent{Inum: ino.Inum, Type: TypeDir, Name: name})
+	return fs.writeDirLocked(p, dir, ents)
+}
+
+// ReadDir lists a directory.
+func (fs *FS) ReadDir(p *sim.Proc, path string) ([]Dirent, error) {
+	fs.lock.Acquire(p)
+	defer fs.lock.Release(p)
+	inum, err := fs.resolveLocked(p, path)
+	if err != nil {
+		return nil, err
+	}
+	ino, err := fs.iget(p, inum)
+	if err != nil {
+		return nil, err
+	}
+	if ino.Type != TypeDir {
+		return nil, ErrNotDir
+	}
+	return fs.readDirLocked(p, ino)
+}
+
+// Remove deletes a file or an empty directory.
+func (fs *FS) Remove(p *sim.Proc, path string) error {
+	fs.lock.Acquire(p)
+	defer fs.lock.Release(p)
+	dir, name, err := fs.resolveParentLocked(p, path)
+	if err != nil {
+		return err
+	}
+	ents, err := fs.readDirLocked(p, dir)
+	if err != nil {
+		return err
+	}
+	ent, ok := findEnt(ents, name)
+	if !ok {
+		return fmt.Errorf("%q: %w", path, ErrNotFound)
+	}
+	ino, err := fs.iget(p, ent.Inum)
+	if err != nil {
+		return err
+	}
+	if ino.Type == TypeDir {
+		sub, err := fs.readDirLocked(p, ino)
+		if err != nil {
+			return err
+		}
+		if len(sub) > 0 {
+			return fmt.Errorf("%q: %w", path, ErrNotEmpty)
+		}
+	}
+	out := ents[:0]
+	for _, e := range ents {
+		if e.Name != name {
+			out = append(out, e)
+		}
+	}
+	if err := fs.writeDirLocked(p, dir, out); err != nil {
+		return err
+	}
+	return fs.ifreeLocked(p, ino)
+}
+
+// Rename moves a file or directory; the destination must not exist.
+func (fs *FS) Rename(p *sim.Proc, oldPath, newPath string) error {
+	fs.lock.Acquire(p)
+	defer fs.lock.Release(p)
+	oldDir, oldName, err := fs.resolveParentLocked(p, oldPath)
+	if err != nil {
+		return err
+	}
+	oldEnts, err := fs.readDirLocked(p, oldDir)
+	if err != nil {
+		return err
+	}
+	ent, ok := findEnt(oldEnts, oldName)
+	if !ok {
+		return fmt.Errorf("%q: %w", oldPath, ErrNotFound)
+	}
+	newDir, newName, err := fs.resolveParentLocked(p, newPath)
+	if err != nil {
+		return err
+	}
+	newEnts, err := fs.readDirLocked(p, newDir)
+	if err != nil {
+		return err
+	}
+	if _, exists := findEnt(newEnts, newName); exists {
+		return fmt.Errorf("%q: %w", newPath, ErrExists)
+	}
+	if oldDir.Inum == newDir.Inum {
+		out := oldEnts[:0]
+		for _, e := range oldEnts {
+			if e.Name != oldName {
+				out = append(out, e)
+			}
+		}
+		out = append(out, Dirent{Inum: ent.Inum, Type: ent.Type, Name: newName})
+		return fs.writeDirLocked(p, oldDir, out)
+	}
+	out := oldEnts[:0]
+	for _, e := range oldEnts {
+		if e.Name != oldName {
+			out = append(out, e)
+		}
+	}
+	if err := fs.writeDirLocked(p, oldDir, out); err != nil {
+		return err
+	}
+	newEnts = append(newEnts, Dirent{Inum: ent.Inum, Type: ent.Type, Name: newName})
+	return fs.writeDirLocked(p, newDir, newEnts)
+}
+
+// Stat describes the file or directory at path.
+func (fs *FS) Stat(p *sim.Proc, path string) (FileInfo, error) {
+	fs.lock.Acquire(p)
+	defer fs.lock.Release(p)
+	inum, err := fs.resolveLocked(p, path)
+	if err != nil {
+		return FileInfo{}, err
+	}
+	return fs.statLocked(p, inum)
+}
+
+// Walk visits every (path, FileInfo) under root in depth-first order,
+// without updating access times — the property namespace-locality
+// migration policies rely on (§5.3).
+func (fs *FS) Walk(p *sim.Proc, root string, fn func(path string, fi FileInfo) error) error {
+	fs.lock.Acquire(p)
+	defer fs.lock.Release(p)
+	inum, err := fs.resolveLocked(p, root)
+	if err != nil {
+		return err
+	}
+	return fs.walkLocked(p, root, inum, fn)
+}
+
+func (fs *FS) walkLocked(p *sim.Proc, path string, inum uint32, fn func(string, FileInfo) error) error {
+	ino, err := fs.iget(p, inum)
+	if err != nil {
+		return err
+	}
+	// Preserve atime: statLocked does not touch it; only data reads do.
+	fi := FileInfo{Inum: inum, Type: ino.Type, Size: ino.Size, Mtime: ino.Mtime, Atime: fs.imap[inum].Atime}
+	if err := fn(path, fi); err != nil {
+		return err
+	}
+	if ino.Type != TypeDir {
+		return nil
+	}
+	ents, err := fs.readDirLocked(p, ino)
+	if err != nil {
+		return err
+	}
+	for _, e := range ents {
+		child := path + "/" + e.Name
+		if path == "/" || path == "" {
+			child = "/" + e.Name
+		}
+		if err := fs.walkLocked(p, child, e.Inum, fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,718 @@
+package lfs
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/addr"
+	"repro/internal/sim"
+)
+
+// Device is the block-address-space device the file system runs on: a
+// plain disk farm for base LFS, or HighLight's block-map driver (which
+// dispatches disk, cached, and tertiary addresses).
+type Device interface {
+	ReadBlocks(p *sim.Proc, b addr.BlockNo, buf []byte) error
+	WriteBlocks(p *sim.Proc, b addr.BlockNo, buf []byte) error
+}
+
+// Errors returned by the file system.
+var (
+	ErrNoSpace    = errors.New("lfs: no clean segments")
+	ErrNotFound   = errors.New("lfs: no such file or directory")
+	ErrExists     = errors.New("lfs: file exists")
+	ErrNotDir     = errors.New("lfs: not a directory")
+	ErrIsDir      = errors.New("lfs: is a directory")
+	ErrNotEmpty   = errors.New("lfs: directory not empty")
+	ErrNoInodes   = errors.New("lfs: out of inodes")
+	ErrFileTooBig = errors.New("lfs: file too large")
+)
+
+// Options configures a file system at format (and mount) time.
+type Options struct {
+	// MaxInodes bounds the inode map. Default 4096.
+	MaxInodes int
+	// BufferBytes is the buffer cache capacity. Default 3.2 MB (the
+	// paper's test machine).
+	BufferBytes int
+	// CacheSegs is the maximum number of disk segments usable to cache
+	// tertiary segments (0 for base LFS). A static limit selected at
+	// file system creation time (§6.4).
+	CacheSegs int
+	// CacheSegLo/CacheSegHi restrict cache-line allocation to the disk
+	// segment range [CacheSegLo, CacheSegHi) — e.g. to place the staging
+	// area on a separate spindle (the Table 6 RZ58/HP7958A configs).
+	// Both zero means the whole disk.
+	CacheSegLo, CacheSegHi int
+	// WriteThreshold is the dirty-byte level that triggers a segment
+	// write. Default: one segment's worth.
+	WriteThreshold int
+	// AssemblyCopyRate models the CPU cost (bytes/second) of copying
+	// block buffers into the partial-segment staging area before a log
+	// write — the paper's explanation for base LFS's slower sequential
+	// writes versus FFS (§7.1). Zero disables the charge.
+	AssemblyCopyRate int64
+	// UserCopyRate models the CPU cost (bytes/second) of moving read
+	// data from the buffer cache to user space. Zero disables it.
+	UserCopyRate int64
+	// GatherChunkBlocks caps how many blocks the migrator reads per raw
+	// device request while gathering blocks for staging. The paper's
+	// migrator locates blocks with lfs_bmapv and reads them from the
+	// character device individually; 1 reproduces that (and its
+	// disk-arm contention). Zero = unlimited contiguous runs.
+	GatherChunkBlocks int
+	// MaxDiskSegs sizes the checkpoint table region so the file system
+	// can later grow to this many disk segments on-line (§6.4). Default:
+	// twice the initial disk size.
+	MaxDiskSegs int
+}
+
+func (o *Options) fill(segBytes int) {
+	if o.MaxInodes <= 0 {
+		o.MaxInodes = 4096
+	}
+	if o.BufferBytes <= 0 {
+		o.BufferBytes = 3200 * 1024
+	}
+	if min := 4 * readCluster * BlockSize; o.BufferBytes < min {
+		o.BufferBytes = min // room for clustered reads plus dirty data
+	}
+	if o.WriteThreshold <= 0 {
+		o.WriteThreshold = segBytes
+	}
+}
+
+// Stats counts file system activity.
+type Stats struct {
+	DevReads, DevWrites     int64
+	BytesRead, BytesWritten int64
+	PartialSegs             int64
+	Flushes, Checkpoints    int64
+	SegsCleaned             int64
+	BlocksRelocated         int64
+	CacheHits, CacheMisses  int64 // buffer cache
+}
+
+// FS is a mounted log-structured file system.
+type FS struct {
+	k    *sim.Kernel
+	dev  Device
+	amap *addr.Map
+	sb   Superblock
+	opts Options
+	lock *sim.Resource
+
+	seguse []Seguse    // per disk segment
+	tseg   []Seguse    // per tertiary segment (dense TertIndex order)
+	imap   []ImapEntry // per inode number
+	nclean int         // clean, allocatable disk segments
+	serial uint64      // checkpoint epoch
+
+	curSeg addr.SegNo
+	curOff int
+
+	nextInum  uint32
+	freeInums []uint32
+
+	bufs       map[bufKey]*buf
+	lastLbn    map[uint32]int32 // per-file last-read lbn (sequential detection)
+	lruHead    *buf             // most recent
+	lruTail    *buf
+	bufBytes   int
+	dirtyBytes int
+	inodes     map[uint32]*Inode
+	dirtyIno   map[uint32]bool
+
+	cacheInUse  int  // disk segments currently holding cached tertiary lines
+	inFlush     bool // guards against recursive segment writes
+	inEmergency bool // guards against recursive emergency cleaning
+
+	// EmergencyClean, if set, is invoked (lock held) when the allocator
+	// runs out of clean segments; it should clean at least one segment
+	// and return true on success.
+	EmergencyClean func(p *sim.Proc) bool
+
+	// OnAccess, if set, observes file data accesses: the in-kernel
+	// sequential block-range recording that the finer-grained migration
+	// policies of §5.2 require. It must not block.
+	OnAccess func(inum uint32, lbnStart, lbnEnd int32, write bool)
+
+	stats Stats
+}
+
+// Format initializes an empty file system on device with the given address
+// map and options, and returns it mounted.
+func Format(p *sim.Proc, device Device, amap *addr.Map, opts Options) (*FS, error) {
+	opts.fill(amap.SegBlocks() * BlockSize)
+	fs := &FS{
+		k:        p.Kernel(),
+		dev:      device,
+		amap:     amap,
+		opts:     opts,
+		lock:     p.Kernel().NewResource("lfs.lock"),
+		bufs:     make(map[bufKey]*buf),
+		lastLbn:  make(map[uint32]int32),
+		inodes:   make(map[uint32]*Inode),
+		dirtyIno: make(map[uint32]bool),
+	}
+	tb := fs.tableBlocks(opts.MaxInodes)
+	reservedBlocks := 3 + 2*tb
+	reservedSegs := (reservedBlocks + amap.SegBlocks() - 1) / amap.SegBlocks()
+	if reservedSegs+2 > amap.DiskSegs() {
+		return nil, fmt.Errorf("lfs: disk too small: %d segments, %d reserved", amap.DiskSegs(), reservedSegs)
+	}
+	fs.sb = Superblock{
+		Magic:        superMagic,
+		SegBlocks:    uint32(amap.SegBlocks()),
+		DiskSegs:     uint32(amap.DiskSegs()),
+		ReservedSegs: uint32(reservedSegs),
+		MaxInodes:    uint32(opts.MaxInodes),
+		CacheSegs:    uint32(opts.CacheSegs),
+		TableBlocks:  uint32(tb),
+		TertDevs:     amap.Devices(),
+	}
+	fs.seguse = make([]Seguse, amap.DiskSegs())
+	for i := 0; i < reservedSegs; i++ {
+		fs.seguse[i].Flags = SegNoStore
+	}
+	fs.nclean = amap.DiskSegs() - reservedSegs
+	fs.tseg = make([]Seguse, amap.TertSegs())
+	fs.imap = make([]ImapEntry, opts.MaxInodes)
+	for i := range fs.imap {
+		fs.imap[i].Addr = addr.NilBlock
+	}
+	// Reserve the special inode numbers. The ifile and tsegfile tables
+	// are checkpointed into the reserved area; their inums stay claimed
+	// for fidelity with the paper's layout.
+	fs.imap[IfileInum].Version = 1
+	fs.imap[TsegInum].Version = 1
+	fs.nextInum = FirstInum
+	fs.serial = 1
+	fs.curSeg = addr.SegNo(reservedSegs)
+	fs.curOff = 0
+	fs.seguse[fs.curSeg].Flags = SegActive
+	fs.nclean--
+
+	// Superblock.
+	blk := make([]byte, BlockSize)
+	fs.sb.encode(blk)
+	if err := device.WriteBlocks(p, fs.amap.BlockOf(0, 0), blk); err != nil {
+		return nil, err
+	}
+	// Root directory.
+	root := &Inode{Inum: RootInum, Version: 1, Type: TypeDir, Nlink: 2, Mtime: fs.now(), Ctime: fs.now()}
+	fs.inodes[RootInum] = root
+	fs.imap[RootInum].Version = 1
+	fs.dirtyIno[RootInum] = true
+	if err := fs.writeDirLocked(p, root, nil); err != nil {
+		return nil, err
+	}
+	if err := fs.checkpointLocked(p); err != nil {
+		return nil, err
+	}
+	return fs, nil
+}
+
+// Mount loads an existing file system from device, rolling the log forward
+// from the most recent checkpoint.
+func Mount(p *sim.Proc, device Device, amap *addr.Map, opts Options) (*FS, error) {
+	blk := make([]byte, BlockSize)
+	if err := device.ReadBlocks(p, amap.BlockOf(0, 0), blk); err != nil {
+		return nil, err
+	}
+	var sb Superblock
+	if err := sb.decode(blk); err != nil {
+		return nil, err
+	}
+	if int(sb.SegBlocks) != amap.SegBlocks() || int(sb.DiskSegs) != amap.DiskSegs() {
+		return nil, fmt.Errorf("lfs: geometry mismatch: media %dx%d, map %dx%d",
+			sb.DiskSegs, sb.SegBlocks, amap.DiskSegs(), amap.SegBlocks())
+	}
+	opts.fill(amap.SegBlocks() * BlockSize)
+	opts.MaxInodes = int(sb.MaxInodes)
+	opts.CacheSegs = int(sb.CacheSegs)
+	fs := &FS{
+		k:        p.Kernel(),
+		dev:      device,
+		amap:     amap,
+		sb:       sb,
+		opts:     opts,
+		lock:     p.Kernel().NewResource("lfs.lock"),
+		bufs:     make(map[bufKey]*buf),
+		lastLbn:  make(map[uint32]int32),
+		inodes:   make(map[uint32]*Inode),
+		dirtyIno: make(map[uint32]bool),
+	}
+	// Pick the newer valid checkpoint.
+	var best checkpoint
+	found := false
+	for i := 1; i <= 2; i++ {
+		if err := device.ReadBlocks(p, amap.BlockOf(0, i), blk); err != nil {
+			return nil, err
+		}
+		var c checkpoint
+		if c.decode(blk) && (!found || c.Serial > best.Serial) {
+			best, found = c, true
+		}
+	}
+	if !found {
+		return nil, errors.New("lfs: no valid checkpoint")
+	}
+	if err := fs.loadTables(p, best); err != nil {
+		return nil, err
+	}
+	fs.serial = best.Serial
+	fs.nextInum = best.NextInum
+	fs.curSeg = best.CurSeg
+	fs.curOff = int(best.CurOff)
+	if err := fs.rollForward(p, best); err != nil {
+		return nil, err
+	}
+	// Recount clean segments, cache claims, and the free-inum list.
+	fs.nclean = 0
+	for i := range fs.seguse {
+		if fs.seguse[i].Flags == 0 {
+			fs.nclean++
+		}
+		if fs.seguse[i].Flags&SegCached != 0 {
+			fs.cacheInUse++
+		}
+	}
+	for i := FirstInum; i < len(fs.imap); i++ {
+		if fs.imap[i].Addr == addr.NilBlock && fs.imap[i].Version > 0 && uint32(i) < fs.nextInum {
+			fs.freeInums = append(fs.freeInums, uint32(i))
+		}
+	}
+	fs.serial++ // new write epoch
+	return fs, nil
+}
+
+// now returns the current virtual time in nanoseconds.
+func (fs *FS) now() int64 { return int64(fs.k.Now()) }
+
+// chargeCopy advances virtual time for a modelled CPU memory copy.
+func (fs *FS) chargeCopy(p *sim.Proc, n int, rate int64) {
+	if rate <= 0 || n <= 0 {
+		return
+	}
+	p.Sleep(sim.Time(float64(n) / float64(rate) * 1e9))
+}
+
+// Map exposes the address map (read-only use).
+func (fs *FS) Map() *addr.Map { return fs.amap }
+
+// Superblock returns a copy of the on-media superblock.
+func (fs *FS) Superblock() Superblock { return fs.sb }
+
+// Stats returns a snapshot of the counters.
+func (fs *FS) Stats() Stats { return fs.stats }
+
+// CleanSegs reports the number of clean, allocatable disk segments.
+func (fs *FS) CleanSegs() int { return fs.nclean }
+
+// tableBlocks computes the size of one checkpoint table region, with
+// headroom for on-line disk growth up to MaxDiskSegs.
+func (fs *FS) tableBlocks(maxInodes int) int {
+	maxSegs := fs.opts.MaxDiskSegs
+	if maxSegs < fs.amap.DiskSegs() {
+		maxSegs = 2 * fs.amap.DiskSegs()
+	}
+	segBlks := blocksFor(maxSegs * SeguseSize)
+	tsegBlks := blocksFor(fs.amap.TertSegs() * SeguseSize)
+	imapBlks := blocksFor(maxInodes * ImapSize)
+	return 1 + segBlks + tsegBlks + imapBlks // 1 header/cleanerinfo block
+}
+
+func blocksFor(bytes int) int { return (bytes + BlockSize - 1) / BlockSize }
+
+// tableRegionBlock returns the device block address of block i of table
+// region r.
+func (fs *FS) tableRegionBlock(r uint32, i int) addr.BlockNo {
+	base := 3 + int(r)*int(fs.sb.TableBlocks) + i
+	return fs.amap.BlockOf(addr.SegNo(base/fs.amap.SegBlocks()), base%fs.amap.SegBlocks())
+}
+
+// serializeTables renders the ifile + tsegfile tables into one buffer.
+func (fs *FS) serializeTables() []byte {
+	out := make([]byte, int(fs.sb.TableBlocks)*BlockSize)
+	// Block 0: cleaner info.
+	// (clean/dirty counts are recomputed at mount; block reserved for
+	// layout fidelity and the dump tool.)
+	off := BlockSize
+	for i := range fs.seguse {
+		fs.seguse[i].encode(out[off+i*SeguseSize:])
+	}
+	off += blocksFor(len(fs.seguse)*SeguseSize) * BlockSize
+	for i := range fs.tseg {
+		fs.tseg[i].encode(out[off+i*SeguseSize:])
+	}
+	off += blocksFor(len(fs.tseg)*SeguseSize) * BlockSize
+	for i := range fs.imap {
+		fs.imap[i].encode(out[off+i*ImapSize:])
+	}
+	return out
+}
+
+// loadTables reads the table region named by checkpoint c.
+func (fs *FS) loadTables(p *sim.Proc, c checkpoint) error {
+	buf := make([]byte, int(fs.sb.TableBlocks)*BlockSize)
+	if err := fs.dev.ReadBlocks(p, fs.tableRegionBlock(c.Region, 0), buf); err != nil {
+		return err
+	}
+	fs.seguse = make([]Seguse, fs.sb.DiskSegs)
+	fs.tseg = make([]Seguse, fs.amap.TertSegs())
+	fs.imap = make([]ImapEntry, fs.sb.MaxInodes)
+	off := BlockSize
+	for i := range fs.seguse {
+		fs.seguse[i].decode(buf[off+i*SeguseSize:])
+	}
+	off += blocksFor(len(fs.seguse)*SeguseSize) * BlockSize
+	for i := range fs.tseg {
+		fs.tseg[i].decode(buf[off+i*SeguseSize:])
+	}
+	off += blocksFor(len(fs.tseg)*SeguseSize) * BlockSize
+	for i := range fs.imap {
+		fs.imap[i].decode(buf[off+i*ImapSize:])
+	}
+	return nil
+}
+
+// checkpointLocked flushes all dirty state and writes a checkpoint: tables
+// to the ping-pong region, then the checkpoint header. Requires the lock.
+func (fs *FS) checkpointLocked(p *sim.Proc) error {
+	if err := fs.flushLocked(p, true); err != nil {
+		return err
+	}
+	region := uint32(fs.serial % 2)
+	tables := fs.serializeTables()
+	// The table region is contiguous; write it in segment-sized chunks.
+	chunk := fs.amap.SegBlocks() * BlockSize
+	for off := 0; off < len(tables); off += chunk {
+		end := off + chunk
+		if end > len(tables) {
+			end = len(tables)
+		}
+		if err := fs.dev.WriteBlocks(p, fs.tableRegionBlock(region, off/BlockSize), tables[off:end]); err != nil {
+			return err
+		}
+	}
+	c := checkpoint{
+		Serial:   fs.serial,
+		Time:     fs.now(),
+		CurSeg:   fs.curSeg,
+		CurOff:   uint32(fs.curOff),
+		NextInum: fs.nextInum,
+		Region:   region,
+	}
+	blk := make([]byte, BlockSize)
+	c.encode(blk)
+	slot := 1 + int(fs.serial%2)
+	if err := fs.dev.WriteBlocks(p, fs.amap.BlockOf(0, slot), blk); err != nil {
+		return err
+	}
+	fs.serial++
+	fs.stats.Checkpoints++
+	return nil
+}
+
+// Checkpoint flushes all dirty state and writes a recovery checkpoint.
+func (fs *FS) Checkpoint(p *sim.Proc) error {
+	fs.lock.Acquire(p)
+	defer fs.lock.Release(p)
+	return fs.checkpointLocked(p)
+}
+
+// Sync writes all dirty data to the log without checkpointing the tables.
+func (fs *FS) Sync(p *sim.Proc) error {
+	fs.lock.Acquire(p)
+	defer fs.lock.Release(p)
+	return fs.flushLocked(p, true)
+}
+
+// rollForward scans the threaded log from the checkpoint position and
+// re-applies inode updates from intact partial segments (§3: "during
+// recovery the system will roll-forward from the last checkpoint").
+func (fs *FS) rollForward(p *sim.Proc, c checkpoint) error {
+	seg, off := c.CurSeg, int(c.CurOff)
+	segBuf := make([]byte, BlockSize)
+	for {
+		if off+2 > fs.amap.SegBlocks() {
+			// Segment exhausted at checkpoint time; recovery state
+			// already points at its end — nothing was written after.
+			break
+		}
+		base := fs.amap.BlockOf(seg, off)
+		if err := fs.dev.ReadBlocks(p, base, segBuf); err != nil {
+			return err
+		}
+		sum, err := DecodeSummary(segBuf)
+		// Partial segments written after checkpoint N carry serial N+1
+		// (the epoch advances as the checkpoint completes); anything
+		// else is stale data from an earlier life of the segment.
+		if err != nil || sum.Serial != c.Serial+1 || sum.NBlocks < 1 || off+int(sum.NBlocks) > fs.amap.SegBlocks() {
+			break // incomplete or stale partial segment: recovery done
+		}
+		// Verify the data checksum before applying.
+		body := make([]byte, (int(sum.NBlocks)-1)*BlockSize)
+		if len(body) > 0 {
+			if err := fs.dev.ReadBlocks(p, base+1, body); err != nil {
+				return err
+			}
+			if crc32Sum(body) != sum.DataSum {
+				break
+			}
+		}
+		fs.applyPsegment(seg, off, sum, body)
+		off += int(sum.NBlocks)
+		if sum.Next != seg {
+			seg, off = sum.Next, 0
+		}
+	}
+	fs.curSeg, fs.curOff = seg, off
+	fs.seguse[seg].Flags |= SegActive
+	return nil
+}
+
+// applyPsegment updates the inode map and segment usage from one recovered
+// partial segment.
+func (fs *FS) applyPsegment(seg addr.SegNo, off int, sum *Summary, body []byte) {
+	su := &fs.seguse[seg]
+	su.Flags |= SegDirty
+	su.Flags &^= SegActive
+	su.LiveBytes += uint32(int(sum.NBlocks) * BlockSize)
+	su.LastMod = sum.Create
+	base := fs.amap.BlockOf(seg, off)
+	for _, ia := range sum.InoAddrs {
+		idx := int(ia-base) - 1 // block index within body
+		if idx < 0 || (idx+1)*BlockSize > len(body) {
+			continue
+		}
+		blk := body[idx*BlockSize : (idx+1)*BlockSize]
+		for slot := 0; slot < InodesPerBlock; slot++ {
+			var ino Inode
+			ino.decode(blk[slot*InodeSize:])
+			if ino.Inum == 0 || int(ino.Inum) >= len(fs.imap) {
+				continue
+			}
+			e := &fs.imap[ino.Inum]
+			// Accept the same or a newer version: files created or
+			// reallocated after the checkpoint carry versions the
+			// checkpointed map has not seen.
+			if ino.Version >= e.Version {
+				e.Addr = ia
+				e.Slot = uint32(slot)
+				e.Version = ino.Version
+				if ino.Inum >= fs.nextInum {
+					fs.nextInum = ino.Inum + 1
+				}
+			}
+		}
+	}
+}
+
+// allocSegmentLocked picks the next clean segment for the log, triggering
+// an emergency clean if none is available.
+func (fs *FS) allocSegmentLocked(p *sim.Proc) (addr.SegNo, error) {
+	for attempt := 0; attempt < 2; attempt++ {
+		n := addr.SegNo(fs.amap.DiskSegs())
+		for i := addr.SegNo(1); i <= n; i++ {
+			s := (fs.curSeg + i) % n
+			if fs.seguse[s].Flags == 0 {
+				return s, nil
+			}
+		}
+		if attempt == 0 && fs.EmergencyClean != nil && fs.EmergencyClean(p) {
+			continue
+		}
+		break
+	}
+	return 0, ErrNoSpace
+}
+
+// AllocCacheSegmentLocked-style API for HighLight's segment cache: claim a
+// clean disk segment as a cache line for tertiary segment index tag.
+func (fs *FS) AllocCacheSegment(p *sim.Proc, tag uint32, staging bool) (addr.SegNo, error) {
+	fs.lock.Acquire(p)
+	defer fs.lock.Release(p)
+	if fs.cacheInUse >= int(fs.sb.CacheSegs) {
+		return 0, ErrNoSpace
+	}
+	lo, hi := addr.SegNo(fs.opts.CacheSegLo), addr.SegNo(fs.opts.CacheSegHi)
+	if hi == 0 {
+		hi = addr.SegNo(fs.amap.DiskSegs())
+	}
+	// Allocate cache lines from the top of the eligible range downwards:
+	// the cache split occupies the far end of the disk, away from the
+	// log's fresh segments (so staging traffic pays real seeks against
+	// the migrator's gather reads — the disk-arm contention of Table 6).
+	for s := hi - 1; s+1 > lo; s-- {
+		if fs.seguse[s].Flags == 0 {
+			su := &fs.seguse[s]
+			su.Flags = SegCached
+			if staging {
+				su.Flags |= SegStaging
+			}
+			su.CacheTag = tag
+			su.LastMod = fs.now()
+			fs.nclean--
+			fs.cacheInUse++
+			return s, nil
+		}
+	}
+	return 0, ErrNoSpace
+}
+
+// ReleaseCacheSegment returns a cache line to the clean pool.
+func (fs *FS) ReleaseCacheSegment(p *sim.Proc, s addr.SegNo) {
+	fs.lock.Acquire(p)
+	defer fs.lock.Release(p)
+	su := &fs.seguse[s]
+	if su.Flags&SegCached == 0 {
+		panic("lfs: releasing non-cache segment")
+	}
+	su.Flags = 0
+	su.CacheTag = 0
+	su.LiveBytes = 0
+	fs.nclean++
+	fs.cacheInUse--
+}
+
+// NilCacheTag marks a cache-reserved segment not currently bound to any
+// tertiary segment.
+const NilCacheTag = ^uint32(0)
+
+// SetCacheBinding records which tertiary segment a cache-line disk segment
+// holds (NilCacheTag for an unbound pool line). It is called by the
+// service process, which must never take the file system lock (a demand
+// fetch runs while the faulting reader holds it); the update is a single
+// non-blocking store, so the cooperative scheduler makes it atomic.
+func (fs *FS) SetCacheBinding(s addr.SegNo, tag uint32, staging bool) {
+	su := &fs.seguse[s]
+	if su.Flags&SegCached == 0 {
+		panic("lfs: cache binding on non-cache segment")
+	}
+	su.CacheTag = tag
+	if staging {
+		su.Flags |= SegStaging
+	} else {
+		su.Flags &^= SegStaging
+	}
+	su.LastMod = fs.now()
+}
+
+// CacheSegsInUse reports how many disk segments hold cached tertiary lines.
+func (fs *FS) CacheSegsInUse() int { return fs.cacheInUse }
+
+// MaxCacheSegs reports the static cache limit chosen at format time.
+func (fs *FS) MaxCacheSegs() int { return int(fs.sb.CacheSegs) }
+
+// SegUsage returns a copy of a disk segment's usage entry.
+func (fs *FS) SegUsage(s addr.SegNo) Seguse { return fs.seguse[s] }
+
+// TsegUsage returns a copy of a tertiary segment's usage entry (by dense
+// tertiary index).
+func (fs *FS) TsegUsage(idx int) Seguse { return fs.tseg[idx] }
+
+// SetTsegAvail records the bytes of storage available in a tertiary
+// segment (compression bookkeeping, §6.4).
+func (fs *FS) SetTsegAvail(idx int, avail uint32) { fs.tseg[idx].Avail = avail }
+
+// MarkTsegWritten marks a tertiary segment as holding data (called when a
+// staging segment has been copied out).
+func (fs *FS) MarkTsegWritten(idx int) {
+	fs.tseg[idx].Flags |= SegDirty
+	fs.tseg[idx].LastMod = fs.now()
+}
+
+// MarkTsegNoStore marks a tertiary segment as having no storage behind it
+// (the tail of a volume that returned end-of-medium, §6.3).
+func (fs *FS) MarkTsegNoStore(idx int) {
+	fs.tseg[idx].Flags |= SegNoStore
+	fs.tseg[idx].Avail = 0
+}
+
+// ResetTseg returns a tertiary segment to the never-used state (the
+// tertiary cleaner erased its medium).
+func (fs *FS) ResetTseg(idx int) {
+	fs.tseg[idx] = Seguse{}
+}
+
+// TsegCount reports the tertiary segment table size.
+func (fs *FS) TsegCount() int { return len(fs.tseg) }
+
+// ReservedSegs reports the number of boot-area segments.
+func (fs *FS) ReservedSegs() int { return int(fs.sb.ReservedSegs) }
+
+// Imap returns a copy of an inode-map entry.
+func (fs *FS) Imap(inum uint32) ImapEntry { return fs.imap[inum] }
+
+// MaxInodes reports the inode map capacity.
+func (fs *FS) MaxInodes() int { return len(fs.imap) }
+
+// Usage summarizes storage occupancy for df-style reporting.
+type Usage struct {
+	DiskSegs     int // total disk segments
+	ReservedSegs int // boot area (superblock + checkpoint tables)
+	CleanSegs    int // allocatable
+	DirtySegs    int // hold log data
+	CacheSegs    int // reserved as tertiary cache lines
+	NoStoreSegs  int // retired / no storage behind them
+	LiveBytes    int64
+	TertSegsUsed int
+	TertLive     int64
+	InodesUsed   int
+	InodesMax    int
+}
+
+// Usage reports current occupancy (no I/O; reads the in-memory tables).
+func (fs *FS) Usage() Usage {
+	u := Usage{
+		DiskSegs:     fs.amap.DiskSegs(),
+		ReservedSegs: int(fs.sb.ReservedSegs),
+		InodesMax:    len(fs.imap),
+	}
+	for i := range fs.seguse {
+		su := &fs.seguse[i]
+		switch {
+		case su.Flags&SegCached != 0:
+			u.CacheSegs++
+		case su.Flags&SegNoStore != 0:
+			u.NoStoreSegs++
+		case su.Flags&(SegDirty|SegActive) != 0:
+			u.DirtySegs++
+			u.LiveBytes += int64(su.LiveBytes)
+		default:
+			u.CleanSegs++
+		}
+	}
+	// The boot area is flagged no-store; report it separately.
+	u.NoStoreSegs -= u.ReservedSegs
+	for i := range fs.tseg {
+		if fs.tseg[i].Flags&SegDirty != 0 {
+			u.TertSegsUsed++
+			u.TertLive += int64(fs.tseg[i].LiveBytes)
+		}
+	}
+	for i := FirstInum; i < len(fs.imap); i++ {
+		if fs.imap[i].Addr != addr.NilBlock {
+			u.InodesUsed++
+		}
+	}
+	return u
+}
+
+// FlushCaches drops the clean contents of the buffer and inode caches
+// after writing out dirty state. Benchmarks use it to force cold reads.
+func (fs *FS) FlushCaches(p *sim.Proc) error {
+	fs.lock.Acquire(p)
+	defer fs.lock.Release(p)
+	if err := fs.flushLocked(p, true); err != nil {
+		return err
+	}
+	fs.bufs = make(map[bufKey]*buf)
+	fs.lruHead, fs.lruTail = nil, nil
+	fs.bufBytes = 0
+	fs.inodes = make(map[uint32]*Inode)
+	fs.lastLbn = make(map[uint32]int32)
+	return nil
+}

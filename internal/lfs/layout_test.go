@@ -1,0 +1,237 @@
+package lfs
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/addr"
+)
+
+// TestSummaryLayout verifies the Table 1 partial-segment summary block:
+// encode/decode round trip over randomized contents.
+func TestSummaryLayout(t *testing.T) {
+	f := func(next uint32, create int64, serial uint64, flags uint16, nf uint8, lbnSeed int64) bool {
+		s := &Summary{
+			Next:   addr.SegNo(next),
+			Create: create,
+			Serial: serial,
+			Flags:  flags,
+		}
+		rng := rand.New(rand.NewSource(lbnSeed))
+		nfiles := int(nf%8) + 1
+		blocks := 0
+		for i := 0; i < nfiles; i++ {
+			fi := Finfo{Inum: rng.Uint32()%1000 + 1, Version: rng.Uint32() % 100}
+			n := rng.Intn(12) + 1
+			for j := 0; j < n; j++ {
+				fi.Lbns = append(fi.Lbns, int32(rng.Intn(4000)-10))
+				blocks++
+			}
+			s.Finfos = append(s.Finfos, fi)
+		}
+		nino := rng.Intn(3)
+		for i := 0; i < nino; i++ {
+			s.InoAddrs = append(s.InoAddrs, addr.BlockNo(rng.Uint32()))
+			blocks++
+		}
+		s.NBlocks = uint16(1 + blocks)
+		buf := make([]byte, BlockSize)
+		if err := EncodeSummary(s, buf); err != nil {
+			return false
+		}
+		got, err := DecodeSummary(buf)
+		if err != nil {
+			return false
+		}
+		return got.Next == s.Next && got.Create == s.Create && got.Serial == s.Serial &&
+			got.Flags == s.Flags && got.NBlocks == s.NBlocks &&
+			reflect.DeepEqual(got.Finfos, s.Finfos) &&
+			reflect.DeepEqual(got.InoAddrs, s.InoAddrs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummaryRejectsCorruption(t *testing.T) {
+	s := &Summary{Next: 7, Create: 123, Serial: 9, NBlocks: 3,
+		Finfos: []Finfo{{Inum: 5, Version: 1, Lbns: []int32{0, 1}}}}
+	buf := make([]byte, BlockSize)
+	if err := EncodeSummary(s, buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, off := range []int{0, 4, 12, 20, 40} {
+		c := make([]byte, BlockSize)
+		copy(c, buf)
+		c[off] ^= 0xFF
+		if _, err := DecodeSummary(c); err == nil {
+			t.Errorf("corruption at byte %d accepted", off)
+		}
+	}
+}
+
+func TestSummaryOverflowDetected(t *testing.T) {
+	s := &Summary{}
+	// More FINFO entries than a 4 KB block can hold.
+	for i := 0; i < 400; i++ {
+		s.Finfos = append(s.Finfos, Finfo{Inum: uint32(i + 1), Lbns: []int32{0, 1, 2}})
+	}
+	buf := make([]byte, BlockSize)
+	if err := EncodeSummary(s, buf); err == nil {
+		t.Fatal("overflowing summary encoded without error")
+	}
+}
+
+// TestInodeLayout round-trips randomized inodes through the 128-byte
+// on-media format.
+func TestInodeLayout(t *testing.T) {
+	f := func(inum, version, nlink uint32, size uint64, mtime, ctime int64, typ uint8, ptrSeed int64) bool {
+		ino := &Inode{
+			Inum:    inum,
+			Version: version,
+			Type:    FileType(typ % 3),
+			Nlink:   nlink,
+			Size:    size,
+			Mtime:   mtime,
+			Ctime:   ctime,
+		}
+		rng := rand.New(rand.NewSource(ptrSeed))
+		for i := range ino.Direct {
+			ino.Direct[i] = addr.BlockNo(rng.Uint32())
+		}
+		ino.Single = addr.BlockNo(rng.Uint32())
+		ino.Double = addr.BlockNo(rng.Uint32())
+		buf := make([]byte, InodeSize)
+		ino.encode(buf)
+		var got Inode
+		got.decode(buf)
+		return reflect.DeepEqual(*ino, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSeguseAndImapLayout round-trips the ifile entry formats.
+func TestSeguseAndImapLayout(t *testing.T) {
+	fSeg := func(flags, live, tag, avail uint32, mod int64) bool {
+		s := Seguse{Flags: flags, LiveBytes: live, LastMod: mod, CacheTag: tag, Avail: avail}
+		buf := make([]byte, SeguseSize)
+		s.encode(buf)
+		var got Seguse
+		got.decode(buf)
+		return got == s
+	}
+	if err := quick.Check(fSeg, nil); err != nil {
+		t.Fatal(err)
+	}
+	fImap := func(a, slot, version uint32, atime int64) bool {
+		e := ImapEntry{Addr: addr.BlockNo(a), Slot: slot, Version: version, Atime: atime}
+		buf := make([]byte, ImapSize)
+		e.encode(buf)
+		var got ImapEntry
+		got.decode(buf)
+		return got == e
+	}
+	if err := quick.Check(fImap, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDirentLayout round-trips randomized directory entry lists.
+func TestDirentLayout(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var ents []Dirent
+		for i := 0; i < int(n%40); i++ {
+			nameLen := rng.Intn(60) + 1
+			name := make([]byte, nameLen)
+			for j := range name {
+				name[j] = byte('a' + rng.Intn(26))
+			}
+			ents = append(ents, Dirent{
+				Inum: rng.Uint32()%100000 + 1,
+				Type: FileType(rng.Intn(2) + 1),
+				Name: string(name),
+			})
+		}
+		data := encodeDirents(ents)
+		if len(data)%BlockSize != 0 {
+			return false
+		}
+		got := decodeDirents(data)
+		if len(ents) == 0 {
+			return len(got) == 0
+		}
+		return reflect.DeepEqual(ents, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSuperblockLayout(t *testing.T) {
+	sb := Superblock{
+		Magic:        superMagic,
+		SegBlocks:    256,
+		DiskSegs:     848,
+		ReservedSegs: 2,
+		MaxInodes:    4096,
+		CacheSegs:    96,
+		TableBlocks:  77,
+		TertDevs:     []addr.Geom{{Vols: 32, SegsPerVol: 40}, {Vols: 2, SegsPerVol: 10}},
+	}
+	buf := make([]byte, BlockSize)
+	sb.encode(buf)
+	var got Superblock
+	if err := got.decode(buf); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sb, got) {
+		t.Fatalf("superblock round trip: %+v != %+v", got, sb)
+	}
+	// Corrupt magic.
+	buf[0] ^= 1
+	if err := got.decode(buf); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestCheckpointLayout(t *testing.T) {
+	c := checkpoint{Serial: 42, Time: 1e12, CurSeg: 17, CurOff: 300, NextInum: 99, Region: 1}
+	buf := make([]byte, BlockSize)
+	c.encode(buf)
+	var got checkpoint
+	if !got.decode(buf) {
+		t.Fatal("valid checkpoint rejected")
+	}
+	if got != c {
+		t.Fatalf("round trip: %+v != %+v", got, c)
+	}
+	buf[3] ^= 0x80
+	if got.decode(buf) {
+		t.Fatal("corrupted checkpoint accepted")
+	}
+	// All-zero block (never written) must be invalid.
+	zero := make([]byte, BlockSize)
+	if got.decode(zero) {
+		t.Fatal("zero checkpoint accepted")
+	}
+}
+
+func TestDirentsDoNotSpanBlocks(t *testing.T) {
+	// Entries with names sized to land near block boundaries never split
+	// across blocks.
+	var ents []Dirent
+	for i := 0; i < 200; i++ {
+		ents = append(ents, Dirent{Inum: uint32(i + 1), Type: TypeFile, Name: string(bytes.Repeat([]byte{'x'}, 60))})
+	}
+	data := encodeDirents(ents)
+	got := decodeDirents(data)
+	if !reflect.DeepEqual(ents, got) {
+		t.Fatal("boundary-heavy dirent round trip failed")
+	}
+}

@@ -1,0 +1,380 @@
+package lfs
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/addr"
+	"repro/internal/sim"
+)
+
+// Migration support: the lfs_migratev analogue (§6.7). The migrator
+// selects file blocks by policy, locates them with lfs_bmapv, and calls
+// lfs_migratev to gather and rewrite those blocks into the staging segment
+// on disk. The staging segment is a valid LFS segment image addressed with
+// the block numbers it will use on the tertiary volume; when it fills, the
+// service process copies it out as a unit (§6.2).
+//
+// Migratev runs under the file system lock: it captures block contents,
+// re-points metadata at the tertiary addresses, and writes the staged
+// image into the cache-line disk segment in one atomic step, so no reader
+// ever observes a tertiary pointer before the staged copy is readable.
+
+// FileBlockRefs lists every block of a file — data blocks first, then
+// indirect blocks — with current addresses. Dirty state must be flushed
+// first so that every block has a media address; call Sync beforehand.
+func (fs *FS) FileBlockRefs(p *sim.Proc, inum uint32) ([]BlockRef, error) {
+	fs.lock.Acquire(p)
+	defer fs.lock.Release(p)
+	ino, err := fs.iget(p, inum)
+	if err != nil {
+		return nil, err
+	}
+	ver := fs.imap[inum].Version
+	var refs []BlockRef
+	nblocks := int32(blocksFor(int(ino.Size)))
+	for lbn := int32(0); lbn < nblocks; lbn++ {
+		a, err := fs.blockPtr(p, ino, lbn)
+		if err != nil {
+			return nil, err
+		}
+		if a != addr.NilBlock {
+			refs = append(refs, BlockRef{Inum: inum, Version: ver, Lbn: lbn, Addr: a})
+		}
+	}
+	// Indirect blocks last, so that a staged indirect block lands after
+	// the data it describes and reflects the data's new addresses.
+	appendMeta := func(lbn int32) error {
+		a, err := fs.metaAddr(p, ino, lbn)
+		if err != nil {
+			return err
+		}
+		if a != addr.NilBlock {
+			refs = append(refs, BlockRef{Inum: inum, Version: ver, Lbn: lbn, Addr: a})
+		}
+		return nil
+	}
+	if nblocks > NDirect {
+		if err := appendMeta(LbnSingle); err != nil {
+			return nil, err
+		}
+	}
+	if int(nblocks) > NDirect+PtrsPerBlock {
+		nChildren := (int(nblocks) - NDirect - PtrsPerBlock + PtrsPerBlock - 1) / PtrsPerBlock
+		for i := 0; i < nChildren; i++ {
+			if err := appendMeta(LbnDoubleChild(i)); err != nil {
+				return nil, err
+			}
+		}
+		if err := appendMeta(LbnDoubleRoot); err != nil {
+			return nil, err
+		}
+	}
+	return refs, nil
+}
+
+// MigrateResult reports what one Migratev call staged.
+type MigrateResult struct {
+	Applied     []bool // per ref: block was live and has been migrated
+	Blocks      int    // content blocks staged (excluding summary/inodes)
+	InodesMoved int
+	NextOff     int  // next free block offset in the staging segment
+	Full        bool // the staging segment could not take everything
+	// Consumed is the count of leading refs fully processed (staged or
+	// permanently dead); on Full, the caller resubmits refs[Consumed:]
+	// against a fresh staging segment.
+	Consumed int
+}
+
+// Migratev stages the live blocks named by refs into the staging segment:
+// it appends one partial segment to the tertiary segment image, addressed
+// at tertSeg starting at block offset off, mirrors the image into the
+// cache-line disk segment cacheSeg at the same offset, and re-points all
+// file system metadata at the new tertiary addresses.
+//
+// If inodeInums is non-empty those inodes are serialized into trailing
+// inode blocks and the inode map is re-pointed at them (metadata
+// migration, §4). Refs whose blocks died or are dirty in the buffer cache
+// are skipped. If the remaining space cannot hold every live block the
+// call stages what fits and sets Full; the caller continues in a fresh
+// segment.
+func (fs *FS) Migratev(p *sim.Proc, refs []BlockRef, inodeInums []uint32, tertSeg, cacheSeg addr.SegNo, off int) (*MigrateResult, error) {
+	fs.lock.Acquire(p)
+	defer fs.lock.Release(p)
+	res := &MigrateResult{Applied: make([]bool, len(refs)), NextOff: off, Consumed: len(refs)}
+
+	// Filter to live, stable blocks.
+	type item struct {
+		refIdx int
+		ref    BlockRef
+	}
+	var live []item
+	for i, r := range refs {
+		ok, err := fs.refLiveLocked(p, r)
+		if err != nil {
+			return res, err
+		}
+		if !ok {
+			continue
+		}
+		// A dirty data block is unstable: newer content awaits the disk
+		// log, so migrating the media copy would stage stale bytes.
+		// Dirty META blocks are different: pointer flips from earlier
+		// Migratev calls dirty them, and staging captures their content
+		// from the buffer cache (authoritative), so they stay eligible.
+		if r.Lbn >= 0 {
+			if b, cached := fs.bufs[bufKey{r.Inum, r.Lbn}]; cached && b.dirty {
+				continue
+			}
+		}
+		live = append(live, item{i, r})
+	}
+	inoBlocks := (len(inodeInums) + InodesPerBlock - 1) / InodesPerBlock
+	avail := fs.amap.SegBlocks() - off - 1 // room after the summary
+	if avail < 1 {
+		res.Full = true
+		res.Consumed = 0 // nothing processed; resubmit everything
+		return res, nil
+	}
+	if len(live)+inoBlocks > avail {
+		res.Full = true
+		cut := avail - inoBlocks
+		if cut < 0 {
+			cut = 0
+		}
+		if cut > len(live) {
+			cut = len(live)
+		}
+		live = live[:cut]
+		if cut == 0 {
+			res.Consumed = 0
+			if inoBlocks > avail {
+				return res, nil
+			}
+		} else {
+			res.Consumed = live[cut-1].refIdx + 1
+		}
+	}
+	if len(live) == 0 && len(inodeInums) == 0 {
+		return res, nil
+	}
+
+	// Capture data content before any pointer moves. Batch contiguous
+	// source addresses into single device transfers (the migrator reads
+	// from the raw disk, §6.7 — these reads contend for the disk arm,
+	// Table 6).
+	contents := make([][]byte, len(live))
+	maxRun := fs.opts.GatherChunkBlocks
+	if maxRun <= 0 {
+		maxRun = 1 << 20
+	}
+	for i := 0; i < len(live); {
+		if live[i].ref.Lbn < 0 {
+			i++ // meta blocks are captured after data pointer flips
+			continue
+		}
+		j := i + 1
+		for j < len(live) && j-i < maxRun && live[j].ref.Lbn >= 0 &&
+			live[j].ref.Addr == live[i].ref.Addr+addr.BlockNo(j-i) {
+			j++
+		}
+		run := make([]byte, (j-i)*BlockSize)
+		if err := fs.readRunLocked(p, live[i].ref, run); err != nil {
+			return res, err
+		}
+		for k := i; k < j; k++ {
+			contents[k] = run[(k-i)*BlockSize : (k-i+1)*BlockSize]
+		}
+		i = j
+	}
+
+	// Flip data pointers to the staged addresses.
+	base := fs.amap.BlockOf(tertSeg, off)
+	for i, it := range live {
+		if it.ref.Lbn < 0 {
+			continue
+		}
+		na := base + addr.BlockNo(1+i)
+		ino, err := fs.iget(p, it.ref.Inum)
+		if err != nil {
+			return res, err
+		}
+		if _, err := fs.setBlockPtr(p, ino, it.ref.Lbn, na); err != nil {
+			return res, err
+		}
+		fs.accountOld(it.ref.Addr, BlockSize)
+		fs.accountNew(na, BlockSize)
+		if b, ok := fs.bufs[bufKey{it.ref.Inum, it.ref.Lbn}]; ok {
+			b.addr = na
+		}
+		res.Applied[it.refIdx] = true
+	}
+	// Capture meta content (now reflecting the new data addresses) and
+	// flip meta pointers.
+	for i, it := range live {
+		if it.ref.Lbn >= 0 {
+			continue
+		}
+		na := base + addr.BlockNo(1+i)
+		ino, err := fs.iget(p, it.ref.Inum)
+		if err != nil {
+			return res, err
+		}
+		mb, err := fs.getMeta(p, ino, it.ref.Lbn, false)
+		if err != nil {
+			return res, err
+		}
+		if mb == nil {
+			continue // vanished; leave Applied false
+		}
+		data := make([]byte, BlockSize)
+		copy(data, mb.data)
+		contents[i] = data
+		fs.setMetaPtr(p, ino, it.ref.Lbn, na)
+		fs.accountOld(it.ref.Addr, BlockSize)
+		fs.accountNew(na, BlockSize)
+		mb.addr = na
+		if mb.dirty {
+			// The staged copy includes every update; the disk log
+			// need not rewrite it.
+			mb.dirty = false
+			fs.dirtyBytes -= BlockSize
+		}
+		res.Applied[it.refIdx] = true
+	}
+
+	// Serialize inodes (after all pointer flips) and re-point the map.
+	sum := &Summary{
+		Next:   tertSeg,
+		Create: fs.now(),
+		Serial: fs.serial,
+		Flags:  SumStaging,
+	}
+	content := make([]byte, (len(live)+inoBlocks)*BlockSize)
+	for i, it := range live {
+		copy(content[i*BlockSize:], contents[i])
+		if n := len(sum.Finfos); n > 0 && sum.Finfos[n-1].Inum == it.ref.Inum {
+			sum.Finfos[n-1].Lbns = append(sum.Finfos[n-1].Lbns, it.ref.Lbn)
+		} else {
+			sum.Finfos = append(sum.Finfos, Finfo{Inum: it.ref.Inum, Version: it.ref.Version, Lbns: []int32{it.ref.Lbn}})
+		}
+	}
+	sorted := append([]uint32{}, inodeInums...)
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
+	for bi := 0; bi < inoBlocks; bi++ {
+		na := base + addr.BlockNo(1+len(live)+bi)
+		sum.InoAddrs = append(sum.InoAddrs, na)
+		blkOff := (len(live) + bi) * BlockSize
+		for s := 0; s < InodesPerBlock; s++ {
+			idx := bi*InodesPerBlock + s
+			if idx >= len(sorted) {
+				break
+			}
+			inum := sorted[idx]
+			ino, err := fs.iget(p, inum)
+			if err != nil {
+				continue
+			}
+			ino.encode(content[blkOff+s*InodeSize:])
+			e := &fs.imap[inum]
+			fs.accountOld(e.Addr, InodeSize)
+			e.Addr = na
+			e.Slot = uint32(s)
+			fs.accountNew(na, InodeSize)
+			delete(fs.dirtyIno, inum) // staged copy is authoritative
+			res.InodesMoved++
+		}
+	}
+	sum.NBlocks = uint16(1 + len(live) + inoBlocks)
+	sum.DataSum = crc32Sum(content)
+	image := make([]byte, BlockSize+len(content))
+	if err := EncodeSummary(sum, image[:BlockSize]); err != nil {
+		return res, err
+	}
+	copy(image[BlockSize:], content)
+
+	// Mirror the staged partial segment into the cache-line disk segment
+	// (assembled "on-disk in a dirty cache line", §6.2).
+	fs.chargeCopy(p, len(image), fs.opts.AssemblyCopyRate)
+	if err := fs.dev.WriteBlocks(p, fs.amap.BlockOf(cacheSeg, off), image); err != nil {
+		return res, err
+	}
+	fs.stats.DevWrites++
+	fs.stats.BytesWritten += int64(len(image))
+	if su := fs.seguseFor(base); su != nil {
+		su.LiveBytes += BlockSize // the staged summary block
+		su.Flags |= SegDirty
+		su.LastMod = fs.now()
+	}
+	res.Blocks = len(live)
+	res.NextOff = off + 1 + len(live) + inoBlocks
+	return res, nil
+}
+
+// setMetaPtr updates the parent pointer of a meta block to a migrated
+// address (unlike setParentPtr this may dirty the parent itself).
+func (fs *FS) setMetaPtr(p *sim.Proc, ino *Inode, metaLbn int32, a addr.BlockNo) {
+	switch metaLbn {
+	case LbnSingle:
+		ino.Single = a
+		fs.markInodeDirty(ino)
+	case LbnDoubleRoot:
+		ino.Double = a
+		fs.markInodeDirty(ino)
+	default:
+		root, err := fs.getMeta(p, ino, LbnDoubleRoot, true)
+		if err != nil {
+			panic(fmt.Sprintf("lfs: meta migration lost double root: %v", err))
+		}
+		putPtr(root, slotInParent(metaLbn), a)
+		fs.markDirty(root)
+	}
+}
+
+// readRunLocked reads a run of blocks starting at ref's address, from the
+// buffer cache when the first block is resident, else from the device.
+func (fs *FS) readRunLocked(p *sim.Proc, ref BlockRef, run []byte) error {
+	if len(run) == BlockSize {
+		if b, ok := fs.bufs[bufKey{ref.Inum, ref.Lbn}]; ok {
+			copy(run, b.data)
+			return nil
+		}
+	}
+	if err := fs.dev.ReadBlocks(p, ref.Addr, run); err != nil {
+		return err
+	}
+	fs.stats.DevReads++
+	fs.stats.BytesRead += int64(len(run))
+	return nil
+}
+
+// ReadRawBlocks reads blocks by address, bypassing the buffer cache (the
+// migrator "has direct access to the raw disk device", §6.7).
+func (fs *FS) ReadRawBlocks(p *sim.Proc, a addr.BlockNo, buf []byte) error {
+	if err := fs.dev.ReadBlocks(p, a, buf); err != nil {
+		return err
+	}
+	fs.stats.DevReads++
+	fs.stats.BytesRead += int64(len(buf))
+	return nil
+}
+
+// DropFileBuffers removes a file's clean blocks from the buffer cache
+// (used after migration so reads exercise the demand-fetch path, and by
+// benchmarks forcing cold caches).
+func (fs *FS) DropFileBuffers(p *sim.Proc, inum uint32) {
+	fs.lock.Acquire(p)
+	defer fs.lock.Release(p)
+	var victims []*buf
+	for _, b := range fs.bufs {
+		if b.key.inum == inum && !b.dirty {
+			victims = append(victims, b)
+		}
+	}
+	for _, b := range victims {
+		fs.dropBuf(b)
+	}
+	if !fs.dirtyIno[inum] {
+		delete(fs.inodes, inum)
+	}
+}

@@ -1,0 +1,186 @@
+package lfs
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"repro/internal/addr"
+	"repro/internal/dev"
+	"repro/internal/sim"
+)
+
+// TestTornLogWriteRecovery simulates a crash that tears the tail of the
+// log: the last partial segment's data are corrupted on the media.
+// Roll-forward must stop at the checksum mismatch, recovering everything
+// up to the torn write and nothing after (§3: "when an incomplete partial
+// segment is found, recovery is complete").
+func TestTornLogWriteRecovery(t *testing.T) {
+	k := sim.NewKernel()
+	amap := addr.New(32, 64)
+	disk := dev.NewDisk(k, dev.RZ57, int64(64*32), nil)
+	durable := pattern(1, 6*BlockSize)
+	k.RunProc(func(p *sim.Proc) {
+		fs, err := Format(p, DiskDevice{disk}, amap, Options{MaxInodes: 128})
+		if err != nil {
+			t.Fatal(err)
+		}
+		writeFile(t, p, fs, "/durable", durable)
+		if err := fs.Checkpoint(p); err != nil {
+			t.Fatal(err)
+		}
+		// Post-checkpoint write, synced — then torn.
+		writeFile(t, p, fs, "/torn", pattern(2, 8*BlockSize))
+		if err := fs.Sync(p); err != nil {
+			t.Fatal(err)
+		}
+		// Tear the log: find the active segment and corrupt its most
+		// recent partial segment's data blocks.
+		var active addr.SegNo
+		for s := fs.ReservedSegs(); s < amap.DiskSegs(); s++ {
+			if fs.SegUsage(addr.SegNo(s)).Flags&SegActive != 0 {
+				active = addr.SegNo(s)
+			}
+		}
+		sc, err := fs.ReadSegment(p, active)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(sc.Offsets) == 0 {
+			t.Fatal("no partial segments in active segment")
+		}
+		lastOff := sc.Offsets[len(sc.Offsets)-1]
+		garbage := bytes.Repeat([]byte{0xDE}, BlockSize)
+		if err := disk.WriteBlocks(p, int64(amap.BlockOf(active, lastOff+1)), garbage); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// "Reboot" and mount: recovery must succeed and keep /durable.
+	k.RunProc(func(p *sim.Proc) {
+		fs2, err := Mount(p, DiskDevice{disk}, amap, Options{})
+		if err != nil {
+			t.Fatalf("mount after torn write: %v", err)
+		}
+		f, err := fs2.Open(p, "/durable")
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make([]byte, len(durable))
+		if _, err := f.ReadAt(p, got, 0); err != nil && err != io.EOF {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, durable) {
+			t.Fatal("checkpointed data corrupted by torn-write recovery")
+		}
+		// The torn file may or may not have been recovered depending on
+		// which psegment was torn — but the file system must stay
+		// consistent: new writes work.
+		writeFile(t, p, fs2, "/fresh", pattern(3, 4*BlockSize))
+		if err := fs2.Checkpoint(p); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestCorruptedCheckpointFallsBack corrupts the newest checkpoint header;
+// mount must fall back to the older one.
+func TestCorruptedCheckpointFallsBack(t *testing.T) {
+	k := sim.NewKernel()
+	amap := addr.New(32, 64)
+	disk := dev.NewDisk(k, dev.RZ57, int64(64*32), nil)
+	data := pattern(4, 5*BlockSize)
+	k.RunProc(func(p *sim.Proc) {
+		fs, err := Format(p, DiskDevice{disk}, amap, Options{MaxInodes: 128})
+		if err != nil {
+			t.Fatal(err)
+		}
+		writeFile(t, p, fs, "/f", data)
+		if err := fs.Checkpoint(p); err != nil {
+			t.Fatal(err)
+		}
+		if err := fs.Checkpoint(p); err != nil { // second checkpoint: both slots valid
+			t.Fatal(err)
+		}
+		// Corrupt whichever checkpoint slot is newer (serial parity:
+		// corrupt both candidate headers one at a time is overkill —
+		// corrupt slot of the LAST checkpoint, serial fs.serial-1).
+		// Both slots hold valid checkpoints; smash slot 1.
+		garbage := bytes.Repeat([]byte{0xAA}, BlockSize)
+		if err := disk.WriteBlocks(p, int64(amap.BlockOf(0, 1)), garbage); err != nil {
+			t.Fatal(err)
+		}
+	})
+	k.RunProc(func(p *sim.Proc) {
+		fs2, err := Mount(p, DiskDevice{disk}, amap, Options{})
+		if err != nil {
+			t.Fatalf("mount with one corrupted checkpoint: %v", err)
+		}
+		f, err := fs2.Open(p, "/f")
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make([]byte, len(data))
+		if _, err := f.ReadAt(p, got, 0); err != nil && err != io.EOF {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatal("data lost after checkpoint corruption")
+		}
+	})
+}
+
+// TestBothCheckpointsCorruptedFailsCleanly verifies mount reports an error
+// (not a panic) when no valid checkpoint exists.
+func TestBothCheckpointsCorruptedFailsCleanly(t *testing.T) {
+	k := sim.NewKernel()
+	amap := addr.New(32, 64)
+	disk := dev.NewDisk(k, dev.RZ57, int64(64*32), nil)
+	k.RunProc(func(p *sim.Proc) {
+		if _, err := Format(p, DiskDevice{disk}, amap, Options{MaxInodes: 64}); err != nil {
+			t.Fatal(err)
+		}
+		garbage := bytes.Repeat([]byte{0x55}, BlockSize)
+		for slot := 1; slot <= 2; slot++ {
+			if err := disk.WriteBlocks(p, int64(amap.BlockOf(0, slot)), garbage); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := Mount(p, DiskDevice{disk}, amap, Options{}); err == nil {
+			t.Fatal("mount succeeded without any valid checkpoint")
+		}
+	})
+}
+
+// TestDiskReadFailurePropagates injects a media error on the read path and
+// verifies the error reaches the caller instead of corrupting state.
+func TestDiskReadFailurePropagates(t *testing.T) {
+	k := sim.NewKernel()
+	amap := addr.New(32, 64)
+	disk := dev.NewDisk(k, dev.RZ57, int64(64*32), nil)
+	mediaErr := errors.New("bad sector")
+	k.RunProc(func(p *sim.Proc) {
+		fs, err := Format(p, DiskDevice{disk}, amap, Options{MaxInodes: 128})
+		if err != nil {
+			t.Fatal(err)
+		}
+		f := writeFile(t, p, fs, "/f", pattern(5, 8*BlockSize))
+		if err := fs.FlushCaches(p); err != nil {
+			t.Fatal(err)
+		}
+		disk.Fault = func(op string, blk int64) error {
+			if op == "read" {
+				return mediaErr
+			}
+			return nil
+		}
+		buf := make([]byte, BlockSize)
+		if _, err := f.ReadAt(p, buf, 0); !errors.Is(err, mediaErr) {
+			t.Fatalf("media error not propagated: %v", err)
+		}
+		disk.Fault = nil
+		if _, err := f.ReadAt(p, buf, 0); err != nil && err != io.EOF {
+			t.Fatalf("read after fault cleared: %v", err)
+		}
+	})
+}

@@ -1,0 +1,312 @@
+package lfs
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/addr"
+	"repro/internal/sim"
+)
+
+// The segment writer gathers all dirty blocks and inodes and appends them
+// to the log as one or more partial segments, each written with a single
+// large device transfer — the mechanism that gives LFS its sequential
+// write performance (§3).
+
+// psegPlan is one planned partial segment.
+type psegPlan struct {
+	seg       addr.SegNo
+	off       int    // block offset of the summary within seg
+	bufs      []*buf // content blocks, in order
+	inoBlocks int    // inode blocks appended after the content blocks
+	inums     []uint32
+}
+
+// flushLocked writes all dirty state to the log. checkpointFlag marks the
+// resulting partial segments as checkpoint-generated.
+func (fs *FS) flushLocked(p *sim.Proc, checkpointFlag bool) error {
+	if fs.inFlush {
+		panic("lfs: recursive flush")
+	}
+	for {
+		// Transitively dirty the parents of every dirty block, so that
+		// relocation can update pointers wholly within the dirty set.
+		if err := fs.dirtyParents(p); err != nil {
+			return err
+		}
+		data, meta := fs.dirtyList()
+		inums := fs.dirtyInums(data, meta)
+		if len(data)+len(meta)+len(inums) == 0 {
+			return nil
+		}
+		blocks := append(append([]*buf{}, data...), meta...)
+		inoBlocks := (len(inums) + InodesPerBlock - 1) / InodesPerBlock
+		units := len(blocks) + inoBlocks
+		perSeg := fs.amap.SegBlocks() - 1
+		needSegs := (units+perSeg-1)/perSeg + 1
+		if !fs.inEmergency {
+			// Normal writes may not dip into the cleaner's reserve:
+			// cleaning needs free segments to copy live data into.
+			needSegs += cleanerReserve
+		}
+		if fs.nclean < needSegs {
+			if fs.EmergencyClean == nil || fs.inEmergency {
+				return ErrNoSpace
+			}
+			fs.inEmergency = true
+			ok := fs.EmergencyClean(p)
+			fs.inEmergency = false
+			if !ok {
+				return ErrNoSpace
+			}
+			continue // the cleaner flushed and freed space; recompute
+		}
+		return fs.writePsegs(p, blocks, inums, inoBlocks, checkpointFlag)
+	}
+}
+
+// dirtyParents loads and dirties the ancestors of every dirty block, so
+// relocation can update pointers wholly within the dirty set. The loop
+// iterates until no unprocessed dirty block remains (dirtying a parent can
+// surface a grandparent).
+func (fs *FS) dirtyParents(p *sim.Proc) error {
+	seen := make(map[bufKey]bool)
+	for {
+		var todo []bufKey
+		for k, b := range fs.bufs {
+			if b.dirty && !seen[k] {
+				todo = append(todo, k)
+			}
+		}
+		if len(todo) == 0 {
+			return nil
+		}
+		for _, k := range todo {
+			seen[k] = true
+			pl := parentLbn(k.lbn)
+			if pl == lbnInode {
+				continue
+			}
+			ino, err := fs.iget(p, k.inum)
+			if err != nil {
+				return fmt.Errorf("lfs: dirty block for unloadable inode %d: %w", k.inum, err)
+			}
+			parent, err := fs.getMeta(p, ino, pl, true)
+			if err != nil {
+				return err
+			}
+			fs.markDirty(parent)
+		}
+	}
+}
+
+// dirtyInums is the sorted set of inodes to write: explicitly dirty ones
+// plus the owner of every dirty block.
+func (fs *FS) dirtyInums(data, meta []*buf) []uint32 {
+	set := make(map[uint32]bool, len(fs.dirtyIno))
+	for i := range fs.dirtyIno {
+		set[i] = true
+	}
+	for _, b := range data {
+		set[b.key.inum] = true
+	}
+	for _, b := range meta {
+		set[b.key.inum] = true
+	}
+	out := make([]uint32, 0, len(set))
+	for i := range set {
+		out = append(out, i)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// writePsegs plans, relocates, serializes and writes the partial segments.
+func (fs *FS) writePsegs(p *sim.Proc, blocks []*buf, inums []uint32, inoBlocks int, checkpointFlag bool) error {
+	fs.inFlush = true
+	defer func() { fs.inFlush = false }()
+
+	// Plan: fill segments greedily; inode blocks come last.
+	var plans []psegPlan
+	seg, off := fs.curSeg, fs.curOff
+	chosen := map[addr.SegNo]bool{}
+	bi := 0
+	inosLeft := inoBlocks
+	for bi < len(blocks) || inosLeft > 0 {
+		avail := fs.amap.SegBlocks() - off - 1
+		if avail < 1 {
+			next, err := fs.pickSegment(chosen)
+			if err != nil {
+				return err
+			}
+			chosen[next] = true
+			seg, off = next, 0
+			avail = fs.amap.SegBlocks() - 1
+		}
+		pl := psegPlan{seg: seg, off: off}
+		take := len(blocks) - bi
+		if take > avail {
+			take = avail
+		}
+		pl.bufs = blocks[bi : bi+take]
+		bi += take
+		avail -= take
+		if bi == len(blocks) && inosLeft > 0 && avail > 0 {
+			n := inosLeft
+			if n > avail {
+				n = avail
+			}
+			pl.inoBlocks = n
+			inosLeft -= n
+		}
+		off += 1 + len(pl.bufs) + pl.inoBlocks
+		if len(pl.bufs)+pl.inoBlocks > 0 {
+			plans = append(plans, pl)
+		}
+	}
+	if len(plans) == 0 {
+		return nil
+	}
+	// The inodes land in the trailing partial segments; attach the inum
+	// list to the plans that carry inode blocks.
+	{
+		rest := inums
+		for i := range plans {
+			if plans[i].inoBlocks == 0 {
+				continue
+			}
+			n := plans[i].inoBlocks * InodesPerBlock
+			if n > len(rest) {
+				n = len(rest)
+			}
+			plans[i].inums = rest[:n]
+			rest = rest[n:]
+		}
+	}
+
+	now := fs.now()
+	for pi := range plans {
+		pl := &plans[pi]
+		base := fs.amap.BlockOf(pl.seg, pl.off)
+		// Commit segment-state transitions.
+		if pl.seg != fs.curSeg {
+			cur := &fs.seguse[fs.curSeg]
+			cur.Flags &^= SegActive
+			cur.Flags |= SegDirty
+			nu := &fs.seguse[pl.seg]
+			if nu.Flags != 0 {
+				panic(fmt.Sprintf("lfs: planned segment %d not clean (flags %#x)", pl.seg, nu.Flags))
+			}
+			nu.Flags = SegActive
+			fs.nclean--
+			fs.curSeg = pl.seg
+		}
+		fs.curOff = pl.off + 1 + len(pl.bufs) + pl.inoBlocks
+
+		// Relocate content blocks: assign addresses, update parents,
+		// adjust live-byte accounting.
+		sum := &Summary{
+			Next:    pl.seg,
+			Create:  now,
+			Serial:  fs.serial,
+			NBlocks: uint16(1 + len(pl.bufs) + pl.inoBlocks),
+		}
+		if checkpointFlag {
+			sum.Flags |= SumCheckpoint
+		}
+		if pi+1 < len(plans) {
+			sum.Next = plans[pi+1].seg
+		}
+		content := make([]byte, (len(pl.bufs)+pl.inoBlocks)*BlockSize)
+		for i, b := range pl.bufs {
+			na := base + addr.BlockNo(1+i)
+			ino := fs.inodes[b.key.inum]
+			if ino == nil {
+				panic(fmt.Sprintf("lfs: dirty block (%d,%d) without in-memory inode", b.key.inum, b.key.lbn))
+			}
+			fs.setParentPtr(ino, b.key.lbn, na)
+			fs.accountOld(b.addr, BlockSize)
+			fs.accountNew(na, BlockSize)
+			b.addr = na
+			copy(content[i*BlockSize:], b.data)
+			// Group into FINFOs by file.
+			if n := len(sum.Finfos); n > 0 && sum.Finfos[n-1].Inum == b.key.inum {
+				sum.Finfos[n-1].Lbns = append(sum.Finfos[n-1].Lbns, b.key.lbn)
+			} else {
+				sum.Finfos = append(sum.Finfos, Finfo{
+					Inum:    b.key.inum,
+					Version: fs.imap[b.key.inum].Version,
+					Lbns:    []int32{b.key.lbn},
+				})
+			}
+		}
+		// Serialize inodes into the trailing inode blocks.
+		for ib := 0; ib < pl.inoBlocks; ib++ {
+			na := base + addr.BlockNo(1+len(pl.bufs)+ib)
+			sum.InoAddrs = append(sum.InoAddrs, na)
+			blkOff := (len(pl.bufs) + ib) * BlockSize
+			for s := 0; s < InodesPerBlock; s++ {
+				idx := ib*InodesPerBlock + s
+				if idx >= len(pl.inums) {
+					break
+				}
+				inum := pl.inums[idx]
+				ino := fs.inodes[inum]
+				if ino == nil {
+					panic(fmt.Sprintf("lfs: dirty inode %d not in memory", inum))
+				}
+				ino.encode(content[blkOff+s*InodeSize:])
+				e := &fs.imap[inum]
+				if e.Addr != addr.NilBlock {
+					fs.accountOld(e.Addr, InodeSize)
+				}
+				e.Addr = na
+				e.Slot = uint32(s)
+				fs.accountNew(na, InodeSize)
+			}
+		}
+		sum.DataSum = crc32Sum(content)
+		out := make([]byte, BlockSize+len(content))
+		if err := EncodeSummary(sum, out[:BlockSize]); err != nil {
+			return err
+		}
+		copy(out[BlockSize:], content)
+		fs.chargeCopy(p, len(out), fs.opts.AssemblyCopyRate)
+		if err := fs.dev.WriteBlocks(p, base, out); err != nil {
+			return err
+		}
+		fs.stats.DevWrites++
+		fs.stats.BytesWritten += int64(len(out))
+		fs.stats.PartialSegs++
+		su := &fs.seguse[pl.seg]
+		su.Flags |= SegDirty
+		su.LastMod = now
+		su.LiveBytes += BlockSize // the summary block itself
+		// Mark written blocks clean.
+		for _, b := range pl.bufs {
+			if b.dirty {
+				b.dirty = false
+				fs.dirtyBytes -= BlockSize
+			}
+		}
+	}
+	for _, inum := range inums {
+		delete(fs.dirtyIno, inum)
+	}
+	fs.stats.Flushes++
+	fs.evictLocked()
+	return nil
+}
+
+// pickSegment chooses the next clean segment for the log, excluding
+// segments already chosen in this flush.
+func (fs *FS) pickSegment(chosen map[addr.SegNo]bool) (addr.SegNo, error) {
+	n := addr.SegNo(fs.amap.DiskSegs())
+	for i := addr.SegNo(1); i <= n; i++ {
+		s := (fs.curSeg + i) % n
+		if fs.seguse[s].Flags == 0 && !chosen[s] {
+			return s, nil
+		}
+	}
+	return 0, ErrNoSpace
+}

@@ -1,0 +1,113 @@
+package migrate
+
+import (
+	"repro/internal/core"
+	"repro/internal/lfs"
+	"repro/internal/sim"
+	"time"
+)
+
+// Migrator is the user-level migration process (§6.7): a second cleaner
+// that runs continuously, monitoring storage needs and migrating file data
+// as required — unlike the daily clean-up computation of Strange's model
+// (§8.2).
+type Migrator struct {
+	HL     *core.HighLight
+	Policy Policy
+
+	// MigrateInodes also moves inodes to tertiary storage (§4); indirect
+	// blocks always migrate with their data.
+	MigrateInodes bool
+	// LowWaterSegs triggers migration when clean+cleanable disk space
+	// falls below it; migration then proceeds until HighWaterSegs worth
+	// of disk bytes have been staged out.
+	LowWaterSegs, HighWaterSegs int
+	// Interval is the daemon poll period (default 5 virtual seconds).
+	Interval sim.Time
+
+	// Stats.
+	Runs        int64
+	BytesStaged int64
+}
+
+// NewMigrator returns a migrator with the paper's default policy (STP with
+// exponents of 1).
+func NewMigrator(hl *core.HighLight) *Migrator {
+	return &Migrator{
+		HL:            hl,
+		Policy:        NewSTP(),
+		LowWaterSegs:  hl.Amap.DiskSegs() / 8,
+		HighWaterSegs: hl.Amap.DiskSegs() / 4,
+		Interval:      5 * time.Second,
+	}
+}
+
+// RunOnce selects candidates for targetBytes and migrates them, completing
+// all copyouts before returning.
+func (m *Migrator) RunOnce(p *sim.Proc, targetBytes int64) (int64, error) {
+	cands, err := m.Policy.Select(p, m.HL, targetBytes)
+	if err != nil {
+		return 0, err
+	}
+	if len(cands) == 0 {
+		return 0, nil
+	}
+	var staged int64
+	if br, ok := m.Policy.(*BlockRange); ok {
+		// Block-based migration: stage only the cold ranges.
+		if err := m.HL.FS.Sync(p); err != nil {
+			return 0, err
+		}
+		for _, c := range cands {
+			refs, err := br.ColdRefs(p, m.HL, c.Inum)
+			if err != nil {
+				return staged, err
+			}
+			n, err := m.HL.MigrateRefs(p, refs)
+			staged += n
+			if err != nil {
+				return staged, err
+			}
+		}
+	} else {
+		inums := make([]uint32, len(cands))
+		for i, c := range cands {
+			inums[i] = c.Inum
+		}
+		staged, err = m.HL.MigrateFiles(p, inums, m.MigrateInodes)
+		if err != nil {
+			return staged, err
+		}
+	}
+	if err := m.HL.CompleteMigration(p); err != nil {
+		return staged, err
+	}
+	m.Runs++
+	m.BytesStaged += staged
+	return staged, nil
+}
+
+// Daemon runs the migrator as a background process: when the clean-segment
+// pool drops below the low-water mark it migrates enough dormant data to
+// bring reclaimable space back to the high-water mark (migrated blocks die
+// on disk; the cleaner then reclaims their segments).
+func (m *Migrator) Daemon(p *sim.Proc) {
+	interval := m.Interval
+	if interval <= 0 {
+		interval = 5 * time.Second
+	}
+	segBytes := int64(m.HL.Amap.SegBlocks()) * lfs.BlockSize
+	for {
+		p.Sleep(interval)
+		free := m.HL.FS.CleanSegs()
+		if free >= m.LowWaterSegs {
+			continue
+		}
+		target := int64(m.HighWaterSegs-free) * segBytes
+		if _, err := m.RunOnce(p, target); err != nil {
+			// Out of tertiary space or transient failure: stand down
+			// until the next poll (the operator sees it via stats).
+			continue
+		}
+	}
+}

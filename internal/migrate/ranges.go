@@ -1,0 +1,182 @@
+package migrate
+
+import (
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/lfs"
+	"repro/internal/sim"
+)
+
+// Block-range tracking (§5.2): keeping information for each block on disk
+// would be exorbitantly expensive, so the tracker keeps access *ranges*
+// within each file, with the potential to resolve down to block
+// granularity. Sequentially and completely accessed files stay at a single
+// record; database-style files fragment into per-region records. A cap on
+// records per file bounds the bookkeeping: when exceeded, the two ranges
+// with the most similar access times merge (the dynamic-granularity
+// tradeoff the paper describes).
+
+// AccessRange is one tracked extent [Start, End) with its last access.
+type AccessRange struct {
+	Start, End int32
+	Last       sim.Time
+}
+
+// RangeTracker accumulates per-file access ranges, fed from the file
+// system's OnAccess hook.
+type RangeTracker struct {
+	k *sim.Kernel
+	// MaxRecords caps records per file (default 16).
+	MaxRecords int
+	files      map[uint32][]AccessRange
+}
+
+// NewRangeTracker returns a tracker; wire Hook into lfs.FS.OnAccess.
+func NewRangeTracker(k *sim.Kernel) *RangeTracker {
+	return &RangeTracker{k: k, MaxRecords: 16, files: make(map[uint32][]AccessRange)}
+}
+
+// Hook is the lfs.FS.OnAccess adapter.
+func (t *RangeTracker) Hook(inum uint32, start, end int32, write bool) {
+	t.Record(inum, start, end, t.k.Now())
+}
+
+// Forget drops a file's records (after deletion or whole-file migration).
+func (t *RangeTracker) Forget(inum uint32) { delete(t.files, inum) }
+
+// Ranges returns a copy of a file's records, sorted by Start.
+func (t *RangeTracker) Ranges(inum uint32) []AccessRange {
+	rs := t.files[inum]
+	out := make([]AccessRange, len(rs))
+	copy(out, rs)
+	return out
+}
+
+// Record notes an access of [start, end) at time now. Overlapping pieces
+// of older ranges keep their own timestamps; the accessed extent gets now.
+func (t *RangeTracker) Record(inum uint32, start, end int32, now sim.Time) {
+	if end <= start {
+		return
+	}
+	old := t.files[inum]
+	var out []AccessRange
+	for _, r := range old {
+		if r.End <= start || r.Start >= end {
+			out = append(out, r)
+			continue
+		}
+		// Keep the non-overlapping flanks with their old timestamp.
+		if r.Start < start {
+			out = append(out, AccessRange{r.Start, start, r.Last})
+		}
+		if r.End > end {
+			out = append(out, AccessRange{end, r.End, r.Last})
+		}
+	}
+	out = append(out, AccessRange{start, end, now})
+	sort.Slice(out, func(a, b int) bool { return out[a].Start < out[b].Start })
+	// Coalesce adjacent ranges with identical timestamps.
+	merged := out[:1]
+	for _, r := range out[1:] {
+		last := &merged[len(merged)-1]
+		if r.Start == last.End && r.Last == last.Last {
+			last.End = r.End
+		} else {
+			merged = append(merged, r)
+		}
+	}
+	// Enforce the record cap by merging the adjacent pair that loses the
+	// least ranking information: timestamp difference weighted by the
+	// spans involved. Span weighting matters — collapsing two tiny
+	// fragments with hour-apart stamps costs almost nothing, while
+	// absorbing a thousand-block dormant region into a hot neighbour
+	// would mislabel all of it.
+	max := t.MaxRecords
+	if max < 1 {
+		max = 1
+	}
+	for len(merged) > max {
+		best := -1
+		var bestCost float64
+		for i := 0; i+1 < len(merged); i++ {
+			d := merged[i+1].Last - merged[i].Last
+			if d < 0 {
+				d = -d
+			}
+			span := float64(merged[i].End-merged[i].Start) + float64(merged[i+1].End-merged[i+1].Start)
+			cost := float64(d) * span
+			if best < 0 || cost < bestCost {
+				best, bestCost = i, cost
+			}
+		}
+		a, b := merged[best], merged[best+1]
+		if b.Last > a.Last {
+			a.Last = b.Last // merged record keeps the newer access
+		}
+		a.End = b.End // subsumes any gap between the records
+		merged = append(merged[:best], append([]AccessRange{a}, merged[best+2:]...)...)
+	}
+	t.files[inum] = merged
+}
+
+// BlockRange is the block-based migration policy (§5.2): within each file
+// it migrates only ranges older than MinAge, letting old, unreferenced
+// data within a file migrate while active data in the same file remain on
+// secondary storage (the database-file scenario).
+type BlockRange struct {
+	Tracker *RangeTracker
+	MinAge  sim.Time
+}
+
+// Name implements Policy (for ranking; range selection is via ColdRefs).
+func (b *BlockRange) Name() string { return "blockrange" }
+
+// Select implements Policy: files are ranked by the STP score of their
+// coldest range.
+func (b *BlockRange) Select(p *sim.Proc, hl *core.HighLight, targetBytes int64) ([]Candidate, error) {
+	stp := NewSTP()
+	stp.MinAge = b.MinAge
+	return stp.Select(p, hl, targetBytes)
+}
+
+// ColdRefs filters a file's block refs down to those in ranges last
+// accessed at least MinAge ago. Blocks never recorded (e.g. written before
+// tracking started) count as cold. Indirect blocks are included only when
+// every tracked range is cold (they cover the whole file).
+func (b *BlockRange) ColdRefs(p *sim.Proc, hl *core.HighLight, inum uint32) ([]lfs.BlockRef, error) {
+	refs, err := hl.FS.FileBlockRefs(p, inum)
+	if err != nil {
+		return nil, err
+	}
+	now := p.Now()
+	ranges := b.Tracker.Ranges(inum)
+	hot := func(lbn int32) bool {
+		for _, r := range ranges {
+			if lbn >= r.Start && lbn < r.End {
+				return now-r.Last < b.MinAge
+			}
+		}
+		return false
+	}
+	anyHot := false
+	for _, r := range ranges {
+		if now-r.Last < b.MinAge {
+			anyHot = true
+			break
+		}
+	}
+	var cold []lfs.BlockRef
+	for _, r := range refs {
+		if r.Lbn < 0 {
+			if !anyHot {
+				cold = append(cold, r)
+			}
+			continue
+		}
+		if !hot(r.Lbn) {
+			cold = append(cold, r)
+		}
+	}
+	return cold, nil
+}

@@ -1,0 +1,305 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// All HighLight components (file system, cleaner, migrator, device drivers)
+// execute as cooperating processes (Proc) inside a Kernel. Exactly one
+// process runs at a time; a process yields control whenever it blocks on
+// virtual time (Sleep) or on a synchronization primitive (Resource, Cond,
+// Chan). The kernel dispatches the earliest pending event, so runs are fully
+// deterministic: the same program produces the same virtual-time trace on
+// every host.
+//
+// Virtual time is a time.Duration measured from the start of the run.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"runtime/debug"
+	"sort"
+	"time"
+)
+
+// Time is a point in virtual time, measured from the start of the run.
+type Time = time.Duration
+
+// procState describes what a Proc is currently doing, for deadlock reports.
+type procState int
+
+const (
+	stateNew procState = iota
+	stateRunnable
+	stateRunning
+	stateSleeping
+	stateBlocked
+	stateDone
+)
+
+func (s procState) String() string {
+	switch s {
+	case stateNew:
+		return "new"
+	case stateRunnable:
+		return "runnable"
+	case stateRunning:
+		return "running"
+	case stateSleeping:
+		return "sleeping"
+	case stateBlocked:
+		return "blocked"
+	case stateDone:
+		return "done"
+	}
+	return "unknown"
+}
+
+// Proc is a simulated process. A Proc handle is passed to every blocking
+// operation; it must only be used from the goroutine running that process.
+type Proc struct {
+	k      *Kernel
+	name   string
+	daemon bool
+	state  procState
+	block  string // description of what the proc is blocked on
+
+	resume chan struct{}
+}
+
+// Name returns the process name given to Go or GoDaemon.
+func (p *Proc) Name() string { return p.name }
+
+// Kernel reports the kernel this process belongs to.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// Now reports the current virtual time.
+func (p *Proc) Now() Time { return p.k.Now() }
+
+// event is a scheduled wake-up of a process.
+type event struct {
+	t   Time
+	seq uint64 // tiebreaker: FIFO among events at the same time
+	p   *Proc
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Kernel is a discrete-event scheduler. The zero value is not usable; call
+// NewKernel.
+type Kernel struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	yield   chan struct{}
+	procs   []*Proc
+	live    int // non-daemon procs not yet done
+	stopped bool
+	failure interface{} // panic value captured from a proc
+	stack   []byte      // stack trace of the captured panic
+}
+
+// NewKernel returns a kernel with virtual time zero and no processes.
+func NewKernel() *Kernel {
+	return &Kernel{yield: make(chan struct{})}
+}
+
+// Now reports the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// AdvanceTo moves an idle kernel's clock forward (used when resuming a
+// persisted simulation at its saved epoch). It panics if events are
+// pending or t is in the past.
+func (k *Kernel) AdvanceTo(t Time) {
+	if len(k.events) > 0 {
+		panic("sim: AdvanceTo with pending events")
+	}
+	if t < k.now {
+		panic("sim: AdvanceTo into the past")
+	}
+	k.now = t
+}
+
+// Go starts fn as a new process named name. The process first runs when the
+// kernel dispatches it (at the current virtual time, after already-runnable
+// processes). Run returns only after every non-daemon process has finished.
+func (k *Kernel) Go(name string, fn func(p *Proc)) *Proc {
+	return k.spawn(name, false, fn)
+}
+
+// GoDaemon starts a background process that does not keep Run alive: Run
+// returns once all non-daemon processes have finished, even if daemons are
+// still sleeping or blocked.
+func (k *Kernel) GoDaemon(name string, fn func(p *Proc)) *Proc {
+	return k.spawn(name, true, fn)
+}
+
+func (k *Kernel) spawn(name string, daemon bool, fn func(p *Proc)) *Proc {
+	p := &Proc{k: k, name: name, daemon: daemon, state: stateNew, resume: make(chan struct{})}
+	k.procs = append(k.procs, p)
+	if !daemon {
+		k.live++
+	}
+	k.schedule(k.now, p)
+	go func() {
+		<-p.resume
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(stopProc); !ok {
+					k.failure = fmt.Sprintf("proc %q panicked: %v", p.name, r)
+					k.stack = debug.Stack()
+				}
+			}
+			p.state = stateDone
+			if !p.daemon {
+				k.live--
+			}
+			k.yield <- struct{}{}
+		}()
+		p.state = stateRunning
+		fn(p)
+	}()
+	return p
+}
+
+// stopProc is panicked inside daemon goroutines to unwind them when the
+// kernel shuts down.
+type stopProc struct{}
+
+func (k *Kernel) schedule(t Time, p *Proc) {
+	if t < k.now {
+		t = k.now
+	}
+	k.seq++
+	heap.Push(&k.events, event{t: t, seq: k.seq, p: p})
+	if p.state != stateNew {
+		p.state = stateRunnable
+	}
+}
+
+// wake moves a blocked process back to the run queue at the current time.
+// It is used by synchronization primitives.
+func (k *Kernel) wake(p *Proc) {
+	if p.state != stateBlocked {
+		panic(fmt.Sprintf("sim: waking proc %q in state %v", p.name, p.state))
+	}
+	k.schedule(k.now, p)
+}
+
+// Sleep suspends the process for d of virtual time. A non-positive d yields
+// the processor but stays at the current time (other runnable processes get
+// to execute first).
+func (p *Proc) Sleep(d Time) {
+	if d < 0 {
+		d = 0
+	}
+	k := p.k
+	k.schedule(k.now+d, p)
+	p.state = stateSleeping
+	p.yieldToKernel()
+}
+
+// Yield gives other runnable processes a chance to run at the current
+// virtual time.
+func (p *Proc) Yield() { p.Sleep(0) }
+
+// suspend blocks the process until another process wakes it via k.wake.
+// why describes the wait for deadlock diagnostics.
+func (p *Proc) suspend(why string) {
+	p.state = stateBlocked
+	p.block = why
+	p.yieldToKernel()
+	p.block = ""
+}
+
+// yieldToKernel hands control back to the scheduler and waits to be resumed.
+func (p *Proc) yieldToKernel() {
+	k := p.k
+	k.yield <- struct{}{}
+	<-p.resume
+	if k.stopped {
+		panic(stopProc{})
+	}
+	p.state = stateRunning
+}
+
+// Run dispatches events until every non-daemon process has finished. It
+// panics if a process panicked, or if non-daemon processes remain but no
+// event can ever wake them (deadlock).
+func (k *Kernel) Run() {
+	for k.live > 0 {
+		if len(k.events) == 0 {
+			panic("sim: deadlock — " + k.describeBlocked())
+		}
+		e := heap.Pop(&k.events).(event)
+		if e.p.state == stateDone {
+			continue // proc was unwound by Stop while an event was pending
+		}
+		k.now = e.t
+		e.p.resume <- struct{}{}
+		<-k.yield
+		if k.failure != nil {
+			f, st := k.failure, k.stack
+			k.failure, k.stack = nil, nil
+			panic(fmt.Sprintf("%v\n%s", f, st))
+		}
+	}
+}
+
+// RunProc spawns fn as a process and runs the kernel until all non-daemon
+// processes (including fn) finish. It is the standard way for tests and
+// examples to execute code in virtual time.
+func (k *Kernel) RunProc(fn func(p *Proc)) {
+	k.Go("main", fn)
+	k.Run()
+}
+
+// Stop unwinds all still-live processes. After Stop the kernel must not be
+// reused. It is intended for tearing down daemons after Run returns.
+func (k *Kernel) Stop() {
+	k.stopped = true
+	for _, p := range k.procs {
+		if p.state == stateDone || p.state == stateNew {
+			continue
+		}
+		// Resume the proc; yieldToKernel panics with stopProc, and the
+		// spawn wrapper reports back on k.yield.
+		p.resume <- struct{}{}
+		<-k.yield
+	}
+}
+
+// describeBlocked summarizes what every live process is waiting on.
+func (k *Kernel) describeBlocked() string {
+	var lines []string
+	for _, p := range k.procs {
+		if p.state == stateDone {
+			continue
+		}
+		d := ""
+		if p.daemon {
+			d = " (daemon)"
+		}
+		why := p.block
+		if why == "" {
+			why = p.state.String()
+		}
+		lines = append(lines, fmt.Sprintf("%s%s: %s", p.name, d, why))
+	}
+	sort.Strings(lines)
+	return fmt.Sprintf("no pending events, %d procs stuck: %v", len(lines), lines)
+}

@@ -1,0 +1,216 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSleepAdvancesVirtualTime(t *testing.T) {
+	k := NewKernel()
+	var at Time
+	k.RunProc(func(p *Proc) {
+		p.Sleep(5 * time.Second)
+		at = p.Now()
+	})
+	if at != 5*time.Second {
+		t.Fatalf("Now after Sleep(5s) = %v, want 5s", at)
+	}
+	if k.Now() != 5*time.Second {
+		t.Fatalf("kernel Now = %v, want 5s", k.Now())
+	}
+}
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	k := NewKernel()
+	var order []string
+	k.Go("late", func(p *Proc) {
+		p.Sleep(10 * time.Millisecond)
+		order = append(order, "late")
+	})
+	k.Go("early", func(p *Proc) {
+		p.Sleep(1 * time.Millisecond)
+		order = append(order, "early")
+	})
+	k.Go("mid", func(p *Proc) {
+		p.Sleep(5 * time.Millisecond)
+		order = append(order, "mid")
+	})
+	k.Run()
+	got := strings.Join(order, ",")
+	if got != "early,mid,late" {
+		t.Fatalf("order = %s, want early,mid,late", got)
+	}
+}
+
+func TestSameTimeEventsAreFIFO(t *testing.T) {
+	k := NewKernel()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		k.Go("p", func(p *Proc) {
+			p.Sleep(time.Second)
+			order = append(order, i)
+		})
+	}
+	k.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order[%d] = %d, want %d (FIFO tie-break)", i, v, i)
+		}
+	}
+}
+
+func TestZeroSleepYields(t *testing.T) {
+	k := NewKernel()
+	var order []string
+	k.Go("a", func(p *Proc) {
+		order = append(order, "a1")
+		p.Yield()
+		order = append(order, "a2")
+	})
+	k.Go("b", func(p *Proc) {
+		order = append(order, "b1")
+	})
+	k.Run()
+	got := strings.Join(order, ",")
+	if got != "a1,b1,a2" {
+		t.Fatalf("order = %s, want a1,b1,a2", got)
+	}
+	if k.Now() != 0 {
+		t.Fatalf("time advanced on zero sleep: %v", k.Now())
+	}
+}
+
+func TestNegativeSleepIsYield(t *testing.T) {
+	k := NewKernel()
+	k.RunProc(func(p *Proc) {
+		p.Sleep(-time.Second)
+	})
+	if k.Now() != 0 {
+		t.Fatalf("negative sleep moved time to %v", k.Now())
+	}
+}
+
+func TestDaemonDoesNotKeepRunAlive(t *testing.T) {
+	k := NewKernel()
+	ticks := 0
+	k.GoDaemon("ticker", func(p *Proc) {
+		for {
+			p.Sleep(time.Second)
+			ticks++
+		}
+	})
+	k.RunProc(func(p *Proc) {
+		p.Sleep(3500 * time.Millisecond)
+	})
+	if ticks != 3 {
+		t.Fatalf("daemon ticked %d times in 3.5s, want 3", ticks)
+	}
+	k.Stop()
+}
+
+func TestDeadlockPanics(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected deadlock panic")
+		}
+		if !strings.Contains(r.(string), "deadlock") {
+			t.Fatalf("panic = %v, want deadlock description", r)
+		}
+	}()
+	k := NewKernel()
+	c := k.NewCond("never")
+	k.RunProc(func(p *Proc) {
+		c.Wait(p) // nobody will ever signal
+	})
+}
+
+func TestProcPanicPropagates(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected panic to propagate out of Run")
+		}
+		if !strings.Contains(r.(string), "boom") {
+			t.Fatalf("panic = %q, want to contain 'boom'", r)
+		}
+	}()
+	k := NewKernel()
+	k.RunProc(func(p *Proc) {
+		panic("boom")
+	})
+}
+
+func TestSpawnDuringRun(t *testing.T) {
+	k := NewKernel()
+	var childRan bool
+	k.RunProc(func(p *Proc) {
+		k.Go("child", func(c *Proc) {
+			c.Sleep(time.Millisecond)
+			childRan = true
+		})
+		p.Sleep(time.Second)
+	})
+	if !childRan {
+		t.Fatal("child spawned during run never ran")
+	}
+}
+
+func TestStopUnwindsDaemons(t *testing.T) {
+	k := NewKernel()
+	cleaned := false
+	c := k.NewCond("forever")
+	k.GoDaemon("d", func(p *Proc) {
+		defer func() { cleaned = true }()
+		c.Wait(p)
+	})
+	k.RunProc(func(p *Proc) { p.Sleep(time.Second) })
+	k.Stop()
+	if !cleaned {
+		t.Fatal("daemon deferred cleanup did not run on Stop")
+	}
+}
+
+func TestManyProcsScale(t *testing.T) {
+	k := NewKernel()
+	const n = 1000
+	done := 0
+	for i := 0; i < n; i++ {
+		d := time.Duration(i) * time.Microsecond
+		k.Go("w", func(p *Proc) {
+			p.Sleep(d)
+			done++
+		})
+	}
+	k.Run()
+	if done != n {
+		t.Fatalf("done = %d, want %d", done, n)
+	}
+	if k.Now() != time.Duration(n-1)*time.Microsecond {
+		t.Fatalf("final time = %v", k.Now())
+	}
+}
+
+func TestAdvanceTo(t *testing.T) {
+	k := NewKernel()
+	k.AdvanceTo(42 * time.Second)
+	if k.Now() != 42*time.Second {
+		t.Fatalf("Now = %v after AdvanceTo", k.Now())
+	}
+	var woke Time
+	k.RunProc(func(p *Proc) {
+		p.Sleep(time.Second)
+		woke = p.Now()
+	})
+	if woke != 43*time.Second {
+		t.Fatalf("proc woke at %v, want 43s", woke)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AdvanceTo into the past should panic")
+		}
+	}()
+	k.AdvanceTo(time.Second)
+}

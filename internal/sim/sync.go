@@ -1,0 +1,205 @@
+package sim
+
+// Synchronization primitives operating in virtual time. All of them must be
+// used only from inside processes of the kernel they were created for.
+
+// Resource is a single server with a FIFO wait queue: disk arms, the SCSI
+// bus, robot pickers. Acquire blocks (in virtual time) while another process
+// holds the resource.
+type Resource struct {
+	k       *Kernel
+	name    string
+	owner   *Proc
+	waiters []*Proc
+
+	// Stats.
+	acquires  int64
+	waitTotal Time
+	busySince Time
+	busyTotal Time
+}
+
+// NewResource returns an idle resource. The name appears in deadlock
+// diagnostics and statistics.
+func (k *Kernel) NewResource(name string) *Resource {
+	return &Resource{k: k, name: name}
+}
+
+// Acquire takes the resource, waiting in FIFO order if it is busy.
+func (r *Resource) Acquire(p *Proc) {
+	r.acquires++
+	if r.owner == nil {
+		r.owner = p
+		r.busySince = r.k.now
+		return
+	}
+	start := r.k.now
+	r.waiters = append(r.waiters, p)
+	p.suspend("acquire " + r.name)
+	r.waitTotal += r.k.now - start
+}
+
+// Release hands the resource to the longest-waiting process, if any.
+func (r *Resource) Release(p *Proc) {
+	if r.owner != p {
+		panic("sim: Release of " + r.name + " by non-owner " + p.name)
+	}
+	r.busyTotal += r.k.now - r.busySince
+	if len(r.waiters) == 0 {
+		r.owner = nil
+		return
+	}
+	next := r.waiters[0]
+	r.waiters = r.waiters[1:]
+	r.owner = next
+	r.busySince = r.k.now
+	r.k.wake(next)
+}
+
+// With runs fn while holding the resource.
+func (r *Resource) With(p *Proc, fn func()) {
+	r.Acquire(p)
+	defer r.Release(p)
+	fn()
+}
+
+// Busy reports whether some process currently holds the resource.
+func (r *Resource) Busy() bool { return r.owner != nil }
+
+// QueueLen reports how many processes are waiting for the resource.
+func (r *Resource) QueueLen() int { return len(r.waiters) }
+
+// WaitTotal reports the cumulative virtual time processes spent waiting to
+// acquire the resource.
+func (r *Resource) WaitTotal() Time { return r.waitTotal }
+
+// BusyTotal reports the cumulative virtual time the resource was held.
+func (r *Resource) BusyTotal() Time {
+	t := r.busyTotal
+	if r.owner != nil {
+		t += r.k.now - r.busySince
+	}
+	return t
+}
+
+// Acquires reports how many times the resource has been acquired.
+func (r *Resource) Acquires() int64 { return r.acquires }
+
+// Cond is a condition variable in virtual time. Unlike sync.Cond there is no
+// separate lock: only one process runs at a time, so checking the condition
+// and calling Wait is atomic by construction.
+type Cond struct {
+	k       *Kernel
+	name    string
+	waiters []*Proc
+}
+
+// NewCond returns a condition variable.
+func (k *Kernel) NewCond(name string) *Cond {
+	return &Cond{k: k, name: name}
+}
+
+// Wait blocks until another process calls Signal or Broadcast. As with
+// sync.Cond, callers must re-check their predicate in a loop.
+func (c *Cond) Wait(p *Proc) {
+	c.waiters = append(c.waiters, p)
+	p.suspend("wait " + c.name)
+}
+
+// Signal wakes the longest-waiting process, if any.
+func (c *Cond) Signal() {
+	if len(c.waiters) == 0 {
+		return
+	}
+	p := c.waiters[0]
+	c.waiters = c.waiters[1:]
+	c.k.wake(p)
+}
+
+// Broadcast wakes every waiting process.
+func (c *Cond) Broadcast() {
+	ws := c.waiters
+	c.waiters = nil
+	for _, p := range ws {
+		c.k.wake(p)
+	}
+}
+
+// Chan is a bounded FIFO channel in virtual time, used as the request queue
+// between the file system, the service process, and the I/O process.
+type Chan struct {
+	k        *Kernel
+	name     string
+	capacity int
+	buf      []interface{}
+	notEmpty *Cond
+	notFull  *Cond
+	closed   bool
+}
+
+// NewChan returns a channel with the given capacity. A capacity of 0 is
+// rounded up to 1 (true rendezvous semantics are not needed by HighLight).
+func (k *Kernel) NewChan(name string, capacity int) *Chan {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Chan{
+		k:        k,
+		name:     name,
+		capacity: capacity,
+		notEmpty: k.NewCond(name + ".notEmpty"),
+		notFull:  k.NewCond(name + ".notFull"),
+	}
+}
+
+// Send enqueues v, blocking while the channel is full. Sending on a closed
+// channel panics.
+func (c *Chan) Send(p *Proc, v interface{}) {
+	for len(c.buf) >= c.capacity {
+		if c.closed {
+			panic("sim: send on closed chan " + c.name)
+		}
+		c.notFull.Wait(p)
+	}
+	if c.closed {
+		panic("sim: send on closed chan " + c.name)
+	}
+	c.buf = append(c.buf, v)
+	c.notEmpty.Signal()
+}
+
+// Recv dequeues the oldest value, blocking while the channel is empty. The
+// second result is false if the channel is closed and drained.
+func (c *Chan) Recv(p *Proc) (interface{}, bool) {
+	for len(c.buf) == 0 {
+		if c.closed {
+			return nil, false
+		}
+		c.notEmpty.Wait(p)
+	}
+	v := c.buf[0]
+	c.buf = c.buf[1:]
+	c.notFull.Signal()
+	return v, true
+}
+
+// TryRecv dequeues a value without blocking.
+func (c *Chan) TryRecv() (interface{}, bool) {
+	if len(c.buf) == 0 {
+		return nil, false
+	}
+	v := c.buf[0]
+	c.buf = c.buf[1:]
+	c.notFull.Signal()
+	return v, true
+}
+
+// Close marks the channel closed and wakes all blocked receivers.
+func (c *Chan) Close() {
+	c.closed = true
+	c.notEmpty.Broadcast()
+	c.notFull.Broadcast()
+}
+
+// Len reports the number of queued values.
+func (c *Chan) Len() int { return len(c.buf) }

@@ -1,0 +1,224 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestResourceMutualExclusion(t *testing.T) {
+	k := NewKernel()
+	r := k.NewResource("arm")
+	var active, maxActive int
+	worker := func(p *Proc) {
+		r.Acquire(p)
+		active++
+		if active > maxActive {
+			maxActive = active
+		}
+		p.Sleep(time.Second)
+		active--
+		r.Release(p)
+	}
+	for i := 0; i < 5; i++ {
+		k.Go("w", worker)
+	}
+	k.Run()
+	if maxActive != 1 {
+		t.Fatalf("maxActive = %d, want 1", maxActive)
+	}
+	if k.Now() != 5*time.Second {
+		t.Fatalf("5 serialized 1s holds took %v, want 5s", k.Now())
+	}
+}
+
+func TestResourceFIFOOrder(t *testing.T) {
+	k := NewKernel()
+	r := k.NewResource("arm")
+	var order []int
+	for i := 0; i < 4; i++ {
+		i := i
+		k.Go("w", func(p *Proc) {
+			r.Acquire(p)
+			order = append(order, i)
+			p.Sleep(time.Millisecond)
+			r.Release(p)
+		})
+	}
+	k.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order[%d] = %d, want FIFO", i, v)
+		}
+	}
+}
+
+func TestResourceStats(t *testing.T) {
+	k := NewKernel()
+	r := k.NewResource("bus")
+	k.Go("a", func(p *Proc) {
+		r.Acquire(p)
+		p.Sleep(2 * time.Second)
+		r.Release(p)
+	})
+	k.Go("b", func(p *Proc) {
+		p.Sleep(time.Second)
+		r.Acquire(p)
+		p.Sleep(time.Second)
+		r.Release(p)
+	})
+	k.Run()
+	if got := r.BusyTotal(); got != 3*time.Second {
+		t.Fatalf("BusyTotal = %v, want 3s", got)
+	}
+	if got := r.WaitTotal(); got != time.Second {
+		t.Fatalf("WaitTotal = %v, want 1s (b waited 1s)", got)
+	}
+	if r.Acquires() != 2 {
+		t.Fatalf("Acquires = %d, want 2", r.Acquires())
+	}
+}
+
+func TestReleaseByNonOwnerPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on release by non-owner")
+		}
+	}()
+	k := NewKernel()
+	r := k.NewResource("arm")
+	k.RunProc(func(p *Proc) {
+		r.Release(p)
+	})
+}
+
+func TestCondSignalWakesOne(t *testing.T) {
+	k := NewKernel()
+	c := k.NewCond("c")
+	woken := 0
+	for i := 0; i < 3; i++ {
+		k.Go("waiter", func(p *Proc) {
+			c.Wait(p)
+			woken++
+		})
+	}
+	k.Go("signaler", func(p *Proc) {
+		p.Sleep(time.Second)
+		c.Signal()
+		p.Sleep(time.Second)
+		c.Broadcast()
+	})
+	k.Run()
+	if woken != 3 {
+		t.Fatalf("woken = %d, want 3", woken)
+	}
+}
+
+func TestChanFIFO(t *testing.T) {
+	k := NewKernel()
+	ch := k.NewChan("q", 16)
+	var got []int
+	k.Go("producer", func(p *Proc) {
+		for i := 0; i < 10; i++ {
+			ch.Send(p, i)
+			p.Sleep(time.Millisecond)
+		}
+		ch.Close()
+	})
+	k.Go("consumer", func(p *Proc) {
+		for {
+			v, ok := ch.Recv(p)
+			if !ok {
+				return
+			}
+			got = append(got, v.(int))
+		}
+	})
+	k.Run()
+	if len(got) != 10 {
+		t.Fatalf("received %d values, want 10", len(got))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("got[%d] = %d, want %d", i, v, i)
+		}
+	}
+}
+
+func TestChanBlocksWhenFull(t *testing.T) {
+	k := NewKernel()
+	ch := k.NewChan("q", 2)
+	var sendDone Time
+	k.Go("producer", func(p *Proc) {
+		ch.Send(p, 1)
+		ch.Send(p, 2)
+		ch.Send(p, 3) // must block until consumer drains one
+		sendDone = p.Now()
+	})
+	k.Go("consumer", func(p *Proc) {
+		p.Sleep(time.Second)
+		if _, ok := ch.Recv(p); !ok {
+			t.Error("recv failed")
+		}
+	})
+	k.Run()
+	if sendDone != time.Second {
+		t.Fatalf("third send completed at %v, want 1s (after consumer drained)", sendDone)
+	}
+}
+
+func TestChanTryRecv(t *testing.T) {
+	k := NewKernel()
+	ch := k.NewChan("q", 4)
+	k.RunProc(func(p *Proc) {
+		if _, ok := ch.TryRecv(); ok {
+			t.Error("TryRecv on empty chan succeeded")
+		}
+		ch.Send(p, 42)
+		v, ok := ch.TryRecv()
+		if !ok || v.(int) != 42 {
+			t.Errorf("TryRecv = %v,%v want 42,true", v, ok)
+		}
+	})
+}
+
+func TestRNGDeterministic(t *testing.T) {
+	a, b := NewRNG(7), NewRNG(7)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRNG(8)
+	same := true
+	a2 := NewRNG(7)
+	for i := 0; i < 10; i++ {
+		if a2.Uint64() != c.Uint64() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestRNGIntnBounds(t *testing.T) {
+	r := NewRNG(1)
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) = %d out of range", v)
+		}
+	}
+}
+
+func TestRNGPerm(t *testing.T) {
+	r := NewRNG(3)
+	p := r.Perm(20)
+	seen := make(map[int]bool)
+	for _, v := range p {
+		if v < 0 || v >= 20 || seen[v] {
+			t.Fatalf("Perm not a permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}

@@ -1,0 +1,109 @@
+// Package stripe implements the concatenating pseudo-device driver of §6.6:
+// several independent disks presented as a single logical block address
+// space. Requests that span component boundaries are split and directed to
+// each underlying device in order.
+package stripe
+
+import (
+	"fmt"
+
+	"repro/internal/dev"
+	"repro/internal/sim"
+)
+
+// Concat is a concatenation of block devices: component 0 owns blocks
+// [0, n0), component 1 owns [n0, n0+n1), and so on.
+type Concat struct {
+	devs   []dev.BlockDev
+	starts []int64 // starts[i] = first block of component i
+	total  int64
+}
+
+// New returns the concatenation of devs. It panics if devs is empty.
+func New(devs ...dev.BlockDev) *Concat {
+	if len(devs) == 0 {
+		panic("stripe: no component devices")
+	}
+	c := &Concat{devs: devs}
+	for _, d := range devs {
+		c.starts = append(c.starts, c.total)
+		c.total += d.NumBlocks()
+	}
+	return c
+}
+
+// NumBlocks implements dev.BlockDev.
+func (c *Concat) NumBlocks() int64 { return c.total }
+
+// Append adds a device to the end of the concatenation (on-line disk
+// addition, §6.4) and returns its starting block.
+func (c *Concat) Append(d dev.BlockDev) int64 {
+	start := c.total
+	c.devs = append(c.devs, d)
+	c.starts = append(c.starts, start)
+	c.total += d.NumBlocks()
+	return start
+}
+
+// Components reports the number of underlying devices.
+func (c *Concat) Components() int { return len(c.devs) }
+
+// Component returns underlying device i and its starting block.
+func (c *Concat) Component(i int) (dev.BlockDev, int64) {
+	return c.devs[i], c.starts[i]
+}
+
+// locate finds the component holding blk.
+func (c *Concat) locate(blk int64) (int, int64) {
+	// Linear scan: disk farms are a handful of spindles.
+	for i := len(c.starts) - 1; i >= 0; i-- {
+		if blk >= c.starts[i] {
+			return i, blk - c.starts[i]
+		}
+	}
+	return -1, 0
+}
+
+func (c *Concat) do(p *sim.Proc, blk int64, buf []byte, write bool) error {
+	if len(buf)%dev.BlockSize != 0 {
+		return fmt.Errorf("stripe: buffer %d bytes not block-aligned", len(buf))
+	}
+	nb := int64(len(buf) / dev.BlockSize)
+	if blk < 0 || blk+nb > c.total {
+		return fmt.Errorf("stripe: blocks [%d,%d) out of range [0,%d)", blk, blk+nb, c.total)
+	}
+	for nb > 0 {
+		i, off := c.locate(blk)
+		if i < 0 {
+			return fmt.Errorf("stripe: no component for block %d", blk)
+		}
+		span := c.devs[i].NumBlocks() - off
+		if span > nb {
+			span = nb
+		}
+		chunk := buf[:span*dev.BlockSize]
+		var err error
+		if write {
+			err = c.devs[i].WriteBlocks(p, off, chunk)
+		} else {
+			err = c.devs[i].ReadBlocks(p, off, chunk)
+		}
+		if err != nil {
+			return err
+		}
+		buf = buf[span*dev.BlockSize:]
+		blk += span
+		nb -= span
+	}
+	return nil
+}
+
+// ReadBlocks implements dev.BlockDev.
+func (c *Concat) ReadBlocks(p *sim.Proc, blk int64, buf []byte) error {
+	return c.do(p, blk, buf, false)
+}
+
+// WriteBlocks implements dev.BlockDev.
+func (c *Concat) WriteBlocks(p *sim.Proc, blk int64, buf []byte) error {
+	return c.do(p, blk, buf, true)
+}

@@ -1,0 +1,184 @@
+package stripe
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/dev"
+	"repro/internal/sim"
+)
+
+func newConcat(k *sim.Kernel, sizes ...int64) (*Concat, []*dev.Disk) {
+	var devs []dev.BlockDev
+	var disks []*dev.Disk
+	for _, n := range sizes {
+		d := dev.NewDisk(k, dev.RZ57, n, nil)
+		devs = append(devs, d)
+		disks = append(disks, d)
+	}
+	return New(devs...), disks
+}
+
+func TestCapacityIsSum(t *testing.T) {
+	k := sim.NewKernel()
+	c, _ := newConcat(k, 100, 200, 50)
+	if c.NumBlocks() != 350 {
+		t.Fatalf("NumBlocks = %d, want 350", c.NumBlocks())
+	}
+	if c.Components() != 3 {
+		t.Fatalf("Components = %d, want 3", c.Components())
+	}
+}
+
+func TestRoundTripWithinOneComponent(t *testing.T) {
+	k := sim.NewKernel()
+	c, _ := newConcat(k, 100, 100)
+	k.RunProc(func(p *sim.Proc) {
+		w := bytes.Repeat([]byte{7}, 4*dev.BlockSize)
+		if err := c.WriteBlocks(p, 120, w); err != nil {
+			t.Fatal(err)
+		}
+		r := make([]byte, 4*dev.BlockSize)
+		if err := c.ReadBlocks(p, 120, r); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(w, r) {
+			t.Fatal("mismatch")
+		}
+	})
+}
+
+func TestSpanningRequestSplits(t *testing.T) {
+	k := sim.NewKernel()
+	c, disks := newConcat(k, 10, 10)
+	k.RunProc(func(p *sim.Proc) {
+		w := make([]byte, 6*dev.BlockSize)
+		for i := range w {
+			w[i] = byte(i % 127)
+		}
+		if err := c.WriteBlocks(p, 7, w); err != nil { // blocks 7..12: 3 on disk0, 3 on disk1
+			t.Fatal(err)
+		}
+		r := make([]byte, 6*dev.BlockSize)
+		if err := c.ReadBlocks(p, 7, r); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(w, r) {
+			t.Fatal("spanning round trip mismatch")
+		}
+	})
+	if disks[0].Stats().Writes == 0 || disks[1].Stats().Writes == 0 {
+		t.Fatal("write did not split across both components")
+	}
+	// Verify placement: component 1 block 0 holds logical block 10.
+	k2 := sim.NewKernel()
+	_ = k2
+	if disks[1].Stats().BytesWritten != 3*dev.BlockSize {
+		t.Fatalf("component 1 got %d bytes, want %d", disks[1].Stats().BytesWritten, 3*dev.BlockSize)
+	}
+}
+
+func TestRequestSpanningThreeComponents(t *testing.T) {
+	k := sim.NewKernel()
+	c, _ := newConcat(k, 4, 4, 4)
+	k.RunProc(func(p *sim.Proc) {
+		w := make([]byte, 10*dev.BlockSize)
+		for i := range w {
+			w[i] = byte(i % 31)
+		}
+		if err := c.WriteBlocks(p, 1, w); err != nil {
+			t.Fatal(err)
+		}
+		r := make([]byte, 10*dev.BlockSize)
+		if err := c.ReadBlocks(p, 1, r); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(w, r) {
+			t.Fatal("mismatch across three components")
+		}
+	})
+}
+
+func TestOutOfRange(t *testing.T) {
+	k := sim.NewKernel()
+	c, _ := newConcat(k, 10, 10)
+	k.RunProc(func(p *sim.Proc) {
+		buf := make([]byte, dev.BlockSize)
+		if err := c.ReadBlocks(p, 20, buf); err == nil {
+			t.Error("past-end read accepted")
+		}
+		if err := c.WriteBlocks(p, -1, buf); err == nil {
+			t.Error("negative write accepted")
+		}
+		if err := c.WriteBlocks(p, 19, make([]byte, 2*dev.BlockSize)); err == nil {
+			t.Error("spilling write accepted")
+		}
+		if err := c.ReadBlocks(p, 0, make([]byte, 5)); err == nil {
+			t.Error("unaligned buffer accepted")
+		}
+	})
+}
+
+func TestIndependentArmsAllowParallelism(t *testing.T) {
+	// Two 1 MB reads on different spindles should overlap in time; on one
+	// spindle they serialize. This is why Table 6 improves with a second
+	// staging disk.
+	elapsed := func(two bool) sim.Time {
+		k := sim.NewKernel()
+		var c *Concat
+		if two {
+			c, _ = newConcat(k, 512, 512)
+		} else {
+			c, _ = newConcat(k, 1024)
+		}
+		k.Go("a", func(p *sim.Proc) {
+			buf := make([]byte, 256*dev.BlockSize)
+			if err := c.ReadBlocks(p, 0, buf); err != nil {
+				t.Error(err)
+			}
+		})
+		k.Go("b", func(p *sim.Proc) {
+			buf := make([]byte, 256*dev.BlockSize)
+			if err := c.ReadBlocks(p, 512, buf); err != nil {
+				t.Error(err)
+			}
+		})
+		k.Run()
+		return k.Now()
+	}
+	one, two := elapsed(false), elapsed(true)
+	if two >= one {
+		t.Fatalf("two spindles (%v) not faster than one (%v)", two, one)
+	}
+}
+
+func TestAppendExtendsAddressSpace(t *testing.T) {
+	k := sim.NewKernel()
+	c, _ := newConcat(k, 50)
+	d2 := dev.NewDisk(k, dev.RZ58, 30, nil)
+	start := c.Append(d2)
+	if start != 50 || c.NumBlocks() != 80 || c.Components() != 2 {
+		t.Fatalf("append: start=%d total=%d comps=%d", start, c.NumBlocks(), c.Components())
+	}
+	k.RunProc(func(p *sim.Proc) {
+		w := bytes.Repeat([]byte{9}, 2*dev.BlockSize)
+		if err := c.WriteBlocks(p, 60, w); err != nil {
+			t.Fatal(err)
+		}
+		r := make([]byte, 2*dev.BlockSize)
+		if err := c.ReadBlocks(p, 60, r); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(w, r) {
+			t.Fatal("appended device round trip failed")
+		}
+		// The appended device actually holds the data.
+		r2 := make([]byte, 2*dev.BlockSize)
+		if err := d2.ReadBlocks(p, 10, r2); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(w, r2) {
+			t.Fatal("data not on appended device")
+		}
+	})
+}

@@ -1,0 +1,452 @@
+// Package tertiary implements HighLight's user-level tertiary storage
+// machinery (§6.7): the service process, which fields kernel requests
+// (demand fetches of non-resident segments, ejections, copy-outs of
+// freshly assembled tertiary segments), and the I/O process, which moves
+// whole segments between the disk cache and the robotic devices through
+// the Footprint interface.
+//
+// The data path deliberately preserves the paper's double copy (§7.2):
+// a demand-fetched segment travels tertiary → I/O process memory → raw
+// disk, and is then re-read through the file system — the measured
+// inefficiency of Table 3.
+package tertiary
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/addr"
+	"repro/internal/cache"
+	"repro/internal/dev"
+	"repro/internal/jukebox"
+	"repro/internal/sim"
+)
+
+// Stats instruments the migration and fetch paths; the Table 4 breakdown
+// is computed from these counters.
+type Stats struct {
+	Fetches    int64
+	Copyouts   int64
+	BytesIn    int64 // tertiary -> disk
+	BytesOut   int64 // disk -> tertiary
+	EOMRetries int64
+
+	FootprintRead  sim.Time // inside Footprint.ReadSegment
+	FootprintWrite sim.Time // inside Footprint.WriteSegment
+	IORead         sim.Time // I/O process reading staged segments off disk
+	IOWrite        sim.Time // I/O process writing fetched segments to disk
+	Queue          sim.Time // requests waiting before service
+}
+
+// Hooks let the owning file system keep its segment bookkeeping current
+// without the service process taking the file system lock (all hooks must
+// complete without blocking).
+type Hooks struct {
+	// LineBound is called when a cache line is (re)bound to a tertiary
+	// segment index.
+	LineBound func(tag int, seg addr.SegNo, staging bool)
+	// LineEvicted is called when a cached line is discarded.
+	LineEvicted func(tag int, seg addr.SegNo)
+	// CopyoutDone is called when a staging segment has reached tertiary
+	// storage.
+	CopyoutDone func(tag int, seg addr.SegNo)
+}
+
+type reqKind int
+
+const (
+	reqFetch reqKind = iota
+	reqCopyout
+	reqFetchDone
+	reqCopyoutDone
+)
+
+type request struct {
+	kind     reqKind
+	tag      int
+	seg      addr.SegNo // cache line (copyout / fetch completion)
+	pinTag   int        // cache line pinned for the duration (copyouts)
+	enqueued sim.Time
+	err      error
+}
+
+type fetchWait struct {
+	done *sim.Cond
+	line *cache.Line
+	err  error
+	over bool
+}
+
+// Service owns the cache directory bindings and runs the service and I/O
+// processes as daemons.
+type Service struct {
+	k     *sim.Kernel
+	amap  *addr.Map
+	fps   []jukebox.Footprint
+	disk  dev.BlockDev
+	cache *cache.Cache
+	hooks Hooks
+
+	reqs     *sim.Chan
+	ioreqs   *sim.Chan
+	pending  map[int]*fetchWait
+	deferred []request // fetches waiting for an evictable line
+
+	outCopy   int // copyouts in flight or queued
+	copyCond  *sim.Cond
+	failed    []int // tags whose copyout hit end-of-medium
+	prefetchQ []int
+
+	stats Stats
+
+	// Prefetch, if set, returns tertiary segment indices to prefetch
+	// after tag was demand-fetched (§6.2: the service process "may
+	// choose unilaterally to insert new segments into the cache").
+	Prefetch func(tag int) []int
+
+	// AltCopies, if set, returns replica locations (tertiary segment
+	// indices) holding the same bytes as tag; the I/O process reads the
+	// "closest" copy — one whose volume is already in a drive (§5.4).
+	AltCopies func(tag int) []int
+
+	// Notify, if set, is told when a process is about to stall on a
+	// tertiary fetch and when the data arrives — the §10 "hold on"
+	// message to the user ("it would be nice if the user could be
+	// notified about a file access which is delayed waiting for a
+	// tertiary storage access"). It must not block.
+	Notify func(tag int, waited sim.Time, done bool)
+
+	// OnFetched, if set, is told whenever a demand fetch completes — the
+	// input to §5.4's rewrite-on-fetch rearrangement policy ("rewrite
+	// segments to tertiary storage as they are read into the cache.
+	// This is more likely to reflect true access locality"). It must
+	// not block.
+	OnFetched func(tag int)
+}
+
+// New creates the service over the given devices and cache and starts the
+// service and I/O daemon processes.
+func New(k *sim.Kernel, amap *addr.Map, fps []jukebox.Footprint, disk dev.BlockDev, c *cache.Cache, hooks Hooks) *Service {
+	s := &Service{
+		k:       k,
+		amap:    amap,
+		fps:     fps,
+		disk:    disk,
+		cache:   c,
+		hooks:   hooks,
+		reqs:    k.NewChan("tertiary.svc", 256),
+		ioreqs:  k.NewChan("tertiary.io", 256),
+		pending: make(map[int]*fetchWait),
+	}
+	s.copyCond = k.NewCond("tertiary.copyouts")
+	k.GoDaemon("hl-service", s.serviceLoop)
+	k.GoDaemon("hl-io", s.ioLoop)
+	return s
+}
+
+// Stats returns a snapshot of the counters.
+func (s *Service) Stats() Stats { return s.stats }
+
+// OutstandingCopyouts reports copyouts queued or in flight.
+func (s *Service) OutstandingCopyouts() int { return s.outCopy }
+
+// FailedCopyouts returns and clears the tags whose copyout hit
+// end-of-medium; the migrator re-stages them on the next volume (§6.3).
+func (s *Service) FailedCopyouts() []int {
+	f := s.failed
+	s.failed = nil
+	return f
+}
+
+// segBytes is the tertiary transfer unit size.
+func (s *Service) segBytes() int { return s.amap.SegBlocks() * dev.BlockSize }
+
+// DemandFetch blocks until tertiary segment tag is disk-resident and
+// returns its cache line. Callers may hold the file system lock: the
+// service path never acquires it.
+func (s *Service) DemandFetch(p *sim.Proc, tag int) (*cache.Line, error) {
+	if l, ok := s.cache.Lookup(tag, p.Now()); ok && !l.Staging {
+		return l, nil
+	} else if ok {
+		return l, nil // staging lines are disk-resident by construction
+	}
+	w, ok := s.pending[tag]
+	if !ok {
+		w = &fetchWait{done: s.k.NewCond(fmt.Sprintf("fetch-%d", tag))}
+		s.pending[tag] = w
+		s.reqs.Send(p, request{kind: reqFetch, tag: tag, enqueued: p.Now()})
+	}
+	if s.Notify != nil {
+		s.Notify(tag, 0, false)
+	}
+	start := p.Now()
+	for !w.over {
+		w.done.Wait(p)
+	}
+	if s.Notify != nil {
+		s.Notify(tag, p.Now()-start, true)
+	}
+	return w.line, w.err
+}
+
+// ScheduleCopyout queues the staging cache line holding tertiary segment
+// tag for transfer to the robotic device. The write "is serviced
+// asynchronously, so that the migration control policies may choose to
+// move multiple segments in a single logical operation" (§6.2).
+func (s *Service) ScheduleCopyout(p *sim.Proc, tag int, seg addr.SegNo) {
+	s.ScheduleCopyoutAs(p, tag, seg, tag)
+}
+
+// ScheduleCopyoutAs writes the cache-line disk segment seg to tertiary
+// segment destTag while pinning the cache line registered under pinTag —
+// used to lay down segment replicas (§5.4), where the same staged bytes
+// are written to several tertiary locations.
+func (s *Service) ScheduleCopyoutAs(p *sim.Proc, destTag int, seg addr.SegNo, pinTag int) {
+	if l, ok := s.cache.Peek(pinTag); ok {
+		l.Pins++
+	}
+	s.outCopy++
+	s.reqs.Send(p, request{kind: reqCopyout, tag: destTag, seg: seg, pinTag: pinTag, enqueued: p.Now()})
+}
+
+// DrainCopyouts blocks until every scheduled copyout has completed.
+func (s *Service) DrainCopyouts(p *sim.Proc) {
+	for s.outCopy > 0 {
+		s.copyCond.Wait(p)
+	}
+}
+
+// WaitCopyoutProgress blocks until one in-flight copyout completes,
+// returning immediately when none is outstanding. The migrator uses it to
+// wait for a cache line to become evictable.
+func (s *Service) WaitCopyoutProgress(p *sim.Proc) {
+	if s.outCopy > 0 {
+		s.copyCond.Wait(p)
+	}
+}
+
+// RequestPrefetch enqueues background fetches (no waiter).
+func (s *Service) RequestPrefetch(p *sim.Proc, tags []int) {
+	for _, tag := range tags {
+		if _, ok := s.cache.Peek(tag); ok {
+			continue
+		}
+		if _, ok := s.pending[tag]; ok {
+			continue
+		}
+		s.pending[tag] = &fetchWait{done: s.k.NewCond(fmt.Sprintf("prefetch-%d", tag))}
+		s.reqs.Send(p, request{kind: reqFetch, tag: tag, enqueued: p.Now()})
+	}
+}
+
+// Eject discards a clean cached line (the kernel "may request ... the
+// ejection of some cached line in order to reclaim its space").
+func (s *Service) Eject(tag int) error {
+	l, ok := s.cache.Peek(tag)
+	if !ok {
+		return fmt.Errorf("tertiary: eject: segment %d not cached", tag)
+	}
+	if l.Staging || l.Pins > 0 {
+		return fmt.Errorf("tertiary: eject: segment %d busy", tag)
+	}
+	seg := s.cache.Evict(l)
+	if s.hooks.LineEvicted != nil {
+		s.hooks.LineEvicted(tag, seg)
+	}
+	s.cache.Release(seg)
+	return nil
+}
+
+// serviceLoop is the service process: it fields requests from the kernel
+// and completion messages from the I/O process.
+func (s *Service) serviceLoop(p *sim.Proc) {
+	for {
+		v, ok := s.reqs.Recv(p)
+		if !ok {
+			return
+		}
+		r := v.(request)
+		s.stats.Queue += p.Now() - r.enqueued
+		switch r.kind {
+		case reqFetch:
+			s.startFetch(p, r)
+		case reqCopyout:
+			s.ioreqs.Send(p, r)
+		case reqFetchDone:
+			s.finishFetch(p, r)
+		case reqCopyoutDone:
+			s.finishCopyout(p, r)
+		}
+	}
+}
+
+// startFetch binds a cache line (evicting if needed) and hands the
+// transfer to the I/O process; with no line available the request is
+// deferred until a copyout completes.
+func (s *Service) startFetch(p *sim.Proc, r request) {
+	if _, ok := s.cache.Peek(r.tag); ok {
+		s.resolveFetch(r.tag, nil)
+		return
+	}
+	seg, ok := s.cache.TakeFree()
+	if !ok {
+		v := s.cache.Victim()
+		if v == nil {
+			s.deferred = append(s.deferred, r)
+			return
+		}
+		seg = s.cache.Evict(v)
+		if s.hooks.LineEvicted != nil {
+			s.hooks.LineEvicted(v.Tag, seg)
+		}
+	}
+	s.ioreqs.Send(p, request{kind: reqFetch, tag: r.tag, seg: seg, enqueued: r.enqueued})
+}
+
+func (s *Service) finishFetch(p *sim.Proc, r request) {
+	if r.err != nil {
+		s.cache.Release(r.seg)
+		s.resolveFetch(r.tag, r.err)
+		return
+	}
+	s.cache.Insert(r.tag, r.seg, false, p.Now())
+	if s.hooks.LineBound != nil {
+		s.hooks.LineBound(r.tag, r.seg, false)
+	}
+	s.stats.Fetches++
+	s.stats.BytesIn += int64(s.segBytes())
+	s.resolveFetch(r.tag, nil)
+	if s.OnFetched != nil {
+		s.OnFetched(r.tag)
+	}
+	if s.Prefetch != nil {
+		s.RequestPrefetch(p, s.Prefetch(r.tag))
+	}
+	s.retryDeferred(p)
+}
+
+func (s *Service) resolveFetch(tag int, err error) {
+	w, ok := s.pending[tag]
+	if !ok {
+		return
+	}
+	delete(s.pending, tag)
+	if err == nil {
+		if l, present := s.cache.Peek(tag); present {
+			w.line = l
+		} else {
+			err = fmt.Errorf("tertiary: fetch of segment %d resolved without a line", tag)
+		}
+	}
+	w.err = err
+	w.over = true
+	w.done.Broadcast()
+}
+
+func (s *Service) finishCopyout(p *sim.Proc, r request) {
+	if l, ok := s.cache.Peek(r.pinTag); ok {
+		if l.Pins > 0 {
+			l.Pins--
+		}
+		if r.err == nil && r.tag == r.pinTag {
+			l.Staging = false
+		}
+	}
+	if r.err == nil {
+		s.stats.Copyouts++
+		s.stats.BytesOut += int64(s.segBytes())
+		if s.hooks.CopyoutDone != nil {
+			s.hooks.CopyoutDone(r.tag, r.seg)
+		}
+	} else if errors.Is(r.err, jukebox.ErrEndOfMedium) {
+		s.stats.EOMRetries++
+		s.failed = append(s.failed, r.tag)
+	}
+	s.outCopy--
+	s.copyCond.Broadcast()
+	s.retryDeferred(p)
+}
+
+func (s *Service) retryDeferred(p *sim.Proc) {
+	if len(s.deferred) == 0 {
+		return
+	}
+	ds := s.deferred
+	s.deferred = nil
+	for _, d := range ds {
+		s.startFetch(p, d)
+	}
+}
+
+// ioLoop is the I/O process: it executes whole-segment transfers between
+// the disk cache and the Footprint devices.
+func (s *Service) ioLoop(p *sim.Proc) {
+	buf := make([]byte, s.segBytes())
+	for {
+		v, ok := s.ioreqs.Recv(p)
+		if !ok {
+			return
+		}
+		r := v.(request)
+		src := r.tag
+		if r.kind == reqFetch {
+			src = s.closestCopy(r.tag)
+		}
+		d, vol, volseg := s.locate(src)
+		switch r.kind {
+		case reqFetch:
+			t0 := p.Now()
+			err := s.fps[d].ReadSegment(p, vol, volseg, buf)
+			s.stats.FootprintRead += p.Now() - t0
+			if err == nil {
+				t0 = p.Now()
+				err = s.disk.WriteBlocks(p, int64(s.amap.BlockOf(r.seg, 0)), buf)
+				s.stats.IOWrite += p.Now() - t0
+			}
+			s.reqs.Send(p, request{kind: reqFetchDone, tag: r.tag, seg: r.seg, err: err, enqueued: p.Now()})
+		case reqCopyout:
+			t0 := p.Now()
+			err := s.disk.ReadBlocks(p, int64(s.amap.BlockOf(r.seg, 0)), buf)
+			s.stats.IORead += p.Now() - t0
+			if err == nil {
+				t0 = p.Now()
+				err = s.fps[d].WriteSegment(p, vol, volseg, buf)
+				s.stats.FootprintWrite += p.Now() - t0
+			}
+			s.reqs.Send(p, request{kind: reqCopyoutDone, tag: r.tag, seg: r.seg, pinTag: r.pinTag, err: err, enqueued: p.Now()})
+		}
+	}
+}
+
+// VolumeLoadedChecker is implemented by jukeboxes that can report whether
+// a volume is already in a drive.
+type VolumeLoadedChecker interface {
+	VolumeLoaded(vol int) bool
+}
+
+// closestCopy picks which physical copy of tag to read: the primary, or a
+// replica whose volume is already loaded in a drive (avoiding a media
+// swap). Without replicas or loaded alternatives it returns tag itself.
+func (s *Service) closestCopy(tag int) int {
+	if s.AltCopies == nil {
+		return tag
+	}
+	cands := append([]int{tag}, s.AltCopies(tag)...)
+	for _, c := range cands {
+		d, vol, _ := s.locate(c)
+		if vc, ok := s.fps[d].(VolumeLoadedChecker); ok && vc.VolumeLoaded(vol) {
+			return c
+		}
+	}
+	return tag
+}
+
+// locate resolves a tertiary segment index to (device, volume, volseg).
+func (s *Service) locate(tag int) (devIdx, vol, volseg int) {
+	seg := s.amap.SegForIndex(tag)
+	d, v, vs, ok := s.amap.Loc(seg)
+	if !ok {
+		panic(fmt.Sprintf("tertiary: index %d does not map to a tertiary segment", tag))
+	}
+	return d, v, vs
+}

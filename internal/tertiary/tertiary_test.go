@@ -1,0 +1,314 @@
+package tertiary
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/addr"
+	"repro/internal/cache"
+	"repro/internal/dev"
+	"repro/internal/jukebox"
+	"repro/internal/sim"
+)
+
+const segBlocks = 16
+
+type env struct {
+	k    *sim.Kernel
+	amap *addr.Map
+	disk *dev.Disk
+	juke *jukebox.Jukebox
+	c    *cache.Cache
+	svc  *Service
+
+	bound, evicted, done int
+}
+
+func newEnv(t *testing.T, cacheLines int) *env {
+	t.Helper()
+	k := sim.NewKernel()
+	amap := addr.New(segBlocks, 64, addr.Geom{Vols: 4, SegsPerVol: 16})
+	disk := dev.NewDisk(k, dev.RZ57, int64(64*segBlocks), nil)
+	juke := jukebox.New(k, jukebox.MO6300, 2, 4, 16, segBlocks*dev.BlockSize, nil)
+	pool := make([]addr.SegNo, cacheLines)
+	for i := range pool {
+		pool[i] = addr.SegNo(40 + i)
+	}
+	e := &env{k: k, amap: amap, disk: disk, juke: juke}
+	e.c = cache.New(cache.LRU, pool, 1)
+	e.svc = New(k, amap, []jukebox.Footprint{juke}, disk, e.c, Hooks{
+		LineBound:   func(tag int, seg addr.SegNo, staging bool) { e.bound++ },
+		LineEvicted: func(tag int, seg addr.SegNo) { e.evicted++ },
+		CopyoutDone: func(tag int, seg addr.SegNo) { e.done++ },
+	})
+	return e
+}
+
+// seed writes recognizable data for tag directly onto the jukebox.
+func (e *env) seed(t *testing.T, p *sim.Proc, tag int, fill byte) {
+	t.Helper()
+	seg := e.amap.SegForIndex(tag)
+	d, v, s, ok := e.amap.Loc(seg)
+	if !ok || d != 0 {
+		t.Fatalf("bad loc for tag %d", tag)
+	}
+	buf := bytes.Repeat([]byte{fill}, segBlocks*dev.BlockSize)
+	if err := e.juke.WriteSegment(p, v, s, buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDemandFetchPopulatesCache(t *testing.T) {
+	e := newEnv(t, 4)
+	e.k.RunProc(func(p *sim.Proc) {
+		e.seed(t, p, 3, 0xAB)
+		line, err := e.svc.DemandFetch(p, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The fetched copy must be on the cache-line disk segment.
+		buf := make([]byte, dev.BlockSize)
+		if err := e.disk.ReadBlocks(p, int64(e.amap.BlockOf(line.DiskSeg, 0)), buf); err != nil {
+			t.Fatal(err)
+		}
+		if buf[0] != 0xAB {
+			t.Fatalf("cache line holds %#x, want 0xAB", buf[0])
+		}
+		if e.bound != 1 {
+			t.Fatalf("LineBound hook fired %d times", e.bound)
+		}
+		if e.svc.Stats().Fetches != 1 {
+			t.Fatal("fetch not counted")
+		}
+	})
+	e.k.Stop()
+}
+
+func TestConcurrentFetchesOfSameSegmentMerge(t *testing.T) {
+	e := newEnv(t, 4)
+	e.k.Go("seed", func(p *sim.Proc) {
+		e.seed(t, p, 1, 0x11)
+	})
+	results := 0
+	for i := 0; i < 3; i++ {
+		e.k.Go("reader", func(p *sim.Proc) {
+			p.Sleep(20 * time.Second) // after seeding
+			if _, err := e.svc.DemandFetch(p, 1); err != nil {
+				t.Error(err)
+			}
+			results++
+		})
+	}
+	e.k.Run()
+	if results != 3 {
+		t.Fatalf("%d fetch waiters resolved, want 3", results)
+	}
+	if e.svc.Stats().Fetches != 1 {
+		t.Fatalf("%d physical fetches, want 1 (merged)", e.svc.Stats().Fetches)
+	}
+	e.k.Stop()
+}
+
+func TestFetchEvictsLRUWhenFull(t *testing.T) {
+	e := newEnv(t, 2)
+	e.k.RunProc(func(p *sim.Proc) {
+		for tag := 0; tag < 3; tag++ {
+			e.seed(t, p, tag, byte(tag+1))
+			if _, err := e.svc.DemandFetch(p, tag); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if e.c.Len() != 2 {
+			t.Fatalf("cache holds %d lines, want 2", e.c.Len())
+		}
+		if _, ok := e.c.Peek(0); ok {
+			t.Fatal("LRU line 0 should have been evicted")
+		}
+		if e.evicted != 1 {
+			t.Fatalf("LineEvicted fired %d times, want 1", e.evicted)
+		}
+	})
+	e.k.Stop()
+}
+
+func TestCopyoutWritesTertiary(t *testing.T) {
+	e := newEnv(t, 4)
+	e.k.RunProc(func(p *sim.Proc) {
+		// Stage data on a cache line by hand.
+		seg, _ := e.c.TakeFree()
+		e.c.Insert(5, seg, true, p.Now())
+		img := bytes.Repeat([]byte{0x77}, segBlocks*dev.BlockSize)
+		if err := e.disk.WriteBlocks(p, int64(e.amap.BlockOf(seg, 0)), img); err != nil {
+			t.Fatal(err)
+		}
+		e.svc.ScheduleCopyout(p, 5, seg)
+		e.svc.DrainCopyouts(p)
+		if e.done != 1 {
+			t.Fatalf("CopyoutDone fired %d times", e.done)
+		}
+		l, _ := e.c.Peek(5)
+		if l.Staging {
+			t.Fatal("line still staging after copyout")
+		}
+		// Verify the bits landed on the volume.
+		tseg := e.amap.SegForIndex(5)
+		_, v, s, _ := e.amap.Loc(tseg)
+		got := make([]byte, segBlocks*dev.BlockSize)
+		if err := e.juke.ReadSegment(p, v, s, got); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, img) {
+			t.Fatal("copyout content mismatch")
+		}
+	})
+	e.k.Stop()
+}
+
+func TestEOMRecordedAsFailure(t *testing.T) {
+	e := newEnv(t, 4)
+	e.juke.SetActualSegments(0, 0) // volume 0 cannot take anything
+	e.k.RunProc(func(p *sim.Proc) {
+		seg, _ := e.c.TakeFree()
+		e.c.Insert(0, seg, true, p.Now()) // tag 0 = vol 0 seg 0
+		e.svc.ScheduleCopyout(p, 0, seg)
+		e.svc.DrainCopyouts(p)
+		failed := e.svc.FailedCopyouts()
+		if len(failed) != 1 || failed[0] != 0 {
+			t.Fatalf("failed = %v, want [0]", failed)
+		}
+		if e.svc.Stats().EOMRetries != 1 {
+			t.Fatal("EOM not counted")
+		}
+		// The line survives (it holds the sole copy).
+		if _, ok := e.c.Peek(0); !ok {
+			t.Fatal("staging line lost after EOM")
+		}
+	})
+	e.k.Stop()
+}
+
+func TestEjectRejectsBusyLines(t *testing.T) {
+	e := newEnv(t, 4)
+	e.k.RunProc(func(p *sim.Proc) {
+		seg, _ := e.c.TakeFree()
+		l := e.c.Insert(7, seg, true, p.Now())
+		if err := e.svc.Eject(7); err == nil {
+			t.Fatal("ejected a staging line")
+		}
+		l.Staging = false
+		l.Pins = 1
+		if err := e.svc.Eject(7); err == nil {
+			t.Fatal("ejected a pinned line")
+		}
+		l.Pins = 0
+		if err := e.svc.Eject(7); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.svc.Eject(7); err == nil {
+			t.Fatal("double eject succeeded")
+		}
+	})
+	e.k.Stop()
+}
+
+func TestPrefetchRunsInBackground(t *testing.T) {
+	e := newEnv(t, 4)
+	e.k.RunProc(func(p *sim.Proc) {
+		for tag := 0; tag < 3; tag++ {
+			e.seed(t, p, tag, byte(tag+1))
+		}
+		e.svc.Prefetch = func(tag int) []int {
+			if tag == 0 {
+				return []int{1, 2}
+			}
+			return nil
+		}
+		if _, err := e.svc.DemandFetch(p, 0); err != nil {
+			t.Fatal(err)
+		}
+		p.Sleep(120 * time.Second)
+		if e.c.Len() != 3 {
+			t.Fatalf("prefetch left %d lines cached, want 3", e.c.Len())
+		}
+	})
+	e.k.Stop()
+}
+
+func TestQueueTimeAccounted(t *testing.T) {
+	e := newEnv(t, 4)
+	e.k.RunProc(func(p *sim.Proc) {
+		// Two back-to-back copyouts: the second queues behind the first.
+		for tag := 0; tag < 2; tag++ {
+			seg, _ := e.c.TakeFree()
+			e.c.Insert(tag, seg, true, p.Now())
+			e.svc.ScheduleCopyout(p, tag, seg)
+		}
+		e.svc.DrainCopyouts(p)
+		if e.svc.Stats().Copyouts != 2 {
+			t.Fatalf("copyouts = %d", e.svc.Stats().Copyouts)
+		}
+		if e.svc.Stats().FootprintWrite == 0 || e.svc.Stats().IORead == 0 {
+			t.Fatal("transfer times not accounted")
+		}
+	})
+	e.k.Stop()
+}
+
+func TestStallNotification(t *testing.T) {
+	e := newEnv(t, 4)
+	type note struct {
+		tag    int
+		waited sim.Time
+		done   bool
+	}
+	var notes []note
+	e.svc.Notify = func(tag int, waited sim.Time, done bool) {
+		notes = append(notes, note{tag, waited, done})
+	}
+	e.k.RunProc(func(p *sim.Proc) {
+		e.seed(t, p, 2, 0x22)
+		if _, err := e.svc.DemandFetch(p, 2); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if len(notes) != 2 {
+		t.Fatalf("got %d notifications, want hold-on + done", len(notes))
+	}
+	if notes[0].done || notes[0].tag != 2 {
+		t.Fatalf("first note should be the hold-on message: %+v", notes[0])
+	}
+	if !notes[1].done || notes[1].waited <= 0 {
+		t.Fatalf("second note should report the wait: %+v", notes[1])
+	}
+	e.k.Stop()
+}
+
+func TestFetchMediaFailurePropagates(t *testing.T) {
+	e := newEnv(t, 4)
+	mediaErr := errors.New("unreadable platter")
+	e.juke.Fault = func(op string, vol, seg int) error {
+		if op == "read" {
+			return mediaErr
+		}
+		return nil
+	}
+	e.k.RunProc(func(p *sim.Proc) {
+		_, err := e.svc.DemandFetch(p, 1)
+		if err == nil {
+			t.Fatal("media failure not propagated to the faulting reader")
+		}
+		// The failed fetch must not leak the cache line.
+		if e.c.FreeLines() != 4 {
+			t.Fatalf("cache pool leaked: %d free lines, want 4", e.c.FreeLines())
+		}
+		// A later fetch (fault cleared) succeeds.
+		e.juke.Fault = nil
+		e.seed(t, p, 1, 0x33)
+		if _, err := e.svc.DemandFetch(p, 1); err != nil {
+			t.Fatalf("fetch after fault cleared: %v", err)
+		}
+	})
+	e.k.Stop()
+}

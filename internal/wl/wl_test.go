@@ -1,0 +1,144 @@
+package wl
+
+import (
+	"testing"
+
+	"repro/internal/addr"
+	"repro/internal/core"
+	"repro/internal/dev"
+	"repro/internal/ffs"
+	"repro/internal/jukebox"
+	"repro/internal/lfs"
+	"repro/internal/sim"
+)
+
+func smallSpec() LargeObjectSpec {
+	return LargeObjectSpec{Path: "/obj", Frames: 64, SeqFrames: 32, SmallFrames: 16, Seed: 7}
+}
+
+func TestLargeObjectOnLFS(t *testing.T) {
+	k := sim.NewKernel()
+	disk := dev.NewDisk(k, dev.RZ57, 64*64, nil)
+	amap := addr.New(64, 64)
+	k.RunProc(func(p *sim.Proc) {
+		fs, err := lfs.Format(p, lfs.DiskDevice{BD: disk}, amap, lfs.Options{MaxInodes: 64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		target := LFSTarget{Label: "lfs", FS: fs}
+		f, err := CreateLargeObject(p, target, smallSpec())
+		if err != nil {
+			t.Fatal(err)
+		}
+		results, err := RunLargeObject(p, target, f, smallSpec())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(results) != 6 {
+			t.Fatalf("got %d phases, want 6", len(results))
+		}
+		for _, r := range results {
+			if r.Elapsed <= 0 || r.Bytes <= 0 {
+				t.Fatalf("phase %s has empty measurement: %+v", r.Name, r)
+			}
+			if r.ThroughputKBs() <= 0 {
+				t.Fatalf("phase %s throughput zero", r.Name)
+			}
+		}
+		if results[0].Name != "sequential read" || results[5].Name != "write 80/20" {
+			t.Fatalf("phase order wrong: %v", results)
+		}
+	})
+}
+
+func TestLargeObjectOnFFS(t *testing.T) {
+	k := sim.NewKernel()
+	disk := dev.NewDisk(k, dev.RZ57, 8192, nil)
+	k.RunProc(func(p *sim.Proc) {
+		fs, err := ffs.Format(p, disk, ffs.Options{MaxInodes: 64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		target := FFSTarget{Label: "ffs", FS: fs}
+		f, err := CreateLargeObject(p, target, smallSpec())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := RunLargeObject(p, target, f, smallSpec()); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestBuildTreeAndScan(t *testing.T) {
+	k := sim.NewKernel()
+	disk := dev.NewDisk(k, dev.RZ57, 128*16, nil)
+	juke := jukebox.New(k, jukebox.MO6300, 2, 2, 16, 16*lfs.BlockSize, nil)
+	k.RunProc(func(p *sim.Proc) {
+		hl, err := core.New(p, core.Config{
+			SegBlocks: 16,
+			Disks:     []dev.BlockDev{disk},
+			Jukeboxes: []jukebox.Footprint{juke},
+			CacheSegs: 8,
+			MaxInodes: 256,
+		}, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		paths, err := BuildTree(p, hl, TreeSpec{Dirs: 3, FilesPerDir: 4, FileBlocks: 2, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(paths) != 12 {
+			t.Fatalf("built %d files, want 12", len(paths))
+		}
+		fi, err := hl.FS.Stat(p, paths[0])
+		if err != nil || fi.Size == 0 {
+			t.Fatalf("stat %s: %+v %v", paths[0], fi, err)
+		}
+		if err := hl.FS.FlushCaches(p); err != nil {
+			t.Fatal(err)
+		}
+		f, err := hl.FS.Open(p, paths[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		fb, tot, err := SequentialScan(p, f, int64(fi.Size))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fb <= 0 || tot < fb {
+			t.Fatalf("scan times wrong: first=%v total=%v", fb, tot)
+		}
+	})
+	k.Stop()
+}
+
+func TestSequentialScanFirstByteBeforeTotal(t *testing.T) {
+	k := sim.NewKernel()
+	disk := dev.NewDisk(k, dev.RZ57, 4096, nil)
+	k.RunProc(func(p *sim.Proc) {
+		fs, err := ffs.Format(p, disk, ffs.Options{MaxInodes: 64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := fs.Create(p, "/f")
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := make([]byte, 100*1024)
+		if _, err := f.WriteAt(p, data, 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := fs.FlushCaches(p); err != nil {
+			t.Fatal(err)
+		}
+		fb, tot, err := SequentialScan(p, f, int64(len(data)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fb <= 0 || tot <= fb {
+			t.Fatalf("first byte %v should precede total %v", fb, tot)
+		}
+	})
+}
