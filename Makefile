@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: all build test vet race verify bench
+
+all: verify
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# Tier-1 verification: everything CI runs, in order.
+verify: build vet test race
+
+bench:
+	$(GO) test -bench . -benchtime 1x ./internal/bench/

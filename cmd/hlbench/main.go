@@ -26,7 +26,7 @@ import (
 func main() {
 	table := flag.Int("table", 0, "produce only this table (1-6); 0 = all")
 	quick := flag.Bool("quick", false, "reduced-scale configuration for a fast run")
-	ablations := flag.Bool("ablations", false, "also run the policy ablations (cache eviction, copy-out scheduling, STP exponents, migration granularity)")
+	ablations := flag.Bool("ablations", false, "also run the policy ablations (cache eviction, copy-out scheduling, STP exponents, migration granularity, media-fault rate)")
 	flag.Parse()
 
 	scale := bench.FullScale()
@@ -69,6 +69,7 @@ func main() {
 			bench.AblationCopyout,
 			bench.AblationSTP,
 			bench.AblationBlockRange,
+			bench.AblationFaultRate,
 		} {
 			rep, err := run()
 			if err != nil {

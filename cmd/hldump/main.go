@@ -9,8 +9,11 @@
 //	            fetch (Figure 2)
 //	-datapath   layered demand-fetch request flow (Figure 5)
 //	-summary    the partial-segment summary block format (Table 1)
+//	-faults     per-device injected-fault counters and recovery report
+//	            (the demo instance runs its workload under a small
+//	            seeded fault plan so the counters are non-zero)
 //
-// Without flags all five are produced. The demo instance is one simulated
+// Without flags all sections are produced. The demo instance is one simulated
 // RZ57 disk plus a small MO jukebox; -img DIR instead loads a file system
 // image directory created by hlfs.
 package main
@@ -24,6 +27,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dev"
 	"repro/internal/dump"
+	"repro/internal/fault"
 	"repro/internal/imagefs"
 	"repro/internal/jukebox"
 	"repro/internal/lfs"
@@ -37,11 +41,12 @@ func main() {
 	datapath := flag.Bool("datapath", false, "figure 5: layered demand-fetch path")
 	summary := flag.Bool("summary", false, "table 1: partial-segment summary format")
 	volumes := flag.Bool("volumes", false, "tertiary volume usage (tsegfile view)")
+	faults := flag.Bool("faults", false, "fault injection & recovery report (per-device counters)")
 	img := flag.String("img", "", "load a file system image directory (from hlfs) instead of the demo")
 	maxSegs := flag.Int("maxsegs", 64, "cap per-segment detail in -layout (0 = all)")
 	flag.Parse()
 
-	all := !*layout && !*addrmap && !*hierarchy && !*datapath && !*summary && !*volumes
+	all := !*layout && !*addrmap && !*hierarchy && !*datapath && !*summary && !*volumes && !*faults
 
 	if *summary || all {
 		fmt.Println(bench.Table1())
@@ -57,7 +62,7 @@ func main() {
 			hl = inst.HL
 		}
 	} else {
-		hl, err = demo(k)
+		hl, err = demo(k, *faults || all)
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "hldump: %v\n", err)
@@ -92,14 +97,24 @@ func main() {
 					u.Device, u.Volume, u.UsedSegs, u.LiveBytes, u.NoStoreSegs)
 			}
 		}
+		if *faults || all {
+			fmt.Println()
+			dump.Faults(os.Stdout, hl)
+		}
 	})
 	k.Stop()
 }
 
-// demo builds a small populated HighLight instance.
-func demo(k *sim.Kernel) (*core.HighLight, error) {
+// demo builds a small populated HighLight instance. With faults set, the
+// demo workload runs under a seeded transient-fault plan so the recovery
+// report has something to show.
+func demo(k *sim.Kernel, faults bool) (*core.HighLight, error) {
 	disk := dev.NewDisk(k, dev.RZ57, 256*64, nil)
 	juke := jukebox.New(k, jukebox.MO6300, 2, 4, 32, 64*lfs.BlockSize, nil)
+	if faults {
+		plan := fault.NewPlan(fault.Config{Seed: 1, TransientReadRate: 0.5, TransientWriteRate: 0.5, MaxBurst: 2})
+		plan.InstallJukebox("MO6300", juke)
+	}
 	var hl *core.HighLight
 	var err error
 	k.RunProc(func(p *sim.Proc) {

@@ -3,11 +3,13 @@ package bench
 import (
 	"fmt"
 	"io"
+	"sort"
 	"time"
 
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/dev"
+	"repro/internal/fault"
 	"repro/internal/jukebox"
 	"repro/internal/lfs"
 	"repro/internal/migrate"
@@ -312,6 +314,123 @@ func AblationSTP() (*Report, error) {
 		rep.addf("%-22s %10d %11.1f s", c.name, fetches, rereadS)
 		rep.metric(c.name+"/fetches", float64(fetches))
 		rep.metric(c.name+"/reread-s", rereadS)
+	}
+	return rep, nil
+}
+
+// AblationFaultRate measures end-to-end throughput under injected
+// transient media errors on the jukebox. The same bulk workload —
+// migrate a set of files to tertiary, eject the cache, and demand-fetch
+// everything back — runs under seeded fault plans at 0%, 1% and 5%
+// per-op transient error rates. Recovery (bounded retries with
+// virtual-time backoff) must absorb every fault: throughput degrades
+// smoothly with the error rate and no retry budget is ever exhausted.
+func AblationFaultRate() (*Report, error) {
+	rep := newReport("Ablation: throughput under transient media-error rate")
+	rep.addf("%-8s %12s %10s %11s %12s", "rate", "throughput", "retries", "exhausted", "elapsed")
+	for _, pct := range []float64{0, 1, 5} {
+		// Small (32-block) segments so the workload issues enough tertiary
+		// segment ops for a 1% per-op rate to be visible.
+		k := sim.NewKernel()
+		bus := dev.NewBus(k, "scsi", dev.SCSIBusRate)
+		disk := dev.NewDisk(k, dev.RZ57, 384*32, bus)
+		juke := jukebox.New(k, jukebox.MO6300, 2, 8, 60, 32*lfs.BlockSize, bus)
+		if pct > 0 {
+			plan := fault.NewPlan(fault.Config{
+				Seed:               97,
+				TransientReadRate:  pct / 100,
+				TransientWriteRate: pct / 100,
+				MaxBurst:           2,
+			})
+			plan.InstallJukebox(juke.Profile().Name, juke)
+		}
+		var moved int64
+		var elapsed sim.Time
+		var retries, exhausted int64
+		var err error
+		k.RunProc(func(p *sim.Proc) {
+			hl, e := core.New(p, core.Config{
+				SegBlocks:   32,
+				Disks:       []dev.BlockDev{disk},
+				Jukeboxes:   []jukebox.Footprint{juke},
+				CacheSegs:   8,
+				MaxInodes:   1024,
+				BufferBytes: 1 << 20,
+			}, true)
+			if e != nil {
+				err = e
+				return
+			}
+			const nfiles = 12
+			const fblocks = 127
+			var inums []uint32
+			start := p.Now()
+			for i := 0; i < nfiles; i++ {
+				f, e := hl.FS.Create(p, fmt.Sprintf("/bulk%02d", i))
+				if e != nil {
+					err = e
+					return
+				}
+				if _, e := f.WriteAt(p, make([]byte, fblocks*lfs.BlockSize), 0); e != nil {
+					err = e
+					return
+				}
+				inums = append(inums, f.Inum())
+			}
+			staged, e := hl.MigrateFiles(p, inums, false)
+			if e != nil {
+				err = e
+				return
+			}
+			if e := hl.CompleteMigration(p); e != nil {
+				err = e
+				return
+			}
+			moved += staged
+			// Two eject + full-readback rounds: demand fetches under read
+			// faults dominate the op count.
+			buf := make([]byte, 32*lfs.BlockSize)
+			for round := 0; round < 2; round++ {
+				lines := hl.Cache.Lines()
+				sort.Slice(lines, func(i, j int) bool { return lines[i].Tag < lines[j].Tag })
+				for _, l := range lines {
+					if e := hl.Svc.Eject(l.Tag); e != nil {
+						err = e
+						return
+					}
+				}
+				for _, in := range inums {
+					f, e := hl.FS.OpenInum(p, in)
+					if e != nil {
+						err = e
+						return
+					}
+					hl.FS.DropFileBuffers(p, in)
+					for off := int64(0); off < fblocks*lfs.BlockSize; off += int64(len(buf)) {
+						n, e := f.ReadAt(p, buf, off)
+						if e != nil && e != io.EOF {
+							err = e
+							return
+						}
+						moved += int64(n)
+					}
+				}
+			}
+			elapsed = p.Now() - start
+			st := hl.Svc.Stats()
+			retries = st.TransientRetries
+			exhausted = st.RetriesExhausted
+		})
+		k.Stop()
+		if err != nil {
+			return rep, err
+		}
+		mbps := float64(moved) / (1 << 20) / elapsed.Seconds()
+		name := fmt.Sprintf("%g%%", pct)
+		rep.addf("%-8s %7.2f MB/s %10d %11d %10.1f s", name, mbps, retries, exhausted, elapsed.Seconds())
+		rep.metric(name+"/MBps", mbps)
+		rep.metric(name+"/retries", float64(retries))
+		rep.metric(name+"/exhausted", float64(exhausted))
 	}
 	return rep, nil
 }

@@ -51,6 +51,38 @@ func TestAblationSTP(t *testing.T) {
 	}
 }
 
+func TestAblationFaultRate(t *testing.T) {
+	rep, err := AblationFaultRate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := rep.Metrics
+	if m["0%/retries"] != 0 {
+		t.Errorf("baseline run recorded %.0f retries with no fault plan", m["0%/retries"])
+	}
+	if m["1%/retries"] == 0 {
+		t.Error("1%% fault plan injected no transient faults")
+	}
+	if m["5%/retries"] < m["1%/retries"] {
+		t.Errorf("5%% rate should retry at least as often as 1%% (%.0f < %.0f)",
+			m["5%/retries"], m["1%/retries"])
+	}
+	// Recovery must absorb every injected fault: the workload degrades in
+	// throughput but never fails.
+	for _, k := range []string{"1%", "5%"} {
+		if m[k+"/exhausted"] != 0 {
+			t.Errorf("%s: %.0f retry budgets exhausted; recovery failed", k, m[k+"/exhausted"])
+		}
+	}
+	if m["5%/MBps"] > m["0%/MBps"] {
+		t.Errorf("throughput should not improve under faults (5%%: %.2f > 0%%: %.2f)",
+			m["5%/MBps"], m["0%/MBps"])
+	}
+	if m["0%/MBps"] == 0 {
+		t.Error("baseline throughput is zero")
+	}
+}
+
 func TestAblationBlockRange(t *testing.T) {
 	rep, err := AblationBlockRange()
 	if err != nil {

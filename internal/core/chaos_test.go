@@ -1,0 +1,300 @@
+package core
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/dev"
+	"repro/internal/fault"
+	"repro/internal/jukebox"
+	"repro/internal/lfs"
+	"repro/internal/sim"
+	"repro/internal/tertiary"
+)
+
+// chaosSeed drives both the workload mix and the fault plan. The run is
+// fully deterministic, so the assertions below (transient faults occurred
+// and were all recovered; permanent write faults occurred and every one
+// ended in a retired segment plus a successful restage) hold on every
+// execution, not just probabilistically.
+const chaosSeed = 20260804
+
+// runChaosSoak executes the full FS workload under a seeded fault plan
+// and returns a digest of everything observable: surviving file contents,
+// lost files, recovery counters, injected-fault counters, and the final
+// virtual clock. Two runs must produce identical digests.
+func runChaosSoak(t *testing.T) string {
+	const segBlocks = 16
+	k := sim.NewKernel()
+	bus := dev.NewBus(k, "scsi", dev.SCSIBusRate)
+	disk := dev.NewDisk(k, dev.RZ57, int64(160*segBlocks), bus)
+	juke := jukebox.New(k, jukebox.MO6300, 2, 6, 24, segBlocks*lfs.BlockSize, bus)
+	cfg := Config{
+		SegBlocks:   segBlocks,
+		Disks:       []dev.BlockDev{disk},
+		Jukeboxes:   []jukebox.Footprint{juke},
+		CacheSegs:   20,
+		MaxInodes:   512,
+		BufferBytes: 1 << 20,
+	}
+
+	// Well above the acceptance floor (1% transient, 0.1% permanent).
+	// MaxBurst stays below the default retry budget so every transient
+	// fault is recoverable.
+	plan := fault.NewPlan(fault.Config{
+		Seed:               chaosSeed,
+		TransientReadRate:  0.05,
+		TransientWriteRate: 0.05,
+		PermanentReadRate:  0.002,
+		PermanentWriteRate: 0.06,
+		LoadFailRate:       0.01,
+		MaxBurst:           3,
+	})
+	plan.InstallJukebox("mo", juke)
+	// Two outage windows on drive 1; drive 0 stays healthy throughout, so
+	// requests during an outage fail over instead of failing.
+	plan.AddOutage(juke, fault.Outage{Drive: 1, Start: 30 * sim.Time(time.Second), End: 90 * sim.Time(time.Second)})
+	plan.AddOutage(juke, fault.Outage{Drive: 1, Start: 200 * sim.Time(time.Second), End: 260 * sim.Time(time.Second)})
+	plan.Start(k)
+
+	model := map[string][]byte{}
+	var names, lost []string
+	rng := sim.NewRNG(chaosSeed)
+	var digest string
+
+	k.RunProc(func(p *sim.Proc) {
+		hl, err := New(p, cfg, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hl.FS.AttachCleaner(6, 10)
+
+		// markLost records graceful degradation: a file whose bytes sat on
+		// media that went permanently bad. It leaves the namespace alone —
+		// only the model stops expecting the data back.
+		markLost := func(name string) {
+			delete(model, name)
+			for i, n := range names {
+				if n == name {
+					names = append(names[:i], names[i+1:]...)
+					break
+				}
+			}
+			lost = append(lost, name)
+		}
+		verify := func(name string) {
+			f, err := hl.FS.Open(p, name)
+			if err != nil {
+				if errors.Is(err, tertiary.ErrSegmentUnavailable) {
+					markLost(name)
+					return
+				}
+				t.Fatalf("open %s: %v", name, err)
+			}
+			want := model[name]
+			got := make([]byte, len(want))
+			if _, err := f.ReadAt(p, got, 0); err != nil && err != io.EOF {
+				if errors.Is(err, tertiary.ErrSegmentUnavailable) {
+					markLost(name)
+					return
+				}
+				t.Fatalf("read %s: %v", name, err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("%s corrupted: surviving data diverged from model", name)
+			}
+		}
+
+		for op := 0; op < 300; op++ {
+			p.Sleep(time.Duration(rng.Intn(1000)) * time.Millisecond)
+			switch r := rng.Intn(100); {
+			case r < 30 || len(names) == 0: // create
+				if len(names) >= 25 {
+					continue
+				}
+				name := "/c" + itoa(op)
+				data := make([]byte, rng.Intn(10*lfs.BlockSize)+1)
+				for i := range data {
+					data[i] = byte(rng.Intn(256))
+				}
+				f, err := hl.FS.Create(p, name)
+				if err != nil {
+					t.Fatalf("op %d create: %v", op, err)
+				}
+				if _, err := f.WriteAt(p, data, 0); err != nil {
+					t.Fatalf("op %d write: %v", op, err)
+				}
+				model[name] = data
+				names = append(names, name)
+			case r < 45: // overwrite a slice
+				name := names[rng.Intn(len(names))]
+				cur := model[name]
+				off := rng.Intn(len(cur))
+				patch := make([]byte, rng.Intn(2*lfs.BlockSize)+1)
+				for i := range patch {
+					patch[i] = byte(rng.Intn(256))
+				}
+				f, err := hl.FS.Open(p, name)
+				if err == nil {
+					_, err = f.WriteAt(p, patch, int64(off))
+				}
+				if err != nil {
+					if errors.Is(err, tertiary.ErrSegmentUnavailable) {
+						markLost(name)
+						continue
+					}
+					t.Fatalf("op %d overwrite: %v", op, err)
+				}
+				if off+len(patch) > len(cur) {
+					grown := make([]byte, off+len(patch))
+					copy(grown, cur)
+					cur = grown
+				}
+				copy(cur[off:], patch)
+				model[name] = cur
+			case r < 52: // delete
+				i := rng.Intn(len(names))
+				name := names[i]
+				if err := hl.FS.Remove(p, name); err != nil {
+					if errors.Is(err, tertiary.ErrSegmentUnavailable) {
+						markLost(name)
+						continue
+					}
+					t.Fatalf("op %d remove: %v", op, err)
+				}
+				delete(model, name)
+				names = append(names[:i], names[i+1:]...)
+			case r < 72: // migrate a random file (whole or partial)
+				name := names[rng.Intn(len(names))]
+				f, err := hl.FS.Open(p, name)
+				if err == nil {
+					if rng.Intn(2) == 0 {
+						_, err = hl.MigrateFiles(p, []uint32{f.Inum()}, rng.Intn(2) == 0)
+					} else if err = hl.FS.Sync(p); err == nil {
+						var refs []lfs.BlockRef
+						refs, err = hl.FS.FileBlockRefs(p, f.Inum())
+						if err == nil {
+							if len(refs) > 1 {
+								refs = refs[:1+rng.Intn(len(refs)-1)]
+							}
+							_, err = hl.MigrateRefs(p, refs)
+						}
+					}
+				}
+				if err != nil && !errors.Is(err, ErrNoTertiarySpace) {
+					if errors.Is(err, tertiary.ErrSegmentUnavailable) {
+						markLost(name)
+					} else {
+						t.Fatalf("op %d migrate: %v", op, err)
+					}
+				}
+				if err := hl.CompleteMigration(p); err != nil && !errors.Is(err, ErrNoTertiarySpace) {
+					t.Fatalf("op %d complete: %v", op, err)
+				}
+			case r < 80: // eject cache lines (sorted: Lines() is map-ordered)
+				lines := hl.Cache.Lines()
+				sort.Slice(lines, func(a, b int) bool { return lines[a].Tag < lines[b].Tag })
+				for _, l := range lines {
+					if l.Staging || l.Pins > 0 {
+						continue
+					}
+					if rng.Intn(2) == 0 {
+						if err := hl.Svc.Eject(l.Tag); err != nil {
+							t.Fatal(err)
+						}
+					}
+				}
+			case r < 88: // verify a random file
+				verify(names[rng.Intn(len(names))])
+			case r < 94: // disk cleaning
+				segs := hl.FS.SelectCleanable(2)
+				if len(segs) > 0 {
+					if _, err := hl.FS.CleanSegments(p, segs); err != nil {
+						t.Fatalf("op %d clean: %v", op, err)
+					}
+				}
+			default: // tertiary volume cleaning
+				if u, ok := hl.SelectCleanableVolume(); ok {
+					_, err := hl.CleanVolume(p, u.Device, u.Volume)
+					if err != nil && !errors.Is(err, ErrNoTertiarySpace) &&
+						!errors.Is(err, tertiary.ErrSegmentUnavailable) {
+						t.Fatalf("op %d cleanvolume: %v", op, err)
+					}
+				}
+			}
+		}
+
+		// Settle every in-flight write, then verify all survivors: zero
+		// corrupted reads, no staged block lost.
+		if err := hl.CompleteMigration(p); err != nil && !errors.Is(err, ErrNoTertiarySpace) {
+			t.Fatalf("final complete: %v", err)
+		}
+		for _, name := range append([]string(nil), names...) {
+			verify(name)
+		}
+		if err := hl.FS.Checkpoint(p); err != nil {
+			t.Fatal(err)
+		}
+
+		ss := hl.Svc.Stats()
+		pc := plan.DeviceCounts("mo")
+		js := juke.Stats()
+		if pc.Transient == 0 {
+			t.Fatal("fault plan injected no transient errors")
+		}
+		if ss.TransientRetries == 0 {
+			t.Fatal("no transient error was retried")
+		}
+		if ss.RetriesExhausted != 0 {
+			t.Fatalf("%d operations exhausted the retry budget (transient faults must all recover)", ss.RetriesExhausted)
+		}
+		if ss.CopyoutFaults == 0 {
+			t.Fatal("fault plan produced no permanent write errors; raise rates or change the seed")
+		}
+		if hl.RetiredSegments() == 0 {
+			t.Fatal("permanent write errors occurred but no segment was retired")
+		}
+		if got := hl.Svc.FailedWrites(); len(got) != 0 {
+			t.Fatalf("unresolved failed writes at shutdown: %v", got)
+		}
+		if js.Failovers == 0 {
+			t.Fatal("drive outage windows produced no failovers")
+		}
+		if len(lost) > 0 && pc.BadSegs == 0 {
+			t.Fatalf("files lost (%v) without any permanent media fault", lost)
+		}
+
+		// Digest: everything a divergent run could differ in.
+		h := sha256.New()
+		for _, name := range names {
+			fmt.Fprintf(h, "%s:%x\n", name, sha256.Sum256(model[name]))
+		}
+		fmt.Fprintf(h, "lost:%v\n", lost)
+		fmt.Fprintf(h, "svc:%+v\n", ss)
+		fmt.Fprintf(h, "faults:%+v juke:%+v retired:%d\n", pc, js, hl.RetiredSegments())
+		fmt.Fprintf(h, "now:%d\n", int64(p.Now()))
+		digest = fmt.Sprintf("%x files=%d lost=%d retired=%d retries=%d", h.Sum(nil), len(names), len(lost), hl.RetiredSegments(), ss.TransientRetries)
+	})
+	k.Stop()
+	return digest
+}
+
+// TestChaosSoakUnderFaultPlan is the tentpole robustness check: a full
+// randomized workload under injected media errors, drive outages, and
+// load failures must end with zero corruption on surviving segments,
+// every transient fault recovered, every permanent write fault retired
+// and restaged, a clean shutdown — and the whole run bit-identical when
+// repeated with the same seed.
+func TestChaosSoakUnderFaultPlan(t *testing.T) {
+	d1 := runChaosSoak(t)
+	d2 := runChaosSoak(t)
+	if d1 != d2 {
+		t.Fatalf("chaos run is not deterministic:\n  run 1: %s\n  run 2: %s", d1, d2)
+	}
+}

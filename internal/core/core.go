@@ -94,7 +94,17 @@ type HighLight struct {
 	Replicas   int
 	replicaOf  map[int][]int // primary tag -> replica tags
 	replicaTag map[int]int   // replica tag -> primary tag
+
+	retiredSegs int64 // tertiary segments retired after permanent write errors
 }
+
+// RetiredSegments reports how many tertiary segments were retired (marked
+// no-store) after permanent media write errors, each followed by a
+// restage of its contents onto fresh media.
+func (hl *HighLight) RetiredSegments() int64 { return hl.retiredSegs }
+
+// Jukeboxes exposes the tertiary devices (for fault reports and dumps).
+func (hl *HighLight) Jukeboxes() []jukebox.Footprint { return hl.jukes }
 
 type copyoutRec struct {
 	tag    int
@@ -326,6 +336,7 @@ type Stats struct {
 	CacheLines   int
 	CacheLineCap int
 	TertSegsUsed int
+	RetiredSegs  int64
 }
 
 // Stats returns a snapshot across the file system, the tertiary service,
@@ -338,6 +349,7 @@ func (hl *HighLight) Stats() Stats {
 		CleanSegs:    hl.FS.CleanSegs(),
 		CacheLines:   hl.Cache.Len(),
 		CacheLineCap: hl.Cache.Capacity(),
+		RetiredSegs:  hl.retiredSegs,
 	}
 	for i := 0; i < hl.FS.TsegCount(); i++ {
 		if hl.FS.TsegUsage(i).Flags&lfs.SegDirty != 0 {

@@ -298,6 +298,64 @@ func TestEndOfMediumRestagesOnNextVolume(t *testing.T) {
 	e.k.Stop()
 }
 
+func TestPermanentWriteErrorRetiresAndRestages(t *testing.T) {
+	e := newHL(t, 64, 8, 3, 8)
+	// The first tertiary segment (vol 0, seg 0) is permanently bad for
+	// writes: the first copyout fails, the segment must be retired, and
+	// the staged bytes must land on a fresh segment instead.
+	e.juke.Fault = func(op string, vol, seg int) error {
+		if op == "write" && vol == 0 && seg == 0 {
+			return dev.ErrPermanentMedia
+		}
+		return nil
+	}
+	e.run(t, func(p *sim.Proc) {
+		hl := e.hl
+		data := pat(9, 12*lfs.BlockSize) // fits one staging segment
+		f := put(t, p, hl, "/fragile", data)
+		if _, err := hl.MigrateFiles(p, []uint32{f.Inum()}, false); err != nil {
+			t.Fatal(err)
+		}
+		if err := hl.CompleteMigration(p); err != nil {
+			t.Fatal(err)
+		}
+		if hl.RetiredSegments() != 1 {
+			t.Fatalf("RetiredSegments = %d, want 1", hl.RetiredSegments())
+		}
+		if hl.FS.TsegUsage(0).Flags&lfs.SegNoStore == 0 {
+			t.Fatal("bad segment 0 not marked no-store")
+		}
+		if hl.Svc.Stats().CopyoutFaults == 0 {
+			t.Fatal("permanent write error not counted")
+		}
+		// The restage must be complete: no staging lines left, and the
+		// data must survive a full eviction + demand fetch round trip.
+		hl.FS.DropFileBuffers(p, f.Inum())
+		for _, l := range hl.Cache.Lines() {
+			if l.Staging {
+				t.Fatalf("staging line %d survived CompleteMigration", l.Tag)
+			}
+			if err := hl.Svc.Eject(l.Tag); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if got := get(t, p, f); !bytes.Equal(got, data) {
+			t.Fatal("data lost across permanent-write restage")
+		}
+		// The retired segment must never be picked for staging again.
+		if _, err := hl.MigrateFiles(p, []uint32{f.Inum()}, false); err != nil {
+			t.Fatal(err)
+		}
+		if err := hl.CompleteMigration(p); err != nil {
+			t.Fatal(err)
+		}
+		if hl.RetiredSegments() != 1 {
+			t.Fatalf("retired count moved to %d: allocator reused a retired segment", hl.RetiredSegments())
+		}
+	})
+	e.k.Stop()
+}
+
 func TestDelayedCopyouts(t *testing.T) {
 	e := newHL(t, 64, 8, 4, 16)
 	e.run(t, func(p *sim.Proc) {

@@ -257,15 +257,18 @@ func (hl *HighLight) MigrateFiles(p *sim.Proc, inums []uint32, migrateInodes boo
 
 // CompleteMigration closes the open staging segment, flushes delayed
 // copyouts, waits for the tertiary writes, handles end-of-medium retries
-// (re-staging partial segments onto the next volume, §6.3), and
-// checkpoints so the new bindings are durable.
+// (re-staging partial segments onto the next volume, §6.3) and
+// unrecoverable write errors (retiring the bad segment and re-staging its
+// contents onto fresh media), and checkpoints so the new bindings are
+// durable.
 func (hl *HighLight) CompleteMigration(p *sim.Proc) error {
 	hl.finishStaging(p)
 	hl.FlushCopyouts(p)
 	for {
 		hl.Svc.DrainCopyouts(p)
 		failed := hl.Svc.FailedCopyouts()
-		if len(failed) == 0 {
+		bad := hl.Svc.FailedWrites()
+		if len(failed) == 0 && len(bad) == 0 {
 			break
 		}
 		for _, tag := range failed {
@@ -277,7 +280,25 @@ func (hl *HighLight) CompleteMigration(p *sim.Proc) error {
 				hl.retireVolumeOf(tag)
 				continue
 			}
-			if err := hl.restageSegment(p, tag); err != nil {
+			if err := hl.restageSegment(p, tag, true); err != nil {
+				return err
+			}
+		}
+		for _, tag := range bad {
+			if tag < 0 || tag >= hl.FS.TsegCount() {
+				// A corrupted tag reached the copyout path; there is no
+				// segment to retire and no line to restage.
+				return fmt.Errorf("core: copyout of unmappable tertiary index %d failed", tag)
+			}
+			if primary, isReplica := hl.replicaTag[tag]; isReplica {
+				// A replica landed on bad media: the primary is intact.
+				// Drop the replica; its segment was reserved no-store at
+				// allocation, so marking it retired keeps it out of use.
+				hl.dropReplica(primary, tag)
+				hl.retiredSegs++
+				continue
+			}
+			if err := hl.restageSegment(p, tag, false); err != nil {
 				return err
 			}
 		}
@@ -316,15 +337,23 @@ func (hl *HighLight) retireVolumeOf(tag int) {
 	}
 }
 
-// restageSegment handles a copyout that hit end-of-medium: the volume is
-// marked full (its unwritten segments get no storage) and the partially
-// written segment's contents move to a fresh segment on the next volume.
-func (hl *HighLight) restageSegment(p *sim.Proc, tag int) error {
+// restageSegment handles a copyout that could not reach tag's tertiary
+// segment. With wholeVolume set (end-of-medium, §6.3) the volume is
+// marked full — its unwritten segments get no storage; otherwise (a
+// permanent media error) only the bad segment is retired. Either way the
+// staged contents move to a fresh segment. Retirement happens before the
+// restage so the allocator can never re-pick the bad segment.
+func (hl *HighLight) restageSegment(p *sim.Proc, tag int, wholeVolume bool) error {
 	line, ok := hl.Cache.Peek(tag)
 	if !ok {
 		return fmt.Errorf("core: failed copyout of segment %d has no cache line", tag)
 	}
-	hl.retireVolumeOf(tag)
+	if wholeVolume {
+		hl.retireVolumeOf(tag)
+	} else {
+		hl.FS.MarkTsegNoStore(tag)
+		hl.retiredSegs++
+	}
 	seg := hl.Amap.SegForIndex(tag)
 	// Parse the staged image off the cache line and rebuild refs with
 	// their (failed) tertiary addresses.

@@ -10,6 +10,7 @@
 package dev
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"time"
@@ -20,6 +21,20 @@ import (
 // BlockSize is the file system block size in bytes (§6.2 of the paper:
 // 4-kilobyte units addressed by 32-bit block pointers).
 const BlockSize = 4096
+
+// Fault classes. Injected device errors (Disk.Fault, jukebox Fault hooks)
+// wrap one of these sentinels so the recovery layer in internal/tertiary
+// can classify a failure without knowing which injector produced it:
+// transient errors are retried with backoff, permanent errors retire the
+// affected segment.
+var (
+	// ErrTransientMedia is a recoverable media error (dust, vibration,
+	// marginal signal): the same operation may succeed when retried.
+	ErrTransientMedia = errors.New("dev: transient media error")
+	// ErrPermanentMedia is an unrecoverable media defect: every retry of
+	// an operation on the affected region fails.
+	ErrPermanentMedia = errors.New("dev: permanent media error")
+)
 
 // BlockDev is a random-access array of fixed-size blocks with timed I/O.
 // Reads of never-written blocks return zeroes.
@@ -160,6 +175,7 @@ type DiskStats struct {
 	BytesRead, BytesWritten int64
 	SeekTime, RotTime       sim.Time
 	MediaTime               sim.Time
+	ReadFaults, WriteFaults int64 // operations aborted by the Fault hook
 }
 
 // Disk is a timed magnetic disk with a sparse in-memory backing store.
@@ -247,6 +263,7 @@ func (d *Disk) ReadBlocks(p *sim.Proc, blk int64, buf []byte) error {
 	}
 	if d.Fault != nil {
 		if err := d.Fault("read", blk); err != nil {
+			d.stats.ReadFaults++
 			return err
 		}
 	}
@@ -294,6 +311,7 @@ func (d *Disk) WriteBlocks(p *sim.Proc, blk int64, buf []byte) error {
 	}
 	if d.Fault != nil {
 		if err := d.Fault("write", blk); err != nil {
+			d.stats.WriteFaults++
 			return err
 		}
 	}

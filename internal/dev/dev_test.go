@@ -245,6 +245,37 @@ func TestFaultInjection(t *testing.T) {
 	})
 }
 
+func TestFaultCountersAndSentinels(t *testing.T) {
+	k := sim.NewKernel()
+	d := NewDisk(k, RZ57, 1024, nil)
+	d.Fault = func(op string, blk int64) error {
+		switch op {
+		case "read":
+			return ErrTransientMedia
+		case "write":
+			return ErrPermanentMedia
+		}
+		return nil
+	}
+	k.RunProc(func(p *sim.Proc) {
+		buf := make([]byte, BlockSize)
+		if err := d.ReadBlocks(p, 0, buf); !errors.Is(err, ErrTransientMedia) {
+			t.Errorf("read fault = %v, want errors.Is ErrTransientMedia", err)
+		}
+		if err := d.WriteBlocks(p, 0, buf); !errors.Is(err, ErrPermanentMedia) {
+			t.Errorf("write fault = %v, want errors.Is ErrPermanentMedia", err)
+		}
+	})
+	s := d.Stats()
+	if s.ReadFaults != 1 || s.WriteFaults != 1 {
+		t.Fatalf("fault counters = %d/%d, want 1/1", s.ReadFaults, s.WriteFaults)
+	}
+	// Faulted operations must not be counted as completed transfers.
+	if s.Reads != 0 || s.Writes != 0 {
+		t.Fatalf("faulted ops counted as transfers: reads=%d writes=%d", s.Reads, s.Writes)
+	}
+}
+
 func TestStatsAccumulate(t *testing.T) {
 	k := sim.NewKernel()
 	d := NewDisk(k, RZ57, 1024, nil)

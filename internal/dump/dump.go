@@ -190,6 +190,28 @@ func Hierarchy(p *sim.Proc, w io.Writer, hl *core.HighLight) error {
 	return nil
 }
 
+// Faults renders the fault-visibility report: per-device counters of
+// injected (Fault-hook) errors and drive failovers, the recovery
+// counters of the tertiary service, and the retired-segment tally.
+func Faults(w io.Writer, hl *core.HighLight) {
+	fmt.Fprintln(w, "Fault injection & recovery")
+	devs := hl.Svc.DeviceFaults()
+	if len(devs) == 0 {
+		fmt.Fprintln(w, "  (no instrumented devices)")
+	}
+	for _, d := range devs {
+		fmt.Fprintf(w, "  device %-12s injected: %d read / %d write / %d load faults   failovers: %d\n",
+			d.Name, d.ReadFaults, d.WriteFaults, d.LoadFaults, d.Failovers)
+	}
+	st := hl.Svc.Stats()
+	fmt.Fprintf(w, "  recovery: %d transient retries, %d budgets exhausted, %d replica redirects\n",
+		st.TransientRetries, st.RetriesExhausted, st.ReplicaRedirects)
+	fmt.Fprintf(w, "  failures past recovery: %d fetches, %d copyouts (EOM retries: %d)\n",
+		st.FetchFaults, st.CopyoutFaults, st.EOMRetries)
+	fmt.Fprintf(w, "  retired tertiary segments (bad media, contents restaged): %d\n",
+		hl.RetiredSegments())
+}
+
 // DataPath narrates a demand fetch through the layered architecture of
 // Figure 5: file system -> block map driver -> segment cache -> tertiary
 // driver -> service process -> I/O server -> Footprint -> device.

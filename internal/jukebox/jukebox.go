@@ -25,6 +25,23 @@ import (
 // segment to the next volume.
 var ErrEndOfMedium = errors.New("jukebox: end of medium")
 
+// Typed sentinel errors, errors.Is-matchable so the recovery layer can
+// tell programmer bugs (bad arguments, WORM violations: never retried)
+// from media and mechanism faults (retried or failed over).
+var (
+	// ErrWriteOnce is returned when a written segment of a write-once
+	// medium is overwritten. It marks a software bug in the caller, not a
+	// media fault, and must never be retried.
+	ErrWriteOnce = errors.New("jukebox: write-once violation")
+	// ErrOutOfRange is returned for a volume, segment, or buffer size
+	// outside the device geometry — likewise a programmer bug.
+	ErrOutOfRange = errors.New("jukebox: argument out of range")
+	// ErrDriveOffline is returned when no healthy drive can serve a
+	// request (all drives offline/stuck). It is treated as transient:
+	// the drive may come back, so callers retry with backoff.
+	ErrDriveOffline = errors.New("jukebox: no healthy drive available")
+)
+
 // Footprint is Sequoia's abstract robotic storage interface: HighLight sees
 // volumes of segments and never the device details (§6.5). The library is
 // linked into the I/O server; an RPC transport could implement the same
@@ -94,13 +111,19 @@ var (
 	}
 )
 
-// Stats accumulates jukebox counters, used for the Table 4 breakdown.
+// Stats accumulates jukebox counters, used for the Table 4 breakdown and
+// the fault-visibility report (hldump -faults).
 type Stats struct {
 	Swaps                   int64
 	SwapTime                sim.Time
 	Reads, Writes           int64
 	BytesRead, BytesWritten int64
 	ReadTime, WriteTime     sim.Time // includes positioning and swaps
+
+	ReadFaults  int64 // reads aborted by the Fault hook
+	WriteFaults int64 // writes aborted by the Fault hook
+	LoadFaults  int64 // volume loads aborted by the Fault hook
+	Failovers   int64 // requests redirected off an offline drive
 }
 
 type volume struct {
@@ -117,6 +140,7 @@ type drive struct {
 	loaded  int // volume index, -1 if empty
 	pos     int // head position in segments
 	lastUse sim.Time
+	offline bool // stuck or failed: not eligible for new requests
 }
 
 // Jukebox is a simulated robotic storage device implementing Footprint.
@@ -141,6 +165,10 @@ type Jukebox struct {
 	WriteOnce bool
 
 	// Fault, if non-nil, may inject media errors per (op, vol, seg).
+	// op is "read" or "write" (checked before the transfer), or "load"
+	// with seg == -1 (checked before a media swap loads vol into a
+	// drive). Injected errors should wrap dev.ErrTransientMedia or
+	// dev.ErrPermanentMedia so the recovery layer can classify them.
 	Fault func(op string, vol, seg int) error
 }
 
@@ -215,11 +243,12 @@ func (j *Jukebox) EraseVolume(vol int) {
 // LoadedVolume reports which volume drive d holds (-1 if empty).
 func (j *Jukebox) LoadedVolume(d int) int { return j.drives[d].loaded }
 
-// VolumeLoaded reports whether vol currently sits in any drive (no swap
-// needed to access it) — the "closest copy" test of §5.4.
+// VolumeLoaded reports whether vol currently sits in a healthy drive (no
+// swap needed to access it) — the "closest copy" test of §5.4. A volume
+// stuck in an offline drive does not count: serving it requires a swap.
 func (j *Jukebox) VolumeLoaded(vol int) bool {
 	for _, d := range j.drives {
-		if d.loaded == vol {
+		if d.loaded == vol && !d.offline {
 			return true
 		}
 	}
@@ -228,66 +257,131 @@ func (j *Jukebox) VolumeLoaded(vol int) bool {
 
 func (j *Jukebox) checkArgs(vol, seg int, buf []byte) error {
 	if vol < 0 || vol >= len(j.vols) {
-		return fmt.Errorf("jukebox: volume %d out of range [0,%d)", vol, len(j.vols))
+		return fmt.Errorf("%w: volume %d not in [0,%d)", ErrOutOfRange, vol, len(j.vols))
 	}
 	if seg < 0 || seg >= j.vols[vol].nominalSegs {
-		return fmt.Errorf("jukebox: segment %d out of range [0,%d)", seg, j.vols[vol].nominalSegs)
+		return fmt.Errorf("%w: segment %d not in [0,%d)", ErrOutOfRange, seg, j.vols[vol].nominalSegs)
 	}
 	if len(buf) != j.segBytes {
-		return fmt.Errorf("jukebox: buffer %d bytes, want %d", len(buf), j.segBytes)
+		return fmt.Errorf("%w: buffer %d bytes, want %d", ErrOutOfRange, len(buf), j.segBytes)
 	}
 	return nil
 }
 
-// driveFor selects and loads a drive for volume vol, paying swap costs as
-// needed, and returns it with its arm held.
-func (j *Jukebox) driveFor(p *sim.Proc, vol int, forWrite bool) *drive {
-	// A volume already in a drive is always served there (the writing
-	// drive also fulfils read requests for its platter, §7).
+// NumDrives reports how many drives the jukebox has.
+func (j *Jukebox) NumDrives() int { return len(j.drives) }
+
+// SetDriveOffline marks drive d unhealthy (stuck robot arm, failed drive)
+// or returns it to service. An offline drive finishes its in-flight
+// operation but accepts no new requests; other drives take over (failover)
+// until every drive is offline, at which point operations fail with
+// ErrDriveOffline.
+func (j *Jukebox) SetDriveOffline(d int, offline bool) {
+	j.drives[d].offline = offline
+}
+
+// DriveOffline reports whether drive d is out of service.
+func (j *Jukebox) DriveOffline(d int) bool { return j.drives[d].offline }
+
+// healthyDrives reports how many drives accept new requests.
+func (j *Jukebox) healthyDrives() int {
+	n := 0
 	for _, d := range j.drives {
-		if d.loaded == vol {
+		if !d.offline {
+			n++
+		}
+	}
+	return n
+}
+
+// driveFor selects and loads a drive for volume vol, paying swap costs as
+// needed, and returns it with its arm held. Offline drives are skipped
+// (failover to the remaining drives); with every drive offline it fails
+// with ErrDriveOffline, which the recovery layer retries with backoff.
+func (j *Jukebox) driveFor(p *sim.Proc, vol int, forWrite bool) (*drive, error) {
+	for attempt := 0; attempt <= len(j.drives); attempt++ {
+		if j.healthyDrives() == 0 {
+			return nil, fmt.Errorf("%w: %s: %d drives, all offline", ErrDriveOffline, j.prof.Name, len(j.drives))
+		}
+		// A volume already in a healthy drive is always served there
+		// (the writing drive also fulfils read requests for its
+		// platter, §7).
+		for _, d := range j.drives {
+			if d.loaded != vol {
+				continue
+			}
+			if d.offline {
+				// The natural drive is stuck: fail over to another
+				// drive (which pays a swap to re-load the volume).
+				j.stats.Failovers++
+				break
+			}
 			d.arm.Acquire(p)
-			if d.loaded == vol { // still there after waiting
+			if d.loaded == vol && !d.offline { // still there after waiting
 				d.lastUse = p.Now()
-				return d
+				return d, nil
 			}
 			d.arm.Release(p)
 			break
 		}
-	}
-	// Choose a drive to (re)load: the reserved write drive for writes,
-	// otherwise the least-recently-used non-reserved drive.
-	var pick *drive
-	if forWrite && j.WriteDrive >= 0 {
-		pick = j.drives[j.WriteDrive]
-	} else {
-		for _, d := range j.drives {
-			if j.WriteDrive >= 0 && d.id == j.WriteDrive && len(j.drives) > 1 && !forWrite {
-				continue
-			}
-			if pick == nil || d.lastUse < pick.lastUse {
-				pick = d
-			}
-		}
-	}
-	pick.arm.Acquire(p)
-	if pick.loaded != vol {
-		// Swap: the picker works while the simple (non-disconnecting)
-		// driver hogs the SCSI bus for the entire media change (§7).
-		j.picker.Acquire(p)
-		if j.bus != nil {
-			j.bus.Hold(p, j.prof.SwapTime)
+		// Choose a drive to (re)load: the reserved write drive for
+		// writes, otherwise the least-recently-used non-reserved drive —
+		// offline drives excluded in both cases.
+		var pick *drive
+		if forWrite && j.WriteDrive >= 0 && !j.drives[j.WriteDrive].offline {
+			pick = j.drives[j.WriteDrive]
 		} else {
-			p.Sleep(j.prof.SwapTime)
+			if forWrite && j.WriteDrive >= 0 {
+				j.stats.Failovers++ // reserved write drive is down
+			}
+			for _, d := range j.drives {
+				if d.offline {
+					continue
+				}
+				if j.WriteDrive >= 0 && d.id == j.WriteDrive && !forWrite &&
+					j.healthyDrives() > 1 && !j.drives[j.WriteDrive].offline {
+					continue
+				}
+				if pick == nil || d.lastUse < pick.lastUse {
+					pick = d
+				}
+			}
 		}
-		j.picker.Release(p)
-		pick.loaded = vol
-		pick.pos = 0
-		j.stats.Swaps++
-		j.stats.SwapTime += j.prof.SwapTime
+		if pick == nil {
+			continue // raced with drives going offline: re-evaluate
+		}
+		pick.arm.Acquire(p)
+		if pick.offline { // went offline while we waited for the arm
+			pick.arm.Release(p)
+			j.stats.Failovers++
+			continue
+		}
+		if pick.loaded != vol {
+			if j.Fault != nil {
+				if err := j.Fault("load", vol, -1); err != nil {
+					j.stats.LoadFaults++
+					pick.arm.Release(p)
+					return nil, err
+				}
+			}
+			// Swap: the picker works while the simple (non-disconnecting)
+			// driver hogs the SCSI bus for the entire media change (§7).
+			j.picker.Acquire(p)
+			if j.bus != nil {
+				j.bus.Hold(p, j.prof.SwapTime)
+			} else {
+				p.Sleep(j.prof.SwapTime)
+			}
+			j.picker.Release(p)
+			pick.loaded = vol
+			pick.pos = 0
+			j.stats.Swaps++
+			j.stats.SwapTime += j.prof.SwapTime
+		}
+		pick.lastUse = p.Now()
+		return pick, nil
 	}
-	pick.lastUse = p.Now()
-	return pick
+	return nil, fmt.Errorf("%w: %s: no drive settled for volume %d", ErrDriveOffline, j.prof.Name, vol)
 }
 
 // position pays the within-volume positioning cost to reach seg.
@@ -313,11 +407,15 @@ func (j *Jukebox) ReadSegment(p *sim.Proc, vol, seg int, buf []byte) error {
 	}
 	if j.Fault != nil {
 		if err := j.Fault("read", vol, seg); err != nil {
+			j.stats.ReadFaults++
 			return err
 		}
 	}
 	start := p.Now()
-	d := j.driveFor(p, vol, false)
+	d, err := j.driveFor(p, vol, false)
+	if err != nil {
+		return err
+	}
 	j.position(p, d, seg)
 	p.Sleep(xfer(j.segBytes, j.prof.MediaRead))
 	d.pos = seg + 1
@@ -346,6 +444,7 @@ func (j *Jukebox) WriteSegment(p *sim.Proc, vol, seg int, buf []byte) error {
 	}
 	if j.Fault != nil {
 		if err := j.Fault("write", vol, seg); err != nil {
+			j.stats.WriteFaults++
 			return err
 		}
 	}
@@ -356,14 +455,17 @@ func (j *Jukebox) WriteSegment(p *sim.Proc, vol, seg int, buf []byte) error {
 	}
 	if j.WriteOnce {
 		if _, written := v.store[seg]; written {
-			return fmt.Errorf("jukebox: %s: segment %d/%d is write-once", j.prof.Name, vol, seg)
+			return fmt.Errorf("%w: %s: segment %d/%d already written", ErrWriteOnce, j.prof.Name, vol, seg)
 		}
 	}
 	start := p.Now()
 	if j.bus != nil {
 		j.bus.Transfer(p, j.segBytes)
 	}
-	d := j.driveFor(p, vol, true)
+	d, err := j.driveFor(p, vol, true)
+	if err != nil {
+		return err
+	}
 	j.position(p, d, seg)
 	p.Sleep(xfer(j.segBytes, j.prof.MediaWrite))
 	d.pos = seg + 1

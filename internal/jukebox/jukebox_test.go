@@ -315,6 +315,141 @@ func TestFaultInjection(t *testing.T) {
 	})
 }
 
+func TestTypedSentinelErrors(t *testing.T) {
+	k := sim.NewKernel()
+	j := New(k, SonyWORM, 1, 2, 4, segBytes, nil)
+	j.WriteOnce = true
+	k.RunProc(func(p *sim.Proc) {
+		buf := make([]byte, segBytes)
+		if err := j.WriteSegment(p, 0, 0, buf); err != nil {
+			t.Fatal(err)
+		}
+		if err := j.WriteSegment(p, 0, 0, buf); !errors.Is(err, ErrWriteOnce) {
+			t.Fatalf("WORM violation = %v, want errors.Is ErrWriteOnce", err)
+		}
+		if err := j.ReadSegment(p, 5, 0, buf); !errors.Is(err, ErrOutOfRange) {
+			t.Fatalf("bad volume = %v, want errors.Is ErrOutOfRange", err)
+		}
+		if err := j.ReadSegment(p, 0, 9, buf); !errors.Is(err, ErrOutOfRange) {
+			t.Fatalf("bad segment = %v, want errors.Is ErrOutOfRange", err)
+		}
+		if err := j.WriteSegment(p, 0, 1, buf[:10]); !errors.Is(err, ErrOutOfRange) {
+			t.Fatalf("short buffer = %v, want errors.Is ErrOutOfRange", err)
+		}
+	})
+}
+
+func TestDriveOfflineFailover(t *testing.T) {
+	k := sim.NewKernel()
+	j := newMO(k, 2, 3, 8)
+	k.RunProc(func(p *sim.Proc) {
+		buf := make([]byte, segBytes)
+		// Reads use the non-reserved drive (1). Load volume 0 there, then
+		// take drive 1 down: the next read of volume 0 must fail over to
+		// drive 0, re-loading the volume with a swap.
+		if err := j.ReadSegment(p, 0, 0, buf); err != nil {
+			t.Fatal(err)
+		}
+		if j.LoadedVolume(1) != 0 {
+			t.Fatalf("drive 1 holds volume %d, want 0", j.LoadedVolume(1))
+		}
+		j.SetDriveOffline(1, true)
+		if err := j.ReadSegment(p, 0, 1, buf); err != nil {
+			t.Fatalf("failover read: %v", err)
+		}
+		if j.LoadedVolume(0) != 0 {
+			t.Fatalf("drive 0 holds volume %d, want 0 after failover", j.LoadedVolume(0))
+		}
+		if j.Stats().Failovers == 0 {
+			t.Fatal("failover not counted")
+		}
+		// Writes reserve drive 0; with it offline and drive 1 healthy,
+		// they must fail over to drive 1.
+		j.SetDriveOffline(1, false)
+		j.SetDriveOffline(0, true)
+		fo := j.Stats().Failovers
+		if err := j.WriteSegment(p, 1, 0, buf); err != nil {
+			t.Fatalf("failover write: %v", err)
+		}
+		if j.LoadedVolume(1) != 1 {
+			t.Fatalf("drive 1 holds volume %d, want 1 after write failover", j.LoadedVolume(1))
+		}
+		if j.Stats().Failovers <= fo {
+			t.Fatal("write failover not counted")
+		}
+		// All drives down: typed, matchable error.
+		j.SetDriveOffline(1, true)
+		if err := j.ReadSegment(p, 0, 2, buf); !errors.Is(err, ErrDriveOffline) {
+			t.Fatalf("all-offline read = %v, want errors.Is ErrDriveOffline", err)
+		}
+		// Recovery: back online, requests succeed again.
+		j.SetDriveOffline(0, false)
+		if err := j.ReadSegment(p, 0, 2, buf); err != nil {
+			t.Fatalf("read after recovery: %v", err)
+		}
+	})
+}
+
+func TestLoadFaultHookBlocksSwap(t *testing.T) {
+	k := sim.NewKernel()
+	j := newMO(k, 1, 2, 4)
+	loadErr := errors.New("robot jam")
+	loads := 0
+	j.Fault = func(op string, vol, seg int) error {
+		if op == "load" {
+			loads++
+			if vol == 1 {
+				return loadErr
+			}
+		}
+		return nil
+	}
+	k.RunProc(func(p *sim.Proc) {
+		buf := make([]byte, segBytes)
+		if err := j.ReadSegment(p, 0, 0, buf); err != nil {
+			t.Fatalf("volume 0 load should pass the hook: %v", err)
+		}
+		if err := j.ReadSegment(p, 1, 0, buf); !errors.Is(err, loadErr) {
+			t.Fatalf("volume 1 load fault not propagated: %v", err)
+		}
+		if loads < 2 {
+			t.Fatalf("load hook fired %d times, want one per swap attempt", loads)
+		}
+		if j.Stats().LoadFaults != 1 {
+			t.Fatalf("LoadFaults = %d, want 1", j.Stats().LoadFaults)
+		}
+		// The drive must not be wedged: volume 0 still readable.
+		if err := j.ReadSegment(p, 0, 1, buf); err != nil {
+			t.Fatalf("drive wedged after load fault: %v", err)
+		}
+	})
+}
+
+func TestFaultCountersPerOp(t *testing.T) {
+	k := sim.NewKernel()
+	j := newMO(k, 1, 1, 4)
+	bad := errors.New("scratch")
+	j.Fault = func(op string, vol, seg int) error {
+		if seg == 3 {
+			return bad
+		}
+		return nil
+	}
+	k.RunProc(func(p *sim.Proc) {
+		buf := make([]byte, segBytes)
+		if err := j.ReadSegment(p, 0, 3, buf); !errors.Is(err, bad) {
+			t.Fatal("read fault not injected")
+		}
+		if err := j.WriteSegment(p, 0, 3, buf); !errors.Is(err, bad) {
+			t.Fatal("write fault not injected")
+		}
+		s := j.Stats()
+		if s.ReadFaults != 1 || s.WriteFaults != 1 {
+			t.Fatalf("fault counters = %d/%d, want 1/1", s.ReadFaults, s.WriteFaults)
+		}
+	})
+}
+
 func TestImageSaveLoadRoundTrip(t *testing.T) {
 	k := sim.NewKernel()
 	j := newMO(k, 2, 3, 8)

@@ -14,6 +14,7 @@ package tertiary
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/addr"
 	"repro/internal/cache"
@@ -21,6 +22,30 @@ import (
 	"repro/internal/jukebox"
 	"repro/internal/sim"
 )
+
+// ErrSegmentUnavailable marks a demand fetch that failed after all
+// recovery options (retries, drive failover, replica fallback) were
+// exhausted. Callers match it with errors.Is and degrade — an EIO to the
+// faulting process — instead of wedging the service loop.
+var ErrSegmentUnavailable = errors.New("tertiary: segment unavailable")
+
+// RetryPolicy bounds the I/O process's recovery from transient faults
+// (media dust, drive-offline windows, volume-load failures). Backoff is
+// virtual time: retries double the delay up to MaxBackoff.
+type RetryPolicy struct {
+	Max        int      // retries after the first attempt
+	Backoff    sim.Time // delay before the first retry
+	MaxBackoff sim.Time // cap on the doubled backoff
+}
+
+// DefaultRetryPolicy survives error bursts a few failures deep while
+// keeping a wedged device from stalling the I/O process for more than a
+// few virtual seconds per request.
+var DefaultRetryPolicy = RetryPolicy{
+	Max:        6,
+	Backoff:    50 * sim.Time(time.Millisecond),
+	MaxBackoff: 5 * sim.Time(time.Second),
+}
 
 // Stats instruments the migration and fetch paths; the Table 4 breakdown
 // is computed from these counters.
@@ -36,6 +61,23 @@ type Stats struct {
 	IORead         sim.Time // I/O process reading staged segments off disk
 	IOWrite        sim.Time // I/O process writing fetched segments to disk
 	Queue          sim.Time // requests waiting before service
+
+	TransientRetries int64 // transient faults retried by the I/O process
+	RetriesExhausted int64 // operations abandoned after the retry budget
+	ReplicaRedirects int64 // fetches served from a replica instead of the primary
+	FetchFaults      int64 // demand fetches that failed past recovery
+	CopyoutFaults    int64 // copyouts that failed for reasons other than end-of-medium
+}
+
+// DeviceFaults is the per-device fault-visibility report: how many
+// operations the injected Fault hooks refused and how often requests were
+// redirected off an offline drive.
+type DeviceFaults struct {
+	Name        string
+	ReadFaults  int64
+	WriteFaults int64
+	LoadFaults  int64
+	Failovers   int64
 }
 
 // Hooks let the owning file system keep its segment bookkeeping current
@@ -95,9 +137,13 @@ type Service struct {
 	outCopy   int // copyouts in flight or queued
 	copyCond  *sim.Cond
 	failed    []int // tags whose copyout hit end-of-medium
+	badWrites []int // tags whose copyout hit an unrecoverable media error
 	prefetchQ []int
 
 	stats Stats
+
+	// Retry governs transient-fault recovery in the I/O process.
+	Retry RetryPolicy
 
 	// Prefetch, if set, returns tertiary segment indices to prefetch
 	// after tag was demand-fetched (§6.2: the service process "may
@@ -137,6 +183,7 @@ func New(k *sim.Kernel, amap *addr.Map, fps []jukebox.Footprint, disk dev.BlockD
 		reqs:    k.NewChan("tertiary.svc", 256),
 		ioreqs:  k.NewChan("tertiary.io", 256),
 		pending: make(map[int]*fetchWait),
+		Retry:   DefaultRetryPolicy,
 	}
 	s.copyCond = k.NewCond("tertiary.copyouts")
 	k.GoDaemon("hl-service", s.serviceLoop)
@@ -156,6 +203,44 @@ func (s *Service) FailedCopyouts() []int {
 	f := s.failed
 	s.failed = nil
 	return f
+}
+
+// FailedWrites returns and clears the tags whose copyout failed with an
+// unrecoverable media error (not end-of-medium). The migrator retires the
+// bad tertiary segment and restages the cache line onto a fresh one.
+func (s *Service) FailedWrites() []int {
+	f := s.badWrites
+	s.badWrites = nil
+	return f
+}
+
+// DeviceFaults reports the per-device injected-fault and failover
+// counters accumulated by the Fault hooks.
+func (s *Service) DeviceFaults() []DeviceFaults {
+	var out []DeviceFaults
+	for i, fp := range s.fps {
+		j, ok := fp.(*jukebox.Jukebox)
+		if !ok {
+			continue
+		}
+		js := j.Stats()
+		out = append(out, DeviceFaults{
+			Name:        fmt.Sprintf("%s[%d]", j.Profile().Name, i),
+			ReadFaults:  js.ReadFaults,
+			WriteFaults: js.WriteFaults,
+			LoadFaults:  js.LoadFaults,
+			Failovers:   js.Failovers,
+		})
+	}
+	if d, ok := s.disk.(*dev.Disk); ok {
+		ds := d.Stats()
+		out = append(out, DeviceFaults{
+			Name:        "cache-disk",
+			ReadFaults:  ds.ReadFaults,
+			WriteFaults: ds.WriteFaults,
+		})
+	}
+	return out
 }
 
 // segBytes is the tertiary transfer unit size.
@@ -305,8 +390,11 @@ func (s *Service) startFetch(p *sim.Proc, r request) {
 
 func (s *Service) finishFetch(p *sim.Proc, r request) {
 	if r.err != nil {
+		s.stats.FetchFaults++
 		s.cache.Release(r.seg)
-		s.resolveFetch(r.tag, r.err)
+		s.resolveFetch(r.tag, fmt.Errorf("tertiary: segment %d: %w: %w", r.tag, ErrSegmentUnavailable, r.err))
+		// The freed line may unblock fetches deferred for lack of space.
+		s.retryDeferred(p)
 		return
 	}
 	s.cache.Insert(r.tag, r.seg, false, p.Now())
@@ -361,6 +449,12 @@ func (s *Service) finishCopyout(p *sim.Proc, r request) {
 	} else if errors.Is(r.err, jukebox.ErrEndOfMedium) {
 		s.stats.EOMRetries++
 		s.failed = append(s.failed, r.tag)
+	} else {
+		// Unrecoverable write: the staging line keeps the sole copy
+		// (Staging stays set, so it cannot be evicted); the migrator
+		// retires the bad tertiary segment and restages elsewhere.
+		s.stats.CopyoutFaults++
+		s.badWrites = append(s.badWrites, r.tag)
 	}
 	s.outCopy--
 	s.copyCond.Broadcast()
@@ -378,8 +472,63 @@ func (s *Service) retryDeferred(p *sim.Proc) {
 	}
 }
 
+// transientFault reports whether err is worth retrying: injected
+// transient media errors and all-drives-offline windows clear on their
+// own; anything else (permanent media damage, programmer bugs like
+// write-once violations, end-of-medium) does not.
+func transientFault(err error) bool {
+	return errors.Is(err, dev.ErrTransientMedia) || errors.Is(err, jukebox.ErrDriveOffline)
+}
+
+// withRetry runs op under the service retry policy, sleeping the
+// (virtual-time, doubling) backoff between attempts. Non-transient errors
+// return immediately.
+func (s *Service) withRetry(p *sim.Proc, op func() error) error {
+	backoff := s.Retry.Backoff
+	for attempt := 0; ; attempt++ {
+		err := op()
+		if err == nil || !transientFault(err) {
+			return err
+		}
+		if attempt >= s.Retry.Max {
+			s.stats.RetriesExhausted++
+			return err
+		}
+		s.stats.TransientRetries++
+		if backoff > 0 {
+			p.Sleep(backoff)
+		}
+		backoff *= 2
+		if backoff > s.Retry.MaxBackoff {
+			backoff = s.Retry.MaxBackoff
+		}
+	}
+}
+
+// readOrder lists the physical copies of tag to try, closest first: a
+// replica whose volume is already loaded beats the primary, and the
+// remaining replicas serve as failover sources when earlier reads fail
+// past the retry budget.
+func (s *Service) readOrder(tag int) []int {
+	cands := []int{tag}
+	if s.AltCopies != nil {
+		cands = append(cands, s.AltCopies(tag)...)
+	}
+	if best := s.closestCopy(tag); best != tag {
+		out := []int{best}
+		for _, c := range cands {
+			if c != best {
+				out = append(out, c)
+			}
+		}
+		return out
+	}
+	return cands
+}
+
 // ioLoop is the I/O process: it executes whole-segment transfers between
-// the disk cache and the Footprint devices.
+// the disk cache and the Footprint devices, recovering from transient
+// faults with bounded retries and falling back across replicas on reads.
 func (s *Service) ioLoop(p *sim.Proc) {
 	buf := make([]byte, s.segBytes())
 	for {
@@ -388,29 +537,45 @@ func (s *Service) ioLoop(p *sim.Proc) {
 			return
 		}
 		r := v.(request)
-		src := r.tag
-		if r.kind == reqFetch {
-			src = s.closestCopy(r.tag)
-		}
-		d, vol, volseg := s.locate(src)
 		switch r.kind {
 		case reqFetch:
-			t0 := p.Now()
-			err := s.fps[d].ReadSegment(p, vol, volseg, buf)
-			s.stats.FootprintRead += p.Now() - t0
+			var err error
+			for _, c := range s.readOrder(r.tag) {
+				d, vol, volseg, lerr := s.locate(c)
+				if lerr != nil {
+					err = lerr
+					continue
+				}
+				t0 := p.Now()
+				err = s.withRetry(p, func() error { return s.fps[d].ReadSegment(p, vol, volseg, buf) })
+				s.stats.FootprintRead += p.Now() - t0
+				if err == nil {
+					if c != r.tag {
+						s.stats.ReplicaRedirects++
+					}
+					break
+				}
+			}
 			if err == nil {
-				t0 = p.Now()
-				err = s.disk.WriteBlocks(p, int64(s.amap.BlockOf(r.seg, 0)), buf)
+				t0 := p.Now()
+				err = s.withRetry(p, func() error {
+					return s.disk.WriteBlocks(p, int64(s.amap.BlockOf(r.seg, 0)), buf)
+				})
 				s.stats.IOWrite += p.Now() - t0
 			}
 			s.reqs.Send(p, request{kind: reqFetchDone, tag: r.tag, seg: r.seg, err: err, enqueued: p.Now()})
 		case reqCopyout:
-			t0 := p.Now()
-			err := s.disk.ReadBlocks(p, int64(s.amap.BlockOf(r.seg, 0)), buf)
-			s.stats.IORead += p.Now() - t0
+			d, vol, volseg, err := s.locate(r.tag)
 			if err == nil {
-				t0 = p.Now()
-				err = s.fps[d].WriteSegment(p, vol, volseg, buf)
+				t0 := p.Now()
+				err = s.withRetry(p, func() error {
+					return s.disk.ReadBlocks(p, int64(s.amap.BlockOf(r.seg, 0)), buf)
+				})
+				s.stats.IORead += p.Now() - t0
+			}
+			if err == nil {
+				t0 := p.Now()
+				err = s.withRetry(p, func() error { return s.fps[d].WriteSegment(p, vol, volseg, buf) })
 				s.stats.FootprintWrite += p.Now() - t0
 			}
 			s.reqs.Send(p, request{kind: reqCopyoutDone, tag: r.tag, seg: r.seg, pinTag: r.pinTag, err: err, enqueued: p.Now()})
@@ -433,7 +598,10 @@ func (s *Service) closestCopy(tag int) int {
 	}
 	cands := append([]int{tag}, s.AltCopies(tag)...)
 	for _, c := range cands {
-		d, vol, _ := s.locate(c)
+		d, vol, _, err := s.locate(c)
+		if err != nil {
+			continue
+		}
 		if vc, ok := s.fps[d].(VolumeLoadedChecker); ok && vc.VolumeLoaded(vol) {
 			return c
 		}
@@ -442,11 +610,16 @@ func (s *Service) closestCopy(tag int) int {
 }
 
 // locate resolves a tertiary segment index to (device, volume, volseg).
-func (s *Service) locate(tag int) (devIdx, vol, volseg int) {
+// An unmappable index — a corrupted tag — is a returned error, not a
+// panic: the request path surfaces it and the simulation degrades.
+func (s *Service) locate(tag int) (devIdx, vol, volseg int, err error) {
+	if tag < 0 || tag >= s.amap.TertSegs() {
+		return 0, 0, 0, fmt.Errorf("tertiary: index %d out of range [0,%d)", tag, s.amap.TertSegs())
+	}
 	seg := s.amap.SegForIndex(tag)
 	d, v, vs, ok := s.amap.Loc(seg)
 	if !ok {
-		panic(fmt.Sprintf("tertiary: index %d does not map to a tertiary segment", tag))
+		return 0, 0, 0, fmt.Errorf("tertiary: index %d does not map to a tertiary segment", tag)
 	}
-	return d, v, vs
+	return d, v, vs, nil
 }

@@ -285,6 +285,169 @@ func TestStallNotification(t *testing.T) {
 	e.k.Stop()
 }
 
+func TestTransientFaultRetriedAndRecovered(t *testing.T) {
+	e := newEnv(t, 4)
+	attempts := 0
+	e.juke.Fault = func(op string, vol, seg int) error {
+		if op == "read" {
+			attempts++
+			if attempts <= 2 {
+				return dev.ErrTransientMedia
+			}
+		}
+		return nil
+	}
+	e.k.RunProc(func(p *sim.Proc) {
+		e.seed(t, p, 3, 0x5C)
+		line, err := e.svc.DemandFetch(p, 3)
+		if err != nil {
+			t.Fatalf("transient fault not recovered: %v", err)
+		}
+		buf := make([]byte, dev.BlockSize)
+		if err := e.disk.ReadBlocks(p, int64(e.amap.BlockOf(line.DiskSeg, 0)), buf); err != nil {
+			t.Fatal(err)
+		}
+		if buf[0] != 0x5C {
+			t.Fatal("recovered fetch delivered wrong bytes")
+		}
+	})
+	s := e.svc.Stats()
+	if s.TransientRetries != 2 {
+		t.Fatalf("TransientRetries = %d, want 2", s.TransientRetries)
+	}
+	if s.RetriesExhausted != 0 || s.FetchFaults != 0 {
+		t.Fatalf("recovered fault recorded as failure: %+v", s)
+	}
+	e.k.Stop()
+}
+
+func TestRetryBudgetExhausted(t *testing.T) {
+	e := newEnv(t, 4)
+	e.svc.Retry = RetryPolicy{Max: 2, Backoff: sim.Time(time.Millisecond), MaxBackoff: sim.Time(time.Second)}
+	e.juke.Fault = func(op string, vol, seg int) error {
+		if op == "read" {
+			return dev.ErrTransientMedia
+		}
+		return nil
+	}
+	e.k.RunProc(func(p *sim.Proc) {
+		_, err := e.svc.DemandFetch(p, 2)
+		if !errors.Is(err, ErrSegmentUnavailable) {
+			t.Fatalf("exhausted retries = %v, want errors.Is ErrSegmentUnavailable", err)
+		}
+		if !errors.Is(err, dev.ErrTransientMedia) {
+			t.Fatalf("cause not preserved in %v", err)
+		}
+		if e.c.FreeLines() != 4 {
+			t.Fatalf("failed fetch leaked a cache line: %d free, want 4", e.c.FreeLines())
+		}
+	})
+	s := e.svc.Stats()
+	if s.RetriesExhausted != 1 {
+		t.Fatalf("RetriesExhausted = %d, want 1", s.RetriesExhausted)
+	}
+	if s.TransientRetries != 2 {
+		t.Fatalf("TransientRetries = %d, want 2 (the budget)", s.TransientRetries)
+	}
+	if s.FetchFaults != 1 {
+		t.Fatalf("FetchFaults = %d, want 1", s.FetchFaults)
+	}
+	e.k.Stop()
+}
+
+func TestPermanentWriteErrorBecomesFailedWrite(t *testing.T) {
+	e := newEnv(t, 4)
+	e.juke.Fault = func(op string, vol, seg int) error {
+		if op == "write" {
+			return dev.ErrPermanentMedia
+		}
+		return nil
+	}
+	e.k.RunProc(func(p *sim.Proc) {
+		seg, _ := e.c.TakeFree()
+		e.c.Insert(6, seg, true, p.Now())
+		e.svc.ScheduleCopyout(p, 6, seg)
+		e.svc.DrainCopyouts(p)
+		if bad := e.svc.FailedWrites(); len(bad) != 1 || bad[0] != 6 {
+			t.Fatalf("FailedWrites = %v, want [6]", bad)
+		}
+		if e.svc.FailedWrites() != nil {
+			t.Fatal("FailedWrites did not clear")
+		}
+		// The staging line survives: it holds the sole copy.
+		l, ok := e.c.Peek(6)
+		if !ok || !l.Staging {
+			t.Fatal("staging line lost after permanent write error")
+		}
+	})
+	s := e.svc.Stats()
+	if s.CopyoutFaults != 1 {
+		t.Fatalf("CopyoutFaults = %d, want 1", s.CopyoutFaults)
+	}
+	if s.TransientRetries != 0 {
+		t.Fatal("permanent error must not be retried")
+	}
+	if s.EOMRetries != 0 {
+		t.Fatal("permanent error misfiled as end-of-medium")
+	}
+	e.k.Stop()
+}
+
+func TestUnmappableIndexReturnsError(t *testing.T) {
+	e := newEnv(t, 4)
+	e.k.RunProc(func(p *sim.Proc) {
+		_, err := e.svc.DemandFetch(p, 9999)
+		if !errors.Is(err, ErrSegmentUnavailable) {
+			t.Fatalf("unmappable index = %v, want errors.Is ErrSegmentUnavailable (not a panic)", err)
+		}
+		if e.c.FreeLines() != 4 {
+			t.Fatalf("cache pool leaked: %d free lines, want 4", e.c.FreeLines())
+		}
+		// The service loop is not wedged.
+		e.seed(t, p, 1, 0x44)
+		if _, err := e.svc.DemandFetch(p, 1); err != nil {
+			t.Fatalf("service wedged after bad index: %v", err)
+		}
+	})
+	e.k.Stop()
+}
+
+func TestReadFailsOverToReplica(t *testing.T) {
+	e := newEnv(t, 4)
+	// Tag 1 lives at vol 0 seg 1 (Geom{4,16}); tag 17 is its replica at
+	// vol 1 seg 1. The primary's media is permanently bad.
+	e.svc.AltCopies = func(tag int) []int {
+		if tag == 1 {
+			return []int{17}
+		}
+		return nil
+	}
+	e.juke.Fault = func(op string, vol, seg int) error {
+		if op == "read" && vol == 0 && seg == 1 {
+			return dev.ErrPermanentMedia
+		}
+		return nil
+	}
+	e.k.RunProc(func(p *sim.Proc) {
+		e.seed(t, p, 17, 0x9D)
+		line, err := e.svc.DemandFetch(p, 1)
+		if err != nil {
+			t.Fatalf("replica failover failed: %v", err)
+		}
+		buf := make([]byte, dev.BlockSize)
+		if err := e.disk.ReadBlocks(p, int64(e.amap.BlockOf(line.DiskSeg, 0)), buf); err != nil {
+			t.Fatal(err)
+		}
+		if buf[0] != 0x9D {
+			t.Fatalf("failover delivered %#x, want the replica's 0x9D", buf[0])
+		}
+	})
+	if e.svc.Stats().ReplicaRedirects != 1 {
+		t.Fatalf("ReplicaRedirects = %d, want 1", e.svc.Stats().ReplicaRedirects)
+	}
+	e.k.Stop()
+}
+
 func TestFetchMediaFailurePropagates(t *testing.T) {
 	e := newEnv(t, 4)
 	mediaErr := errors.New("unreadable platter")
