@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race verify bench
+.PHONY: all build test vet race verify bench crash
 
 all: verify
 
@@ -16,8 +16,15 @@ vet:
 race:
 	$(GO) test -race ./...
 
+# Crash matrix: >= 40 deterministic power cuts across every pipeline
+# phase (seed pinned in crash.DefaultConfig), each recovering with zero
+# fsck problems and zero durability violations. -count=1 forces a fresh
+# run even when the package test cache is warm.
+crash:
+	$(GO) test ./internal/crash/ -run TestCrashMatrix -count=1
+
 # Tier-1 verification: everything CI runs, in order.
-verify: build vet test race
+verify: build vet test race crash
 
 bench:
 	$(GO) test -bench . -benchtime 1x ./internal/bench/

@@ -112,7 +112,7 @@ func BenchmarkTable6_MigratorThroughput(b *testing.B) {
 // drive.
 func demoInstance(b *testing.B, k *sim.Kernel) *core.HighLight {
 	disk := dev.NewDisk(k, dev.RZ57, 128*64, nil)
-	juke := jukebox.New(k, jukebox.MO6300, 2, 4, 32, 64*lfs.BlockSize, nil)
+	juke := jukebox.MustNew(k, jukebox.MO6300, 2, 4, 32, 64*lfs.BlockSize, nil)
 	var hl *core.HighLight
 	k.RunProc(func(p *sim.Proc) {
 		var err error

@@ -26,7 +26,7 @@ import (
 func main() {
 	table := flag.Int("table", 0, "produce only this table (1-6); 0 = all")
 	quick := flag.Bool("quick", false, "reduced-scale configuration for a fast run")
-	ablations := flag.Bool("ablations", false, "also run the policy ablations (cache eviction, copy-out scheduling, STP exponents, migration granularity, media-fault rate)")
+	ablations := flag.Bool("ablations", false, "also run the policy ablations (cache eviction, copy-out scheduling, STP exponents, migration granularity, media-fault rate, crash-recovery cost)")
 	flag.Parse()
 
 	scale := bench.FullScale()
@@ -70,6 +70,7 @@ func main() {
 			bench.AblationSTP,
 			bench.AblationBlockRange,
 			bench.AblationFaultRate,
+			bench.AblationCrashRecovery,
 		} {
 			rep, err := run()
 			if err != nil {

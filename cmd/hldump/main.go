@@ -42,11 +42,12 @@ func main() {
 	summary := flag.Bool("summary", false, "table 1: partial-segment summary format")
 	volumes := flag.Bool("volumes", false, "tertiary volume usage (tsegfile view)")
 	faults := flag.Bool("faults", false, "fault injection & recovery report (per-device counters)")
+	recovery := flag.Bool("recovery", false, "mount recovery report: checkpoint anchor, roll-forward extent, cache-directory rebuild (the demo power-cuts an instance mid-migration and remounts it)")
 	img := flag.String("img", "", "load a file system image directory (from hlfs) instead of the demo")
 	maxSegs := flag.Int("maxsegs", 64, "cap per-segment detail in -layout (0 = all)")
 	flag.Parse()
 
-	all := !*layout && !*addrmap && !*hierarchy && !*datapath && !*summary && !*volumes && !*faults
+	all := !*layout && !*addrmap && !*hierarchy && !*datapath && !*summary && !*volumes && !*faults && !*recovery
 
 	if *summary || all {
 		fmt.Println(bench.Table1())
@@ -101,8 +102,145 @@ func main() {
 			fmt.Println()
 			dump.Faults(os.Stdout, hl)
 		}
+		if (*recovery || all) && *img != "" {
+			// A loaded image went through a real mount: report it.
+			fmt.Println()
+			dump.Recovery(os.Stdout, hl.FS.Recovery(), hl.MountStats(), hl.RetiredSegments())
+		}
 	})
 	k.Stop()
+	if (*recovery || all) && *img == "" {
+		fmt.Println()
+		if err := recoveryDemo(); err != nil {
+			fmt.Fprintf(os.Stderr, "hldump: recovery: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// recoveryDemo tells the -recovery story end to end: populate an
+// instance, checkpoint it, keep writing past the checkpoint with sync
+// barriers, start a migration whose copy-outs are still pending, leave an
+// unsynced tail in the volatile disk write cache — then "cut the power"
+// (keep only the durable device images), remount on a fresh kernel, and
+// report how the mount recovered.
+func recoveryDemo() error {
+	mk := func(k *sim.Kernel) (*dev.Disk, *jukebox.Jukebox) {
+		disk := dev.NewDisk(k, dev.RZ57, 256*64, nil)
+		disk.EnableWriteCache(16)
+		juke := jukebox.MustNew(k, jukebox.MO6300, 2, 4, 32, 64*lfs.BlockSize, nil)
+		return disk, juke
+	}
+	cfg := func(disk *dev.Disk, juke *jukebox.Jukebox) core.Config {
+		return core.Config{
+			SegBlocks: 64,
+			Disks:     []dev.BlockDev{disk},
+			Jukeboxes: []jukebox.Footprint{juke},
+			CacheSegs: 24,
+			MaxInodes: 256,
+		}
+	}
+	k := sim.NewKernel()
+	disk, juke := mk(k)
+	var store map[int64][]byte
+	var vols []jukebox.VolumeImage
+	var cut sim.Time
+	var wdirty int
+	var derr error
+	k.RunProc(func(p *sim.Proc) {
+		hl, err := core.New(p, cfg(disk, juke), true)
+		if err != nil {
+			derr = err
+			return
+		}
+		write := func(name string, blocks int) {
+			if derr != nil {
+				return
+			}
+			f, e := hl.FS.Create(p, name)
+			if e != nil {
+				derr = e
+				return
+			}
+			data := make([]byte, blocks*lfs.BlockSize)
+			for i := range data {
+				data[i] = byte(i + blocks)
+			}
+			if _, e := f.WriteAt(p, data, 0); e != nil {
+				derr = e
+			}
+		}
+		write("/base", 80)
+		if derr == nil {
+			derr = hl.Checkpoint(p)
+		}
+		// A migration whose copy-outs are still pending at the cut. (Its
+		// staging setup takes the last checkpoint of this run.)
+		if derr == nil {
+			hl.DelayCopyouts = true
+			f, e := hl.FS.Open(p, "/base")
+			if e != nil {
+				derr = e
+			} else if _, e := hl.MigrateFiles(p, []uint32{f.Inum()}, false); e != nil {
+				derr = e
+			}
+		}
+		// Post-checkpoint synced writes: roll-forward material.
+		for i := 0; i < 4 && derr == nil; i++ {
+			write(fmt.Sprintf("/post%d", i), 20)
+			if derr == nil {
+				derr = hl.FS.Sync(p)
+			}
+		}
+		if derr != nil {
+			return
+		}
+		// Final sync, power-cut mid-flush: the snapshot is taken from a
+		// media-write callback while the volatile write cache still holds
+		// the tail of the log.
+		nwrites := 0
+		disk.OnMediaWrite = func(int64) {
+			nwrites++
+			if nwrites == 5 && store == nil {
+				store = disk.SnapshotStore()
+				vols = juke.SnapshotVolumes()
+				cut = p.Now()
+				wdirty = disk.WriteCacheDirty()
+			}
+		}
+		write("/unsynced", 24)
+		if derr == nil {
+			derr = hl.FS.Sync(p)
+		}
+	})
+	k.Stop()
+	if derr != nil {
+		return derr
+	}
+	if store == nil {
+		return fmt.Errorf("demo never reached its cut point")
+	}
+	fmt.Printf("Power cut at t=%.2fs, mid-sync (%d dirty blocks dropped from the volatile write cache); remounting...\n",
+		cut.Seconds(), wdirty)
+	k2 := sim.NewKernel()
+	k2.AdvanceTo(cut)
+	disk2, juke2 := mk(k2)
+	disk2.RestoreStore(store)
+	juke2.RestoreVolumes(vols)
+	k2.RunProc(func(p *sim.Proc) {
+		hl, err := core.New(p, cfg(disk2, juke2), false)
+		if err != nil {
+			derr = err
+			return
+		}
+		if err := hl.CompleteMigration(p); err != nil {
+			derr = err
+			return
+		}
+		dump.Recovery(os.Stdout, hl.FS.Recovery(), hl.MountStats(), hl.RetiredSegments())
+	})
+	k2.Stop()
+	return derr
 }
 
 // demo builds a small populated HighLight instance. With faults set, the
@@ -110,7 +248,7 @@ func main() {
 // report has something to show.
 func demo(k *sim.Kernel, faults bool) (*core.HighLight, error) {
 	disk := dev.NewDisk(k, dev.RZ57, 256*64, nil)
-	juke := jukebox.New(k, jukebox.MO6300, 2, 4, 32, 64*lfs.BlockSize, nil)
+	juke := jukebox.MustNew(k, jukebox.MO6300, 2, 4, 32, 64*lfs.BlockSize, nil)
 	if faults {
 		plan := fault.NewPlan(fault.Config{Seed: 1, TransientReadRate: 0.5, TransientWriteRate: 0.5, MaxBurst: 2})
 		plan.InstallJukebox("MO6300", juke)

@@ -28,7 +28,7 @@ func main() {
 	// A deliberately small disk (48 MB) against a large jukebox: the
 	// simulation produces more checkpoint data than the disk can hold.
 	disk := dev.NewDisk(k, dev.RZ57, 48*256, bus)
-	juke := jukebox.New(k, jukebox.MO6300, 2, 8, 64, 256*lfs.BlockSize, bus)
+	juke := jukebox.MustNew(k, jukebox.MO6300, 2, 8, 64, 256*lfs.BlockSize, bus)
 
 	var hl *core.HighLight
 	k.RunProc(func(p *sim.Proc) {

@@ -25,7 +25,7 @@ func main() {
 	// SCSI bus, as in the paper's testbed.
 	bus := dev.NewBus(k, "scsi", dev.SCSIBusRate)
 	disk := dev.NewDisk(k, dev.RZ57, 64*256, bus)
-	juke := jukebox.New(k, jukebox.MO6300, 2, 4, 32, 256*lfs.BlockSize, bus)
+	juke := jukebox.MustNew(k, jukebox.MO6300, 2, 4, 32, 256*lfs.BlockSize, bus)
 
 	k.RunProc(func(p *sim.Proc) {
 		// Format a HighLight file system across both levels.

@@ -26,7 +26,7 @@ func main() {
 	k := sim.NewKernel()
 	bus := dev.NewBus(k, "scsi", dev.SCSIBusRate)
 	disk := dev.NewDisk(k, dev.RZ57, 256*256, bus) // 256 MB disk farm
-	juke := jukebox.New(k, jukebox.MO6300, 2, 8, 64, 256*lfs.BlockSize, bus)
+	juke := jukebox.MustNew(k, jukebox.MO6300, 2, 8, 64, 256*lfs.BlockSize, bus)
 
 	k.RunProc(func(p *sim.Proc) {
 		hl, err := core.New(p, core.Config{

@@ -26,7 +26,7 @@ func ablationRig(policy cache.Policy, bypass bool) (*sim.Kernel, *core.HighLight
 	k := sim.NewKernel()
 	bus := dev.NewBus(k, "scsi", dev.SCSIBusRate)
 	disk := dev.NewDisk(k, dev.RZ57, 192*256, bus)
-	juke := jukebox.New(k, jukebox.MO6300, 2, 8, 40, 256*lfs.BlockSize, bus)
+	juke := jukebox.MustNew(k, jukebox.MO6300, 2, 8, 40, 256*lfs.BlockSize, bus)
 	var hl *core.HighLight
 	k.RunProc(func(p *sim.Proc) {
 		var err error
@@ -334,7 +334,7 @@ func AblationFaultRate() (*Report, error) {
 		k := sim.NewKernel()
 		bus := dev.NewBus(k, "scsi", dev.SCSIBusRate)
 		disk := dev.NewDisk(k, dev.RZ57, 384*32, bus)
-		juke := jukebox.New(k, jukebox.MO6300, 2, 8, 60, 32*lfs.BlockSize, bus)
+		juke := jukebox.MustNew(k, jukebox.MO6300, 2, 8, 60, 32*lfs.BlockSize, bus)
 		if pct > 0 {
 			plan := fault.NewPlan(fault.Config{
 				Seed:               97,
@@ -431,6 +431,115 @@ func AblationFaultRate() (*Report, error) {
 		rep.metric(name+"/MBps", mbps)
 		rep.metric(name+"/retries", float64(retries))
 		rep.metric(name+"/exhausted", float64(exhausted))
+	}
+	return rep, nil
+}
+
+// AblationCrashRecovery measures mount recovery time as a function of
+// log length since the last checkpoint: after a checkpoint, N segments'
+// worth of synced writes accumulate, the power is cut (durable device
+// images only survive), and a fresh kernel remounts. Recovery cost should
+// scale with the roll-forward extent, not with file system size — the
+// checkpoint bounds the work (§3).
+func AblationCrashRecovery() (*Report, error) {
+	rep := newReport("Ablation: crash-recovery time vs log length since checkpoint")
+	rep.addf("%-10s %10s %10s %10s %12s", "log segs", "psegs", "blocks", "inodes", "recovery")
+	const segBlocks = 32
+	const diskSegs = 384
+	mk := func(k *sim.Kernel) (*dev.Disk, *jukebox.Jukebox) {
+		bus := dev.NewBus(k, "scsi", dev.SCSIBusRate)
+		disk := dev.NewDisk(k, dev.RZ57, diskSegs*segBlocks, bus)
+		disk.EnableWriteCache(16)
+		juke := jukebox.MustNew(k, jukebox.MO6300, 2, 4, 16, segBlocks*lfs.BlockSize, bus)
+		return disk, juke
+	}
+	ccfg := func(disk *dev.Disk, juke *jukebox.Jukebox) core.Config {
+		return core.Config{
+			SegBlocks:   segBlocks,
+			Disks:       []dev.BlockDev{disk},
+			Jukeboxes:   []jukebox.Footprint{juke},
+			CacheSegs:   8,
+			MaxInodes:   1024,
+			BufferBytes: 1 << 20,
+		}
+	}
+	for _, segs := range []int{0, 4, 16, 64} {
+		k := sim.NewKernel()
+		disk, juke := mk(k)
+		var store map[int64][]byte
+		var vols []jukebox.VolumeImage
+		var cut sim.Time
+		var err error
+		k.RunProc(func(p *sim.Proc) {
+			hl, e := core.New(p, ccfg(disk, juke), true)
+			if e != nil {
+				err = e
+				return
+			}
+			// The same base population everywhere: recovery time must not
+			// depend on it.
+			base, e := hl.FS.Create(p, "/base")
+			if e != nil {
+				err = e
+				return
+			}
+			if _, e := base.WriteAt(p, make([]byte, 64*lfs.BlockSize), 0); e != nil {
+				err = e
+				return
+			}
+			if e := hl.Checkpoint(p); e != nil {
+				err = e
+				return
+			}
+			// Roughly one log segment of synced writes per round.
+			for i := 0; i < segs; i++ {
+				f, e := hl.FS.Create(p, fmt.Sprintf("/post%03d", i))
+				if e != nil {
+					err = e
+					return
+				}
+				if _, e := f.WriteAt(p, make([]byte, (segBlocks-4)*lfs.BlockSize), 0); e != nil {
+					err = e
+					return
+				}
+				if e := hl.FS.Sync(p); e != nil {
+					err = e
+					return
+				}
+			}
+			store = disk.SnapshotStore()
+			vols = juke.SnapshotVolumes()
+			cut = p.Now()
+		})
+		k.Stop()
+		if err != nil {
+			return rep, err
+		}
+		k2 := sim.NewKernel()
+		k2.AdvanceTo(cut)
+		disk2, juke2 := mk(k2)
+		disk2.RestoreStore(store)
+		juke2.RestoreVolumes(vols)
+		var ri lfs.RecoveryInfo
+		var elapsed sim.Time
+		k2.RunProc(func(p *sim.Proc) {
+			t0 := p.Now()
+			hl, e := core.New(p, ccfg(disk2, juke2), false)
+			if e != nil {
+				err = e
+				return
+			}
+			elapsed = p.Now() - t0
+			ri = hl.FS.Recovery()
+		})
+		k2.Stop()
+		if err != nil {
+			return rep, err
+		}
+		name := fmt.Sprintf("%d", segs)
+		rep.addf("%-10s %10d %10d %10d %9.2f s", name, ri.PsegsReplayed, ri.BlocksReplayed, ri.InodesRecovered, elapsed.Seconds())
+		rep.metric(name+"/psegs", float64(ri.PsegsReplayed))
+		rep.metric(name+"/recovery-s", elapsed.Seconds())
 	}
 	return rep, nil
 }

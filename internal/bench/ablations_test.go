@@ -83,6 +83,34 @@ func TestAblationFaultRate(t *testing.T) {
 	}
 }
 
+func TestAblationCrashRecovery(t *testing.T) {
+	rep, err := AblationCrashRecovery()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := rep.Metrics
+	// Recovery work scales with the log written since the checkpoint: no
+	// replay at zero, monotonically more psegs as the log grows.
+	if m["0/psegs"] != 0 {
+		t.Errorf("zero-length log replayed %.0f psegs", m["0/psegs"])
+	}
+	last := -1.0
+	for _, k := range []string{"0", "4", "16", "64"} {
+		if m[k+"/psegs"] < last {
+			t.Errorf("psegs replayed not monotone at %s segments (%.0f < %.0f)", k, m[k+"/psegs"], last)
+		}
+		last = m[k+"/psegs"]
+	}
+	if m["64/psegs"] == 0 {
+		t.Error("64-segment log replayed nothing")
+	}
+	// And the virtual-time recovery cost grows with it.
+	if m["64/recovery-s"] <= m["0/recovery-s"] {
+		t.Errorf("long-log recovery (%.2fs) should cost more than checkpoint-only (%.2fs)",
+			m["64/recovery-s"], m["0/recovery-s"])
+	}
+}
+
 func TestAblationBlockRange(t *testing.T) {
 	rep, err := AblationBlockRange()
 	if err != nil {

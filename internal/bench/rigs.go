@@ -163,7 +163,7 @@ func newHLRig(s Scale, kind stagingKind) *hlRig {
 	k := sim.NewKernel()
 	bus := dev.NewBus(k, "scsi", dev.SCSIBusRate)
 	main := dev.NewDisk(k, dev.RZ57, int64(s.DiskSegs*s.SegBlocks), bus)
-	juke := jukebox.New(k, jukebox.MO6300, 2, s.Vols, s.SegsPerVol, s.SegBlocks*lfs.BlockSize, bus)
+	juke := jukebox.MustNew(k, jukebox.MO6300, 2, s.Vols, s.SegsPerVol, s.SegBlocks*lfs.BlockSize, bus)
 	r := &hlRig{k: k, bus: bus, main: main, juke: juke}
 	cfg := core.Config{
 		SegBlocks:         s.SegBlocks,

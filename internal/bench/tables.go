@@ -369,7 +369,7 @@ func Table5(s Scale) (*Report, error) {
 	moRate := func(write bool) float64 {
 		k := sim.NewKernel()
 		bus := dev.NewBus(k, "scsi", dev.SCSIBusRate)
-		j := jukebox.New(k, jukebox.MO6300, 2, 2, 64, segBytes, bus)
+		j := jukebox.MustNew(k, jukebox.MO6300, 2, 2, 64, segBytes, bus)
 		var elapsed sim.Time
 		k.RunProc(func(p *sim.Proc) {
 			buf := make([]byte, segBytes)
@@ -398,7 +398,7 @@ func Table5(s Scale) (*Report, error) {
 		// of ONE SECTOR on the MO platter — so the probe jukebox uses a
 		// single-block transfer unit.
 		k := sim.NewKernel()
-		j := jukebox.New(k, jukebox.MO6300, 1, 2, 4, lfs.BlockSize, nil)
+		j := jukebox.MustNew(k, jukebox.MO6300, 1, 2, 4, lfs.BlockSize, nil)
 		var swap sim.Time
 		k.RunProc(func(p *sim.Proc) {
 			buf := make([]byte, lfs.BlockSize)

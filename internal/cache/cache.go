@@ -7,10 +7,29 @@
 package cache
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/addr"
 	"repro/internal/sim"
+)
+
+// Typed sentinel errors, errors.Is-matchable so that directory
+// inconsistencies found while rebuilding state from media (mount after a
+// crash, fsck) surface as mount/check failures instead of crashing the
+// process.
+var (
+	// ErrDuplicateLine marks an Insert for a tertiary segment that already
+	// has a line — two disk segments claiming the same tertiary segment.
+	ErrDuplicateLine = errors.New("cache: duplicate line for tertiary segment")
+	// ErrEvictStaging marks an Evict of a staging line, which would lose
+	// the sole copy of migrated data.
+	ErrEvictStaging = errors.New("cache: evicting a staging line would lose the sole copy")
+	// ErrEvictPinned marks an Evict of a line with active readers or an
+	// in-flight copyout.
+	ErrEvictPinned = errors.New("cache: evicting a pinned line")
+	// ErrEvictUnknown marks an Evict of a line not in the directory.
+	ErrEvictUnknown = errors.New("cache: evicting unknown line")
 )
 
 // Policy selects eviction victims.
@@ -119,10 +138,12 @@ func (c *Cache) Peek(tag int) (*Line, bool) {
 }
 
 // Insert binds a pool segment to tag and returns the new line. The caller
-// must have obtained seg from TakeFree or a prior Evict.
-func (c *Cache) Insert(tag int, seg addr.SegNo, staging bool, now sim.Time) *Line {
+// must have obtained seg from TakeFree or a prior Evict. It returns
+// ErrDuplicateLine if tag already has a line (e.g. a corrupt cache
+// directory reconstructed from media).
+func (c *Cache) Insert(tag int, seg addr.SegNo, staging bool, now sim.Time) (*Line, error) {
 	if _, dup := c.lines[tag]; dup {
-		panic(fmt.Sprintf("cache: duplicate line for tertiary segment %d", tag))
+		return nil, fmt.Errorf("%w: tag %d (disk segment %d)", ErrDuplicateLine, tag, seg)
 	}
 	l := &Line{
 		Tag:       tag,
@@ -137,7 +158,7 @@ func (c *Cache) Insert(tag int, seg addr.SegNo, staging bool, now sim.Time) *Lin
 	if staging {
 		c.stats.StagingLines++
 	}
-	return l
+	return l, nil
 }
 
 // TakeFree claims an unoccupied pool segment, if any.
@@ -204,20 +225,23 @@ func (c *Cache) Victim() *Line {
 	return pick
 }
 
-// Evict removes the line and returns its disk segment for reuse.
-func (c *Cache) Evict(l *Line) addr.SegNo {
+// Evict removes the line and returns its disk segment for reuse. It
+// refuses — with a typed error — to evict staging, pinned, or unknown
+// lines, so a bad eviction target found while rebuilding after a crash is
+// reported instead of crashing the process.
+func (c *Cache) Evict(l *Line) (addr.SegNo, error) {
 	if l.Staging {
-		panic("cache: evicting a staging line would lose the sole copy")
+		return 0, fmt.Errorf("%w: tag %d (disk segment %d)", ErrEvictStaging, l.Tag, l.DiskSeg)
 	}
 	if l.Pins > 0 {
-		panic("cache: evicting a pinned line")
+		return 0, fmt.Errorf("%w: tag %d (%d pins)", ErrEvictPinned, l.Tag, l.Pins)
 	}
 	if c.lines[l.Tag] != l {
-		panic("cache: evicting unknown line")
+		return 0, fmt.Errorf("%w: tag %d", ErrEvictUnknown, l.Tag)
 	}
 	delete(c.lines, l.Tag)
 	c.stats.Evicts++
-	return l.DiskSeg
+	return l.DiskSeg, nil
 }
 
 // Release returns a disk segment to the free pool (used when a line is

@@ -1,6 +1,7 @@
 package cache
 
 import (
+	"errors"
 	"testing"
 	"time"
 
@@ -39,17 +40,17 @@ func TestLookupMissAndInsert(t *testing.T) {
 	}
 }
 
-func TestDuplicateInsertPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
+func TestDuplicateInsertError(t *testing.T) {
 	c := New(LRU, pool(2), 1)
 	s1, _ := c.TakeFree()
 	s2, _ := c.TakeFree()
-	c.Insert(1, s1, false, 0)
-	c.Insert(1, s2, false, 0)
+	if _, err := c.Insert(1, s1, false, 0); err != nil {
+		t.Fatalf("first insert: %v", err)
+	}
+	_, err := c.Insert(1, s2, false, 0)
+	if !errors.Is(err, ErrDuplicateLine) {
+		t.Fatalf("duplicate insert error = %v, want ErrDuplicateLine", err)
+	}
 }
 
 func TestLRUVictim(t *testing.T) {
@@ -83,7 +84,7 @@ func TestRandomVictimIsClean(t *testing.T) {
 	c := New(Random, pool(4), 7)
 	for i := 0; i < 4; i++ {
 		s, _ := c.TakeFree()
-		l := c.Insert(i, s, false, 0)
+		l, _ := c.Insert(i, s, false, 0)
 		if i == 2 {
 			l.Pins = 1
 		}
@@ -105,9 +106,9 @@ func TestRandomVictimIsClean(t *testing.T) {
 func TestStagingAndPinnedNeverEvicted(t *testing.T) {
 	c := New(LRU, pool(2), 1)
 	s1, _ := c.TakeFree()
-	l1 := c.Insert(1, s1, true, 0) // staging
+	l1, _ := c.Insert(1, s1, true, 0) // staging
 	s2, _ := c.TakeFree()
-	l2 := c.Insert(2, s2, false, 0)
+	l2, _ := c.Insert(2, s2, false, 0)
 	l2.Pins = 1
 	if v := c.Victim(); v != nil {
 		t.Fatalf("victim %d despite all lines protected", v.Tag)
@@ -122,8 +123,11 @@ func TestStagingAndPinnedNeverEvicted(t *testing.T) {
 func TestEvictReturnsSegmentForReuse(t *testing.T) {
 	c := New(LRU, pool(1), 1)
 	s, _ := c.TakeFree()
-	l := c.Insert(5, s, false, 0)
-	got := c.Evict(l)
+	l, _ := c.Insert(5, s, false, 0)
+	got, err := c.Evict(l)
+	if err != nil {
+		t.Fatalf("evict: %v", err)
+	}
 	if got != s {
 		t.Fatalf("evict returned %d, want %d", got, s)
 	}
@@ -153,16 +157,25 @@ func TestBypassFirstRefPrefersUnworthy(t *testing.T) {
 	}
 }
 
-func TestEvictStagingPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
-	c := New(LRU, pool(1), 1)
+func TestEvictTypedErrors(t *testing.T) {
+	c := New(LRU, pool(2), 1)
 	s, _ := c.TakeFree()
-	l := c.Insert(1, s, true, 0)
-	c.Evict(l)
+	l, _ := c.Insert(1, s, true, 0)
+	if _, err := c.Evict(l); !errors.Is(err, ErrEvictStaging) {
+		t.Fatalf("evict staging error = %v, want ErrEvictStaging", err)
+	}
+	l.Staging = false
+	l.Pins = 1
+	if _, err := c.Evict(l); !errors.Is(err, ErrEvictPinned) {
+		t.Fatalf("evict pinned error = %v, want ErrEvictPinned", err)
+	}
+	l.Pins = 0
+	if _, err := c.Evict(l); err != nil {
+		t.Fatalf("evict clean line: %v", err)
+	}
+	if _, err := c.Evict(l); !errors.Is(err, ErrEvictUnknown) {
+		t.Fatalf("double evict error = %v, want ErrEvictUnknown", err)
+	}
 }
 
 // TestPropertyCacheInvariants drives the cache with random operations and
@@ -186,7 +199,10 @@ func TestPropertyCacheInvariants(t *testing.T) {
 					c.Release(seg)
 					continue
 				}
-				l := c.Insert(tag, seg, rng.Intn(4) == 0, now)
+				l, err := c.Insert(tag, seg, rng.Intn(4) == 0, now)
+				if err != nil {
+					t.Fatalf("op %d: insert: %v", op, err)
+				}
 				lines[tag] = &held{l}
 			}
 		case 1: // lookup
@@ -201,7 +217,10 @@ func TestPropertyCacheInvariants(t *testing.T) {
 				if v.Staging || v.Pins > 0 {
 					t.Fatalf("op %d: victim %d is staging/pinned", op, v.Tag)
 				}
-				seg := c.Evict(v)
+				seg, err := c.Evict(v)
+				if err != nil {
+					t.Fatalf("op %d: evict: %v", op, err)
+				}
 				c.Release(seg)
 				delete(lines, v.Tag)
 			}

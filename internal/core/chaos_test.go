@@ -34,7 +34,7 @@ func runChaosSoak(t *testing.T) string {
 	k := sim.NewKernel()
 	bus := dev.NewBus(k, "scsi", dev.SCSIBusRate)
 	disk := dev.NewDisk(k, dev.RZ57, int64(160*segBlocks), bus)
-	juke := jukebox.New(k, jukebox.MO6300, 2, 6, 24, segBlocks*lfs.BlockSize, bus)
+	juke := jukebox.MustNew(k, jukebox.MO6300, 2, 6, 24, segBlocks*lfs.BlockSize, bus)
 	cfg := Config{
 		SegBlocks:   segBlocks,
 		Disks:       []dev.BlockDev{disk},

@@ -96,7 +96,32 @@ type HighLight struct {
 	replicaTag map[int]int   // replica tag -> primary tag
 
 	retiredSegs int64 // tertiary segments retired after permanent write errors
+
+	mountStats MountStats
 }
+
+// MountStats reports what crash recovery did while rebuilding the cache
+// directory and tertiary state from the checkpointed tables.
+type MountStats struct {
+	// LinesRebound counts cache lines re-inserted from the checkpointed
+	// segment-usage table.
+	LinesRebound int
+	// StagingRescheduled counts staging lines whose copy-out to tertiary
+	// storage was interrupted by the crash and re-scheduled at mount.
+	StagingRescheduled int
+	// TornLinesDropped counts staging lines whose on-disk image held no
+	// checksum-valid partial segment (the crash cut before any staged
+	// write reached media); they are dropped and their tertiary segment
+	// returned unused.
+	TornLinesDropped int
+	// PoolSelfHealed counts cache-pool segments re-claimed because the
+	// checkpointed pool was short (e.g. a crash mid-claim).
+	PoolSelfHealed int
+}
+
+// MountStats returns the recovery counters of the mount that created hl
+// (all zero for a freshly formatted instance).
+func (hl *HighLight) MountStats() MountStats { return hl.mountStats }
 
 // RetiredSegments reports how many tertiary segments were retired (marked
 // no-store) after permanent media write errors, each followed by a
@@ -122,7 +147,10 @@ func New(p *sim.Proc, cfg Config, format bool) (*HighLight, error) {
 	}
 	// Always concatenate, even a single disk: AddDisk appends spindles
 	// to the farm on-line (§6.4).
-	disk := stripe.New(cfg.Disks...)
+	disk, err := stripe.New(cfg.Disks...)
+	if err != nil {
+		return nil, fmt.Errorf("core: assembling disk farm: %w", err)
+	}
 	diskSegs := int(disk.NumBlocks()) / cfg.SegBlocks
 	var geoms []addr.Geom
 	for _, j := range cfg.Jukeboxes {
@@ -153,7 +181,6 @@ func New(p *sim.Proc, cfg Config, format bool) (*HighLight, error) {
 		GatherChunkBlocks: cfg.GatherChunkBlocks,
 	}
 	var fs *lfs.FS
-	var err error
 	if format {
 		fs, err = lfs.Format(p, bm, amap, opts)
 	} else {
@@ -203,6 +230,7 @@ func New(p *sim.Proc, cfg Config, format bool) (*HighLight, error) {
 			}
 			pool = append(pool, s)
 			claimed++
+			hl.mountStats.PoolSelfHealed++
 		}
 	}
 	hl.Cache = cache.New(cfg.CachePolicy, pool, cfg.Seed)
@@ -234,16 +262,89 @@ func New(p *sim.Proc, cfg Config, format bool) (*HighLight, error) {
 			if su.Flags&lfs.SegCached == 0 || su.CacheTag == lfs.NilCacheTag {
 				continue
 			}
-			staging := su.Flags&lfs.SegStaging != 0
-			hl.Cache.Insert(int(su.CacheTag), addr.SegNo(s), staging, now)
-			if staging {
-				hl.Svc.ScheduleCopyout(p, int(su.CacheTag), addr.SegNo(s))
+			tag := int(su.CacheTag)
+			if su.Flags&lfs.SegStaging != 0 {
+				// A staging line is the sole copy of its migrated blocks,
+				// and the crash may have cut its image mid-write. Only the
+				// checksum-valid pseg prefix can be referenced by durable
+				// metadata (the disk write cache applies writes in issue
+				// order, and pointer psegs are issued after the image
+				// blocks they name), so the tertiary usage entry is rebuilt
+				// from that prefix — or, if nothing valid landed, the line
+				// is dropped and its tertiary segment returned unused.
+				valid, live, perr := hl.validStagePrefix(p, addr.SegNo(s))
+				if perr != nil {
+					return nil, perr
+				}
+				if valid == 0 {
+					fs.SetCacheBinding(addr.SegNo(s), lfs.NilCacheTag, false)
+					hl.Cache.Release(addr.SegNo(s))
+					fs.ResetTseg(tag)
+					hl.mountStats.TornLinesDropped++
+					continue
+				}
+				fs.RestoreTsegUsage(tag, live)
+				if _, ierr := hl.Cache.Insert(tag, addr.SegNo(s), true, now); ierr != nil {
+					return nil, fmt.Errorf("core: rebuilding cache directory: %w", ierr)
+				}
+				hl.mountStats.LinesRebound++
+				hl.Svc.ScheduleCopyout(p, tag, addr.SegNo(s))
+				hl.mountStats.StagingRescheduled++
+				continue
 			}
+			if _, ierr := hl.Cache.Insert(tag, addr.SegNo(s), false, now); ierr != nil {
+				return nil, fmt.Errorf("core: rebuilding cache directory: %w", ierr)
+			}
+			hl.mountStats.LinesRebound++
 		}
 		hl.Svc.DrainCopyouts(p)
+		// With the cache directory serviceable again, drop any dirents
+		// left dangling by a crash between a directory write and the
+		// inode that would have backed it, then rebuild the live-byte
+		// accounting from the reachable state (the checkpointed counts
+		// may disagree with the durable pointers after a crash).
+		if _, err := fs.RepairDangling(p); err != nil {
+			return nil, fmt.Errorf("core: namespace repair: %w", err)
+		}
+		if err := fs.RecomputeLiveBytes(p); err != nil {
+			return nil, fmt.Errorf("core: recomputing live bytes: %w", err)
+		}
 	}
 	hl.nextTert = hl.scanNextTert()
 	return hl, nil
+}
+
+// validStagePrefix parses the checksum-valid partial-segment prefix of a
+// staging line image, returning the number of valid psegs and the live
+// bytes they hold. A torn trailing pseg (undecodable summary or data
+// checksum mismatch) stops the walk; everything before it is intact by
+// write ordering, and nothing after it can be referenced by durable
+// metadata.
+func (hl *HighLight) validStagePrefix(p *sim.Proc, lineSeg addr.SegNo) (int, uint32, error) {
+	segBytes := hl.Amap.SegBlocks() * lfs.BlockSize
+	raw := make([]byte, segBytes)
+	if err := hl.FS.ReadRawBlocks(p, hl.Amap.BlockOf(lineSeg, 0), raw); err != nil {
+		return 0, 0, err
+	}
+	valid, live := 0, uint32(0)
+	off := 0
+	for off+1 <= hl.Amap.SegBlocks() {
+		sum, err := lfs.DecodeSummary(raw[off*lfs.BlockSize : (off+1)*lfs.BlockSize])
+		if err != nil {
+			break
+		}
+		n := int(sum.NBlocks)
+		if n < 1 || off+n > hl.Amap.SegBlocks() {
+			break
+		}
+		if lfs.Checksum(raw[(off+1)*lfs.BlockSize:(off+n)*lfs.BlockSize]) != sum.DataSum {
+			break
+		}
+		valid++
+		live += uint32(n * lfs.BlockSize)
+		off += n
+	}
+	return valid, live, nil
 }
 
 // scanNextTert finds the first never-used tertiary segment index (media
@@ -271,6 +372,10 @@ type blockMap struct {
 }
 
 var _ lfs.Device = (*blockMap)(nil)
+
+// Flush drains the disk farm's write-back caches; the file system calls it
+// as the ordering barrier inside Sync and Checkpoint.
+func (bm *blockMap) Flush(p *sim.Proc) error { return bm.hl.Disk.Flush(p) }
 
 func (bm *blockMap) ReadBlocks(p *sim.Proc, b addr.BlockNo, buf []byte) error {
 	hl := bm.hl

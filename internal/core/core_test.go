@@ -30,7 +30,7 @@ func newHL(t *testing.T, diskSegs, cacheSegs, vols, segsPerVol int) *hlEnv {
 	k := sim.NewKernel()
 	bus := dev.NewBus(k, "scsi", dev.SCSIBusRate)
 	disk := dev.NewDisk(k, dev.RZ57, int64(diskSegs*segBlocks), bus)
-	juke := jukebox.New(k, jukebox.MO6300, 2, vols, segsPerVol, segBlocks*lfs.BlockSize, bus)
+	juke := jukebox.MustNew(k, jukebox.MO6300, 2, vols, segsPerVol, segBlocks*lfs.BlockSize, bus)
 	env := &hlEnv{k: k, bus: bus, disk: disk, juke: juke}
 	k.RunProc(func(p *sim.Proc) {
 		hl, err := New(p, Config{
@@ -424,7 +424,7 @@ func TestRemountRebuildsCacheDirectory(t *testing.T) {
 	k := sim.NewKernel()
 	bus := dev.NewBus(k, "scsi", dev.SCSIBusRate)
 	disk := dev.NewDisk(k, dev.RZ57, int64(64*segBlocks), bus)
-	juke := jukebox.New(k, jukebox.MO6300, 2, 4, 16, segBlocks*lfs.BlockSize, bus)
+	juke := jukebox.MustNew(k, jukebox.MO6300, 2, 4, 16, segBlocks*lfs.BlockSize, bus)
 	cfg := Config{
 		SegBlocks:   segBlocks,
 		Disks:       []dev.BlockDev{disk},

@@ -73,7 +73,7 @@ func TestAddDiskPersistsAcrossRemount(t *testing.T) {
 	bus := dev.NewBus(k, "scsi", dev.SCSIBusRate)
 	d1 := dev.NewDisk(k, dev.RZ57, int64(32*segBlocks), bus)
 	d2 := dev.NewDisk(k, dev.RZ58, int64(16*segBlocks), bus)
-	juke := jukebox.New(k, jukebox.MO6300, 2, 2, 16, segBlocks*lfs.BlockSize, bus)
+	juke := jukebox.MustNew(k, jukebox.MO6300, 2, 2, 16, segBlocks*lfs.BlockSize, bus)
 	data := pat(7, 30*lfs.BlockSize)
 	cfg := Config{
 		SegBlocks:   segBlocks,

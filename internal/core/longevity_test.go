@@ -23,7 +23,7 @@ func TestLongevityWeekOfOperation(t *testing.T) {
 	k := sim.NewKernel()
 	bus := dev.NewBus(k, "scsi", dev.SCSIBusRate)
 	disk := dev.NewDisk(k, dev.RZ57, int64(96*segBlocks), bus) // ~6 MB disk
-	juke := jukebox.New(k, jukebox.MO6300, 2, 8, 32, segBlocks*lfs.BlockSize, bus)
+	juke := jukebox.MustNew(k, jukebox.MO6300, 2, 8, 32, segBlocks*lfs.BlockSize, bus)
 	var hl *HighLight
 	k.RunProc(func(p *sim.Proc) {
 		var err error

@@ -24,7 +24,7 @@ func TestFullHierarchySoak(t *testing.T) {
 	k := sim.NewKernel()
 	bus := dev.NewBus(k, "scsi", dev.SCSIBusRate)
 	disk := dev.NewDisk(k, dev.RZ57, int64(160*segBlocks), bus)
-	juke := jukebox.New(k, jukebox.MO6300, 2, 6, 24, segBlocks*lfs.BlockSize, bus)
+	juke := jukebox.MustNew(k, jukebox.MO6300, 2, 6, 24, segBlocks*lfs.BlockSize, bus)
 	cfg := Config{
 		SegBlocks:   segBlocks,
 		Disks:       []dev.BlockDev{disk},

@@ -49,7 +49,11 @@ func (hl *HighLight) ensureStaging(p *sim.Proc) error {
 			break
 		}
 		if v := hl.Cache.Victim(); v != nil {
-			seg = hl.Cache.Evict(v)
+			var err error
+			seg, err = hl.Cache.Evict(v)
+			if err != nil {
+				return fmt.Errorf("core: evicting cache victim for staging: %w", err)
+			}
 			hl.FS.SetCacheBinding(seg, lfs.NilCacheTag, false)
 			break
 		}
@@ -66,8 +70,19 @@ func (hl *HighLight) ensureStaging(p *sim.Proc) error {
 		}
 		hl.Svc.WaitCopyoutProgress(p)
 	}
-	hl.Cache.Insert(tag, seg, true, p.Now())
+	if _, err := hl.Cache.Insert(tag, seg, true, p.Now()); err != nil {
+		return fmt.Errorf("core: opening staging segment: %w", err)
+	}
 	hl.FS.SetCacheBinding(seg, uint32(tag), true)
+	// Make the staging binding durable before any migrated block lands in
+	// the line: after a crash, recovery finds the sole copy of staged data
+	// through the checkpointed cache directory, so the directory must
+	// never lag behind the staged contents it names. Tables only — a full
+	// checkpoint would flush the dirty flipped metadata of the batch in
+	// progress, relocating blocks whose refs the migrator already captured.
+	if err := hl.FS.CheckpointTables(p); err != nil {
+		return err
+	}
 	hl.stageTag = tag
 	hl.stageSeg = seg
 	hl.stageOff = 0
@@ -78,9 +93,9 @@ func (hl *HighLight) ensureStaging(p *sim.Proc) error {
 // finishStaging closes the current staging segment and schedules (or
 // defers) its copy — and its replicas, if configured — to tertiary
 // storage.
-func (hl *HighLight) finishStaging(p *sim.Proc) {
+func (hl *HighLight) finishStaging(p *sim.Proc) error {
 	if hl.stageTag < 0 {
-		return
+		return nil
 	}
 	if hl.stageOff == 0 {
 		// Nothing was staged (e.g. every candidate block turned out
@@ -88,7 +103,10 @@ func (hl *HighLight) finishStaging(p *sim.Proc) {
 		// copying out an empty image.
 		if l, ok := hl.Cache.Peek(hl.stageTag); ok {
 			l.Staging = false
-			seg := hl.Cache.Evict(l)
+			seg, err := hl.Cache.Evict(l)
+			if err != nil {
+				return fmt.Errorf("core: dropping empty staging line: %w", err)
+			}
 			hl.FS.SetCacheBinding(seg, lfs.NilCacheTag, false)
 			hl.Cache.Release(seg)
 		}
@@ -97,7 +115,7 @@ func (hl *HighLight) finishStaging(p *sim.Proc) {
 			hl.nextTert = hl.stageTag
 		}
 		hl.stageTag = -1
-		return
+		return nil
 	}
 	recs := []copyoutRec{{hl.stageTag, hl.stageSeg, hl.stageTag}}
 	for r := 1; r < hl.Replicas; r++ {
@@ -117,6 +135,7 @@ func (hl *HighLight) finishStaging(p *sim.Proc) {
 		}
 	}
 	hl.stageTag = -1
+	return nil
 }
 
 // allocReplicaTag finds a free tertiary segment on a different volume than
@@ -172,7 +191,9 @@ func (hl *HighLight) MigrateRefs(p *sim.Proc, refs []lfs.BlockRef) (int64, error
 		hl.stageOff = res.NextOff
 		refs = refs[res.Consumed:]
 		if res.Full {
-			hl.finishStaging(p)
+			if err := hl.finishStaging(p); err != nil {
+				return staged, err
+			}
 		} else if res.Consumed == 0 {
 			return staged, fmt.Errorf("core: staging made no progress at segment %d", hl.stageTag)
 		}
@@ -192,12 +213,16 @@ func (hl *HighLight) stageInodes(p *sim.Proc, inums []uint32) error {
 		}
 		hl.stageOff = res.NextOff
 		if res.Full && res.InodesMoved == 0 {
-			hl.finishStaging(p)
+			if err := hl.finishStaging(p); err != nil {
+				return err
+			}
 			continue
 		}
 		inums = inums[res.InodesMoved:]
 		if res.Full {
-			hl.finishStaging(p)
+			if err := hl.finishStaging(p); err != nil {
+				return err
+			}
 		}
 	}
 	return nil
@@ -262,7 +287,9 @@ func (hl *HighLight) MigrateFiles(p *sim.Proc, inums []uint32, migrateInodes boo
 // contents onto fresh media), and checkpoints so the new bindings are
 // durable.
 func (hl *HighLight) CompleteMigration(p *sim.Proc) error {
-	hl.finishStaging(p)
+	if err := hl.finishStaging(p); err != nil {
+		return err
+	}
 	hl.FlushCopyouts(p)
 	for {
 		hl.Svc.DrainCopyouts(p)
@@ -302,7 +329,9 @@ func (hl *HighLight) CompleteMigration(p *sim.Proc) error {
 				return err
 			}
 		}
-		hl.finishStaging(p)
+		if err := hl.finishStaging(p); err != nil {
+			return err
+		}
 		hl.FlushCopyouts(p)
 	}
 	return hl.FS.Checkpoint(p)
@@ -385,7 +414,10 @@ func (hl *HighLight) restageSegment(p *sim.Proc, tag int, wholeVolume bool) erro
 	}
 	// Retire the failed line: nothing references its addresses now.
 	line.Staging = false
-	freed := hl.Cache.Evict(line)
+	freed, err := hl.Cache.Evict(line)
+	if err != nil {
+		return fmt.Errorf("core: retiring failed staging line: %w", err)
+	}
 	hl.FS.SetCacheBinding(freed, lfs.NilCacheTag, false)
 	hl.Cache.Release(freed)
 	return nil

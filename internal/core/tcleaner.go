@@ -94,7 +94,9 @@ func (hl *HighLight) CleanVolume(p *sim.Proc, device, vol int) (int, error) {
 	// be erased.
 	if hl.stageTag >= 0 {
 		if d, v, _, ok := hl.Amap.Loc(hl.Amap.SegForIndex(hl.stageTag)); ok && d == device && v == vol {
-			hl.finishStaging(p)
+			if err := hl.finishStaging(p); err != nil {
+				return 0, err
+			}
 			hl.Svc.DrainCopyouts(p)
 		}
 	}
@@ -129,7 +131,10 @@ func (hl *HighLight) CleanVolume(p *sim.Proc, device, vol int) (int, error) {
 	// tsegfile entries; then erase the medium so it can be rewritten.
 	for _, idx := range cleanedIdx {
 		if l, ok := hl.Cache.Peek(idx); ok && !l.Staging && l.Pins == 0 {
-			seg := hl.Cache.Evict(l)
+			seg, err := hl.Cache.Evict(l)
+			if err != nil {
+				return relocated, fmt.Errorf("core: dropping cleaned line %d: %w", idx, err)
+			}
 			hl.FS.SetCacheBinding(seg, lfs.NilCacheTag, false)
 			hl.Cache.Release(seg)
 		}

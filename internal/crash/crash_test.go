@@ -1,0 +1,150 @@
+package crash
+
+import (
+	"fmt"
+	"testing"
+)
+
+const cutsPerPhase = 8 // 5 phases x 8 = 40 cut points
+
+// TestWorkloadPhases sanity-checks the pristine run: every pipeline phase
+// generates media writes wide enough for the matrix, and the tertiary
+// pipeline really swapped volumes and hit end-of-medium.
+func TestWorkloadPhases(t *testing.T) {
+	res, err := runWorkload(DefaultConfig(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Snap != nil {
+		t.Fatal("pristine run captured a snapshot")
+	}
+	want := Phases()
+	if len(res.Phases) != len(want) {
+		t.Fatalf("got %d phase spans, want %d: %+v", len(res.Phases), len(want), res.Phases)
+	}
+	for i, span := range res.Phases {
+		if span.Phase != want[i] {
+			t.Errorf("phase %d = %q, want %q", i, span.Phase, want[i])
+		}
+		if n := span.End - span.Start; n < cutsPerPhase {
+			t.Errorf("phase %q spans only %d media writes, need %d", span.Phase, n, cutsPerPhase)
+		}
+	}
+	if !res.EOMHit {
+		t.Error("end-of-medium volume never filled")
+	}
+	if res.Swaps == 0 {
+		t.Error("no jukebox volume swaps")
+	}
+}
+
+// TestCrashMatrix is the tentpole acceptance test: >= 40 power cuts
+// bracketing every pipeline phase, each recovering with zero fsck
+// problems and zero durability violations, with at least one cut dropping
+// unflushed write-cache blocks. Run twice, the matrix must be
+// bit-reproducible: every per-cut digest identical.
+func TestCrashMatrix(t *testing.T) {
+	cfg := DefaultConfig()
+	rep, err := RunMatrix(cfg, cutsPerPhase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Outcomes) < 40 {
+		t.Fatalf("matrix ran %d cuts, want >= 40", len(rep.Outcomes))
+	}
+	phases := map[string]int{}
+	for _, o := range rep.Outcomes {
+		phases[o.Phase]++
+		for _, v := range o.Violations {
+			t.Errorf("cut at event %d (%s): %s", o.Event, o.Phase, v)
+		}
+		if o.FsckProblems > 0 {
+			t.Errorf("cut at event %d (%s): %d fsck problems", o.Event, o.Phase, o.FsckProblems)
+		}
+	}
+	for _, ph := range Phases() {
+		if phases[ph] < cutsPerPhase {
+			t.Errorf("phase %q got %d cuts, want %d", ph, phases[ph], cutsPerPhase)
+		}
+	}
+	if rep.CacheDropCuts() == 0 {
+		t.Error("no cut point caught the volatile write cache holding unflushed blocks")
+	}
+	if t.Failed() {
+		t.Logf("phase spans: %+v", rep.Phases)
+		return
+	}
+
+	// Determinism: the entire matrix replayed from the same seed must
+	// produce identical recovered states, digest for digest.
+	rep2, err := RunMatrix(cfg, cutsPerPhase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep2.Outcomes) != len(rep.Outcomes) {
+		t.Fatalf("second run produced %d outcomes, first %d", len(rep2.Outcomes), len(rep.Outcomes))
+	}
+	for i, o := range rep.Outcomes {
+		o2 := rep2.Outcomes[i]
+		if o.Digest != o2.Digest || o.Event != o2.Event || o.Phase != o2.Phase {
+			t.Errorf("cut %d not reproducible: event %d (%s) %s vs event %d (%s) %s",
+				i, o.Event, o.Phase, o.Digest[:12], o2.Event, o2.Phase, o2.Digest[:12])
+		}
+	}
+}
+
+// TestRecoverySurvivesWriteCacheDrop pins the write-back cache scenario
+// explicitly: cut mid-sync while the cache holds dirty blocks, and show
+// the drop costs only unsynced data.
+func TestRecoverySurvivesWriteCacheDrop(t *testing.T) {
+	cfg := DefaultConfig()
+	pristine, err := runWorkload(cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cuts, err := PlanCuts(pristine.Phases, cutsPerPhase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cuts {
+		res, err := runWorkload(cfg, c.Event)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Snap == nil || res.Snap.WCacheDirty == 0 {
+			continue
+		}
+		out, err := Recover(cfg, res.Snap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out.Violations) > 0 {
+			t.Fatalf("cut at event %d dropped %d cached blocks and violated durability: %v",
+				c.Event, res.Snap.WCacheDirty, out.Violations)
+		}
+		t.Logf("event %d (%s): dropped %d unflushed blocks, recovery clean (%s)",
+			c.Event, c.Phase, res.Snap.WCacheDirty, out.FsckSummary)
+		return
+	}
+	t.Fatal("no planned cut found the write cache dirty")
+}
+
+func ExamplePlanCuts() {
+	spans := []PhaseSpan{
+		{Phase: "a", Start: 0, End: 10},
+		{Phase: "b", Start: 10, End: 14},
+	}
+	cuts, _ := PlanCuts(spans, 4)
+	for _, c := range cuts {
+		fmt.Println(c.Phase, c.Event)
+	}
+	// Output:
+	// a 1
+	// a 4
+	// a 7
+	// a 10
+	// b 11
+	// b 12
+	// b 13
+	// b 14
+}

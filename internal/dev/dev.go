@@ -176,9 +176,25 @@ type DiskStats struct {
 	SeekTime, RotTime       sim.Time
 	MediaTime               sim.Time
 	ReadFaults, WriteFaults int64 // operations aborted by the Fault hook
+	Destages                int64 // dirty blocks moved from write cache to media
+}
+
+// Flusher is a device with a volatile write cache that must be drained
+// explicitly before its contents are durable. File-system sync and
+// checkpoint points call Flush as a write barrier.
+type Flusher interface {
+	Flush(p *sim.Proc) error
 }
 
 // Disk is a timed magnetic disk with a sparse in-memory backing store.
+//
+// With EnableWriteCache, the disk models a bounded volatile write-back
+// cache: acknowledged writes sit in the cache (readable back) until they
+// are destaged — by FIFO overflow or an explicit Flush. A simulated power
+// cut (SnapshotStore) sees only destaged blocks, so sync-ordering bugs in
+// the file system above become visible. The cache changes *durability*
+// semantics only; request timing is identical with or without it, keeping
+// the calibrated Table 5/6 numbers intact.
 type Disk struct {
 	k       *sim.Kernel
 	prof    DiskProfile
@@ -189,9 +205,19 @@ type Disk struct {
 	store   map[int64][]byte
 	stats   DiskStats
 
+	wcap   int              // write-cache capacity in blocks; 0 = write-through
+	wdirty map[int64][]byte // cached-but-not-durable blocks
+	worder []int64          // FIFO destage order of wdirty keys
+
 	// Fault, if non-nil, is consulted before each operation; a non-nil
 	// return aborts the request with that error (fault injection).
 	Fault func(op string, blk int64) error
+
+	// OnMediaWrite, if non-nil, observes every block becoming durable on
+	// the platter (a direct write, or a destage from the write cache). It
+	// runs synchronously with no virtual-time cost — the crash harness
+	// uses it to count media writes and snapshot mid-operation.
+	OnMediaWrite func(blk int64)
 }
 
 // NewDisk returns a disk of nblocks blocks attached to bus (which may be
@@ -209,6 +235,112 @@ func NewDisk(k *sim.Kernel, prof DiskProfile, nblocks int64, bus *Bus) *Disk {
 
 // NumBlocks reports the disk capacity in blocks.
 func (d *Disk) NumBlocks() int64 { return d.nblocks }
+
+// EnableWriteCache turns on the volatile write-back cache, bounded at
+// nblocks dirty blocks. Writes beyond the bound destage the oldest dirty
+// block first (FIFO), so media-apply order equals write-acknowledge order —
+// the property the LFS checkpoint barrier protocol relies on.
+func (d *Disk) EnableWriteCache(nblocks int) {
+	if nblocks <= 0 {
+		d.wcap = 0
+		d.flushCacheNow()
+		return
+	}
+	d.wcap = nblocks
+	if d.wdirty == nil {
+		d.wdirty = make(map[int64][]byte)
+	}
+}
+
+// WriteCacheDirty reports the number of blocks sitting in the volatile
+// write cache (0 in write-through mode).
+func (d *Disk) WriteCacheDirty() int { return len(d.worder) }
+
+// applyMedia makes one block durable on the platter and notifies the
+// media-write observer.
+func (d *Disk) applyMedia(blk int64, data []byte) {
+	blkbuf, ok := d.store[blk]
+	if !ok {
+		blkbuf = make([]byte, BlockSize)
+		d.store[blk] = blkbuf
+	}
+	copy(blkbuf, data)
+	if d.OnMediaWrite != nil {
+		d.OnMediaWrite(blk)
+	}
+}
+
+// destageOldest moves the FIFO-oldest dirty block to the platter.
+func (d *Disk) destageOldest() {
+	blk := d.worder[0]
+	d.worder = d.worder[1:]
+	data := d.wdirty[blk]
+	delete(d.wdirty, blk)
+	d.applyMedia(blk, data)
+	d.stats.Destages++
+}
+
+// cacheWrite absorbs one block into the write cache, destaging on
+// overflow. A rewrite of a cached block updates it in place, keeping its
+// original FIFO position (it must not become durable later than a block
+// written before it).
+func (d *Disk) cacheWrite(blk int64, data []byte) {
+	if old, ok := d.wdirty[blk]; ok {
+		copy(old, data)
+		return
+	}
+	buf := make([]byte, BlockSize)
+	copy(buf, data)
+	d.wdirty[blk] = buf
+	d.worder = append(d.worder, blk)
+	for len(d.worder) > d.wcap {
+		d.destageOldest()
+	}
+}
+
+// flushCacheNow destages every dirty block (no virtual-time cost: the
+// media time was charged when the write was accepted).
+func (d *Disk) flushCacheNow() {
+	for len(d.worder) > 0 {
+		d.destageOldest()
+	}
+}
+
+// Flush drains the volatile write cache; on return every acknowledged
+// write is durable. It implements Flusher. No virtual time is charged —
+// the timing model charges full media cost at write time, so the cache
+// alters durability only.
+func (d *Disk) Flush(p *sim.Proc) error {
+	d.flushCacheNow()
+	return nil
+}
+
+// SnapshotStore returns a deep copy of the *durable* media image: what a
+// power cut at this instant would preserve. Blocks still in the volatile
+// write cache are deliberately excluded.
+func (d *Disk) SnapshotStore() map[int64][]byte {
+	out := make(map[int64][]byte, len(d.store))
+	for blk, data := range d.store {
+		cp := make([]byte, len(data))
+		copy(cp, data)
+		out[blk] = cp
+	}
+	return out
+}
+
+// RestoreStore replaces the media image with a deep copy of m and empties
+// the write cache — the disk as it comes back after a power cut.
+func (d *Disk) RestoreStore(m map[int64][]byte) {
+	d.store = make(map[int64][]byte, len(m))
+	for blk, data := range m {
+		cp := make([]byte, len(data))
+		copy(cp, data)
+		d.store[blk] = cp
+	}
+	d.wdirty = make(map[int64][]byte)
+	d.worder = nil
+	d.head = 0
+}
 
 // Profile reports the timing profile.
 func (d *Disk) Profile() DiskProfile { return d.prof }
@@ -282,7 +414,11 @@ func (d *Disk) ReadBlocks(p *sim.Proc, blk int64, buf []byte) error {
 		p.Sleep(st + d.prof.Rotation + media)
 		nb := int64(n / BlockSize)
 		for i := int64(0); i < nb; i++ {
-			src, ok := d.store[blk+i]
+			// Read-your-writes: the volatile cache holds the newest copy.
+			src, ok := d.wdirty[blk+i]
+			if !ok {
+				src, ok = d.store[blk+i]
+			}
 			dst := chunk[i*BlockSize : (i+1)*BlockSize]
 			if ok {
 				copy(dst, src)
@@ -331,12 +467,12 @@ func (d *Disk) WriteBlocks(p *sim.Proc, blk int64, buf []byte) error {
 		p.Sleep(st + d.prof.Rotation + media)
 		nb := int64(n / BlockSize)
 		for i := int64(0); i < nb; i++ {
-			blkbuf, ok := d.store[blk+i]
-			if !ok {
-				blkbuf = make([]byte, BlockSize)
-				d.store[blk+i] = blkbuf
+			data := chunk[i*BlockSize : (i+1)*BlockSize]
+			if d.wcap > 0 {
+				d.cacheWrite(blk+i, data)
+			} else {
+				d.applyMedia(blk+i, data)
 			}
-			copy(blkbuf, chunk[i*BlockSize:(i+1)*BlockSize])
 		}
 		d.head = blk + nb
 		d.arm.Release(p)

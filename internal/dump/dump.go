@@ -212,6 +212,25 @@ func Faults(w io.Writer, hl *core.HighLight) {
 		hl.RetiredSegments())
 }
 
+// Recovery renders how the last mount recovered: the checkpoint it
+// anchored on, the roll-forward extent and why replay stopped, namespace
+// repair, the cache-directory rebuild, and tertiary retirement. All
+// fields are zero after a fresh format.
+func Recovery(w io.Writer, ri lfs.RecoveryInfo, ms core.MountStats, retired int64) {
+	fmt.Fprintln(w, "Mount recovery report")
+	fmt.Fprintf(w, "  checkpoint:    serial %d (table region %d), taken t=%.2fs, log head seg %d off %d\n",
+		ri.CheckpointSerial, ri.Region, sim.Time(ri.CheckpointTime).Seconds(), ri.CheckpointSeg, ri.CheckpointOff)
+	fmt.Fprintf(w, "  roll-forward:  %d psegs / %d blocks replayed, %d inode-map entries advanced\n",
+		ri.PsegsReplayed, ri.BlocksReplayed, ri.InodesRecovered)
+	fmt.Fprintf(w, "                 replay stopped at seg %d off %d: %s\n", ri.StopSeg, ri.StopOff, ri.StopReason)
+	fmt.Fprintf(w, "  namespace:     %d dangling directory entries dropped\n", ri.DanglingDropped)
+	fmt.Fprintf(w, "  cache rebuild: %d lines rebound from the usage table, %d staging copy-outs rescheduled,\n",
+		ms.LinesRebound, ms.StagingRescheduled)
+	fmt.Fprintf(w, "                 %d torn staging lines dropped, %d pool segments self-healed\n",
+		ms.TornLinesDropped, ms.PoolSelfHealed)
+	fmt.Fprintf(w, "  tertiary:      %d segments retired to no-store (contents restaged)\n", retired)
+}
+
 // DataPath narrates a demand fetch through the layered architecture of
 // Figure 5: file system -> block map driver -> segment cache -> tertiary
 // driver -> service process -> I/O server -> Footprint -> device.

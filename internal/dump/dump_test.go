@@ -16,7 +16,7 @@ func demoHL(t *testing.T) (*sim.Kernel, *core.HighLight) {
 	t.Helper()
 	k := sim.NewKernel()
 	disk := dev.NewDisk(k, dev.RZ57, 128*16, nil)
-	juke := jukebox.New(k, jukebox.MO6300, 2, 4, 16, 16*lfs.BlockSize, nil)
+	juke := jukebox.MustNew(k, jukebox.MO6300, 2, 4, 16, 16*lfs.BlockSize, nil)
 	var hl *core.HighLight
 	k.RunProc(func(p *sim.Proc) {
 		var err error

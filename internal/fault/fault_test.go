@@ -145,7 +145,7 @@ func TestInstallHooksAndCounts(t *testing.T) {
 	k := sim.NewKernel()
 	pl := NewPlan(Config{Seed: 11, TransientReadRate: 1.0, MaxBurst: 1})
 	d := dev.NewDisk(k, dev.RZ57, 1024, nil)
-	j := jukebox.New(k, jukebox.MO6300, 2, 2, 8, 16*dev.BlockSize, nil)
+	j := jukebox.MustNew(k, jukebox.MO6300, 2, 2, 8, 16*dev.BlockSize, nil)
 	pl.InstallDisk("disk0", d)
 	pl.InstallJukebox("juke0", j)
 	k.RunProc(func(p *sim.Proc) {
@@ -182,7 +182,7 @@ func TestInstallHooksAndCounts(t *testing.T) {
 func TestOutageWindow(t *testing.T) {
 	k := sim.NewKernel()
 	pl := NewPlan(Config{Seed: 5})
-	j := jukebox.New(k, jukebox.MO6300, 2, 2, 8, 16*dev.BlockSize, nil)
+	j := jukebox.MustNew(k, jukebox.MO6300, 2, 2, 8, 16*dev.BlockSize, nil)
 	pl.AddOutage(j, Outage{Drive: 1, Start: 10 * sim.Time(time.Second), End: 30 * sim.Time(time.Second)})
 	pl.Start(k)
 	k.RunProc(func(p *sim.Proc) {

@@ -27,14 +27,15 @@ func (p Problem) String() string { return p.Where + ": " + p.What }
 
 // Report summarizes a check.
 type Report struct {
-	Files        int
-	Dirs         int
-	BlockPtrs    int
-	DiskBlocks   int
-	TertBlocks   int
-	SegsParsed   int
-	Problems     []Problem
-	VolumesCross map[uint32][]int // inum -> volumes its blocks span (when >1)
+	Files         int
+	Dirs          int
+	BlockPtrs     int
+	DiskBlocks    int
+	TertBlocks    int
+	SegsParsed    int
+	TsegsScrubbed int
+	Problems      []Problem
+	VolumesCross  map[uint32][]int // inum -> volumes its blocks span (when >1)
 }
 
 func (r *Report) addf(where, format string, args ...interface{}) {
@@ -74,6 +75,7 @@ func Check(p *sim.Proc, hl *core.HighLight) (*Report, error) {
 	}
 	liveByDiskSeg := map[addr.SegNo]uint32{}
 	liveByTseg := map[int]uint32{}
+	tertAddrs := map[int][]addr.BlockNo{} // reachable blocks per tseg, for the pass-5 scrub
 	seen := map[uint32]string{}
 	for _, e := range files {
 		if prev, dup := seen[e.inum]; dup {
@@ -106,6 +108,7 @@ func Check(p *sim.Proc, hl *core.HighLight) (*Report, error) {
 				r.TertBlocks++
 				idx, _ := hl.Amap.TertIndex(seg)
 				liveByTseg[idx] += lfs.BlockSize
+				tertAddrs[idx] = append(tertAddrs[idx], ref.Addr)
 				_, v, _, _ := hl.Amap.Loc(seg)
 				vols[v] = true
 			}
@@ -115,6 +118,7 @@ func Check(p *sim.Proc, hl *core.HighLight) (*Report, error) {
 		if iseg := hl.Amap.SegOf(ie.Addr); hl.Amap.IsTertiarySeg(iseg) {
 			if idx, ok := hl.Amap.TertIndex(iseg); ok {
 				liveByTseg[idx] += lfs.InodeSize
+				tertAddrs[idx] = append(tertAddrs[idx], ie.Addr)
 			}
 			_, v, _, _ := hl.Amap.Loc(iseg)
 			vols[v] = true
@@ -189,7 +193,78 @@ func Check(p *sim.Proc, hl *core.HighLight) (*Report, error) {
 				"tsegfile says %d live bytes but %d reachable bytes reside here", su.LiveBytes, live)
 		}
 	}
+
+	// Pass 5: tertiary scrub — every reachable tertiary block must sit
+	// inside a checksum-valid partial segment of its segment's image.
+	// A segment bound to a staging cache line exists only on that line
+	// (copy-out pending), so the line is scrubbed; every other segment
+	// is read straight from the medium — deliberately bypassing the
+	// cache, because a torn media copy (power cut mid WriteSegment)
+	// under an intact cache line is exactly the latent fault a scrub
+	// must find before the cache line ages out.
+	var idxs []int
+	for idx := range tertAddrs {
+		idxs = append(idxs, idx)
+	}
+	sort.Ints(idxs)
+	segBytes := hl.Amap.SegBlocks() * lfs.BlockSize
+	for _, idx := range idxs {
+		seg := hl.Amap.SegForIndex(idx)
+		raw := make([]byte, segBytes)
+		var src string
+		if l, ok := hl.Cache.Peek(idx); ok && l.Staging {
+			src = "staging line"
+			if err := hl.FS.ReadRawBlocks(p, hl.Amap.BlockOf(l.DiskSeg, 0), raw); err != nil {
+				r.addf(fmt.Sprintf("tseg %d", idx), "reading staging image: %v", err)
+				continue
+			}
+		} else {
+			src = "medium"
+			d, v, s, ok := hl.Amap.Loc(seg)
+			if !ok {
+				r.addf(fmt.Sprintf("tseg %d", idx), "no media location")
+				continue
+			}
+			if err := hl.Jukeboxes()[d].ReadSegment(p, v, s, raw); err != nil {
+				r.addf(fmt.Sprintf("tseg %d", idx), "reading medium: %v", err)
+				continue
+			}
+		}
+		r.TsegsScrubbed++
+		valid := validPsegBlocks(raw, hl.Amap.SegBlocks())
+		for _, a := range tertAddrs[idx] {
+			if off := hl.Amap.OffOf(a); !valid[off] {
+				r.addf(fmt.Sprintf("tseg %d", idx),
+					"reachable block at offset %d lies outside the checksum-valid psegs of the %s (torn or corrupt segment)", off, src)
+			}
+		}
+	}
 	return r, nil
+}
+
+// validPsegBlocks walks a segment image's contiguous pseg chain, checksum
+// verifying each, and marks which block offsets hold validated content.
+func validPsegBlocks(raw []byte, segBlocks int) []bool {
+	valid := make([]bool, segBlocks)
+	off := 0
+	for off+1 <= segBlocks {
+		sum, err := lfs.DecodeSummary(raw[off*lfs.BlockSize : (off+1)*lfs.BlockSize])
+		if err != nil {
+			break
+		}
+		n := int(sum.NBlocks)
+		if n < 1 || off+n > segBlocks {
+			break
+		}
+		if lfs.Checksum(raw[(off+1)*lfs.BlockSize:(off+n)*lfs.BlockSize]) != sum.DataSum {
+			break
+		}
+		for b := off + 1; b < off+n; b++ {
+			valid[b] = true
+		}
+		off += n
+	}
+	return valid
 }
 
 // Write renders the report including every problem.

@@ -14,9 +14,15 @@ import (
 
 func newHL(t *testing.T) (*sim.Kernel, *core.HighLight) {
 	t.Helper()
+	k, hl, _ := newHLJuke(t)
+	return k, hl
+}
+
+func newHLJuke(t *testing.T) (*sim.Kernel, *core.HighLight, *jukebox.Jukebox) {
+	t.Helper()
 	k := sim.NewKernel()
 	disk := dev.NewDisk(k, dev.RZ57, 128*16, nil)
-	juke := jukebox.New(k, jukebox.MO6300, 2, 4, 16, 16*lfs.BlockSize, nil)
+	juke := jukebox.MustNew(k, jukebox.MO6300, 2, 4, 16, 16*lfs.BlockSize, nil)
 	var hl *core.HighLight
 	k.RunProc(func(p *sim.Proc) {
 		var err error
@@ -31,7 +37,7 @@ func newHL(t *testing.T) (*sim.Kernel, *core.HighLight) {
 			t.Fatal(err)
 		}
 	})
-	return k, hl
+	return k, hl, juke
 }
 
 func TestCleanFileSystemPasses(t *testing.T) {
@@ -139,6 +145,159 @@ func TestDetectsUndercountedSegmentUsage(t *testing.T) {
 		}
 		if !found {
 			t.Fatalf("unexpected problem set: %v", rep.Problems)
+		}
+	})
+	k.Stop()
+}
+
+// TestDetectsTornTertiarySegment corrupts a migrated segment on the
+// medium — the state a power cut mid copy-out leaves behind — and checks
+// the pass-5 scrub catches it by checksum even though an intact cache
+// line still covers the reads. The damage is then routed through the
+// retirement/restage path: the live blocks restage from the cached copy
+// onto a fresh segment, the torn one is retired, and a re-check is clean.
+func TestDetectsTornTertiarySegment(t *testing.T) {
+	k, hl, juke := newHLJuke(t)
+	k.RunProc(func(p *sim.Proc) {
+		f, err := hl.FS.Create(p, "/archive")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.WriteAt(p, bytes.Repeat([]byte{0xA5}, 20*lfs.BlockSize), 0); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := hl.MigrateFiles(p, []uint32{f.Inum()}, false); err != nil {
+			t.Fatal(err)
+		}
+		if err := hl.CompleteMigration(p); err != nil {
+			t.Fatal(err)
+		}
+		refs, err := hl.FS.FileBlockRefs(p, f.Inum())
+		if err != nil {
+			t.Fatal(err)
+		}
+		seg := hl.Amap.SegOf(refs[0].Addr)
+		idx, _ := hl.Amap.TertIndex(seg)
+		if _, ok := hl.Cache.Peek(idx); !ok {
+			t.Fatal("migrated segment not cached (test premise)")
+		}
+		// Tear the segment on the medium: wreck its second half, the way
+		// a power cut halfway through WriteSegment does.
+		_, vol, vseg, ok := hl.Amap.Loc(seg)
+		if !ok {
+			t.Fatalf("segment %d has no media location", seg)
+		}
+		imgs := juke.SnapshotVolumes()
+		img := imgs[vol].Segs[vseg]
+		for i := len(img) / 2; i < len(img); i++ {
+			img[i] ^= 0xFF
+		}
+		juke.RestoreVolumes(imgs)
+
+		rep, err := Check(p, hl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		found := false
+		for _, pr := range rep.Problems {
+			if strings.Contains(pr.What, "checksum-valid") {
+				found = true
+			}
+		}
+		if !found {
+			var b bytes.Buffer
+			rep.Write(&b)
+			t.Fatalf("scrub missed the torn tertiary segment:\n%s", b.String())
+		}
+
+		// Retirement/restage: move the live blocks off the suspect
+		// segment (the intact cache line feeds the restage), make the
+		// move durable, then retire the torn segment so the allocator
+		// never reuses it.
+		if _, err := hl.RestageTertSegment(p, idx); err != nil {
+			t.Fatal(err)
+		}
+		if err := hl.CompleteMigration(p); err != nil {
+			t.Fatal(err)
+		}
+		if l, ok := hl.Cache.Peek(idx); ok && !l.Staging && l.Pins == 0 {
+			dseg, err := hl.Cache.Evict(l)
+			if err != nil {
+				t.Fatal(err)
+			}
+			hl.FS.SetCacheBinding(dseg, lfs.NilCacheTag, false)
+			hl.Cache.Release(dseg)
+		}
+		hl.FS.ResetTseg(idx)
+		hl.FS.MarkTsegNoStore(idx)
+
+		rep, err = Check(p, hl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.OK() {
+			var b bytes.Buffer
+			rep.Write(&b)
+			t.Fatalf("restage + retirement did not heal the FS:\n%s", b.String())
+		}
+	})
+	k.Stop()
+}
+
+// TestDetectsCacheDirectoryDisagreement sabotages the cache binding of a
+// fetched line in both directions and checks pass 3 reports each.
+func TestDetectsCacheDirectoryDisagreement(t *testing.T) {
+	k, hl := newHL(t)
+	k.RunProc(func(p *sim.Proc) {
+		f, err := hl.FS.Create(p, "/archive")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.WriteAt(p, make([]byte, 12*lfs.BlockSize), 0); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := hl.MigrateFiles(p, []uint32{f.Inum()}, false); err != nil {
+			t.Fatal(err)
+		}
+		if err := hl.CompleteMigration(p); err != nil {
+			t.Fatal(err)
+		}
+		lines := hl.Cache.Lines()
+		if len(lines) == 0 {
+			t.Fatal("no cache lines after migration")
+		}
+		l := lines[0]
+		// Sabotage: the usage table now claims the disk segment caches a
+		// different tertiary segment than the directory does.
+		hl.FS.SetCacheBinding(l.DiskSeg, uint32(l.Tag+1), false)
+		rep, err := Check(p, hl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var dirSide, tableSide bool
+		for _, pr := range rep.Problems {
+			if strings.Contains(pr.What, "in the usage table") {
+				dirSide = true
+			}
+			if strings.Contains(pr.What, "directory says") {
+				tableSide = true
+			}
+		}
+		if !dirSide || !tableSide {
+			var b bytes.Buffer
+			rep.Write(&b)
+			t.Fatalf("pass 3 missed the binding disagreement (dir=%v table=%v):\n%s", dirSide, tableSide, b.String())
+		}
+		// Heal and re-check.
+		hl.FS.SetCacheBinding(l.DiskSeg, uint32(l.Tag), false)
+		rep, err = Check(p, hl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.OK() {
+			var b bytes.Buffer
+			rep.Write(&b)
+			t.Fatalf("healed FS still reports problems:\n%s", b.String())
 		}
 	})
 	k.Stop()

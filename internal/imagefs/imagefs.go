@@ -166,8 +166,12 @@ func buildDevices(k *sim.Kernel, dir string, cfg Config) (*Instance, error) {
 	for _, segs := range cfg.ExtraDiskSegs {
 		inst.Extra = append(inst.Extra, dev.NewDisk(k, dev.RZ58, int64(segs*cfg.SegBlocks), bus))
 	}
-	inst.Juke = jukebox.New(k, jukebox.MO6300, cfg.Drives, cfg.Vols, cfg.SegsPerVol,
+	juke, err := jukebox.New(k, jukebox.MO6300, cfg.Drives, cfg.Vols, cfg.SegsPerVol,
 		cfg.SegBlocks*lfs.BlockSize, bus)
+	if err != nil {
+		return nil, fmt.Errorf("imagefs: %w", err)
+	}
+	inst.Juke = juke
 	return inst, nil
 }
 

@@ -170,13 +170,25 @@ type Jukebox struct {
 	// drive). Injected errors should wrap dev.ErrTransientMedia or
 	// dev.ErrPermanentMedia so the recovery layer can classify them.
 	Fault func(op string, vol, seg int) error
+
+	// OnMediaWrite, if non-nil, observes segment writes becoming durable.
+	// It fires twice per WriteSegment — once with only the first half of
+	// the segment applied (the torn-write point a power cut exposes) and
+	// once when the whole segment is on the medium — and once per
+	// EraseVolume with seg == -1. It runs synchronously with no
+	// virtual-time cost.
+	OnMediaWrite func(vol, seg int)
 }
+
+// ErrBadGeometry is returned by New for a configuration without at least
+// one drive, one volume, and one segment per volume.
+var ErrBadGeometry = errors.New("jukebox: need at least one drive, volume, and segment")
 
 // New returns a jukebox with ndrives drives and nvols volumes of
 // segsPerVol segments of segBytes bytes. bus may be nil.
-func New(k *sim.Kernel, prof MediaProfile, ndrives, nvols, segsPerVol, segBytes int, bus *dev.Bus) *Jukebox {
+func New(k *sim.Kernel, prof MediaProfile, ndrives, nvols, segsPerVol, segBytes int, bus *dev.Bus) (*Jukebox, error) {
 	if ndrives < 1 || nvols < 1 || segsPerVol < 1 {
-		panic("jukebox: need at least one drive, volume, and segment")
+		return nil, fmt.Errorf("%w: %d drives, %d volumes, %d segments/volume", ErrBadGeometry, ndrives, nvols, segsPerVol)
 	}
 	j := &Jukebox{
 		k:          k,
@@ -203,6 +215,16 @@ func New(k *sim.Kernel, prof MediaProfile, ndrives, nvols, segsPerVol, segBytes 
 			actualSegs:  segsPerVol,
 			store:       make(map[int][]byte),
 		})
+	}
+	return j, nil
+}
+
+// MustNew is New panicking on a bad configuration — for tests and
+// examples with static geometry.
+func MustNew(k *sim.Kernel, prof MediaProfile, ndrives, nvols, segsPerVol, segBytes int, bus *dev.Bus) *Jukebox {
+	j, err := New(k, prof, ndrives, nvols, segsPerVol, segBytes, bus)
+	if err != nil {
+		panic(err)
 	}
 	return j
 }
@@ -238,6 +260,66 @@ func (j *Jukebox) EraseVolume(vol int) {
 	v.store = make(map[int][]byte)
 	v.full = false
 	v.writes = 0
+	if j.OnMediaWrite != nil {
+		j.OnMediaWrite(vol, -1)
+	}
+}
+
+// VolumeImage is a deep copy of one volume's durable state, taken by
+// SnapshotVolumes for the crash harness.
+type VolumeImage struct {
+	ActualSegs int
+	Full       bool
+	Writes     int64
+	Segs       map[int][]byte
+}
+
+// SnapshotVolumes returns deep copies of every volume's media state: what
+// a power cut at this instant would preserve. (Tertiary media have no
+// volatile write cache; a segment write is durable as its bytes land,
+// which the two-phase OnMediaWrite hook exposes mid-write.)
+func (j *Jukebox) SnapshotVolumes() []VolumeImage {
+	out := make([]VolumeImage, len(j.vols))
+	for i, v := range j.vols {
+		img := VolumeImage{
+			ActualSegs: v.actualSegs,
+			Full:       v.full,
+			Writes:     v.writes,
+			Segs:       make(map[int][]byte, len(v.store)),
+		}
+		for seg, data := range v.store {
+			cp := make([]byte, len(data))
+			copy(cp, data)
+			img.Segs[seg] = cp
+		}
+		out[i] = img
+	}
+	return out
+}
+
+// RestoreVolumes replaces the media state of every volume with deep
+// copies from imgs (the jukebox after a power cut: drives unload, media
+// survive). Drive positions reset to empty.
+func (j *Jukebox) RestoreVolumes(imgs []VolumeImage) {
+	for i, img := range imgs {
+		if i >= len(j.vols) {
+			break
+		}
+		v := j.vols[i]
+		v.actualSegs = img.ActualSegs
+		v.full = img.Full
+		v.writes = img.Writes
+		v.store = make(map[int][]byte, len(img.Segs))
+		for seg, data := range img.Segs {
+			cp := make([]byte, len(data))
+			copy(cp, data)
+			v.store[seg] = cp
+		}
+	}
+	for _, d := range j.drives {
+		d.loaded = -1
+		d.pos = 0
+	}
 }
 
 // LoadedVolume reports which volume drive d holds (-1 if empty).
@@ -474,7 +556,18 @@ func (j *Jukebox) WriteSegment(p *sim.Proc, vol, seg int, buf []byte) error {
 		dst = make([]byte, j.segBytes)
 		v.store[seg] = dst
 	}
-	copy(dst, buf)
+	// Apply in two halves with an observation point between them: a power
+	// cut at the first point sees a torn segment (new head, stale tail) —
+	// the case the per-pseg checksums must catch at recovery.
+	half := j.segBytes / 2
+	copy(dst[:half], buf[:half])
+	if j.OnMediaWrite != nil {
+		j.OnMediaWrite(vol, seg)
+	}
+	copy(dst[half:], buf[half:])
+	if j.OnMediaWrite != nil {
+		j.OnMediaWrite(vol, seg)
+	}
 	v.writes++
 	d.arm.Release(p)
 	j.stats.Writes++

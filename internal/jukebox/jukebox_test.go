@@ -13,7 +13,7 @@ import (
 const segBytes = 1024 * 1024
 
 func newMO(k *sim.Kernel, drives, vols, segs int) *Jukebox {
-	return New(k, MO6300, drives, vols, segs, segBytes, nil)
+	return MustNew(k, MO6300, drives, vols, segs, segBytes, nil)
 }
 
 func TestWriteReadRoundTrip(t *testing.T) {
@@ -87,7 +87,7 @@ func TestVolumeChangeCostMatchesTable5(t *testing.T) {
 func TestMOReadWriteRatesMatchTable5(t *testing.T) {
 	k := sim.NewKernel()
 	bus := dev.NewBus(k, "scsi", dev.SCSIBusRate)
-	j := New(k, MO6300, 2, 2, 64, segBytes, bus)
+	j := MustNew(k, MO6300, 2, 2, 64, segBytes, bus)
 	var readRate, writeRate float64
 	k.RunProc(func(p *sim.Proc) {
 		buf := make([]byte, segBytes)
@@ -152,7 +152,7 @@ func TestEndOfMedium(t *testing.T) {
 
 func TestWriteOnce(t *testing.T) {
 	k := sim.NewKernel()
-	j := New(k, SonyWORM, 1, 1, 4, segBytes, nil)
+	j := MustNew(k, SonyWORM, 1, 1, 4, segBytes, nil)
 	j.WriteOnce = true
 	k.RunProc(func(p *sim.Proc) {
 		buf := make([]byte, segBytes)
@@ -202,7 +202,7 @@ func TestWriteDriveReservation(t *testing.T) {
 func TestSwapHoldsSharedBus(t *testing.T) {
 	k := sim.NewKernel()
 	bus := dev.NewBus(k, "scsi", dev.SCSIBusRate)
-	j := New(k, MO6300, 1, 2, 4, segBytes, bus)
+	j := MustNew(k, MO6300, 1, 2, 4, segBytes, bus)
 	d := dev.NewDisk(k, dev.RZ57, 1024, bus)
 	var diskDone sim.Time
 	k.Go("mo", func(p *sim.Proc) {
@@ -227,7 +227,7 @@ func TestSwapHoldsSharedBus(t *testing.T) {
 
 func TestTapeSeekCostGrowsWithDistance(t *testing.T) {
 	k := sim.NewKernel()
-	j := New(k, Metrum, 1, 1, 1000, segBytes, nil)
+	j := MustNew(k, Metrum, 1, 1, 1000, segBytes, nil)
 	var near, far sim.Time
 	k.RunProc(func(p *sim.Proc) {
 		buf := make([]byte, segBytes)
@@ -317,7 +317,7 @@ func TestFaultInjection(t *testing.T) {
 
 func TestTypedSentinelErrors(t *testing.T) {
 	k := sim.NewKernel()
-	j := New(k, SonyWORM, 1, 2, 4, segBytes, nil)
+	j := MustNew(k, SonyWORM, 1, 2, 4, segBytes, nil)
 	j.WriteOnce = true
 	k.RunProc(func(p *sim.Proc) {
 		buf := make([]byte, segBytes)
@@ -477,7 +477,7 @@ func TestImageSaveLoadRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	k2 := sim.NewKernel()
-	j2 := New(k2, MO6300, 2, 3, 8, segBytes, nil)
+	j2 := MustNew(k2, MO6300, 2, 3, 8, segBytes, nil)
 	if err := j2.LoadStore(bytes.NewReader(img.Bytes())); err != nil {
 		t.Fatal(err)
 	}
@@ -495,7 +495,7 @@ func TestImageSaveLoadRoundTrip(t *testing.T) {
 	})
 	// Geometry mismatch must be rejected.
 	k3 := sim.NewKernel()
-	j3 := New(k3, MO6300, 2, 4, 8, segBytes, nil)
+	j3 := MustNew(k3, MO6300, 2, 4, 8, segBytes, nil)
 	if err := j3.LoadStore(bytes.NewReader(img.Bytes())); err == nil {
 		t.Fatal("geometry mismatch accepted")
 	}

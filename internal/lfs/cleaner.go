@@ -206,13 +206,21 @@ func (fs *FS) cleanSegmentLocked(p *sim.Proc, seg addr.SegNo) (relocated int, er
 	return relocated, nil
 }
 
-// markCleanLocked returns a reclaimed segment to the clean pool.
+// markCleanLocked queues a reclaimed segment for return to the clean
+// pool. The segment keeps its dirty flag — and stays unallocatable —
+// until the next checkpoint commits it (commitCleanedLocked): the last
+// durable checkpoint's tables still hold pointers into the segment, so
+// reusing it before a new checkpoint lands would let a crash recover
+// into overwritten data.
 func (fs *FS) markCleanLocked(seg addr.SegNo) {
-	su := &fs.seguse[seg]
-	su.Flags = 0
-	su.LiveBytes = 0
-	su.CacheTag = 0
-	fs.nclean++
+	if fs.pendingCleanSet == nil {
+		fs.pendingCleanSet = make(map[addr.SegNo]bool)
+	}
+	if fs.pendingCleanSet[seg] {
+		return
+	}
+	fs.pendingCleanSet[seg] = true
+	fs.pendingClean = append(fs.pendingClean, seg)
 	fs.stats.SegsCleaned++
 }
 
@@ -239,6 +247,16 @@ func (fs *FS) cleanSegmentsLocked(p *sim.Proc, segs []addr.SegNo) (int, error) {
 	for _, seg := range segs {
 		fs.markCleanLocked(seg)
 	}
+	// Commit the reclaimed segments with a table checkpoint (no further
+	// flush needed: the relocation was just flushed, and table updates
+	// happen at write time, so the in-memory tables describe the media).
+	// This is what makes the cleaned segments allocatable again — see
+	// markCleanLocked.
+	if len(fs.pendingClean) > 0 {
+		if err := fs.writeCheckpointLocked(p); err != nil {
+			return total, err
+		}
+	}
 	return total, nil
 }
 
@@ -258,6 +276,9 @@ func (fs *FS) SelectCleanable(max int) []addr.SegNo {
 		su := &fs.seguse[i]
 		if su.Flags&SegDirty == 0 || su.Flags&(SegActive|SegCached|SegNoStore) != 0 {
 			continue
+		}
+		if fs.pendingCleanSet[addr.SegNo(i)] {
+			continue // already cleaned, awaiting checkpoint commit
 		}
 		live := su.LiveBytes
 		if live > segBytes {
@@ -296,6 +317,9 @@ func (fs *FS) SelectLeastLive(max int) []addr.SegNo {
 		su := &fs.seguse[i]
 		if su.Flags&SegDirty == 0 || su.Flags&(SegActive|SegCached|SegNoStore) != 0 {
 			continue
+		}
+		if fs.pendingCleanSet[addr.SegNo(i)] {
+			continue // already cleaned, awaiting checkpoint commit
 		}
 		cands = append(cands, cand{addr.SegNo(i), su.LiveBytes})
 	}

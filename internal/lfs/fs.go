@@ -16,6 +16,28 @@ type Device interface {
 	WriteBlocks(p *sim.Proc, b addr.BlockNo, buf []byte) error
 }
 
+// Flusher is implemented by devices with a volatile write cache. The file
+// system issues Flush as a write barrier at its durability points: after
+// the log writes of a sync, and twice during a checkpoint (before and
+// after the checkpoint header) so the header never lands before the state
+// it names.
+type Flusher interface {
+	Flush(p *sim.Proc) error
+}
+
+// flushDevice drains the device's volatile write cache, if it has one.
+func (fs *FS) flushDevice(p *sim.Proc) error {
+	if f, ok := fs.dev.(Flusher); ok {
+		return f.Flush(p)
+	}
+	return nil
+}
+
+// Checksum exposes the log checksum (CRC-32C) used for partial-segment
+// bodies, so recovery audits (fsck's tertiary scrub, the crash harness)
+// can validate segment images the same way roll-forward does.
+func Checksum(b []byte) uint32 { return crc32Sum(b) }
+
 // Errors returned by the file system.
 var (
 	ErrNoSpace    = errors.New("lfs: no clean segments")
@@ -82,6 +104,30 @@ func (o *Options) fill(segBytes int) {
 	}
 }
 
+// RecoveryInfo records what Mount did to bring the file system back: the
+// checkpoint it started from, how far roll-forward got and why it
+// stopped, and any namespace repair. hldump -recovery prints it.
+type RecoveryInfo struct {
+	CheckpointSerial uint64     // serial of the checkpoint recovered from
+	CheckpointTime   int64      // virtual time the checkpoint was taken
+	CheckpointSeg    addr.SegNo // log position named by the checkpoint
+	CheckpointOff    int
+	Region           uint32 // table region the checkpoint used
+
+	PsegsReplayed   int // intact partial segments rolled forward
+	BlocksReplayed  int // blocks covered by replayed partial segments
+	InodesRecovered int // inode-map entries advanced by replay
+
+	StopSeg    addr.SegNo // where replay stopped
+	StopOff    int
+	StopReason string // why replay stopped (torn write, stale serial, ...)
+
+	DanglingDropped int // directory entries dropped by namespace repair
+}
+
+// Recovery reports how the last Mount recovered (zero value after Format).
+func (fs *FS) Recovery() RecoveryInfo { return fs.recovery }
+
 // Stats counts file system activity.
 type Stats struct {
 	DevReads, DevWrites     int64
@@ -126,6 +172,15 @@ type FS struct {
 	cacheInUse  int  // disk segments currently holding cached tertiary lines
 	inFlush     bool // guards against recursive segment writes
 	inEmergency bool // guards against recursive emergency cleaning
+
+	// Segments cleaned since the last checkpoint. They stay flagged dirty
+	// (unallocatable) until a checkpoint makes the relocation of their
+	// live data durable: reusing one earlier would let a crash resurrect a
+	// checkpoint whose tables still point into the overwritten segment.
+	pendingClean    []addr.SegNo
+	pendingCleanSet map[addr.SegNo]bool
+
+	recovery RecoveryInfo // filled by Mount
 
 	// EmergencyClean, if set, is invoked (lock held) when the allocator
 	// runs out of clean segments; it should clean at least one segment
@@ -265,6 +320,13 @@ func Mount(p *sim.Proc, device Device, amap *addr.Map, opts Options) (*FS, error
 	fs.nextInum = best.NextInum
 	fs.curSeg = best.CurSeg
 	fs.curOff = int(best.CurOff)
+	fs.recovery = RecoveryInfo{
+		CheckpointSerial: best.Serial,
+		CheckpointTime:   best.Time,
+		CheckpointSeg:    best.CurSeg,
+		CheckpointOff:    int(best.CurOff),
+		Region:           best.Region,
+	}
 	if err := fs.rollForward(p, best); err != nil {
 		return nil, err
 	}
@@ -285,6 +347,63 @@ func Mount(p *sim.Proc, device Device, amap *addr.Map, opts Options) (*FS, error
 	}
 	fs.serial++ // new write epoch
 	return fs, nil
+}
+
+// RepairDangling walks the namespace and drops directory entries naming
+// inodes the recovered map has never seen. A crash between a
+// directory-data partial segment and the trailing one carrying the new
+// file's inode leaves such a durable dangling dirent (4.4BSD would leave
+// this to a foreground fsck; the file had no durable content, so nothing
+// synced is lost). The caller invokes it once the block address space is
+// fully serviceable — after the segment-cache directory is rebuilt, since
+// the walk may read directories resident on tertiary storage.
+func (fs *FS) RepairDangling(p *sim.Proc) (int, error) {
+	fs.lock.Acquire(p)
+	defer fs.lock.Release(p)
+	dropped, err := fs.repairDanglingLocked(p)
+	fs.recovery.DanglingDropped += dropped
+	return dropped, err
+}
+
+// repairDanglingLocked walks the namespace and removes directory entries
+// whose inode the recovered map does not contain.
+func (fs *FS) repairDanglingLocked(p *sim.Proc) (int, error) {
+	dropped := 0
+	queue := []uint32{RootInum}
+	seen := map[uint32]bool{RootInum: true}
+	for len(queue) > 0 {
+		inum := queue[0]
+		queue = queue[1:]
+		ino, err := fs.iget(p, inum)
+		if err != nil {
+			return dropped, fmt.Errorf("lfs: namespace repair: inode %d: %w", inum, err)
+		}
+		if ino.Type != TypeDir {
+			continue
+		}
+		ents, err := fs.readDirLocked(p, ino)
+		if err != nil {
+			return dropped, fmt.Errorf("lfs: namespace repair: directory %d: %w", inum, err)
+		}
+		keep := make([]Dirent, 0, len(ents))
+		for _, e := range ents {
+			if int(e.Inum) >= len(fs.imap) || fs.imap[e.Inum].Addr == addr.NilBlock {
+				dropped++
+				continue
+			}
+			keep = append(keep, e)
+			if !seen[e.Inum] {
+				seen[e.Inum] = true
+				queue = append(queue, e.Inum)
+			}
+		}
+		if len(keep) != len(ents) {
+			if err := fs.writeDirLocked(p, ino, keep); err != nil {
+				return dropped, err
+			}
+		}
+	}
+	return dropped, nil
 }
 
 // now returns the current virtual time in nanoseconds.
@@ -377,12 +496,40 @@ func (fs *FS) loadTables(p *sim.Proc, c checkpoint) error {
 	return nil
 }
 
+// commitCleanedLocked makes the segments cleaned since the last
+// checkpoint allocatable again. Called only from writeCheckpointLocked,
+// so the transition becomes durable with the tables about to be written —
+// and no log write can land in a committed segment before the checkpoint
+// header does.
+func (fs *FS) commitCleanedLocked() {
+	for _, seg := range fs.pendingClean {
+		su := &fs.seguse[seg]
+		su.Flags = 0
+		su.LiveBytes = 0
+		su.CacheTag = 0
+		fs.nclean++
+	}
+	fs.pendingClean = fs.pendingClean[:0]
+	fs.pendingCleanSet = nil
+}
+
 // checkpointLocked flushes all dirty state and writes a checkpoint: tables
 // to the ping-pong region, then the checkpoint header. Requires the lock.
 func (fs *FS) checkpointLocked(p *sim.Proc) error {
 	if err := fs.flushLocked(p, true); err != nil {
 		return err
 	}
+	return fs.writeCheckpointLocked(p)
+}
+
+// writeCheckpointLocked writes the tables and checkpoint header for the
+// current in-memory state, with write barriers so that (1) everything the
+// tables describe is durable before the header names them and (2) the
+// header itself is durable on return. The caller must have flushed any
+// dirty file data first (or be at a point where the tables are consistent
+// with the media, as after a cleaner pass).
+func (fs *FS) writeCheckpointLocked(p *sim.Proc) error {
+	fs.commitCleanedLocked()
 	region := uint32(fs.serial % 2)
 	tables := fs.serializeTables()
 	// The table region is contiguous; write it in segment-sized chunks.
@@ -395,6 +542,11 @@ func (fs *FS) checkpointLocked(p *sim.Proc) error {
 		if err := fs.dev.WriteBlocks(p, fs.tableRegionBlock(region, off/BlockSize), tables[off:end]); err != nil {
 			return err
 		}
+	}
+	// Barrier: the log writes and tables must be durable before the
+	// checkpoint header can name them.
+	if err := fs.flushDevice(p); err != nil {
+		return err
 	}
 	c := checkpoint{
 		Serial:   fs.serial,
@@ -410,6 +562,10 @@ func (fs *FS) checkpointLocked(p *sim.Proc) error {
 	if err := fs.dev.WriteBlocks(p, fs.amap.BlockOf(0, slot), blk); err != nil {
 		return err
 	}
+	// Barrier: a checkpoint is not complete until its header is on media.
+	if err := fs.flushDevice(p); err != nil {
+		return err
+	}
 	fs.serial++
 	fs.stats.Checkpoints++
 	return nil
@@ -422,11 +578,95 @@ func (fs *FS) Checkpoint(p *sim.Proc) error {
 	return fs.checkpointLocked(p)
 }
 
-// Sync writes all dirty data to the log without checkpointing the tables.
+// CheckpointTables writes the in-memory tables and a checkpoint header
+// WITHOUT flushing dirty buffers first. The tables always reflect every
+// partial segment already in the log (imap and segment usage are updated
+// at log-write time), so the result is a consistent recovery point; what
+// it does not capture is metadata dirtied but not yet written. The
+// migrator uses it to make a staging-line binding durable without
+// relocating the dirty flipped metadata of an in-flight migration batch
+// (a full checkpoint's flush would invalidate the batch's captured block
+// refs). Live-byte accounting applied at operation time (unlinks,
+// migration pointer flips) may be slightly ahead of the durable pointers
+// in the written tables; recovery heals that by recomputing the counts
+// from a namespace walk (RecomputeLiveBytes).
+func (fs *FS) CheckpointTables(p *sim.Proc) error {
+	fs.lock.Acquire(p)
+	defer fs.lock.Release(p)
+	return fs.writeCheckpointLocked(p)
+}
+
+// RecomputeLiveBytes rebuilds the live-byte accounting of the disk and
+// tertiary segment usage tables from a namespace walk. After a crash the
+// checkpointed counts can disagree with the durable pointers in either
+// direction: roll-forward re-adds bytes for replayed partial segments but
+// never subtracts the copies they superseded (over-count), and a
+// table-only checkpoint (CheckpointTables, the cleaner's commit) can
+// capture operation-time decrements whose pointer updates never reached
+// the log (under-count — the dangerous direction, since the verifier and
+// the cleaner both trust the counts). The walk restores exact agreement
+// with the reachable state. The caller invokes it once the block address
+// space is fully serviceable (after the segment-cache directory is
+// rebuilt), since the walk may demand-fetch migrated metadata.
+func (fs *FS) RecomputeLiveBytes(p *sim.Proc) error {
+	var inums []uint32
+	if err := fs.Walk(p, "/", func(path string, fi FileInfo) error {
+		inums = append(inums, fi.Inum)
+		return nil
+	}); err != nil {
+		return err
+	}
+	liveDisk := make([]uint32, fs.amap.DiskSegs())
+	liveTseg := make([]uint32, len(fs.tseg))
+	account := func(a addr.BlockNo, n uint32) {
+		seg := fs.amap.SegOf(a)
+		if fs.amap.IsDiskSeg(seg) {
+			liveDisk[seg] += n
+		} else if idx, ok := fs.amap.TertIndex(seg); ok {
+			liveTseg[idx] += n
+		}
+	}
+	for _, inum := range inums {
+		refs, err := fs.FileBlockRefs(p, inum)
+		if err != nil {
+			return fmt.Errorf("lfs: recomputing live bytes: inode %d: %w", inum, err)
+		}
+		for _, ref := range refs {
+			account(ref.Addr, BlockSize)
+		}
+		if e := fs.Imap(inum); e.Addr != addr.NilBlock {
+			account(e.Addr, InodeSize)
+		}
+	}
+	fs.lock.Acquire(p)
+	defer fs.lock.Release(p)
+	for s := range fs.seguse {
+		su := &fs.seguse[s]
+		if s < int(fs.sb.ReservedSegs) || su.Flags&SegCached != 0 {
+			continue
+		}
+		su.LiveBytes = liveDisk[s]
+	}
+	for i := range fs.tseg {
+		su := &fs.tseg[i]
+		su.LiveBytes = liveTseg[i]
+		if liveTseg[i] > 0 {
+			su.Flags |= SegDirty
+		}
+	}
+	return nil
+}
+
+// Sync writes all dirty data to the log without checkpointing the tables,
+// then drains the device write cache: synced data must survive a crash
+// (roll-forward replays it from the log).
 func (fs *FS) Sync(p *sim.Proc) error {
 	fs.lock.Acquire(p)
 	defer fs.lock.Release(p)
-	return fs.flushLocked(p, true)
+	if err := fs.flushLocked(p, true); err != nil {
+		return err
+	}
+	return fs.flushDevice(p)
 }
 
 // rollForward scans the threaded log from the checkpoint position and
@@ -435,10 +675,12 @@ func (fs *FS) Sync(p *sim.Proc) error {
 func (fs *FS) rollForward(p *sim.Proc, c checkpoint) error {
 	seg, off := c.CurSeg, int(c.CurOff)
 	segBuf := make([]byte, BlockSize)
-	for {
+	stop := ""
+	for stop == "" {
 		if off+2 > fs.amap.SegBlocks() {
 			// Segment exhausted at checkpoint time; recovery state
 			// already points at its end — nothing was written after.
+			stop = "segment exhausted at checkpoint"
 			break
 		}
 		base := fs.amap.BlockOf(seg, off)
@@ -449,8 +691,16 @@ func (fs *FS) rollForward(p *sim.Proc, c checkpoint) error {
 		// Partial segments written after checkpoint N carry serial N+1
 		// (the epoch advances as the checkpoint completes); anything
 		// else is stale data from an earlier life of the segment.
-		if err != nil || sum.Serial != c.Serial+1 || sum.NBlocks < 1 || off+int(sum.NBlocks) > fs.amap.SegBlocks() {
-			break // incomplete or stale partial segment: recovery done
+		switch {
+		case err != nil:
+			stop = "no valid summary (end of log or torn summary block)"
+		case sum.Serial != c.Serial+1:
+			stop = fmt.Sprintf("stale summary (serial %d, wanted %d)", sum.Serial, c.Serial+1)
+		case sum.NBlocks < 1 || off+int(sum.NBlocks) > fs.amap.SegBlocks():
+			stop = fmt.Sprintf("bad partial-segment length %d", sum.NBlocks)
+		}
+		if stop != "" {
+			break
 		}
 		// Verify the data checksum before applying.
 		body := make([]byte, (int(sum.NBlocks)-1)*BlockSize)
@@ -459,9 +709,12 @@ func (fs *FS) rollForward(p *sim.Proc, c checkpoint) error {
 				return err
 			}
 			if crc32Sum(body) != sum.DataSum {
+				stop = "data checksum mismatch (torn write)"
 				break
 			}
 		}
+		fs.recovery.PsegsReplayed++
+		fs.recovery.BlocksReplayed += int(sum.NBlocks)
 		fs.applyPsegment(seg, off, sum, body)
 		off += int(sum.NBlocks)
 		if sum.Next != seg {
@@ -470,6 +723,9 @@ func (fs *FS) rollForward(p *sim.Proc, c checkpoint) error {
 	}
 	fs.curSeg, fs.curOff = seg, off
 	fs.seguse[seg].Flags |= SegActive
+	fs.recovery.StopSeg = seg
+	fs.recovery.StopOff = off
+	fs.recovery.StopReason = stop
 	return nil
 }
 
@@ -505,6 +761,7 @@ func (fs *FS) applyPsegment(seg addr.SegNo, off int, sum *Summary, body []byte) 
 				if ino.Inum >= fs.nextInum {
 					fs.nextInum = ino.Inum + 1
 				}
+				fs.recovery.InodesRecovered++
 			}
 		}
 	}
@@ -637,6 +894,23 @@ func (fs *FS) ResetTseg(idx int) {
 	fs.tseg[idx] = Seguse{}
 }
 
+// RestoreTsegUsage reconstructs a tertiary segment's usage entry during
+// crash recovery from the checksum-valid prefix of its recovered staging
+// image: the in-memory accounting done by Migratev (live bytes plus
+// dirty flag) is durable only at the next checkpoint, so after a
+// mid-migration crash the checkpointed entry may undercount data that
+// roll-forward made reachable. liveBytes is an upper bound (whole valid
+// psegs), which only ever over-counts — the safe direction for both the
+// verifier and the cleaner.
+func (fs *FS) RestoreTsegUsage(idx int, liveBytes uint32) {
+	su := &fs.tseg[idx]
+	su.Flags |= SegDirty
+	if su.LiveBytes < liveBytes {
+		su.LiveBytes = liveBytes
+	}
+	su.LastMod = fs.now()
+}
+
 // TsegCount reports the tertiary segment table size.
 func (fs *FS) TsegCount() int { return len(fs.tseg) }
 
@@ -707,6 +981,9 @@ func (fs *FS) FlushCaches(p *sim.Proc) error {
 	fs.lock.Acquire(p)
 	defer fs.lock.Release(p)
 	if err := fs.flushLocked(p, true); err != nil {
+		return err
+	}
+	if err := fs.flushDevice(p); err != nil {
 		return err
 	}
 	fs.bufs = make(map[bufKey]*buf)

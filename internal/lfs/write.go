@@ -167,6 +167,19 @@ func (fs *FS) writePsegs(p *sim.Proc, blocks []*buf, inums []uint32, inoBlocks i
 	if len(plans) == 0 {
 		return nil
 	}
+	// If the flush exhausts its final segment, the next pseg must open a
+	// fresh segment — pick it now so the last summary can thread to it.
+	// Roll-forward follows the log through Next pointers only; a
+	// self-pointing Next in a full segment would end the chain and
+	// silently drop everything synced after the boundary.
+	var nextSeg addr.SegNo
+	haveNext := false
+	if fs.amap.SegBlocks()-off-1 < 1 {
+		if next, err := fs.pickSegment(chosen); err == nil {
+			chosen[next] = true
+			nextSeg, haveNext = next, true
+		}
+	}
 	// The inodes land in the trailing partial segments; attach the inum
 	// list to the plans that carry inode blocks.
 	{
@@ -216,6 +229,8 @@ func (fs *FS) writePsegs(p *sim.Proc, blocks []*buf, inums []uint32, inoBlocks i
 		}
 		if pi+1 < len(plans) {
 			sum.Next = plans[pi+1].seg
+		} else if haveNext {
+			sum.Next = nextSeg
 		}
 		content := make([]byte, (len(pl.bufs)+pl.inoBlocks)*BlockSize)
 		for i, b := range pl.bufs {
@@ -289,6 +304,21 @@ func (fs *FS) writePsegs(p *sim.Proc, blocks []*buf, inums []uint32, inoBlocks i
 				fs.dirtyBytes -= BlockSize
 			}
 		}
+	}
+	if haveNext {
+		// Commit the pre-picked segment as the new log head; the last
+		// written summary already threads to it.
+		cur := &fs.seguse[fs.curSeg]
+		cur.Flags &^= SegActive
+		cur.Flags |= SegDirty
+		nu := &fs.seguse[nextSeg]
+		if nu.Flags != 0 {
+			panic(fmt.Sprintf("lfs: pre-picked segment %d not clean (flags %#x)", nextSeg, nu.Flags))
+		}
+		nu.Flags = SegActive
+		fs.nclean--
+		fs.curSeg = nextSeg
+		fs.curOff = 0
 	}
 	for _, inum := range inums {
 		delete(fs.dirtyIno, inum)

@@ -24,7 +24,7 @@ func newEnv(t *testing.T) *env {
 	k := sim.NewKernel()
 	bus := dev.NewBus(k, "scsi", dev.SCSIBusRate)
 	disk := dev.NewDisk(k, dev.RZ57, int64(128*segBlocks), bus)
-	juke := jukebox.New(k, jukebox.MO6300, 2, 8, 32, segBlocks*lfs.BlockSize, bus)
+	juke := jukebox.MustNew(k, jukebox.MO6300, 2, 8, 32, segBlocks*lfs.BlockSize, bus)
 	e := &env{k: k}
 	k.RunProc(func(p *sim.Proc) {
 		hl, err := core.New(p, core.Config{

@@ -5,6 +5,7 @@
 package stripe
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/dev"
@@ -19,15 +20,28 @@ type Concat struct {
 	total  int64
 }
 
-// New returns the concatenation of devs. It panics if devs is empty.
-func New(devs ...dev.BlockDev) *Concat {
+// ErrNoDevices is returned by New for an empty component list.
+var ErrNoDevices = errors.New("stripe: no component devices")
+
+// New returns the concatenation of devs, or ErrNoDevices if devs is empty.
+func New(devs ...dev.BlockDev) (*Concat, error) {
 	if len(devs) == 0 {
-		panic("stripe: no component devices")
+		return nil, ErrNoDevices
 	}
 	c := &Concat{devs: devs}
 	for _, d := range devs {
 		c.starts = append(c.starts, c.total)
 		c.total += d.NumBlocks()
+	}
+	return c, nil
+}
+
+// MustNew is New panicking on an empty component list — for tests and
+// examples with static configurations.
+func MustNew(devs ...dev.BlockDev) *Concat {
+	c, err := New(devs...)
+	if err != nil {
+		panic(err)
 	}
 	return c
 }
@@ -106,4 +120,17 @@ func (c *Concat) ReadBlocks(p *sim.Proc, blk int64, buf []byte) error {
 // WriteBlocks implements dev.BlockDev.
 func (c *Concat) WriteBlocks(p *sim.Proc, blk int64, buf []byte) error {
 	return c.do(p, blk, buf, true)
+}
+
+// Flush implements dev.Flusher by draining the write cache of every
+// component that has one.
+func (c *Concat) Flush(p *sim.Proc) error {
+	for _, d := range c.devs {
+		if f, ok := d.(dev.Flusher); ok {
+			if err := f.Flush(p); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }

@@ -16,7 +16,7 @@ func newConcat(k *sim.Kernel, sizes ...int64) (*Concat, []*dev.Disk) {
 		devs = append(devs, d)
 		disks = append(disks, d)
 	}
-	return New(devs...), disks
+	return MustNew(devs...), disks
 }
 
 func TestCapacityIsSum(t *testing.T) {

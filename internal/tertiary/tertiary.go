@@ -334,7 +334,10 @@ func (s *Service) Eject(tag int) error {
 	if l.Staging || l.Pins > 0 {
 		return fmt.Errorf("tertiary: eject: segment %d busy", tag)
 	}
-	seg := s.cache.Evict(l)
+	seg, err := s.cache.Evict(l)
+	if err != nil {
+		return err
+	}
 	if s.hooks.LineEvicted != nil {
 		s.hooks.LineEvicted(tag, seg)
 	}
@@ -380,7 +383,14 @@ func (s *Service) startFetch(p *sim.Proc, r request) {
 			s.deferred = append(s.deferred, r)
 			return
 		}
-		seg = s.cache.Evict(v)
+		var err error
+		seg, err = s.cache.Evict(v)
+		if err != nil {
+			// The victim became staging or pinned between selection and
+			// eviction; defer the fetch like the no-victim case.
+			s.deferred = append(s.deferred, r)
+			return
+		}
 		if s.hooks.LineEvicted != nil {
 			s.hooks.LineEvicted(v.Tag, seg)
 		}
@@ -397,7 +407,12 @@ func (s *Service) finishFetch(p *sim.Proc, r request) {
 		s.retryDeferred(p)
 		return
 	}
-	s.cache.Insert(r.tag, r.seg, false, p.Now())
+	if _, err := s.cache.Insert(r.tag, r.seg, false, p.Now()); err != nil {
+		s.cache.Release(r.seg)
+		s.resolveFetch(r.tag, err)
+		s.retryDeferred(p)
+		return
+	}
 	if s.hooks.LineBound != nil {
 		s.hooks.LineBound(r.tag, r.seg, false)
 	}

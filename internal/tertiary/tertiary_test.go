@@ -31,7 +31,7 @@ func newEnv(t *testing.T, cacheLines int) *env {
 	k := sim.NewKernel()
 	amap := addr.New(segBlocks, 64, addr.Geom{Vols: 4, SegsPerVol: 16})
 	disk := dev.NewDisk(k, dev.RZ57, int64(64*segBlocks), nil)
-	juke := jukebox.New(k, jukebox.MO6300, 2, 4, 16, segBlocks*dev.BlockSize, nil)
+	juke := jukebox.MustNew(k, jukebox.MO6300, 2, 4, 16, segBlocks*dev.BlockSize, nil)
 	pool := make([]addr.SegNo, cacheLines)
 	for i := range pool {
 		pool[i] = addr.SegNo(40 + i)
@@ -193,7 +193,7 @@ func TestEjectRejectsBusyLines(t *testing.T) {
 	e := newEnv(t, 4)
 	e.k.RunProc(func(p *sim.Proc) {
 		seg, _ := e.c.TakeFree()
-		l := e.c.Insert(7, seg, true, p.Now())
+		l, _ := e.c.Insert(7, seg, true, p.Now())
 		if err := e.svc.Eject(7); err == nil {
 			t.Fatal("ejected a staging line")
 		}

@@ -73,7 +73,7 @@ func TestLargeObjectOnFFS(t *testing.T) {
 func TestBuildTreeAndScan(t *testing.T) {
 	k := sim.NewKernel()
 	disk := dev.NewDisk(k, dev.RZ57, 128*16, nil)
-	juke := jukebox.New(k, jukebox.MO6300, 2, 2, 16, 16*lfs.BlockSize, nil)
+	juke := jukebox.MustNew(k, jukebox.MO6300, 2, 2, 16, 16*lfs.BlockSize, nil)
 	k.RunProc(func(p *sim.Proc) {
 		hl, err := core.New(p, core.Config{
 			SegBlocks: 16,
