@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race verify bench crash
+.PHONY: all build test vet race verify bench bench-json crash
 
 all: verify
 
@@ -26,5 +26,12 @@ crash:
 # Tier-1 verification: everything CI runs, in order.
 verify: build vet test race crash
 
+# Paper-scale table/figure benchmarks live in the root package (see
+# bench_test.go); -benchtime 1x runs each experiment once, as documented
+# there.
 bench:
-	$(GO) test -bench . -benchtime 1x ./internal/bench/
+	$(GO) test -bench . -benchmem -benchtime 1x .
+
+# Machine-readable snapshot of every table's metrics + obs counters.
+bench-json:
+	$(GO) run ./cmd/hlbench -quick -json BENCH_0.json

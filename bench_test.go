@@ -142,8 +142,7 @@ func BenchmarkFigure2_HierarchyFlow(b *testing.B) {
 			if err := dump.Hierarchy(p, discard{}, hl); err != nil {
 				b.Fatal(err)
 			}
-			st := hl.Svc.Stats()
-			fetchSecs = st.FootprintRead.Seconds()
+			fetchSecs = hl.Obs.CatTotal("fp.read").Seconds()
 		})
 		k.Stop()
 		b.ReportMetric(fetchSecs, "footprint-read-s")

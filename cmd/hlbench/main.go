@@ -6,13 +6,20 @@
 //
 // Usage:
 //
-//	hlbench [-table N] [-quick]
+//	hlbench [-table N] [-quick] [-trace FILE] [-json FILE]
 //
 // Without -table every table is produced. -quick runs a reduced-scale
 // configuration (seconds instead of a minute); the default reproduces the
 // paper's configuration: an 848 MB RZ57 partition, a 3.2 MB buffer cache,
 // an HP 6300 MO jukebox constrained to 40 MB per platter, and a 51.2 MB
 // large object.
+//
+// -trace FILE additionally runs the migration + demand-fetch workload
+// with full span retention and writes a Chrome trace-event JSON file
+// (load it in chrome://tracing or Perfetto). The trace is keyed to the
+// simulator's virtual clock, so repeated runs produce byte-identical
+// files. -json FILE writes a machine-readable snapshot of every table's
+// metrics plus the observability counters (see `make bench-json`).
 package main
 
 import (
@@ -23,15 +30,56 @@ import (
 	"repro/internal/bench"
 )
 
+// writeTo creates path and streams fn into it.
+func writeTo(path string, fn func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
 func main() {
 	table := flag.Int("table", 0, "produce only this table (1-6); 0 = all")
 	quick := flag.Bool("quick", false, "reduced-scale configuration for a fast run")
 	ablations := flag.Bool("ablations", false, "also run the policy ablations (cache eviction, copy-out scheduling, STP exponents, migration granularity, media-fault rate, crash-recovery cost)")
+	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON of the migration workload to this file")
+	jsonOut := flag.String("json", "", "write a machine-readable snapshot of all tables + obs counters to this file")
 	flag.Parse()
 
 	scale := bench.FullScale()
+	scaleName := "full"
 	if *quick {
 		scale = bench.QuickScale()
+		scaleName = "quick"
+	}
+
+	if *traceOut != "" {
+		if err := writeTo(*traceOut, func(f *os.File) error {
+			return bench.TraceMigration(scale, f)
+		}); err != nil {
+			fmt.Fprintf(os.Stderr, "hlbench: -trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote Chrome trace to %s (open in chrome://tracing)\n", *traceOut)
+	}
+	if *jsonOut != "" {
+		if err := writeTo(*jsonOut, func(f *os.File) error {
+			return bench.WriteSnapshot(f, scale, scaleName)
+		}); err != nil {
+			fmt.Fprintf(os.Stderr, "hlbench: -json: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote benchmark snapshot to %s\n", *jsonOut)
+	}
+	if *traceOut != "" || *jsonOut != "" {
+		if *table == 0 && !*ablations {
+			return // exporters only; skip the table dump
+		}
 	}
 
 	type entry struct {

@@ -12,6 +12,10 @@
 //	-faults     per-device injected-fault counters and recovery report
 //	            (the demo instance runs its workload under a small
 //	            seeded fault plan so the counters are non-zero)
+//	-timeline   virtual-time event timeline and observability summary of
+//	            the demo run: migration, staging, volume swaps, Footprint
+//	            transfers, and demand fetches as traced spans, plus
+//	            per-device utilization, counters, and latency histograms
 //
 // Without flags all sections are produced. The demo instance is one simulated
 // RZ57 disk plus a small MO jukebox; -img DIR instead loads a file system
@@ -31,6 +35,7 @@ import (
 	"repro/internal/imagefs"
 	"repro/internal/jukebox"
 	"repro/internal/lfs"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -43,11 +48,12 @@ func main() {
 	volumes := flag.Bool("volumes", false, "tertiary volume usage (tsegfile view)")
 	faults := flag.Bool("faults", false, "fault injection & recovery report (per-device counters)")
 	recovery := flag.Bool("recovery", false, "mount recovery report: checkpoint anchor, roll-forward extent, cache-directory rebuild (the demo power-cuts an instance mid-migration and remounts it)")
+	timeline := flag.Bool("timeline", false, "virtual-time event timeline + observability summary of the demo run")
 	img := flag.String("img", "", "load a file system image directory (from hlfs) instead of the demo")
 	maxSegs := flag.Int("maxsegs", 64, "cap per-segment detail in -layout (0 = all)")
 	flag.Parse()
 
-	all := !*layout && !*addrmap && !*hierarchy && !*datapath && !*summary && !*volumes && !*faults && !*recovery
+	all := !*layout && !*addrmap && !*hierarchy && !*datapath && !*summary && !*volumes && !*faults && !*recovery && !*timeline
 
 	if *summary || all {
 		fmt.Println(bench.Table1())
@@ -55,6 +61,7 @@ func main() {
 
 	k := sim.NewKernel()
 	var hl *core.HighLight
+	var o *obs.Obs
 	var err error
 	if *img != "" {
 		var inst *imagefs.Instance
@@ -63,7 +70,11 @@ func main() {
 			hl = inst.HL
 		}
 	} else {
-		hl, err = demo(k, *faults || all)
+		o = obs.New(k)
+		if *timeline || all {
+			o.EnableTrace()
+		}
+		hl, err = demo(k, *faults || all, o)
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "hldump: %v\n", err)
@@ -108,6 +119,19 @@ func main() {
 			dump.Recovery(os.Stdout, hl.FS.Recovery(), hl.MountStats(), hl.RetiredSegments())
 		}
 	})
+	if (*timeline || all) && *img == "" {
+		// The pipeline-level story: mounts, migrations, staging, volume
+		// swaps, Footprint transfers, and demand-fetch waits. (Per-block
+		// disk spans stay in the Chrome trace; here they would drown the
+		// narrative.)
+		fmt.Println()
+		o.WriteTimeline(os.Stdout,
+			"core.mount", "core.migrate", "core.ckpt", "core.clean",
+			"stage.open", "stage.close", "jb.swap",
+			"fp.write", "fp.read", "fetch.wait")
+		fmt.Println()
+		o.WriteSummary(os.Stdout)
+	}
 	k.Stop()
 	if (*recovery || all) && *img == "" {
 		fmt.Println()
@@ -243,12 +267,14 @@ func recoveryDemo() error {
 	return derr
 }
 
-// demo builds a small populated HighLight instance. With faults set, the
-// demo workload runs under a seeded transient-fault plan so the recovery
-// report has something to show.
-func demo(k *sim.Kernel, faults bool) (*core.HighLight, error) {
+// demo builds a small populated HighLight instance on the given obs
+// domain. With faults set, the demo workload runs under a seeded
+// transient-fault plan so the recovery report has something to show.
+func demo(k *sim.Kernel, faults bool, o *obs.Obs) (*core.HighLight, error) {
 	disk := dev.NewDisk(k, dev.RZ57, 256*64, nil)
 	juke := jukebox.MustNew(k, jukebox.MO6300, 2, 4, 32, 64*lfs.BlockSize, nil)
+	disk.SetObs(o, "")
+	juke.SetObs(o, "")
 	if faults {
 		plan := fault.NewPlan(fault.Config{Seed: 1, TransientReadRate: 0.5, TransientWriteRate: 0.5, MaxBurst: 2})
 		plan.InstallJukebox("MO6300", juke)
@@ -262,6 +288,7 @@ func demo(k *sim.Kernel, faults bool) (*core.HighLight, error) {
 			Jukeboxes: []jukebox.Footprint{juke},
 			CacheSegs: 24,
 			MaxInodes: 256,
+			Obs:       o,
 		}, true)
 		if err != nil {
 			return

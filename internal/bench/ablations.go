@@ -3,7 +3,6 @@ package bench
 import (
 	"fmt"
 	"io"
-	"sort"
 	"time"
 
 	"repro/internal/cache"
@@ -391,9 +390,7 @@ func AblationFaultRate() (*Report, error) {
 			// faults dominate the op count.
 			buf := make([]byte, 32*lfs.BlockSize)
 			for round := 0; round < 2; round++ {
-				lines := hl.Cache.Lines()
-				sort.Slice(lines, func(i, j int) bool { return lines[i].Tag < lines[j].Tag })
-				for _, l := range lines {
+				for _, l := range hl.Cache.Lines() {
 					if e := hl.Svc.Eject(l.Tag); e != nil {
 						err = e
 						return

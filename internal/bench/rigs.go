@@ -9,6 +9,7 @@ import (
 	"repro/internal/ffs"
 	"repro/internal/jukebox"
 	"repro/internal/lfs"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/wl"
 )
@@ -148,6 +149,7 @@ type hlRig struct {
 	staging *dev.Disk // nil when staging shares the main spindle
 	juke    *jukebox.Jukebox
 	hl      *core.HighLight
+	obs     *obs.Obs
 }
 
 // stagingKind selects the Table 6 configuration.
@@ -161,10 +163,13 @@ const (
 
 func newHLRig(s Scale, kind stagingKind) *hlRig {
 	k := sim.NewKernel()
+	o := obs.New(k)
 	bus := dev.NewBus(k, "scsi", dev.SCSIBusRate)
 	main := dev.NewDisk(k, dev.RZ57, int64(s.DiskSegs*s.SegBlocks), bus)
+	main.SetObs(o, "RZ57-main")
 	juke := jukebox.MustNew(k, jukebox.MO6300, 2, s.Vols, s.SegsPerVol, s.SegBlocks*lfs.BlockSize, bus)
-	r := &hlRig{k: k, bus: bus, main: main, juke: juke}
+	juke.SetObs(o, "")
+	r := &hlRig{k: k, bus: bus, main: main, juke: juke, obs: o}
 	cfg := core.Config{
 		SegBlocks:         s.SegBlocks,
 		Disks:             []dev.BlockDev{main},
@@ -175,6 +180,7 @@ func newHLRig(s Scale, kind stagingKind) *hlRig {
 		AssemblyCopyRate:  hp370AssemblyCopyRate,
 		UserCopyRate:      hp370UserCopyRate,
 		GatherChunkBlocks: 1, // lfs_bmapv + block-at-a-time raw reads (§6.7)
+		Obs:               o,
 	}
 	switch kind {
 	case stageOnRZ58:
@@ -184,6 +190,7 @@ func newHLRig(s Scale, kind stagingKind) *hlRig {
 		r.staging = dev.NewDisk(k, dev.HP7958A, int64(s.StageSegs*s.SegBlocks), nil)
 	}
 	if r.staging != nil {
+		r.staging.SetObs(o, r.staging.Profile().Name+"-staging")
 		cfg.Disks = append(cfg.Disks, r.staging)
 		cfg.CacheSegs = s.StageSegs
 		cfg.CacheSegLo = s.DiskSegs

@@ -1,0 +1,84 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// BenchSnapshot is the machine-readable benchmark record emitted by
+// `hlbench -json` (and `make bench-json`) into BENCH_*.json files, so
+// the table metrics and key observability counters can be tracked
+// across commits. Encoding uses encoding/json maps, whose keys marshal
+// sorted — the output is deterministic for a deterministic run.
+type BenchSnapshot struct {
+	Schema string `json:"schema"`
+	Scale  string `json:"scale"`
+	// Tables maps "table2".."table6" to that table's named metrics.
+	Tables map[string]map[string]float64 `json:"tables"`
+	// Counters are obs counters from one instrumented migration +
+	// demand-fetch run (bytes moved, fetches, copyouts, cache hits).
+	Counters map[string]int64 `json:"counters"`
+	// SpanSeconds are per-category obs span totals, in seconds, from
+	// the same run — the trace-derived time breakdown.
+	SpanSeconds map[string]float64 `json:"span_seconds"`
+}
+
+// BuildSnapshot runs every table plus one instrumented migration and
+// collects the results.
+func BuildSnapshot(s Scale, scaleName string) (*BenchSnapshot, error) {
+	snap := &BenchSnapshot{
+		Schema:      "hlbench/1",
+		Scale:       scaleName,
+		Tables:      map[string]map[string]float64{},
+		Counters:    map[string]int64{},
+		SpanSeconds: map[string]float64{},
+	}
+	tables := []struct {
+		name string
+		run  func(Scale) (*Report, error)
+	}{
+		{"table2", Table2}, {"table3", Table3}, {"table4", Table4},
+		{"table5", Table5}, {"table6", Table6},
+	}
+	for _, t := range tables {
+		rep, err := t.run(s)
+		if err != nil {
+			return nil, fmt.Errorf("bench: snapshot %s: %w", t.name, err)
+		}
+		m := map[string]float64{}
+		for k, v := range rep.Metrics {
+			m[k] = v
+		}
+		snap.Tables[t.name] = m
+	}
+	// One instrumented migration + demand-fetch run for the obs counters
+	// and span totals.
+	r := newHLRig(s, stageOnMain)
+	defer r.stop()
+	if err := migrationFetchWorkload(r, s); err != nil {
+		return nil, fmt.Errorf("bench: snapshot migration: %w", err)
+	}
+	for _, name := range []string{
+		"tertiary.fetches", "tertiary.copyouts",
+		"tertiary.bytes_in", "tertiary.bytes_out",
+		"cache.hits", "cache.misses",
+	} {
+		snap.Counters[name] = r.obs.Counter(name).Value()
+	}
+	for _, a := range r.obs.Aggregates() {
+		snap.SpanSeconds[a.Cat] += a.Total.Seconds()
+	}
+	return snap, nil
+}
+
+// WriteSnapshot builds the snapshot and writes it as indented JSON.
+func WriteSnapshot(w io.Writer, s Scale, scaleName string) error {
+	snap, err := BuildSnapshot(s, scaleName)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(snap)
+}

@@ -299,20 +299,22 @@ func runMigration(s Scale, kind stagingKind) (*hlRig, sim.Time, sim.Time, int64,
 			return
 		}
 		t1 = p.Now() - start
-		b1 = r.hl.Svc.Stats().BytesOut
+		b1 = r.hl.Obs.Counter("tertiary.bytes_out").Value()
 		if e := r.hl.CompleteMigration(p); e != nil {
 			err = e
 			return
 		}
 		t2 = p.Now() - start
-		b2 = r.hl.Svc.Stats().BytesOut
+		b2 = r.hl.Obs.Counter("tertiary.bytes_out").Value()
 	})
 	return r, t1, t2, b1, b2, err
 }
 
 // Table4 breaks down where migration time goes: inside the Footprint
 // library (media change, seek, tertiary transfer), in the I/O server
-// reading staged segments off disk, and queuing.
+// reading staged segments off disk, and queuing. The phase times are
+// summed from the tertiary service's obs spans ("fp.write", "io.read",
+// "svc.queue") — the same instrumentation the Chrome trace export shows.
 func Table4(s Scale) (*Report, error) {
 	rep := newReport("Table 4: migration time breakdown (magnetic to MO disk)")
 	r, _, _, _, _, err := runMigration(s, stageOnMain)
@@ -320,19 +322,22 @@ func Table4(s Scale) (*Report, error) {
 		return rep, err
 	}
 	defer r.stop()
-	st := r.hl.Svc.Stats()
-	total := st.FootprintWrite + st.IORead + st.Queue
+	o := r.hl.Obs
+	fpWrite := o.CatTotal("fp.write")
+	ioRead := o.CatTotal("io.read")
+	queue := o.CatTotal("svc.queue")
+	total := fpWrite + ioRead + queue
 	if total == 0 {
 		return rep, fmt.Errorf("table 4: no migration activity recorded")
 	}
 	pct := func(t sim.Time) float64 { return 100 * float64(t) / float64(total) }
 	rep.addf("%-24s %8s", "phase", "percent")
-	rep.addf("%-24s %7.1f%%", "Footprint write", pct(st.FootprintWrite))
-	rep.addf("%-24s %7.1f%%", "I/O server read", pct(st.IORead))
-	rep.addf("%-24s %7.1f%%", "Migrator queuing", pct(st.Queue))
-	rep.metric("footprint%", pct(st.FootprintWrite))
-	rep.metric("ioread%", pct(st.IORead))
-	rep.metric("queue%", pct(st.Queue))
+	rep.addf("%-24s %7.1f%%", "Footprint write", pct(fpWrite))
+	rep.addf("%-24s %7.1f%%", "I/O server read", pct(ioRead))
+	rep.addf("%-24s %7.1f%%", "Migrator queuing", pct(queue))
+	rep.metric("footprint%", pct(fpWrite))
+	rep.metric("ioread%", pct(ioRead))
+	rep.metric("queue%", pct(queue))
 	return rep, nil
 }
 

@@ -1,0 +1,73 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/sim"
+	"repro/internal/wl"
+)
+
+// TraceMigration runs the paper's migration workload (write a large
+// object, migrate it, demand-fetch part of it back) with full span
+// retention and writes the Chrome trace-event JSON to w. The run is
+// pure virtual time, so the bytes written are identical on every
+// invocation — diff two traces and any change is a behavior change.
+func TraceMigration(s Scale, w io.Writer) error {
+	r := newHLRig(s, stageOnMain)
+	defer r.stop()
+	r.obs.EnableTrace()
+	if err := migrationFetchWorkload(r, s); err != nil {
+		return err
+	}
+	return r.obs.WriteChromeTrace(w)
+}
+
+// migrationFetchWorkload drives the paper's end-to-end story on an open
+// rig: large-object write, migration, cache eviction, demand fetch.
+// Shared by TraceMigration and the -json snapshot so both exercise
+// every counter (fetches and cache misses included).
+func migrationFetchWorkload(r *hlRig, s Scale) error {
+	var err error
+	r.k.RunProc(func(p *sim.Proc) {
+		t := wl.HLTarget("hl", r.hl)
+		if _, e := wl.CreateLargeObject(p, t, s.spec("/obj")); e != nil {
+			err = e
+			return
+		}
+		f, e := r.hl.FS.Open(p, "/obj")
+		if e != nil {
+			err = e
+			return
+		}
+		if _, e := r.hl.MigrateFiles(p, []uint32{f.Inum()}, false); e != nil {
+			err = e
+			return
+		}
+		if e := r.hl.CompleteMigration(p); e != nil {
+			err = e
+			return
+		}
+		// Demand-fetch path: drop the buffers and evict the cached lines,
+		// then read the head of the object back through the block map.
+		r.hl.FS.DropFileBuffers(p, f.Inum())
+		for _, l := range r.hl.Cache.Lines() {
+			if l.Staging || l.Pins > 0 {
+				continue
+			}
+			if e := r.hl.Svc.Eject(l.Tag); e != nil {
+				err = e
+				return
+			}
+		}
+		buf := make([]byte, 64*1024)
+		if _, e := f.ReadAt(p, buf, 0); e != nil {
+			err = e
+			return
+		}
+	})
+	if err != nil {
+		return fmt.Errorf("bench: trace workload: %w", err)
+	}
+	return nil
+}

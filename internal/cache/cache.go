@@ -9,8 +9,10 @@ package cache
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"repro/internal/addr"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -87,6 +89,8 @@ type Cache struct {
 	capacity int
 	rng      *sim.RNG
 	stats    Stats
+	obs      *obs.Obs // nil = not instrumented
+	occupied *obs.Gauge
 
 	// BypassFirstRef, when set, marks newly fetched lines "least worthy":
 	// they are preferred eviction victims until referenced again (the
@@ -118,16 +122,28 @@ func (c *Cache) FreeLines() int { return len(c.free) }
 // Stats returns a snapshot of the counters.
 func (c *Cache) Stats() Stats { return c.stats }
 
+// SetObs attaches an observability domain: lookups, inserts, and
+// evictions emit instant events on the "cache" track, hit/miss
+// counters, and an occupied-lines gauge.
+func (c *Cache) SetObs(o *obs.Obs) {
+	c.obs = o
+	c.occupied = o.Gauge("cache.lines")
+}
+
 // Lookup finds the line caching tertiary segment tag, updating recency.
 func (c *Cache) Lookup(tag int, now sim.Time) (*Line, bool) {
 	l, ok := c.lines[tag]
 	if !ok {
 		c.stats.Misses++
+		c.obs.Instant("cache", "cache.miss", "miss", obs.Arg{Key: "tag", Val: int64(tag)})
+		c.obs.Counter("cache.misses").Add(1)
 		return nil, false
 	}
 	l.LastUse = now
 	l.Worthy = true
 	c.stats.Hits++
+	c.obs.Instant("cache", "cache.hit", "hit", obs.Arg{Key: "tag", Val: int64(tag)})
+	c.obs.Counter("cache.hits").Add(1)
 	return l, true
 }
 
@@ -158,6 +174,9 @@ func (c *Cache) Insert(tag int, seg addr.SegNo, staging bool, now sim.Time) (*Li
 	if staging {
 		c.stats.StagingLines++
 	}
+	c.obs.Instant("cache", "cache.insert", "insert",
+		obs.Arg{Key: "tag", Val: int64(tag)}, obs.Arg{Key: "seg", Val: int64(seg)})
+	c.occupied.Set(int64(len(c.lines)))
 	return l, nil
 }
 
@@ -241,6 +260,9 @@ func (c *Cache) Evict(l *Line) (addr.SegNo, error) {
 	}
 	delete(c.lines, l.Tag)
 	c.stats.Evicts++
+	c.obs.Instant("cache", "cache.evict", "evict",
+		obs.Arg{Key: "tag", Val: int64(l.Tag)}, obs.Arg{Key: "seg", Val: int64(l.DiskSeg)})
+	c.occupied.Set(int64(len(c.lines)))
 	return l.DiskSeg, nil
 }
 
@@ -248,11 +270,15 @@ func (c *Cache) Evict(l *Line) (addr.SegNo, error) {
 // dropped without immediate reuse).
 func (c *Cache) Release(seg addr.SegNo) { c.free = append(c.free, seg) }
 
-// Lines returns all occupied lines (iteration order unspecified).
+// Lines returns all occupied lines in tag order. The order is part of
+// the contract: callers eject or restage in iteration order, and that
+// order is observable (free-list reuse order, trace events), so it must
+// not vary with map iteration.
 func (c *Cache) Lines() []*Line {
 	out := make([]*Line, 0, len(c.lines))
 	for _, l := range c.lines {
 		out = append(out, l)
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Tag < out[j].Tag })
 	return out
 }

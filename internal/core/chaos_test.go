@@ -6,7 +6,6 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"sort"
 	"testing"
 	"time"
 
@@ -197,10 +196,8 @@ func runChaosSoak(t *testing.T) string {
 				if err := hl.CompleteMigration(p); err != nil && !errors.Is(err, ErrNoTertiarySpace) {
 					t.Fatalf("op %d complete: %v", op, err)
 				}
-			case r < 80: // eject cache lines (sorted: Lines() is map-ordered)
-				lines := hl.Cache.Lines()
-				sort.Slice(lines, func(a, b int) bool { return lines[a].Tag < lines[b].Tag })
-				for _, l := range lines {
+			case r < 80: // eject cache lines (Lines() is tag-ordered)
+				for _, l := range hl.Cache.Lines() {
 					if l.Staging || l.Pins > 0 {
 						continue
 					}

@@ -15,6 +15,7 @@ import (
 	"repro/internal/dev"
 	"repro/internal/jukebox"
 	"repro/internal/lfs"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/stripe"
 	"repro/internal/tertiary"
@@ -52,6 +53,11 @@ type Config struct {
 	Replicas int
 	// Seed feeds the random eviction policy.
 	Seed uint64
+	// Obs is the observability domain the instance traces into. When
+	// nil, New creates one on the instance's kernel — attach devices
+	// (dev.Disk.SetObs, jukebox.SetObs) to the same domain to see the
+	// whole stack on one timeline.
+	Obs *obs.Obs
 }
 
 // HighLight is a mounted HighLight file system with its support processes.
@@ -62,6 +68,7 @@ type HighLight struct {
 	FS    *lfs.FS
 	Cache *cache.Cache
 	Svc   *tertiary.Service
+	Obs   *obs.Obs
 
 	jukes []jukebox.Footprint
 
@@ -160,10 +167,14 @@ func New(p *sim.Proc, cfg Config, format bool) (*HighLight, error) {
 	if cfg.CacheSegs <= 0 {
 		cfg.CacheSegs = diskSegs / 4
 	}
+	if cfg.Obs == nil {
+		cfg.Obs = obs.New(p.Kernel())
+	}
 	hl := &HighLight{
 		K:          p.Kernel(),
 		Amap:       amap,
 		Disk:       disk,
+		Obs:        cfg.Obs,
 		jukes:      cfg.Jukeboxes,
 		stageTag:   -1,
 		replicaOf:  make(map[int][]int),
@@ -234,7 +245,8 @@ func New(p *sim.Proc, cfg Config, format bool) (*HighLight, error) {
 		}
 	}
 	hl.Cache = cache.New(cfg.CachePolicy, pool, cfg.Seed)
-	hl.Svc = tertiary.New(p.Kernel(), amap, cfg.Jukeboxes, disk, hl.Cache, tertiary.Hooks{
+	hl.Cache.SetObs(hl.Obs)
+	hl.Svc = tertiary.New(p.Kernel(), hl.Obs, amap, cfg.Jukeboxes, disk, hl.Cache, tertiary.Hooks{
 		LineBound: func(tag int, seg addr.SegNo, staging bool) {
 			fs.SetCacheBinding(seg, uint32(tag), staging)
 		},
@@ -311,6 +323,13 @@ func New(p *sim.Proc, cfg Config, format bool) (*HighLight, error) {
 		}
 	}
 	hl.nextTert = hl.scanNextTert()
+	if format {
+		hl.Obs.Instant("core", "core.mount", "format")
+	} else {
+		hl.Obs.Instant("core", "core.mount", "mount",
+			obs.Arg{Key: "rebound", Val: int64(hl.mountStats.LinesRebound)},
+			obs.Arg{Key: "rescheduled", Val: int64(hl.mountStats.StagingRescheduled)})
+	}
 	return hl, nil
 }
 
@@ -361,7 +380,12 @@ func (hl *HighLight) scanNextTert() int {
 }
 
 // Checkpoint checkpoints the file system.
-func (hl *HighLight) Checkpoint(p *sim.Proc) error { return hl.FS.Checkpoint(p) }
+func (hl *HighLight) Checkpoint(p *sim.Proc) error {
+	t0 := p.Now()
+	err := hl.FS.Checkpoint(p)
+	hl.Obs.Span("core", "core.ckpt", "Checkpoint", t0)
+	return err
+}
 
 // blockMap is the pseudo-device of §6.6: it compares each block address
 // with the region table and dispatches to the striped disk driver, the

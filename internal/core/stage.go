@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/addr"
 	"repro/internal/lfs"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -87,6 +88,8 @@ func (hl *HighLight) ensureStaging(p *sim.Proc) error {
 	hl.stageSeg = seg
 	hl.stageOff = 0
 	hl.nextTert = tag + 1
+	hl.Obs.Instant("core", "stage.open", "open",
+		obs.Arg{Key: "tag", Val: int64(tag)}, obs.Arg{Key: "seg", Val: int64(seg)})
 	return nil
 }
 
@@ -134,6 +137,8 @@ func (hl *HighLight) finishStaging(p *sim.Proc) error {
 			hl.Svc.ScheduleCopyoutAs(p, rec.tag, rec.seg, rec.pinTag)
 		}
 	}
+	hl.Obs.Instant("core", "stage.close", "close",
+		obs.Arg{Key: "tag", Val: int64(hl.stageTag)}, obs.Arg{Key: "blocks", Val: int64(hl.stageOff)})
 	hl.stageTag = -1
 	return nil
 }
@@ -232,10 +237,15 @@ func (hl *HighLight) stageInodes(p *sim.Proc, inums []uint32) error {
 // (when migrateInodes is set) the inodes themselves — to tertiary storage.
 // The files' dirty state is synced first so every block is stable.
 func (hl *HighLight) MigrateFiles(p *sim.Proc, inums []uint32, migrateInodes bool) (int64, error) {
+	t0 := p.Now()
+	var staged int64
+	defer func() {
+		hl.Obs.Span("core", "core.migrate", "MigrateFiles", t0,
+			obs.Arg{Key: "files", Val: int64(len(inums))}, obs.Arg{Key: "staged", Val: staged})
+	}()
 	if err := hl.FS.Sync(p); err != nil {
 		return 0, err
 	}
-	var staged int64
 	var inodeBatch []uint32
 	for _, inum := range inums {
 		refs, err := hl.FS.FileBlockRefs(p, inum)
@@ -287,6 +297,10 @@ func (hl *HighLight) MigrateFiles(p *sim.Proc, inums []uint32, migrateInodes boo
 // contents onto fresh media), and checkpoints so the new bindings are
 // durable.
 func (hl *HighLight) CompleteMigration(p *sim.Proc) error {
+	t0 := p.Now()
+	defer func() {
+		hl.Obs.Span("core", "core.migrate", "CompleteMigration", t0)
+	}()
 	if err := hl.finishStaging(p); err != nil {
 		return err
 	}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/addr"
 	"repro/internal/lfs"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -87,6 +88,11 @@ type EraseVolumer interface {
 // of blocks relocated. The caller should invoke CompleteMigration
 // afterwards to drain the re-staging copyouts.
 func (hl *HighLight) CleanVolume(p *sim.Proc, device, vol int) (int, error) {
+	t0 := p.Now()
+	defer func() {
+		hl.Obs.Span("core", "core.clean", "CleanVolume", t0,
+			obs.Arg{Key: "device", Val: int64(device)}, obs.Arg{Key: "vol", Val: int64(vol)})
+	}()
 	g := hl.Amap.Devices()[device]
 	// Fence allocation away from this volume first: an open staging
 	// segment on it is closed out, and its free segments are marked

@@ -20,6 +20,7 @@ import (
 	"repro/internal/dev"
 	"repro/internal/jukebox"
 	"repro/internal/lfs"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -51,6 +52,12 @@ type Config struct {
 	WriteCacheBlocks int // volatile disk write-back cache size
 	EOMVol           int // volume given a reduced actual capacity ...
 	EOMSegs          int // ... of this many segments, to force end-of-medium
+
+	// Trace attaches a full-retention obs domain to every device and the
+	// core during both the workload and recovery. Tracing reads only the
+	// virtual clock and adds no virtual time, so a traced matrix must
+	// produce the same digests as an untraced one (pinned by test).
+	Trace bool
 }
 
 // DefaultConfig is the pinned rig used by `make crash`.
@@ -106,6 +113,7 @@ type runResult struct {
 	Snap        *Snapshot // nil unless a cut event was hit
 	EOMHit      bool      // the reduced volume returned end-of-medium
 	Swaps       int64     // jukebox volume swaps observed
+	Obs         *obs.Obs  // non-nil when Config.Trace instrumented the run
 }
 
 // runner drives the scripted workload and maintains the durability model.
@@ -284,7 +292,21 @@ func buildDevices(k *sim.Kernel, cfg Config) (*dev.Disk, *jukebox.Jukebox, error
 	return disk, juke, nil
 }
 
-func coreConfig(cfg Config, disk *dev.Disk, juke *jukebox.Jukebox) core.Config {
+// attachObs instruments the rig with a full-retention trace domain when
+// cfg.Trace is set; otherwise the core builds its own metrics-only
+// domain and the devices stay uninstrumented.
+func attachObs(k *sim.Kernel, cfg Config, disk *dev.Disk, juke *jukebox.Jukebox) *obs.Obs {
+	if !cfg.Trace {
+		return nil
+	}
+	o := obs.New(k)
+	o.EnableTrace()
+	disk.SetObs(o, "")
+	juke.SetObs(o, "")
+	return o
+}
+
+func coreConfig(cfg Config, o *obs.Obs, disk *dev.Disk, juke *jukebox.Jukebox) core.Config {
 	return core.Config{
 		SegBlocks:   cfg.SegBlocks,
 		Disks:       []dev.BlockDev{disk},
@@ -292,6 +314,7 @@ func coreConfig(cfg Config, disk *dev.Disk, juke *jukebox.Jukebox) core.Config {
 		CacheSegs:   cfg.CacheSegs,
 		MaxInodes:   cfg.MaxInodes,
 		BufferBytes: 1 << 20,
+		Obs:         o,
 	}
 }
 
@@ -320,10 +343,11 @@ func runWorkload(cfg Config, cutEvent int) (*runResult, error) {
 	}
 	disk.OnMediaWrite = func(int64) { r.tick() }
 	juke.OnMediaWrite = func(int, int) { r.tick() }
+	o := attachObs(k, cfg, disk, juke)
 
 	var werr error
 	k.RunProc(func(p *sim.Proc) {
-		hl, err := core.New(p, coreConfig(cfg, disk, juke), true)
+		hl, err := core.New(p, coreConfig(cfg, o, disk, juke), true)
 		if err != nil {
 			werr = fmt.Errorf("crash: formatting rig: %w", err)
 			return
@@ -342,6 +366,7 @@ func runWorkload(cfg Config, cutEvent int) (*runResult, error) {
 		Snap:        r.snap,
 		EOMHit:      juke.VolumeFull(cfg.EOMVol),
 		Swaps:       juke.Stats().Swaps,
+		Obs:         o,
 	}, nil
 }
 

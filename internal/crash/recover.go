@@ -49,6 +49,7 @@ func Recover(cfg Config, snap *Snapshot) (*Outcome, error) {
 	}
 	disk.RestoreStore(snap.DiskStore)
 	juke.RestoreVolumes(snap.Volumes)
+	o := attachObs(k, cfg, disk, juke)
 
 	out := &Outcome{
 		Phase:       snap.Phase,
@@ -57,7 +58,7 @@ func Recover(cfg Config, snap *Snapshot) (*Outcome, error) {
 	}
 	var rerr error
 	k.RunProc(func(p *sim.Proc) {
-		hl, err := core.New(p, coreConfig(cfg, disk, juke), false)
+		hl, err := core.New(p, coreConfig(cfg, o, disk, juke), false)
 		if err != nil {
 			rerr = fmt.Errorf("crash: remounting after cut at event %d (%s): %w", snap.Event, snap.Phase, err)
 			return

@@ -15,6 +15,7 @@ import (
 	"math"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -209,6 +210,10 @@ type Disk struct {
 	wdirty map[int64][]byte // cached-but-not-durable blocks
 	worder []int64          // FIFO destage order of wdirty keys
 
+	obs        *obs.Obs // nil = not instrumented
+	track      string
+	rlat, wlat *obs.Histogram
+
 	// Fault, if non-nil, is consulted before each operation; a non-nil
 	// return aborts the request with that error (fault injection).
 	Fault func(op string, blk int64) error
@@ -342,6 +347,19 @@ func (d *Disk) RestoreStore(m map[int64][]byte) {
 	d.head = 0
 }
 
+// SetObs attaches an observability domain: every read/write emits a
+// span (covering arm wait + seek + rotation + media + bus) on the given
+// track, plus a request-latency histogram. track defaults to the
+// profile name. Instrumentation charges no virtual time.
+func (d *Disk) SetObs(o *obs.Obs, track string) {
+	if track == "" {
+		track = d.prof.Name
+	}
+	d.obs, d.track = o, track
+	d.rlat = o.Histogram("disk."+track+".read_latency", obs.LatencyBounds)
+	d.wlat = o.Histogram("disk."+track+".write_latency", obs.LatencyBounds)
+}
+
 // Profile reports the timing profile.
 func (d *Disk) Profile() DiskProfile { return d.prof }
 
@@ -396,9 +414,11 @@ func (d *Disk) ReadBlocks(p *sim.Proc, blk int64, buf []byte) error {
 	if d.Fault != nil {
 		if err := d.Fault("read", blk); err != nil {
 			d.stats.ReadFaults++
+			d.obs.Instant(d.track, "disk.fault", "read", obs.Arg{Key: "blk", Val: blk})
 			return err
 		}
 	}
+	t0, blk0, n0 := p.Now(), blk, len(buf)
 	for len(buf) > 0 {
 		n := len(buf)
 		if n > MaxTransfer {
@@ -436,6 +456,11 @@ func (d *Disk) ReadBlocks(p *sim.Proc, blk int64, buf []byte) error {
 		buf = buf[n:]
 	}
 	d.stats.Reads++
+	if d.obs != nil {
+		d.obs.Span(d.track, "disk.read", "read", t0,
+			obs.Arg{Key: "blk", Val: blk0}, obs.Arg{Key: "bytes", Val: int64(n0)})
+		d.rlat.Observe(p.Now() - t0)
+	}
 	return nil
 }
 
@@ -448,9 +473,11 @@ func (d *Disk) WriteBlocks(p *sim.Proc, blk int64, buf []byte) error {
 	if d.Fault != nil {
 		if err := d.Fault("write", blk); err != nil {
 			d.stats.WriteFaults++
+			d.obs.Instant(d.track, "disk.fault", "write", obs.Arg{Key: "blk", Val: blk})
 			return err
 		}
 	}
+	t0, blk0, n0 := p.Now(), blk, len(buf)
 	for len(buf) > 0 {
 		n := len(buf)
 		if n > MaxTransfer {
@@ -481,5 +508,10 @@ func (d *Disk) WriteBlocks(p *sim.Proc, blk int64, buf []byte) error {
 		buf = buf[n:]
 	}
 	d.stats.Writes++
+	if d.obs != nil {
+		d.obs.Span(d.track, "disk.write", "write", t0,
+			obs.Arg{Key: "blk", Val: blk0}, obs.Arg{Key: "bytes", Val: int64(n0)})
+		d.wlat.Observe(p.Now() - t0)
+	}
 	return nil
 }

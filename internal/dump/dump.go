@@ -15,6 +15,17 @@ import (
 	"repro/internal/sim"
 )
 
+// ejectAll evicts every cache line (Lines() is tag-ordered, so the
+// free-list reuse order — visible in the dumps — is reproducible).
+func ejectAll(hl *core.HighLight) error {
+	for _, l := range hl.Cache.Lines() {
+		if err := hl.Svc.Eject(l.Tag); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // segStateLetters renders a segment's state in the paper's key:
 // d = dirty, c = clean, a = active, C = cached (Figure 3).
 func segStateLetters(su lfs.Seguse) string {
@@ -175,10 +186,8 @@ func Hierarchy(p *sim.Proc, w io.Writer, hl *core.HighLight) error {
 	fmt.Fprintln(w, "  automigration          -> staging segments copied to tertiary jukebox")
 	report("migrated to tertiary")
 	hl.FS.DropFileBuffers(p, f.Inum())
-	for _, l := range hl.Cache.Lines() {
-		if err := hl.Svc.Eject(l.Tag); err != nil {
-			return err
-		}
+	if err := ejectAll(hl); err != nil {
+		return err
 	}
 	report("cache ejected")
 	buf := make([]byte, 8192)
@@ -251,10 +260,8 @@ func DataPath(p *sim.Proc, w io.Writer, hl *core.HighLight) error {
 		return err
 	}
 	hl.FS.DropFileBuffers(p, f.Inum())
-	for _, l := range hl.Cache.Lines() {
-		if err := hl.Svc.Eject(l.Tag); err != nil {
-			return err
-		}
+	if err := ejectAll(hl); err != nil {
+		return err
 	}
 	refs, err := hl.FS.FileBlockRefs(p, f.Inum())
 	if err != nil || len(refs) == 0 {
@@ -263,13 +270,15 @@ func DataPath(p *sim.Proc, w io.Writer, hl *core.HighLight) error {
 	tseg := hl.Amap.SegOf(refs[0].Addr)
 	tag, _ := hl.Amap.TertIndex(tseg)
 	d, v, vs, _ := hl.Amap.Loc(tseg)
-	before := hl.Svc.Stats()
+	o := hl.Obs
+	fpBefore, ioBefore := o.CatTotal("fp.read"), o.CatTotal("io.write")
 	t0 := p.Now()
 	buf := make([]byte, lfs.BlockSize)
 	if _, err := f.ReadAt(p, buf, 0); err != nil {
 		return err
 	}
-	after := hl.Svc.Stats()
+	fpRead := o.CatTotal("fp.read") - fpBefore
+	ioWrite := o.CatTotal("io.write") - ioBefore
 	line, _ := hl.Cache.Peek(tag)
 	steps := []string{
 		fmt.Sprintf("application:   read() on /figure5-demo (block addr %d)", refs[0].Addr),
@@ -278,9 +287,9 @@ func DataPath(p *sim.Proc, w io.Writer, hl *core.HighLight) error {
 		"tertiary drv:  queue demand fetch, wake service process, sleep",
 		fmt.Sprintf("service proc:  select reusable disk segment %d as cache line", line.DiskSeg),
 		fmt.Sprintf("I/O server:    Footprint.ReadSegment(dev %d, vol %d, seg %d)  [%.2fs in Footprint]",
-			d, v, vs, (after.FootprintRead - before.FootprintRead).Seconds()),
+			d, v, vs, fpRead.Seconds()),
 		fmt.Sprintf("I/O server:    write segment image to raw disk            [%.2fs writing cache line]",
-			(after.IOWrite - before.IOWrite).Seconds()),
+			ioWrite.Seconds()),
 		"service proc:  register cache line, call kernel to restart the I/O",
 		fmt.Sprintf("block map:     re-dispatch to cached copy; request completes in %.2fs total", (p.Now() - t0).Seconds()),
 	}

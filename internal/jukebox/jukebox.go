@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/dev"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -154,6 +155,9 @@ type Jukebox struct {
 	bus      *dev.Bus
 	stats    Stats
 
+	obs   *obs.Obs // nil = not instrumented
+	track string
+
 	// WriteDrive is the drive reserved for the currently-active writing
 	// volume (§7: "one drive was allocated for the currently-active
 	// writing segment, and the other for reading other platters"). Reads
@@ -237,6 +241,16 @@ func (j *Jukebox) SegmentsPerVolume() int { return j.vols[0].nominalSegs }
 
 // SegmentBytes implements Footprint.
 func (j *Jukebox) SegmentBytes() int { return j.segBytes }
+
+// SetObs attaches an observability domain: segment reads/writes and
+// media swaps emit spans on the given track (default: the profile
+// name). Instrumentation charges no virtual time.
+func (j *Jukebox) SetObs(o *obs.Obs, track string) {
+	if track == "" {
+		track = j.prof.Name
+	}
+	j.obs, j.track = o, track
+}
 
 // Stats returns a snapshot of the counters.
 func (j *Jukebox) Stats() Stats { return j.stats }
@@ -448,6 +462,7 @@ func (j *Jukebox) driveFor(p *sim.Proc, vol int, forWrite bool) (*drive, error) 
 			}
 			// Swap: the picker works while the simple (non-disconnecting)
 			// driver hogs the SCSI bus for the entire media change (§7).
+			t0 := p.Now()
 			j.picker.Acquire(p)
 			if j.bus != nil {
 				j.bus.Hold(p, j.prof.SwapTime)
@@ -459,6 +474,8 @@ func (j *Jukebox) driveFor(p *sim.Proc, vol int, forWrite bool) (*drive, error) 
 			pick.pos = 0
 			j.stats.Swaps++
 			j.stats.SwapTime += j.prof.SwapTime
+			j.obs.Span(j.track, "jb.swap", "swap", t0,
+				obs.Arg{Key: "vol", Val: int64(vol)}, obs.Arg{Key: "drive", Val: int64(pick.id)})
 		}
 		pick.lastUse = p.Now()
 		return pick, nil
@@ -490,6 +507,8 @@ func (j *Jukebox) ReadSegment(p *sim.Proc, vol, seg int, buf []byte) error {
 	if j.Fault != nil {
 		if err := j.Fault("read", vol, seg); err != nil {
 			j.stats.ReadFaults++
+			j.obs.Instant(j.track, "jb.fault", "read",
+				obs.Arg{Key: "vol", Val: int64(vol)}, obs.Arg{Key: "seg", Val: int64(seg)})
 			return err
 		}
 	}
@@ -516,6 +535,8 @@ func (j *Jukebox) ReadSegment(p *sim.Proc, vol, seg int, buf []byte) error {
 	j.stats.Reads++
 	j.stats.BytesRead += int64(j.segBytes)
 	j.stats.ReadTime += p.Now() - start
+	j.obs.Span(j.track, "jb.read", "ReadSegment", start,
+		obs.Arg{Key: "vol", Val: int64(vol)}, obs.Arg{Key: "seg", Val: int64(seg)})
 	return nil
 }
 
@@ -527,6 +548,8 @@ func (j *Jukebox) WriteSegment(p *sim.Proc, vol, seg int, buf []byte) error {
 	if j.Fault != nil {
 		if err := j.Fault("write", vol, seg); err != nil {
 			j.stats.WriteFaults++
+			j.obs.Instant(j.track, "jb.fault", "write",
+				obs.Arg{Key: "vol", Val: int64(vol)}, obs.Arg{Key: "seg", Val: int64(seg)})
 			return err
 		}
 	}
@@ -573,6 +596,8 @@ func (j *Jukebox) WriteSegment(p *sim.Proc, vol, seg int, buf []byte) error {
 	j.stats.Writes++
 	j.stats.BytesWritten += int64(j.segBytes)
 	j.stats.WriteTime += p.Now() - start
+	j.obs.Span(j.track, "jb.write", "WriteSegment", start,
+		obs.Arg{Key: "vol", Val: int64(vol)}, obs.Arg{Key: "seg", Val: int64(seg)})
 	return nil
 }
 

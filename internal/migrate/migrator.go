@@ -3,6 +3,7 @@ package migrate
 import (
 	"repro/internal/core"
 	"repro/internal/lfs"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"time"
 )
@@ -45,6 +46,7 @@ func NewMigrator(hl *core.HighLight) *Migrator {
 // RunOnce selects candidates for targetBytes and migrates them, completing
 // all copyouts before returning.
 func (m *Migrator) RunOnce(p *sim.Proc, targetBytes int64) (int64, error) {
+	t0 := p.Now()
 	cands, err := m.Policy.Select(p, m.HL, targetBytes)
 	if err != nil {
 		return 0, err
@@ -53,6 +55,10 @@ func (m *Migrator) RunOnce(p *sim.Proc, targetBytes int64) (int64, error) {
 		return 0, nil
 	}
 	var staged int64
+	defer func() {
+		m.HL.Obs.Span("migrator", "migrate.run", "RunOnce", t0,
+			obs.Arg{Key: "candidates", Val: int64(len(cands))}, obs.Arg{Key: "staged", Val: staged})
+	}()
 	if br, ok := m.Policy.(*BlockRange); ok {
 		// Block-based migration: stage only the cold ranges.
 		if err := m.HL.FS.Sync(p); err != nil {

@@ -1,0 +1,208 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// run executes fn inside a proc on a fresh kernel and returns the obs
+// domain that was live during it.
+func run(t *testing.T, retain bool, fn func(p *sim.Proc, o *Obs)) *Obs {
+	t.Helper()
+	k := sim.NewKernel()
+	o := New(k)
+	if retain {
+		o.EnableTrace()
+	}
+	k.RunProc(func(p *sim.Proc) { fn(p, o) })
+	k.Stop()
+	return o
+}
+
+func TestNilObsIsInert(t *testing.T) {
+	var o *Obs
+	o.Span("t", "c", "n", 0)
+	o.Instant("t", "c", "n")
+	o.EnableTrace()
+	o.Counter("x").Add(5)
+	o.Gauge("g").Set(7)
+	o.Histogram("h", LatencyBounds).Observe(sim.Time(1e6))
+	if o.CatTotal("c") != 0 || o.CatCount("c") != 0 || o.TrackTotal("t") != 0 {
+		t.Fatal("nil Obs recorded something")
+	}
+	if o.Counter("x").Value() != 0 || o.Gauge("g").Value() != 0 || o.Gauge("g").Max() != 0 {
+		t.Fatal("nil-backed instruments returned nonzero values")
+	}
+	if o.Histogram("h", LatencyBounds).Mean() != 0 {
+		t.Fatal("nil histogram has a mean")
+	}
+	if o.Spans() != nil || o.Aggregates() != nil || o.TraceEnabled() {
+		t.Fatal("nil Obs exposes state")
+	}
+	if err := o.WriteChromeTrace(&bytes.Buffer{}); err == nil {
+		t.Fatal("nil Obs exported a trace")
+	}
+}
+
+func TestAggregation(t *testing.T) {
+	o := run(t, false, func(p *sim.Proc, o *Obs) {
+		t0 := p.Now()
+		p.Sleep(sim.Time(2e9))
+		o.Span("disk", "disk.read", "read", t0)
+		t1 := p.Now()
+		p.Sleep(sim.Time(1e9))
+		o.Span("disk", "disk.write", "write", t1)
+		o.Instant("disk", "disk.fault", "boom")
+	})
+	if got := o.CatTotal("disk.read"); got != sim.Time(2e9) {
+		t.Fatalf("CatTotal(disk.read) = %v, want 2s", got)
+	}
+	if got := o.TrackTotal("disk"); got != sim.Time(3e9) {
+		t.Fatalf("TrackTotal(disk) = %v, want 3s", got)
+	}
+	if got := o.CatCount("disk.fault"); got != 1 {
+		t.Fatalf("CatCount(disk.fault) = %d, want 1", got)
+	}
+	if len(o.Spans()) != 0 {
+		t.Fatal("metrics-only mode retained spans")
+	}
+	aggs := o.Aggregates()
+	if len(aggs) != 3 || aggs[0].Cat != "disk.read" || aggs[2].Cat != "disk.fault" {
+		t.Fatalf("aggregates not in first-appearance order: %+v", aggs)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	o := run(t, false, func(p *sim.Proc, o *Obs) {
+		h := o.Histogram("lat", LatencyBounds)
+		h.Observe(sim.Time(5e5))  // 0.5ms → bucket 0 (≤1ms)
+		h.Observe(sim.Time(1e6))  // exactly 1ms → bucket 0 (inclusive edge)
+		h.Observe(sim.Time(5e9))  // 5s → bucket 4 (≤10s)
+		h.Observe(sim.Time(1e12)) // 1000s → overflow bucket
+	})
+	h := o.Histogram("lat", nil) // existing: bounds ignored
+	want := []int64{2, 0, 0, 0, 1, 0, 1}
+	for i, c := range h.Counts {
+		if c != want[i] {
+			t.Fatalf("bucket %d = %d, want %d (all: %v)", i, c, want[i], h.Counts)
+		}
+	}
+	if h.N != 4 {
+		t.Fatalf("N = %d, want 4", h.N)
+	}
+}
+
+func TestGaugeSamplesOnlyWhenRetaining(t *testing.T) {
+	o := run(t, false, func(p *sim.Proc, o *Obs) {
+		g := o.Gauge("depth")
+		g.Set(3)
+		g.Set(9)
+		g.Set(4)
+	})
+	g := o.Gauge("depth")
+	if g.Value() != 4 || g.Max() != 9 {
+		t.Fatalf("gauge last/max = %d/%d, want 4/9", g.Value(), g.Max())
+	}
+	if len(g.samples) != 0 {
+		t.Fatal("metrics-only gauge retained samples")
+	}
+	o2 := run(t, true, func(p *sim.Proc, o *Obs) {
+		o.Gauge("depth").Set(3)
+	})
+	if len(o2.Gauge("depth").samples) != 1 {
+		t.Fatal("retaining gauge dropped its sample")
+	}
+}
+
+func TestChromeTraceShapeAndDeterminism(t *testing.T) {
+	workload := func(p *sim.Proc, o *Obs) {
+		t0 := p.Now()
+		p.Sleep(sim.Time(1500)) // 1.5µs: exercises fractional usec output
+		o.Span("io", "io.read", "read", t0, Arg{Key: "blk", Val: 7})
+		o.Instant("svc", "svc.fault", "transient")
+		o.Gauge("q").Set(2)
+	}
+	var outs []string
+	for i := 0; i < 2; i++ {
+		o := run(t, true, workload)
+		var buf bytes.Buffer
+		if err := o.WriteChromeTrace(&buf); err != nil {
+			t.Fatal(err)
+		}
+		outs = append(outs, buf.String())
+	}
+	if outs[0] != outs[1] {
+		t.Fatal("two identical runs produced different trace bytes")
+	}
+	got := outs[0]
+	for _, want := range []string{
+		`"ph":"M"`, `"name":"io"`, // thread metadata
+		`"ph":"X"`, `"dur":1.500`, `"blk":7`, // complete span, fractional µs
+		`"ph":"i"`, `"s":"t"`, // instant
+		`"ph":"C"`, `"value":2`, // gauge counter sample
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("trace missing %s:\n%s", want, got)
+		}
+	}
+	if !strings.HasPrefix(got, `{"traceEvents":[`) {
+		t.Fatalf("trace is not a traceEvents object:\n%s", got)
+	}
+}
+
+func TestChromeTraceRequiresRetention(t *testing.T) {
+	o := run(t, false, func(p *sim.Proc, o *Obs) {
+		o.Instant("t", "c", "n")
+	})
+	if err := o.WriteChromeTrace(&bytes.Buffer{}); err == nil {
+		t.Fatal("export without EnableTrace should fail")
+	}
+}
+
+func TestTimelineFilterAndOrder(t *testing.T) {
+	o := run(t, true, func(p *sim.Proc, o *Obs) {
+		// Span A starts first but is recorded after B (recorded at end).
+		a0 := p.Now()
+		p.Sleep(sim.Time(1e9))
+		b0 := p.Now()
+		p.Sleep(sim.Time(1e9))
+		o.Span("x", "keep", "B", b0)
+		o.Span("x", "keep", "A", a0)
+		o.Instant("x", "drop", "C")
+	})
+	var buf bytes.Buffer
+	o.WriteTimeline(&buf, "keep")
+	out := buf.String()
+	if strings.Contains(out, "C") {
+		t.Fatalf("filtered category leaked into timeline:\n%s", out)
+	}
+	ia, ib := strings.Index(out, "A"), strings.Index(out, "B")
+	if ia < 0 || ib < 0 || ia > ib {
+		t.Fatalf("timeline not sorted by start time:\n%s", out)
+	}
+	if !strings.Contains(out, "Timeline (2 events)") {
+		t.Fatalf("unexpected event count:\n%s", out)
+	}
+}
+
+func TestSummaryListsInstruments(t *testing.T) {
+	o := run(t, false, func(p *sim.Proc, o *Obs) {
+		t0 := p.Now()
+		p.Sleep(sim.Time(1e9))
+		o.Span("disk", "disk.read", "read", t0)
+		o.Counter("bytes").Add(42)
+		o.Gauge("depth").Set(3)
+		o.Histogram("lat", LatencyBounds).Observe(sim.Time(2e6))
+	})
+	var buf bytes.Buffer
+	o.WriteSummary(&buf)
+	out := buf.String()
+	for _, want := range []string{"disk.read", "bytes", "42", "depth", "lat", "≤10ms:1"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("summary missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/dev"
 	"repro/internal/jukebox"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -47,20 +48,16 @@ var DefaultRetryPolicy = RetryPolicy{
 	MaxBackoff: 5 * sim.Time(time.Second),
 }
 
-// Stats instruments the migration and fetch paths; the Table 4 breakdown
-// is computed from these counters.
+// Stats counts migration and fetch path events. Where virtual time went
+// — Footprint transfers, I/O-process disk transfers, queueing — is no
+// longer counted here: it is recorded as obs spans ("fp.read",
+// "fp.write", "io.read", "io.write", "svc.queue", "fetch.wait") on the
+// service's observability domain, which the Table 4 breakdown and
+// hldump -datapath consume via Obs().CatTotal.
 type Stats struct {
 	Fetches    int64
 	Copyouts   int64
-	BytesIn    int64 // tertiary -> disk
-	BytesOut   int64 // disk -> tertiary
 	EOMRetries int64
-
-	FootprintRead  sim.Time // inside Footprint.ReadSegment
-	FootprintWrite sim.Time // inside Footprint.WriteSegment
-	IORead         sim.Time // I/O process reading staged segments off disk
-	IOWrite        sim.Time // I/O process writing fetched segments to disk
-	Queue          sim.Time // requests waiting before service
 
 	TransientRetries int64 // transient faults retried by the I/O process
 	RetriesExhausted int64 // operations abandoned after the retry budget
@@ -103,6 +100,20 @@ const (
 	reqCopyoutDone
 )
 
+func (k reqKind) String() string {
+	switch k {
+	case reqFetch:
+		return "fetch"
+	case reqCopyout:
+		return "copyout"
+	case reqFetchDone:
+		return "fetch-done"
+	case reqCopyoutDone:
+		return "copyout-done"
+	}
+	return "unknown"
+}
+
 type request struct {
 	kind     reqKind
 	tag      int
@@ -142,6 +153,11 @@ type Service struct {
 
 	stats Stats
 
+	obs        *obs.Obs // nil = not instrumented
+	fetchWaitH *obs.Histogram
+	qdepth     *obs.Gauge
+	outCopyG   *obs.Gauge
+
 	// Retry governs transient-fault recovery in the I/O process.
 	Retry RetryPolicy
 
@@ -171,8 +187,9 @@ type Service struct {
 }
 
 // New creates the service over the given devices and cache and starts the
-// service and I/O daemon processes.
-func New(k *sim.Kernel, amap *addr.Map, fps []jukebox.Footprint, disk dev.BlockDev, c *cache.Cache, hooks Hooks) *Service {
+// service and I/O daemon processes. o is the observability domain the
+// service and I/O processes trace into (nil disables instrumentation).
+func New(k *sim.Kernel, o *obs.Obs, amap *addr.Map, fps []jukebox.Footprint, disk dev.BlockDev, c *cache.Cache, hooks Hooks) *Service {
 	s := &Service{
 		k:       k,
 		amap:    amap,
@@ -184,7 +201,11 @@ func New(k *sim.Kernel, amap *addr.Map, fps []jukebox.Footprint, disk dev.BlockD
 		ioreqs:  k.NewChan("tertiary.io", 256),
 		pending: make(map[int]*fetchWait),
 		Retry:   DefaultRetryPolicy,
+		obs:     o,
 	}
+	s.fetchWaitH = o.Histogram("tertiary.fetch_wait", obs.LatencyBounds)
+	s.qdepth = o.Gauge("tertiary.queue_depth")
+	s.outCopyG = o.Gauge("tertiary.copyouts_outstanding")
 	s.copyCond = k.NewCond("tertiary.copyouts")
 	k.GoDaemon("hl-service", s.serviceLoop)
 	k.GoDaemon("hl-io", s.ioLoop)
@@ -193,6 +214,9 @@ func New(k *sim.Kernel, amap *addr.Map, fps []jukebox.Footprint, disk dev.BlockD
 
 // Stats returns a snapshot of the counters.
 func (s *Service) Stats() Stats { return s.stats }
+
+// Obs returns the service's observability domain (may be nil).
+func (s *Service) Obs() *obs.Obs { return s.obs }
 
 // OutstandingCopyouts reports copyouts queued or in flight.
 func (s *Service) OutstandingCopyouts() int { return s.outCopy }
@@ -271,6 +295,8 @@ func (s *Service) DemandFetch(p *sim.Proc, tag int) (*cache.Line, error) {
 	if s.Notify != nil {
 		s.Notify(tag, p.Now()-start, true)
 	}
+	s.obs.Span("tertiary.svc", "fetch.wait", "demand-fetch", start, obs.Arg{Key: "tag", Val: int64(tag)})
+	s.fetchWaitH.Observe(p.Now() - start)
 	return w.line, w.err
 }
 
@@ -291,6 +317,7 @@ func (s *Service) ScheduleCopyoutAs(p *sim.Proc, destTag int, seg addr.SegNo, pi
 		l.Pins++
 	}
 	s.outCopy++
+	s.outCopyG.Set(int64(s.outCopy))
 	s.reqs.Send(p, request{kind: reqCopyout, tag: destTag, seg: seg, pinTag: pinTag, enqueued: p.Now()})
 }
 
@@ -354,7 +381,9 @@ func (s *Service) serviceLoop(p *sim.Proc) {
 			return
 		}
 		r := v.(request)
-		s.stats.Queue += p.Now() - r.enqueued
+		s.obs.Span("tertiary.svc", "svc.queue", r.kind.String(), r.enqueued,
+			obs.Arg{Key: "tag", Val: int64(r.tag)})
+		s.qdepth.Set(int64(s.reqs.Len()))
 		switch r.kind {
 		case reqFetch:
 			s.startFetch(p, r)
@@ -417,7 +446,8 @@ func (s *Service) finishFetch(p *sim.Proc, r request) {
 		s.hooks.LineBound(r.tag, r.seg, false)
 	}
 	s.stats.Fetches++
-	s.stats.BytesIn += int64(s.segBytes())
+	s.obs.Counter("tertiary.fetches").Add(1)
+	s.obs.Counter("tertiary.bytes_in").Add(int64(s.segBytes()))
 	s.resolveFetch(r.tag, nil)
 	if s.OnFetched != nil {
 		s.OnFetched(r.tag)
@@ -457,7 +487,8 @@ func (s *Service) finishCopyout(p *sim.Proc, r request) {
 	}
 	if r.err == nil {
 		s.stats.Copyouts++
-		s.stats.BytesOut += int64(s.segBytes())
+		s.obs.Counter("tertiary.copyouts").Add(1)
+		s.obs.Counter("tertiary.bytes_out").Add(int64(s.segBytes()))
 		if s.hooks.CopyoutDone != nil {
 			s.hooks.CopyoutDone(r.tag, r.seg)
 		}
@@ -472,6 +503,7 @@ func (s *Service) finishCopyout(p *sim.Proc, r request) {
 		s.badWrites = append(s.badWrites, r.tag)
 	}
 	s.outCopy--
+	s.outCopyG.Set(int64(s.outCopy))
 	s.copyCond.Broadcast()
 	s.retryDeferred(p)
 }
@@ -507,9 +539,11 @@ func (s *Service) withRetry(p *sim.Proc, op func() error) error {
 		}
 		if attempt >= s.Retry.Max {
 			s.stats.RetriesExhausted++
+			s.obs.Instant("tertiary.io", "io.retries_exhausted", "exhausted")
 			return err
 		}
 		s.stats.TransientRetries++
+		s.obs.Instant("tertiary.io", "io.retry", "retry")
 		if backoff > 0 {
 			p.Sleep(backoff)
 		}
@@ -563,7 +597,8 @@ func (s *Service) ioLoop(p *sim.Proc) {
 				}
 				t0 := p.Now()
 				err = s.withRetry(p, func() error { return s.fps[d].ReadSegment(p, vol, volseg, buf) })
-				s.stats.FootprintRead += p.Now() - t0
+				s.obs.Span("tertiary.io", "fp.read", "ReadSegment", t0,
+					obs.Arg{Key: "tag", Val: int64(r.tag)}, obs.Arg{Key: "copy", Val: int64(c)})
 				if err == nil {
 					if c != r.tag {
 						s.stats.ReplicaRedirects++
@@ -576,7 +611,8 @@ func (s *Service) ioLoop(p *sim.Proc) {
 				err = s.withRetry(p, func() error {
 					return s.disk.WriteBlocks(p, int64(s.amap.BlockOf(r.seg, 0)), buf)
 				})
-				s.stats.IOWrite += p.Now() - t0
+				s.obs.Span("tertiary.io", "io.write", "WriteBlocks", t0,
+					obs.Arg{Key: "tag", Val: int64(r.tag)}, obs.Arg{Key: "seg", Val: int64(r.seg)})
 			}
 			s.reqs.Send(p, request{kind: reqFetchDone, tag: r.tag, seg: r.seg, err: err, enqueued: p.Now()})
 		case reqCopyout:
@@ -586,12 +622,14 @@ func (s *Service) ioLoop(p *sim.Proc) {
 				err = s.withRetry(p, func() error {
 					return s.disk.ReadBlocks(p, int64(s.amap.BlockOf(r.seg, 0)), buf)
 				})
-				s.stats.IORead += p.Now() - t0
+				s.obs.Span("tertiary.io", "io.read", "ReadBlocks", t0,
+					obs.Arg{Key: "tag", Val: int64(r.tag)}, obs.Arg{Key: "seg", Val: int64(r.seg)})
 			}
 			if err == nil {
 				t0 := p.Now()
 				err = s.withRetry(p, func() error { return s.fps[d].WriteSegment(p, vol, volseg, buf) })
-				s.stats.FootprintWrite += p.Now() - t0
+				s.obs.Span("tertiary.io", "fp.write", "WriteSegment", t0,
+					obs.Arg{Key: "tag", Val: int64(r.tag)})
 			}
 			s.reqs.Send(p, request{kind: reqCopyoutDone, tag: r.tag, seg: r.seg, pinTag: r.pinTag, err: err, enqueued: p.Now()})
 		}

@@ -10,6 +10,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/dev"
 	"repro/internal/jukebox"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -38,7 +39,7 @@ func newEnv(t *testing.T, cacheLines int) *env {
 	}
 	e := &env{k: k, amap: amap, disk: disk, juke: juke}
 	e.c = cache.New(cache.LRU, pool, 1)
-	e.svc = New(k, amap, []jukebox.Footprint{juke}, disk, e.c, Hooks{
+	e.svc = New(k, obs.New(k), amap, []jukebox.Footprint{juke}, disk, e.c, Hooks{
 		LineBound:   func(tag int, seg addr.SegNo, staging bool) { e.bound++ },
 		LineEvicted: func(tag int, seg addr.SegNo) { e.evicted++ },
 		CopyoutDone: func(tag int, seg addr.SegNo) { e.done++ },
@@ -249,7 +250,7 @@ func TestQueueTimeAccounted(t *testing.T) {
 		if e.svc.Stats().Copyouts != 2 {
 			t.Fatalf("copyouts = %d", e.svc.Stats().Copyouts)
 		}
-		if e.svc.Stats().FootprintWrite == 0 || e.svc.Stats().IORead == 0 {
+		if e.svc.Obs().CatTotal("fp.write") == 0 || e.svc.Obs().CatTotal("io.read") == 0 {
 			t.Fatal("transfer times not accounted")
 		}
 	})
