@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race verify bench bench-json crash
+.PHONY: all build test vet race verify bench bench-json bench-check crash
 
 all: verify
 
@@ -35,3 +35,9 @@ bench:
 # Machine-readable snapshot of every table's metrics + obs counters.
 bench-json:
 	$(GO) run ./cmd/hlbench -quick -json BENCH_0.json
+
+# Diff a fresh quick-scale snapshot against the committed BENCH_*.json
+# baseline within per-metric tolerances; fails on regression. After an
+# intended performance change, regenerate the baseline with bench-json.
+bench-check:
+	$(GO) run ./cmd/benchcheck

@@ -1,0 +1,166 @@
+// Command benchcheck guards the committed benchmark baseline: it builds
+// a fresh `hlbench -json` snapshot in-process at quick scale and diffs
+// it against the newest committed BENCH_*.json within per-metric
+// tolerances. The simulator is deterministic, so genuine drift means a
+// code change altered behavior — either a regression (fix it) or an
+// intended change (regenerate the baseline with `make bench-json`).
+//
+// Tolerances are deliberately loose relative to the simulator's
+// determinism: table metrics and counters may move 10%, span totals and
+// latency quantiles 15%, before the check fails. A metric present in
+// the baseline but missing from the fresh snapshot always fails.
+//
+// Usage:
+//
+//	benchcheck [-baseline FILE] [-v]
+//
+// Exits 0 when every metric is within tolerance, 1 on regression, 2 on
+// usage/setup errors (no baseline, schema mismatch).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/bench"
+)
+
+// tol is one comparison tolerance: a relative fraction plus an absolute
+// floor (whichever allows more), so tiny baselines aren't held to
+// sub-rounding precision.
+type tol struct {
+	rel, abs float64
+}
+
+var (
+	tolTable    = tol{rel: 0.10, abs: 0.02}
+	tolCounter  = tol{rel: 0.10, abs: 2}
+	tolSpan     = tol{rel: 0.15, abs: 0.02}
+	tolQuantile = tol{rel: 0.15, abs: 0.005}
+)
+
+func (t tol) within(base, fresh float64) bool {
+	return math.Abs(fresh-base) <= math.Max(t.abs, t.rel*math.Abs(base))
+}
+
+// checker accumulates per-metric verdicts.
+type checker struct {
+	verbose  bool
+	failures int
+	checked  int
+}
+
+func (c *checker) compare(name string, t tol, base, fresh float64, freshHas bool) {
+	c.checked++
+	switch {
+	case !freshHas:
+		c.failures++
+		fmt.Printf("FAIL %-46s baseline %.6g, missing from fresh snapshot\n", name, base)
+	case !t.within(base, fresh):
+		c.failures++
+		fmt.Printf("FAIL %-46s baseline %.6g, fresh %.6g (|Δ| %.3g > tol max(%.3g, %.0f%%))\n",
+			name, base, fresh, math.Abs(fresh-base), t.abs, t.rel*100)
+	case c.verbose:
+		fmt.Printf("ok   %-46s baseline %.6g, fresh %.6g\n", name, base, fresh)
+	}
+}
+
+// newestBaseline picks the lexically last BENCH_*.json in dir — the
+// naming convention keeps them ordered.
+func newestBaseline(dir string) (string, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return "", err
+	}
+	if len(matches) == 0 {
+		return "", fmt.Errorf("no BENCH_*.json baseline in %s (run `make bench-json`)", dir)
+	}
+	sort.Strings(matches)
+	return matches[len(matches)-1], nil
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func main() {
+	baseline := flag.String("baseline", "", "baseline snapshot file (default: newest BENCH_*.json in the working directory)")
+	verbose := flag.Bool("v", false, "also print metrics that pass")
+	flag.Parse()
+
+	path := *baseline
+	if path == "" {
+		var err error
+		path, err = newestBaseline(".")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+		os.Exit(2)
+	}
+	var base bench.BenchSnapshot
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: parsing %s: %v\n", path, err)
+		os.Exit(2)
+	}
+
+	fresh, err := bench.BuildSnapshot(bench.QuickScale(), "quick")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: building fresh snapshot: %v\n", err)
+		os.Exit(2)
+	}
+	if base.Schema != fresh.Schema {
+		fmt.Fprintf(os.Stderr, "benchcheck: baseline %s has schema %q, fresh snapshot %q — regenerate with `make bench-json`\n",
+			path, base.Schema, fresh.Schema)
+		os.Exit(2)
+	}
+	if base.Scale != fresh.Scale {
+		fmt.Fprintf(os.Stderr, "benchcheck: baseline %s is %q scale, fresh snapshot %q — regenerate with `make bench-json`\n",
+			path, base.Scale, fresh.Scale)
+		os.Exit(2)
+	}
+
+	c := &checker{verbose: *verbose}
+	for _, tbl := range sortedKeys(base.Tables) {
+		freshTbl := fresh.Tables[tbl]
+		for _, name := range sortedKeys(base.Tables[tbl]) {
+			fv, ok := freshTbl[name]
+			c.compare(tbl+"."+name, tolTable, base.Tables[tbl][name], fv, ok)
+		}
+	}
+	for _, name := range sortedKeys(base.Counters) {
+		fv, ok := fresh.Counters[name]
+		c.compare("counter."+name, tolCounter, float64(base.Counters[name]), float64(fv), ok)
+	}
+	for _, name := range sortedKeys(base.SpanSeconds) {
+		fv, ok := fresh.SpanSeconds[name]
+		c.compare("span_seconds."+name, tolSpan, base.SpanSeconds[name], fv, ok)
+	}
+	for _, hist := range sortedKeys(base.Quantiles) {
+		freshQ := fresh.Quantiles[hist]
+		for _, q := range sortedKeys(base.Quantiles[hist]) {
+			fv, ok := freshQ[q]
+			c.compare("quantile."+hist+"."+q, tolQuantile, base.Quantiles[hist][q], fv, ok)
+		}
+	}
+
+	if c.failures > 0 {
+		fmt.Printf("benchcheck: %d of %d metrics out of tolerance vs %s\n", c.failures, c.checked, path)
+		os.Exit(1)
+	}
+	fmt.Printf("benchcheck: %d metrics within tolerance of %s\n", c.checked, path)
+}

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	hlbench [-table N] [-quick] [-trace FILE] [-json FILE]
+//	hlbench [-table N] [-quick] [-trace FILE] [-json FILE] [-serve ADDR [-rounds N]]
 //
 // Without -table every table is produced. -quick runs a reduced-scale
 // configuration (seconds instead of a minute); the default reproduces the
@@ -20,14 +20,25 @@
 // simulator's virtual clock, so repeated runs produce byte-identical
 // files. -json FILE writes a machine-readable snapshot of every table's
 // metrics plus the observability counters (see `make bench-json`).
+//
+// -serve ADDR runs a multi-round migration + demand-fetch workload while
+// serving live telemetry over HTTP: Prometheus-format /metrics, the
+// per-segment heat map as /heatmap JSON, the migration decision audit as
+// /decisions JSON, and net/http/pprof under /debug/pprof/. Snapshots are
+// published at deterministic virtual-time points, so the simulation runs
+// the identical schedule whether or not anyone is scraping. After the
+// workload the final snapshot stays up until interrupted. -rounds sets
+// the number of workload rounds.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"repro/internal/bench"
+	"repro/internal/telemetry"
 )
 
 // writeTo creates path and streams fn into it.
@@ -49,6 +60,8 @@ func main() {
 	ablations := flag.Bool("ablations", false, "also run the policy ablations (cache eviction, copy-out scheduling, STP exponents, migration granularity, media-fault rate, crash-recovery cost)")
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON of the migration workload to this file")
 	jsonOut := flag.String("json", "", "write a machine-readable snapshot of all tables + obs counters to this file")
+	serveAddr := flag.String("serve", "", "run the migration workload while serving live telemetry on this address (e.g. 127.0.0.1:8080)")
+	rounds := flag.Int("rounds", 3, "workload rounds for -serve")
 	flag.Parse()
 
 	scale := bench.FullScale()
@@ -56,6 +69,26 @@ func main() {
 	if *quick {
 		scale = bench.QuickScale()
 		scaleName = "quick"
+	}
+
+	if *serveAddr != "" {
+		srv := telemetry.NewServer()
+		addr, err := srv.Start(*serveAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hlbench: -serve: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("telemetry on http://%s  (/metrics /heatmap /decisions /debug/pprof/)\n", addr)
+		if err := bench.ServeMigration(scale, srv, *rounds); err != nil {
+			fmt.Fprintf(os.Stderr, "hlbench: -serve workload: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("workload complete; final snapshot still served (interrupt to exit)")
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, os.Interrupt)
+		<-ch
+		srv.Close()
+		return
 	}
 
 	if *traceOut != "" {

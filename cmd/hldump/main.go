@@ -16,6 +16,14 @@
 //	            the demo run: migration, staging, volume swaps, Footprint
 //	            transfers, and demand fetches as traced spans, plus
 //	            per-device utilization, counters, and latency histograms
+//	            (-track and -cat narrow it to comma-separated track and
+//	            category lists)
+//	-why N      the policy story for tertiary segment N: its heat record
+//	            and the audited decision chain (selected / skipped /
+//	            staged / copied-out / cleaned) recorded by the migrator,
+//	            the staging mechanism, and the tertiary cleaner; the demo
+//	            adds a cleaner pass so both migrated and skipped segments
+//	            carry verdicts
 //
 // Without flags all sections are produced. The demo instance is one simulated
 // RZ57 disk plus a small MO jukebox; -img DIR instead loads a file system
@@ -26,6 +34,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/bench"
 	"repro/internal/core"
@@ -39,6 +48,17 @@ import (
 	"repro/internal/sim"
 )
 
+// splitList turns a comma-separated flag value into its non-empty items.
+func splitList(s string) []string {
+	var out []string
+	for _, item := range strings.Split(s, ",") {
+		if item = strings.TrimSpace(item); item != "" {
+			out = append(out, item)
+		}
+	}
+	return out
+}
+
 func main() {
 	layout := flag.Bool("layout", false, "figures 1 & 3: on-media layout")
 	addrmap := flag.Bool("addrmap", false, "figure 4: block address allocation")
@@ -49,11 +69,14 @@ func main() {
 	faults := flag.Bool("faults", false, "fault injection & recovery report (per-device counters)")
 	recovery := flag.Bool("recovery", false, "mount recovery report: checkpoint anchor, roll-forward extent, cache-directory rebuild (the demo power-cuts an instance mid-migration and remounts it)")
 	timeline := flag.Bool("timeline", false, "virtual-time event timeline + observability summary of the demo run")
+	track := flag.String("track", "", "comma-separated list of tracks to keep in -timeline (empty = all)")
+	cat := flag.String("cat", "", "comma-separated list of categories to keep in -timeline (empty = the default pipeline set)")
+	why := flag.Int("why", -1, "print the heat record and audited decision chain for this tertiary segment")
 	img := flag.String("img", "", "load a file system image directory (from hlfs) instead of the demo")
 	maxSegs := flag.Int("maxsegs", 64, "cap per-segment detail in -layout (0 = all)")
 	flag.Parse()
 
-	all := !*layout && !*addrmap && !*hierarchy && !*datapath && !*summary && !*volumes && !*faults && !*recovery && !*timeline
+	all := !*layout && !*addrmap && !*hierarchy && !*datapath && !*summary && !*volumes && !*faults && !*recovery && !*timeline && *why < 0
 
 	if *summary || all {
 		fmt.Println(bench.Table1())
@@ -118,6 +141,20 @@ func main() {
 			fmt.Println()
 			dump.Recovery(os.Stdout, hl.FS.Recovery(), hl.MountStats(), hl.RetiredSegments())
 		}
+		if *why >= 0 {
+			// A tertiary-cleaner pass on the demo instance gives the audit
+			// skipped and cleaned verdicts alongside the migration's
+			// staged/copied-out ones.
+			if *img == "" {
+				if u, ok := hl.SelectCleanableVolume(); ok {
+					if _, err := hl.CleanVolume(p, u.Device, u.Volume); err != nil {
+						fmt.Fprintf(os.Stderr, "hldump: -why cleaner pass: %v\n", err)
+					}
+				}
+			}
+			fmt.Println()
+			dump.Why(os.Stdout, hl, *why)
+		}
 	})
 	if (*timeline || all) && *img == "" {
 		// The pipeline-level story: mounts, migrations, staging, volume
@@ -125,10 +162,15 @@ func main() {
 		// disk spans stay in the Chrome trace; here they would drown the
 		// narrative.)
 		fmt.Println()
-		o.WriteTimeline(os.Stdout,
+		cats := []string{
 			"core.mount", "core.migrate", "core.ckpt", "core.clean",
 			"stage.open", "stage.close", "jb.swap",
-			"fp.write", "fp.read", "fetch.wait")
+			"fp.write", "fp.read", "fetch.wait",
+		}
+		if *cat != "" {
+			cats = splitList(*cat)
+		}
+		o.WriteTimelineFiltered(os.Stdout, splitList(*track), cats)
 		fmt.Println()
 		o.WriteSummary(os.Stdout)
 	}

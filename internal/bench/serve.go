@@ -1,0 +1,106 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/migrate"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+	"repro/internal/wl"
+)
+
+// publish renders the rig's current obs/heat/audit state and hands it
+// to the telemetry server. srv may be nil. Publishing only *reads* the
+// sim state at a point the sim side chose, so runs with and without a
+// server execute the same virtual-time schedule — the determinism pins
+// in snapshot_test.go and the crash package hold the line.
+func publish(r *hlRig, srv *telemetry.Server) {
+	if srv == nil {
+		return
+	}
+	srv.Publish(telemetry.Collect(r.obs, r.hl.Heat, r.hl.Audit, r.k.Now()))
+}
+
+// ServeMigration drives a multi-round create → age → migrate → eject →
+// demand-fetch workload (with a final whole-volume clean), publishing a
+// telemetry snapshot after every step. This is the workload behind
+// `hlbench -serve`: long enough to watch, and exercising every decision
+// actor (policy ranking, staging, copy-out, cleaning) so /heatmap and
+// /decisions have real content. It is deterministic in virtual time
+// whether or not srv is attached.
+func ServeMigration(s Scale, srv *telemetry.Server, rounds int) error {
+	if rounds <= 0 {
+		rounds = 3
+	}
+	r := newHLRig(s, stageOnMain)
+	defer r.stop()
+	framesPer := s.Frames / (2 * rounds)
+	if framesPer < 64 {
+		framesPer = 64
+	}
+	var err error
+	r.k.RunProc(func(p *sim.Proc) {
+		t := wl.HLTarget("hl", r.hl)
+		m := migrate.NewMigrator(r.hl)
+		for round := 0; round < rounds; round++ {
+			path := fmt.Sprintf("/obj%d", round)
+			spec := wl.LargeObjectSpec{
+				Path:        path,
+				Frames:      framesPer,
+				SeqFrames:   framesPer / 4,
+				SmallFrames: framesPer / 16,
+				Seed:        uint64(42 + round),
+			}
+			if _, e := wl.CreateLargeObject(p, t, spec); e != nil {
+				err = e
+				return
+			}
+			publish(r, srv)
+			// Age the round's files so the policy sees an access-time
+			// spread between rounds.
+			p.Sleep(10 * sim.Time(time.Second))
+			if _, e := m.RunOnce(p, int64(framesPer)*wl.FrameSize); e != nil {
+				err = e
+				return
+			}
+			publish(r, srv)
+			// Turn the next reads into demand fetches: drop buffered
+			// blocks and eject every clean cache line.
+			f, e := r.hl.FS.Open(p, path)
+			if e != nil {
+				err = e
+				return
+			}
+			r.hl.FS.DropFileBuffers(p, f.Inum())
+			for _, l := range r.hl.Cache.Lines() {
+				if l.Staging || l.Pins > 0 {
+					continue
+				}
+				if e := r.hl.Svc.Eject(l.Tag); e != nil {
+					err = e
+					return
+				}
+			}
+			buf := make([]byte, 64*1024)
+			if _, e := f.ReadAt(p, buf, 0); e != nil {
+				err = e
+				return
+			}
+			publish(r, srv)
+		}
+		// Reclaim the cheapest used volume so the cleaner's decisions
+		// (selected, cleaned, skipped segments) show up in the audit.
+		if u, ok := r.hl.SelectCleanableVolume(); ok {
+			if _, e := r.hl.CleanVolume(p, u.Device, u.Volume); e != nil {
+				err = e
+				return
+			}
+		}
+		publish(r, srv)
+	})
+	if err != nil {
+		return fmt.Errorf("bench: serve workload: %w", err)
+	}
+	return nil
+}

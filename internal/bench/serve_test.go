@@ -1,0 +1,108 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// TestSnapshotUnchangedByTelemetry pins the tentpole determinism
+// guarantee for `hlbench -json`: the snapshot a run produces is
+// byte-identical whether or not a telemetry server is attached and
+// publishing — publication only reads.
+func TestSnapshotUnchangedByTelemetry(t *testing.T) {
+	encode := func(srv *telemetry.Server) []byte {
+		snap, err := BuildSnapshotWith(QuickScale(), "quick", srv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		enc := json.NewEncoder(&buf)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(snap); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	off := encode(nil)
+	srv := telemetry.NewServer()
+	on := encode(srv)
+	if !bytes.Equal(off, on) {
+		t.Fatal("snapshot bytes differ with telemetry on vs off")
+	}
+	// The attached run actually published a usable snapshot.
+	sn := srv.Current()
+	if sn == nil {
+		t.Fatal("telemetry run never published")
+	}
+	if !strings.Contains(string(sn.Metrics), "hl_tertiary_fetches_total") {
+		t.Fatalf("published metrics missing fetch counter:\n%s", sn.Metrics)
+	}
+}
+
+// TestSnapshotHasQuantiles checks the hlbench/2 schema addition: the
+// fetch-wait histogram's p50/p99/mean appear in the snapshot.
+func TestSnapshotHasQuantiles(t *testing.T) {
+	snap, err := BuildSnapshot(QuickScale(), "quick")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Schema != "hlbench/2" {
+		t.Fatalf("schema = %q", snap.Schema)
+	}
+	q, ok := snap.Quantiles["tertiary.fetch_wait"]
+	if !ok {
+		t.Fatalf("no fetch-wait quantiles: %+v", snap.Quantiles)
+	}
+	for _, k := range []string{"p50_s", "p99_s", "mean_s"} {
+		if q[k] <= 0 {
+			t.Fatalf("quantile %s = %v, want > 0 (fetches waited)", k, q[k])
+		}
+	}
+	if q["p50_s"] > q["p99_s"] {
+		t.Fatalf("p50 %v > p99 %v", q["p50_s"], q["p99_s"])
+	}
+}
+
+// TestServeMigrationPublishesAndIsDeterministic runs the -serve
+// workload twice with a server attached: both runs publish, the final
+// snapshots are byte-identical, and the exports carry heat-map and
+// decision-audit content from every actor.
+func TestServeMigrationPublishesAndIsDeterministic(t *testing.T) {
+	run := func() *telemetry.Snapshot {
+		srv := telemetry.NewServer()
+		if err := ServeMigration(QuickScale(), srv, 2); err != nil {
+			t.Fatal(err)
+		}
+		sn := srv.Current()
+		if sn == nil {
+			t.Fatal("serve workload never published")
+		}
+		return sn
+	}
+	a, b := run(), run()
+	if !bytes.Equal(a.Metrics, b.Metrics) || !bytes.Equal(a.Heatmap, b.Heatmap) || !bytes.Equal(a.Decisions, b.Decisions) {
+		t.Fatal("two serve runs published different snapshots")
+	}
+	m := string(a.Metrics)
+	for _, want := range []string{"hl_segment_heat{seg=", "hl_tertiary_fetches_total", "hl_decisions_recorded_total"} {
+		if !strings.Contains(m, want) {
+			t.Fatalf("served metrics missing %q:\n%s", want, m)
+		}
+	}
+	d := string(a.Decisions)
+	for _, want := range []string{`"actor": "migrator"`, `"actor": "stage"`, `"actor": "tcleaner"`, `"verdict": "cleaned"`} {
+		if !strings.Contains(d, want) {
+			t.Fatalf("served decisions missing %q:\n%s", want, d)
+		}
+	}
+	// The run with no server attached completes identically (error-free);
+	// its virtual-time equivalence to the served run is covered by the
+	// crash-digest pin in internal/crash.
+	if err := ServeMigration(QuickScale(), nil, 2); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+
+	"repro/internal/telemetry"
 )
 
 // BenchSnapshot is the machine-readable benchmark record emitted by
@@ -22,17 +24,30 @@ type BenchSnapshot struct {
 	// SpanSeconds are per-category obs span totals, in seconds, from
 	// the same run — the trace-derived time breakdown.
 	SpanSeconds map[string]float64 `json:"span_seconds"`
+	// Quantiles maps each obs histogram with observations to its
+	// {"p50_s","p99_s","mean_s"} summary, in seconds.
+	Quantiles map[string]map[string]float64 `json:"quantiles"`
 }
 
 // BuildSnapshot runs every table plus one instrumented migration and
 // collects the results.
 func BuildSnapshot(s Scale, scaleName string) (*BenchSnapshot, error) {
+	return BuildSnapshotWith(s, scaleName, nil)
+}
+
+// BuildSnapshotWith is BuildSnapshot with a telemetry server attached:
+// after each table and workload step a fresh snapshot of the
+// instrumented migration rig is published. srv may be nil (no
+// publishing); the returned snapshot is byte-identical either way —
+// publication only reads — which TestSnapshotUnchangedByTelemetry pins.
+func BuildSnapshotWith(s Scale, scaleName string, srv *telemetry.Server) (*BenchSnapshot, error) {
 	snap := &BenchSnapshot{
-		Schema:      "hlbench/1",
+		Schema:      "hlbench/2",
 		Scale:       scaleName,
 		Tables:      map[string]map[string]float64{},
 		Counters:    map[string]int64{},
 		SpanSeconds: map[string]float64{},
+		Quantiles:   map[string]map[string]float64{},
 	}
 	tables := []struct {
 		name string
@@ -59,6 +74,7 @@ func BuildSnapshot(s Scale, scaleName string) (*BenchSnapshot, error) {
 	if err := migrationFetchWorkload(r, s); err != nil {
 		return nil, fmt.Errorf("bench: snapshot migration: %w", err)
 	}
+	publish(r, srv)
 	for _, name := range []string{
 		"tertiary.fetches", "tertiary.copyouts",
 		"tertiary.bytes_in", "tertiary.bytes_out",
@@ -68,6 +84,16 @@ func BuildSnapshot(s Scale, scaleName string) (*BenchSnapshot, error) {
 	}
 	for _, a := range r.obs.Aggregates() {
 		snap.SpanSeconds[a.Cat] += a.Total.Seconds()
+	}
+	for _, h := range r.obs.Histograms() {
+		if h.N == 0 {
+			continue
+		}
+		snap.Quantiles[h.Name] = map[string]float64{
+			"p50_s":  h.P50().Seconds(),
+			"p99_s":  h.P99().Seconds(),
+			"mean_s": h.Mean().Seconds(),
+		}
 	}
 	return snap, nil
 }

@@ -67,7 +67,7 @@ func TestSnapshotShape(t *testing.T) {
 	if err := enc.Encode(snap); err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(buf.String(), `"schema":"hlbench/1"`) {
+	if !strings.Contains(buf.String(), `"schema":"hlbench/2"`) {
 		t.Fatal("snapshot JSON missing schema tag")
 	}
 }

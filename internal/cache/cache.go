@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/addr"
 	"repro/internal/obs"
+	"repro/internal/obs/attr"
 	"repro/internal/sim"
 )
 
@@ -91,6 +92,7 @@ type Cache struct {
 	stats    Stats
 	obs      *obs.Obs // nil = not instrumented
 	occupied *obs.Gauge
+	heat     *attr.Table // nil = no attribution
 
 	// BypassFirstRef, when set, marks newly fetched lines "least worthy":
 	// they are preferred eviction victims until referenced again (the
@@ -130,6 +132,10 @@ func (c *Cache) SetObs(o *obs.Obs) {
 	c.occupied = o.Gauge("cache.lines")
 }
 
+// SetAttr attaches a heat-attribution table: every hit, miss, and
+// eviction is attributed to the tertiary segment it touched.
+func (c *Cache) SetAttr(t *attr.Table) { c.heat = t }
+
 // Lookup finds the line caching tertiary segment tag, updating recency.
 func (c *Cache) Lookup(tag int, now sim.Time) (*Line, bool) {
 	l, ok := c.lines[tag]
@@ -137,6 +143,7 @@ func (c *Cache) Lookup(tag int, now sim.Time) (*Line, bool) {
 		c.stats.Misses++
 		c.obs.Instant("cache", "cache.miss", "miss", obs.Arg{Key: "tag", Val: int64(tag)})
 		c.obs.Counter("cache.misses").Add(1)
+		c.heat.Touch(tag, attr.Miss, now)
 		return nil, false
 	}
 	l.LastUse = now
@@ -144,6 +151,7 @@ func (c *Cache) Lookup(tag int, now sim.Time) (*Line, bool) {
 	c.stats.Hits++
 	c.obs.Instant("cache", "cache.hit", "hit", obs.Arg{Key: "tag", Val: int64(tag)})
 	c.obs.Counter("cache.hits").Add(1)
+	c.heat.Touch(tag, attr.Hit, now)
 	return l, true
 }
 
@@ -263,6 +271,7 @@ func (c *Cache) Evict(l *Line) (addr.SegNo, error) {
 	c.obs.Instant("cache", "cache.evict", "evict",
 		obs.Arg{Key: "tag", Val: int64(l.Tag)}, obs.Arg{Key: "seg", Val: int64(l.DiskSeg)})
 	c.occupied.Set(int64(len(c.lines)))
+	c.heat.Touch(l.Tag, attr.Evict, c.obs.Now())
 	return l.DiskSeg, nil
 }
 

@@ -16,6 +16,7 @@ import (
 	"repro/internal/jukebox"
 	"repro/internal/lfs"
 	"repro/internal/obs"
+	"repro/internal/obs/attr"
 	"repro/internal/sim"
 	"repro/internal/stripe"
 	"repro/internal/tertiary"
@@ -69,6 +70,16 @@ type HighLight struct {
 	Cache *cache.Cache
 	Svc   *tertiary.Service
 	Obs   *obs.Obs
+
+	// Heat is the per-segment/per-file temperature table every cache
+	// hit, demand fetch, staging, copy-out, ejection, and clean is
+	// attributed to; Audit is the migration decision log the migrator,
+	// staging mechanism, and tertiary cleaner record into (queryable
+	// as `hldump -why`). Both are always live: they are pure functions
+	// of the deterministic event stream, cost O(1) per event, and are
+	// read only by exporters.
+	Heat  *attr.Table
+	Audit *attr.Audit
 
 	jukes []jukebox.Footprint
 
@@ -175,6 +186,8 @@ func New(p *sim.Proc, cfg Config, format bool) (*HighLight, error) {
 		Amap:       amap,
 		Disk:       disk,
 		Obs:        cfg.Obs,
+		Heat:       attr.NewTable(0),
+		Audit:      attr.NewAudit(0),
 		jukes:      cfg.Jukeboxes,
 		stageTag:   -1,
 		replicaOf:  make(map[int][]int),
@@ -246,6 +259,7 @@ func New(p *sim.Proc, cfg Config, format bool) (*HighLight, error) {
 	}
 	hl.Cache = cache.New(cfg.CachePolicy, pool, cfg.Seed)
 	hl.Cache.SetObs(hl.Obs)
+	hl.Cache.SetAttr(hl.Heat)
 	hl.Svc = tertiary.New(p.Kernel(), hl.Obs, amap, cfg.Jukeboxes, disk, hl.Cache, tertiary.Hooks{
 		LineBound: func(tag int, seg addr.SegNo, staging bool) {
 			fs.SetCacheBinding(seg, uint32(tag), staging)
@@ -259,8 +273,14 @@ func New(p *sim.Proc, cfg Config, format bool) (*HighLight, error) {
 			}
 			fs.SetCacheBinding(seg, uint32(tag), false)
 			fs.MarkTsegWritten(tag)
+			hl.Audit.Record(attr.Decision{
+				T: hl.K.Now(), Actor: "tertiary", Subject: fmt.Sprintf("seg:%d", tag),
+				Seg: tag, Verdict: attr.VerdictCopiedOut,
+				Inputs: []attr.Input{attr.In("replicas", float64(len(hl.replicaOf[tag])))},
+			})
 		},
 	})
+	hl.Svc.SetAttr(hl.Heat)
 	hl.Svc.AltCopies = func(tag int) []int { return hl.replicaOf[tag] }
 	if cfg.Replicas > 1 {
 		hl.Replicas = cfg.Replicas

@@ -7,6 +7,7 @@ import (
 	"repro/internal/addr"
 	"repro/internal/lfs"
 	"repro/internal/obs"
+	"repro/internal/obs/attr"
 	"repro/internal/sim"
 )
 
@@ -139,6 +140,15 @@ func (hl *HighLight) finishStaging(p *sim.Proc) error {
 	}
 	hl.Obs.Instant("core", "stage.close", "close",
 		obs.Arg{Key: "tag", Val: int64(hl.stageTag)}, obs.Arg{Key: "blocks", Val: int64(hl.stageOff)})
+	hl.Heat.Touch(hl.stageTag, attr.Stage, p.Now())
+	hl.Audit.Record(attr.Decision{
+		T: p.Now(), Actor: "stage", Subject: fmt.Sprintf("seg:%d", hl.stageTag),
+		Seg: hl.stageTag, Verdict: attr.VerdictStaged,
+		Inputs: []attr.Input{
+			attr.In("blocks", float64(hl.stageOff)),
+			attr.In("replicas", float64(len(recs)-1)),
+		},
+	})
 	hl.stageTag = -1
 	return nil
 }
@@ -272,6 +282,15 @@ func (hl *HighLight) MigrateFiles(p *sim.Proc, inums []uint32, migrateInodes boo
 		if err != nil {
 			return staged, err
 		}
+		hl.Heat.TouchFile(inum, n, p.Now())
+		// Seg is the staging segment still open after this file's blocks
+		// landed (-1 if the file exactly filled a segment); large files
+		// span several segments, each audited by its own "staged" record.
+		hl.Audit.Record(attr.Decision{
+			T: p.Now(), Actor: "migrator", Subject: fmt.Sprintf("inode:%d", inum),
+			Seg: hl.stageTag, Verdict: attr.VerdictStaged,
+			Inputs: []attr.Input{attr.In("bytes", float64(n))},
+		})
 		if migrateInodes {
 			inodeBatch = append(inodeBatch, inum)
 			if len(inodeBatch) >= lfs.InodesPerBlock {
@@ -393,9 +412,17 @@ func (hl *HighLight) restageSegment(p *sim.Proc, tag int, wholeVolume bool) erro
 	}
 	if wholeVolume {
 		hl.retireVolumeOf(tag)
+		hl.Audit.Record(attr.Decision{
+			T: p.Now(), Actor: "stage", Subject: fmt.Sprintf("seg:%d", tag),
+			Seg: tag, Verdict: attr.VerdictRetired, Reason: "end of medium: volume tail marked no-store",
+		})
 	} else {
 		hl.FS.MarkTsegNoStore(tag)
 		hl.retiredSegs++
+		hl.Audit.Record(attr.Decision{
+			T: p.Now(), Actor: "stage", Subject: fmt.Sprintf("seg:%d", tag),
+			Seg: tag, Verdict: attr.VerdictRetired, Reason: "permanent media write error",
+		})
 	}
 	seg := hl.Amap.SegForIndex(tag)
 	// Parse the staged image off the cache line and rebuild refs with
@@ -434,5 +461,13 @@ func (hl *HighLight) restageSegment(p *sim.Proc, tag int, wholeVolume bool) erro
 	}
 	hl.FS.SetCacheBinding(freed, lfs.NilCacheTag, false)
 	hl.Cache.Release(freed)
+	hl.Audit.Record(attr.Decision{
+		T: p.Now(), Actor: "stage", Subject: fmt.Sprintf("seg:%d", tag),
+		Seg: tag, Verdict: attr.VerdictRestaged, Reason: "contents moved to fresh segment",
+		Inputs: []attr.Input{
+			attr.In("blocks", float64(len(refs))),
+			attr.In("inodes", float64(len(inums))),
+		},
+	})
 	return nil
 }

@@ -7,6 +7,7 @@ import (
 	"repro/internal/addr"
 	"repro/internal/lfs"
 	"repro/internal/obs"
+	"repro/internal/obs/attr"
 	"repro/internal/sim"
 )
 
@@ -66,10 +67,24 @@ func (hl *HighLight) SelectCleanableVolume() (VolumeUsage, bool) {
 		}
 		return usages[a].Volume < usages[b].Volume
 	})
+	now := hl.K.Now()
 	for _, u := range usages {
 		if u.UsedSegs == 0 && u.NoStoreSegs == 0 {
+			hl.Audit.Record(attr.Decision{
+				T: now, Actor: "tcleaner", Subject: fmt.Sprintf("vol:%d/%d", u.Device, u.Volume),
+				Seg: -1, Verdict: attr.VerdictSkipped, Reason: "volume unused",
+			})
 			continue
 		}
+		hl.Audit.Record(attr.Decision{
+			T: now, Actor: "tcleaner", Subject: fmt.Sprintf("vol:%d/%d", u.Device, u.Volume),
+			Seg: -1, Verdict: attr.VerdictSelected, Reason: "least live data among used volumes",
+			Inputs: []attr.Input{
+				attr.In("live_bytes", float64(u.LiveBytes)),
+				attr.In("used_segs", float64(u.UsedSegs)),
+				attr.In("no_store_segs", float64(u.NoStoreSegs)),
+			},
+		})
 		return u, true
 	}
 	return VolumeUsage{}, false
@@ -120,6 +135,11 @@ func (hl *HighLight) CleanVolume(p *sim.Proc, device, vol int) (int, error) {
 		idx, _ := hl.Amap.TertIndex(seg)
 		su := hl.FS.TsegUsage(idx)
 		if su.Flags&lfs.SegDirty == 0 {
+			hl.Audit.Record(attr.Decision{
+				T: p.Now(), Actor: "tcleaner", Subject: fmt.Sprintf("seg:%d", idx),
+				Seg: idx, Verdict: attr.VerdictSkipped, Reason: "no live data",
+				Inputs: []attr.Input{attr.In("heat", hl.Heat.Heat(idx, p.Now()))},
+			})
 			continue
 		}
 		n, err := hl.cleanTertSegment(p, idx, seg)
@@ -127,6 +147,16 @@ func (hl *HighLight) CleanVolume(p *sim.Proc, device, vol int) (int, error) {
 			return relocated, fmt.Errorf("core: cleaning volume %d/%d segment %d: %w", device, vol, s, err)
 		}
 		relocated += n
+		hl.Heat.Touch(idx, attr.Clean, p.Now())
+		hl.Audit.Record(attr.Decision{
+			T: p.Now(), Actor: "tcleaner", Subject: fmt.Sprintf("seg:%d", idx),
+			Seg: idx, Verdict: attr.VerdictCleaned,
+			Inputs: []attr.Input{
+				attr.In("live_bytes", float64(su.LiveBytes)),
+				attr.In("blocks_moved", float64(n)),
+				attr.In("heat", hl.Heat.Heat(idx, p.Now())),
+			},
+		})
 	}
 	// Close out the re-staged data before touching the medium: the old
 	// copies must never be the sole ones when the volume is erased.

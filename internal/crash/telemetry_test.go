@@ -1,0 +1,62 @@
+package crash
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// TestTelemetryDoesNotPerturbRecovery is the crash-side half of the
+// tentpole determinism pin: a full (reduced, two-cuts-per-phase) crash
+// matrix run with a telemetry server attached and publishing at every
+// phase boundary must produce exactly the digests of a plain run.
+// Publication only reads obs/heat/audit state at sim-chosen points, so
+// any digest drift means the telemetry path leaked into the simulation.
+func TestTelemetryDoesNotPerturbRecovery(t *testing.T) {
+	plain := DefaultConfig()
+
+	served := DefaultConfig()
+	srv := telemetry.NewServer()
+	served.Telemetry = srv
+
+	repPlain, err := RunMatrix(plain, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repServed, err := RunMatrix(served, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(repServed.Outcomes) != len(repPlain.Outcomes) {
+		t.Fatalf("served matrix ran %d cuts, plain %d", len(repServed.Outcomes), len(repPlain.Outcomes))
+	}
+	for i, o := range repServed.Outcomes {
+		if len(o.Violations) > 0 {
+			t.Errorf("served cut at event %d (%s): %v", o.Event, o.Phase, o.Violations)
+		}
+		po := repPlain.Outcomes[i]
+		if o.Digest != po.Digest {
+			t.Errorf("cut %d: telemetry changed the recovery digest (event %d, %s): %s vs %s",
+				i, o.Event, o.Phase, o.Digest[:12], po.Digest[:12])
+		}
+	}
+	// The server actually saw the workload: the final published snapshot
+	// carries migration decisions and segment heat from the crash rig.
+	sn := srv.Current()
+	if sn == nil {
+		t.Fatal("crash matrix with telemetry attached never published")
+	}
+	m := string(sn.Metrics)
+	for _, want := range []string{"hl_segment_heat{seg=", "hl_decisions_recorded_total"} {
+		if !strings.Contains(m, want) {
+			t.Fatalf("published metrics missing %q:\n%s", want, m)
+		}
+	}
+	d := string(sn.Decisions)
+	for _, want := range []string{`"verdict": "staged"`, `"actor": "tcleaner"`} {
+		if !strings.Contains(d, want) {
+			t.Fatalf("published decisions missing %q:\n%s", want, d)
+		}
+	}
+}

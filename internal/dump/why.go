@@ -1,0 +1,71 @@
+package dump
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/obs/attr"
+)
+
+// Why prints the policy story for one tertiary segment: its heat record
+// (access counts, last touch, decayed heat) and the audited decision
+// chain — every time the migrator, the staging mechanism, or the
+// tertiary cleaner selected, skipped, staged, copied out, cleaned,
+// restaged, or retired it, with the policy inputs each verdict saw.
+func Why(w io.Writer, hl *core.HighLight, tag int) {
+	now := hl.K.Now()
+	fmt.Fprintf(w, "Segment %d at t=%.3fs\n", tag, now.Seconds())
+
+	if rec, ok := hl.Heat.Seg(tag); ok {
+		fmt.Fprintf(w, "  heat %.4g (half-life %.0fs)  last touch %.3fs\n",
+			hl.Heat.Heat(tag, now), hl.Heat.HalfLife.Seconds(), rec.LastTouch.Seconds())
+		fmt.Fprintf(w, "  hits %d  misses %d  fetches %d  stages %d  copyouts %d  evicts %d  cleans %d\n",
+			rec.Hits, rec.Misses, rec.Fetches, rec.Stages, rec.Copyouts, rec.Evicts, rec.Cleans)
+	} else {
+		fmt.Fprintf(w, "  no heat record (segment never touched the cache or tertiary pipeline)\n")
+	}
+
+	chain := hl.Audit.ForSegment(tag)
+	if len(chain) == 0 {
+		fmt.Fprintf(w, "  no audited decisions for segment %d\n", tag)
+	} else {
+		fmt.Fprintf(w, "  decision chain (%d of %d audited decisions):\n", len(chain), hl.Audit.Total())
+		for _, d := range chain {
+			fmt.Fprintf(w, "    %s\n", d)
+		}
+	}
+
+	// Orient the reader: which segments do carry audited verdicts.
+	byTag := map[int]map[string]bool{}
+	var order []int
+	for _, d := range hl.Audit.All() {
+		if d.Seg < 0 {
+			continue
+		}
+		if byTag[d.Seg] == nil {
+			byTag[d.Seg] = map[string]bool{}
+			order = append(order, d.Seg)
+		}
+		byTag[d.Seg][d.Verdict] = true
+	}
+	if len(order) > 0 {
+		fmt.Fprintf(w, "  audited segments:")
+		for _, t := range order {
+			vs := byTag[t]
+			var verdicts []string
+			for _, v := range []string{
+				attr.VerdictSelected, attr.VerdictSkipped, attr.VerdictStaged,
+				attr.VerdictCopiedOut, attr.VerdictCleaned, attr.VerdictRestaged,
+				attr.VerdictRetired,
+			} {
+				if vs[v] {
+					verdicts = append(verdicts, v)
+				}
+			}
+			fmt.Fprintf(w, " %d(%s)", t, strings.Join(verdicts, ","))
+		}
+		fmt.Fprintln(w)
+	}
+}

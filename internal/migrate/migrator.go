@@ -4,6 +4,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/lfs"
 	"repro/internal/obs"
+	"repro/internal/obs/attr"
 	"repro/internal/sim"
 	"time"
 )
@@ -58,6 +59,19 @@ func (m *Migrator) RunOnce(p *sim.Proc, targetBytes int64) (int64, error) {
 	defer func() {
 		m.HL.Obs.Span("migrator", "migrate.run", "RunOnce", t0,
 			obs.Arg{Key: "candidates", Val: int64(len(cands))}, obs.Arg{Key: "staged", Val: staged})
+		// The run summary records the pressure inputs the policy acted
+		// under: reclaimable disk space and cache headroom.
+		m.HL.Audit.Record(attr.Decision{
+			T: m.HL.K.Now(), Actor: "migrator", Subject: "run:" + m.Policy.Name(),
+			Seg: -1, Verdict: attr.VerdictRun,
+			Inputs: []attr.Input{
+				attr.In("target_bytes", float64(targetBytes)),
+				attr.In("candidates", float64(len(cands))),
+				attr.In("staged_bytes", float64(staged)),
+				attr.In("clean_segs", float64(m.HL.FS.CleanSegs())),
+				attr.In("cache_free_lines", float64(m.HL.Cache.FreeLines())),
+			},
+		})
 	}()
 	if br, ok := m.Policy.(*BlockRange); ok {
 		// Block-based migration: stage only the cold ranges.

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/lfs"
+	"repro/internal/obs/attr"
 	"repro/internal/sim"
 )
 
@@ -63,6 +64,15 @@ func (s *STP) Select(p *sim.Proc, hl *core.HighLight, targetBytes int64) ([]Cand
 			age = 0 // resumed image: access times may be "in the future"
 		}
 		if age < s.MinAge {
+			hl.Audit.Record(attr.Decision{
+				T: now, Actor: "policy:stp", Subject: "file:" + path,
+				Seg: -1, Verdict: attr.VerdictSkipped, Reason: "younger than min age",
+				Inputs: []attr.Input{
+					attr.In("age_s", age.Seconds()),
+					attr.In("min_age_s", s.MinAge.Seconds()),
+					attr.In("size", float64(fi.Size)),
+				},
+			})
 			return nil
 		}
 		cands = append(cands, Candidate{
@@ -83,7 +93,33 @@ func (s *STP) Select(p *sim.Proc, hl *core.HighLight, targetBytes int64) ([]Cand
 		}
 		return cands[a].Inum < cands[b].Inum
 	})
-	return takeTarget(cands, targetBytes), nil
+	taken := takeTarget(cands, targetBytes)
+	auditRanking(hl, "policy:stp", now, cands, len(taken))
+	return taken, nil
+}
+
+// auditRanking records one decision per ranked candidate: the first
+// nTaken are selected, the rest were examined but fell past the byte
+// target. Seg is -1 — policies rank files; the staging mechanism later
+// attributes them to the tertiary segment they land in.
+func auditRanking(hl *core.HighLight, actor string, now sim.Time, cands []Candidate, nTaken int) {
+	for i, c := range cands {
+		d := attr.Decision{
+			T: now, Actor: actor, Subject: "file:" + c.Path,
+			Seg: -1, Verdict: attr.VerdictSelected,
+			Inputs: []attr.Input{
+				attr.In("rank", float64(i)),
+				attr.In("score", c.Score),
+				attr.In("age_s", (now - sim.Time(c.Atime)).Seconds()),
+				attr.In("size", float64(c.Size)),
+			},
+		}
+		if i >= nTaken {
+			d.Verdict = attr.VerdictSkipped
+			d.Reason = "ranked past byte target"
+		}
+		hl.Audit.Record(d)
+	}
 }
 
 // AccessTime ranks purely by time since last access (the policy the
@@ -175,6 +211,15 @@ func (n *Namespace) Select(p *sim.Proc, hl *core.HighLight, targetBytes int64) (
 			age = 0
 		}
 		if age < n.MinAge {
+			hl.Audit.Record(attr.Decision{
+				T: now, Actor: "policy:namespace", Subject: "unit:" + u.dir,
+				Seg: -1, Verdict: attr.VerdictSkipped, Reason: "unit younger than min age",
+				Inputs: []attr.Input{
+					attr.In("age_s", age.Seconds()),
+					attr.In("size", float64(u.size)),
+					attr.In("files", float64(len(u.files))),
+				},
+			})
 			continue
 		}
 		u.score = math.Pow(float64(age), n.TimeExp) * math.Pow(float64(u.size), n.SizeExp)
@@ -188,7 +233,19 @@ func (n *Namespace) Select(p *sim.Proc, hl *core.HighLight, targetBytes int64) (
 	})
 	var out []Candidate
 	var total int64
+	done := false
 	for _, u := range ranked {
+		if done {
+			hl.Audit.Record(attr.Decision{
+				T: now, Actor: "policy:namespace", Subject: "unit:" + u.dir,
+				Seg: -1, Verdict: attr.VerdictSkipped, Reason: "ranked past byte target",
+				Inputs: []attr.Input{
+					attr.In("score", u.score),
+					attr.In("size", float64(u.size)),
+				},
+			})
+			continue
+		}
 		// Keep unit members together: sort by path so namespace
 		// neighbours land in the same staging segments.
 		sort.Slice(u.files, func(a, b int) bool { return u.files[a].Path < u.files[b].Path })
@@ -196,9 +253,18 @@ func (n *Namespace) Select(p *sim.Proc, hl *core.HighLight, targetBytes int64) (
 			f.Score = u.score
 			out = append(out, f)
 		}
+		hl.Audit.Record(attr.Decision{
+			T: now, Actor: "policy:namespace", Subject: "unit:" + u.dir,
+			Seg: -1, Verdict: attr.VerdictSelected,
+			Inputs: []attr.Input{
+				attr.In("score", u.score),
+				attr.In("size", float64(u.size)),
+				attr.In("files", float64(len(u.files))),
+			},
+		})
 		total += int64(u.size)
 		if targetBytes > 0 && total >= targetBytes {
-			break
+			done = true
 		}
 	}
 	return out, nil

@@ -1,0 +1,162 @@
+package attr
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+const second = sim.Time(time.Second)
+
+func TestNilTableAndAuditAreInert(t *testing.T) {
+	var tb *Table
+	tb.Touch(3, Hit, second)
+	tb.TouchFile(7, 4096, second)
+	if h := tb.Heat(3, 2*second); h != 0 {
+		t.Fatalf("nil table heat = %v", h)
+	}
+	if _, ok := tb.Seg(3); ok {
+		t.Fatal("nil table has a record")
+	}
+	if s := tb.Snapshot(second); len(s.Segments) != 0 || len(s.Files) != 0 {
+		t.Fatal("nil table snapshot not empty")
+	}
+
+	var a *Audit
+	a.Record(Decision{Actor: "x", Seg: 1})
+	if a.Total() != 0 || a.Len() != 0 || a.All() != nil || a.ForSegment(1) != nil {
+		t.Fatal("nil audit recorded something")
+	}
+}
+
+func TestTouchCountsAndLastTouch(t *testing.T) {
+	tb := NewTable(0)
+	tb.Touch(5, Hit, 1*second)
+	tb.Touch(5, Hit, 2*second)
+	tb.Touch(5, Miss, 3*second)
+	tb.Touch(5, Fetch, 4*second)
+	tb.Touch(5, Stage, 5*second)
+	tb.Touch(5, Copyout, 6*second)
+	tb.Touch(5, Evict, 7*second)
+	tb.Touch(5, Clean, 8*second)
+
+	r, ok := tb.Seg(5)
+	if !ok {
+		t.Fatal("no record for touched segment")
+	}
+	if r.Hits != 2 || r.Misses != 1 || r.Fetches != 1 || r.Stages != 1 ||
+		r.Copyouts != 1 || r.Evicts != 1 || r.Cleans != 1 {
+		t.Fatalf("counts wrong: %+v", r)
+	}
+	if r.LastTouch != 8*second {
+		t.Fatalf("LastTouch = %v, want 8s", r.LastTouch)
+	}
+}
+
+func TestHeatDecaysByHalfLife(t *testing.T) {
+	tb := NewTable(10 * second)
+	tb.Touch(1, Fetch, 0) // weight 4
+	if h := tb.Heat(1, 0); h != 4 {
+		t.Fatalf("heat at touch = %v, want 4", h)
+	}
+	// One half-life later: half the heat.
+	if h := tb.Heat(1, 10*second); math.Abs(h-2) > 1e-9 {
+		t.Fatalf("heat after one half-life = %v, want 2", h)
+	}
+	// Two half-lives: a quarter.
+	if h := tb.Heat(1, 20*second); math.Abs(h-1) > 1e-9 {
+		t.Fatalf("heat after two half-lives = %v, want 1", h)
+	}
+	// A new touch decays the old heat first, then adds its weight.
+	tb.Touch(1, Hit, 10*second) // 4/2 + 1 = 3
+	if h := tb.Heat(1, 10*second); math.Abs(h-3) > 1e-9 {
+		t.Fatalf("heat after decayed re-touch = %v, want 3", h)
+	}
+	// Heat queries never mutate: asking at a later time twice is stable.
+	h1 := tb.Heat(1, 40*second)
+	h2 := tb.Heat(1, 40*second)
+	if h1 != h2 {
+		t.Fatalf("Heat mutated the record: %v vs %v", h1, h2)
+	}
+}
+
+func TestBookkeepingEventsAddNoHeat(t *testing.T) {
+	tb := NewTable(0)
+	tb.Touch(2, Evict, second)
+	tb.Touch(2, Clean, second)
+	tb.Touch(2, Copyout, second)
+	tb.Touch(2, Miss, second)
+	if h := tb.Heat(2, second); h != 0 {
+		t.Fatalf("bookkeeping events added heat %v", h)
+	}
+}
+
+func TestSnapshotOrderAndDeterminism(t *testing.T) {
+	build := func() *Table {
+		tb := NewTable(0)
+		tb.Touch(9, Hit, 1*second)
+		tb.Touch(2, Fetch, 2*second)
+		tb.Touch(5, Stage, 3*second)
+		tb.TouchFile(40, 8192, 3*second)
+		tb.TouchFile(7, 4096, 4*second)
+		return tb
+	}
+	s := build().Snapshot(5 * second)
+	if len(s.Segments) != 3 || s.Segments[0].Tag != 2 || s.Segments[1].Tag != 5 || s.Segments[2].Tag != 9 {
+		t.Fatalf("segments not in tag order: %+v", s.Segments)
+	}
+	if len(s.Files) != 2 || s.Files[0].Inum != 7 || s.Files[1].Inum != 40 {
+		t.Fatalf("files not in inum order: %+v", s.Files)
+	}
+	j1, err := json.Marshal(build().Snapshot(5 * second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, _ := json.Marshal(build().Snapshot(5 * second))
+	if string(j1) != string(j2) {
+		t.Fatal("snapshot JSON not deterministic")
+	}
+}
+
+func TestAuditRingEvictsOldest(t *testing.T) {
+	a := NewAudit(3)
+	for i := 0; i < 5; i++ {
+		a.Record(Decision{T: sim.Time(i) * second, Actor: "m", Subject: "s", Seg: i})
+	}
+	if a.Total() != 5 || a.Len() != 3 {
+		t.Fatalf("total=%d len=%d, want 5/3", a.Total(), a.Len())
+	}
+	all := a.All()
+	for i, want := range []int{2, 3, 4} {
+		if all[i].Seg != want {
+			t.Fatalf("ring order wrong: %+v", all)
+		}
+	}
+	recent := a.Recent(2)
+	if len(recent) != 2 || recent[0].Seg != 3 || recent[1].Seg != 4 {
+		t.Fatalf("Recent(2) = %+v", recent)
+	}
+}
+
+func TestAuditForSegment(t *testing.T) {
+	a := NewAudit(0)
+	a.Record(Decision{T: second, Actor: "migrator", Subject: "file:/a", Seg: -1, Verdict: VerdictSelected})
+	a.Record(Decision{T: 2 * second, Actor: "stage", Subject: "seg:4", Seg: 4, Verdict: VerdictStaged})
+	a.Record(Decision{T: 3 * second, Actor: "tcleaner", Subject: "seg:4", Seg: 4, Verdict: VerdictCleaned,
+		Inputs: []Input{In("heat", 1.5)}})
+	a.Record(Decision{T: 4 * second, Actor: "tcleaner", Subject: "seg:5", Seg: 5, Verdict: VerdictSkipped})
+
+	chain := a.ForSegment(4)
+	if len(chain) != 2 || chain[0].Verdict != VerdictStaged || chain[1].Verdict != VerdictCleaned {
+		t.Fatalf("ForSegment(4) = %+v", chain)
+	}
+	if got := chain[1].String(); got == "" || chain[1].Inputs[0].Key != "heat" {
+		t.Fatalf("decision rendering lost inputs: %q", got)
+	}
+	if len(a.ForSegment(99)) != 0 {
+		t.Fatal("ForSegment invented decisions")
+	}
+}

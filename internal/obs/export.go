@@ -178,18 +178,33 @@ func shortDur(t sim.Time) string {
 // category is listed are shown — e.g. just the top-level core.* and
 // migration operations.
 func (o *Obs) WriteTimeline(w io.Writer, cats ...string) {
+	o.WriteTimelineFiltered(w, nil, cats)
+}
+
+// WriteTimelineFiltered is WriteTimeline with both filter dimensions:
+// a span is shown when its track is in tracks AND its category is in
+// cats; an empty slice leaves that dimension unfiltered.
+func (o *Obs) WriteTimelineFiltered(w io.Writer, tracks, cats []string) {
 	if o == nil {
 		return
 	}
-	want := map[string]bool{}
+	wantCat := map[string]bool{}
 	for _, c := range cats {
-		want[c] = true
+		wantCat[c] = true
+	}
+	wantTrack := map[string]bool{}
+	for _, t := range tracks {
+		wantTrack[t] = true
 	}
 	idx := make([]int, 0, len(o.spans))
 	for i, s := range o.spans {
-		if len(want) == 0 || want[s.Cat] {
-			idx = append(idx, i)
+		if len(wantCat) > 0 && !wantCat[s.Cat] {
+			continue
 		}
+		if len(wantTrack) > 0 && !wantTrack[s.Track] {
+			continue
+		}
+		idx = append(idx, i)
 	}
 	// Spans are recorded at completion; sort by start for the timeline.
 	// Stable insertion sort keeps emission order on equal starts.

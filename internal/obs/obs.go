@@ -164,6 +164,62 @@ func (h *Histogram) Mean() sim.Time {
 	return h.Sum / sim.Time(h.N)
 }
 
+// Quantile estimates the p-quantile (0 < p <= 1) of the observed
+// durations from the bucket counts, interpolating linearly within the
+// bucket that holds the target rank (bucket lower edge .. upper edge).
+// The unbounded last bucket is clamped to its lower edge, so a p99 of
+// an overflowing histogram reports "at least the largest bound".
+// Returns 0 for an empty or nil histogram.
+func (h *Histogram) Quantile(p float64) sim.Time {
+	if h == nil || h.N == 0 {
+		return 0
+	}
+	if len(h.Bounds) == 0 {
+		return h.Mean() // degenerate single-bucket histogram
+	}
+	if p <= 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	// rank is the 1-based index of the target observation.
+	rank := p * float64(h.N)
+	if rank < 1 {
+		rank = 1
+	}
+	var cum float64
+	for i, c := range h.Counts {
+		if c == 0 {
+			continue
+		}
+		prev := cum
+		cum += float64(c)
+		if cum < rank {
+			continue
+		}
+		var lo, hi sim.Time
+		if i > 0 {
+			lo = h.Bounds[i-1]
+		}
+		if i < len(h.Bounds) {
+			hi = h.Bounds[i]
+		} else {
+			// Overflow bucket: no upper edge to interpolate toward.
+			return h.Bounds[len(h.Bounds)-1]
+		}
+		frac := (rank - prev) / float64(c)
+		return lo + sim.Time(frac*float64(hi-lo))
+	}
+	return h.Bounds[len(h.Bounds)-1] // unreachable for consistent counts
+}
+
+// P50 is the median observed duration.
+func (h *Histogram) P50() sim.Time { return h.Quantile(0.50) }
+
+// P99 is the 99th-percentile observed duration.
+func (h *Histogram) P99() sim.Time { return h.Quantile(0.99) }
+
 // Obs is one observability domain: a registry of spans, counters,
 // gauges, and histograms sharing a kernel clock. The zero value is not
 // usable; call New. A nil *Obs is valid everywhere and inert.
@@ -357,4 +413,40 @@ func (o *Obs) Spans() []Span {
 		return nil
 	}
 	return o.spans
+}
+
+// Counters returns every counter in first-appearance order.
+func (o *Obs) Counters() []*Counter {
+	if o == nil {
+		return nil
+	}
+	out := make([]*Counter, 0, len(o.counterOrder))
+	for _, name := range o.counterOrder {
+		out = append(out, o.counters[name])
+	}
+	return out
+}
+
+// Gauges returns every gauge in first-appearance order.
+func (o *Obs) Gauges() []*Gauge {
+	if o == nil {
+		return nil
+	}
+	out := make([]*Gauge, 0, len(o.gaugeOrder))
+	for _, name := range o.gaugeOrder {
+		out = append(out, o.gauges[name])
+	}
+	return out
+}
+
+// Histograms returns every histogram in first-appearance order.
+func (o *Obs) Histograms() []*Histogram {
+	if o == nil {
+		return nil
+	}
+	out := make([]*Histogram, 0, len(o.histOrder))
+	for _, name := range o.histOrder {
+		out = append(out, o.hists[name])
+	}
+	return out
 }

@@ -188,6 +188,107 @@ func TestTimelineFilterAndOrder(t *testing.T) {
 	}
 }
 
+func TestHistogramQuantiles(t *testing.T) {
+	bounds := []sim.Time{100, 200, 300}
+	o := run(t, false, func(p *sim.Proc, o *Obs) {
+		h := o.Histogram("q", bounds)
+		for i := 0; i < 3; i++ {
+			h.Observe(sim.Time(50)) // bucket 0 (≤100)
+		}
+		h.Observe(sim.Time(250)) // bucket 2 (≤300)
+	})
+	h := o.Histogram("q", nil)
+	// p50: rank 2 of 4 lands in bucket 0 → interpolate 2/3 of [0,100).
+	if got, want := h.P50(), sim.Time(66); got < want || got > want+1 {
+		t.Fatalf("P50 = %v, want ~%v", got, want)
+	}
+	// p99: rank 3.96 lands in bucket 2 → 0.96 of [200,300).
+	if got := h.P99(); got != sim.Time(296) {
+		t.Fatalf("P99 = %v, want 296", got)
+	}
+	// p=1 fills the last occupied bucket exactly.
+	if got := h.Quantile(1); got != sim.Time(300) {
+		t.Fatalf("Quantile(1) = %v, want 300", got)
+	}
+	// Out-of-range p clamps rather than panicking.
+	if h.Quantile(-1) != h.Quantile(0) || h.Quantile(2) != h.Quantile(1) {
+		t.Fatal("out-of-range p not clamped")
+	}
+}
+
+func TestHistogramQuantileOverflowClamps(t *testing.T) {
+	bounds := []sim.Time{100, 200}
+	o := run(t, false, func(p *sim.Proc, o *Obs) {
+		h := o.Histogram("ovf", bounds)
+		h.Observe(sim.Time(50))
+		h.Observe(sim.Time(5000)) // overflow bucket
+		h.Observe(sim.Time(5000))
+	})
+	h := o.Histogram("ovf", nil)
+	// p99 lands in the unbounded overflow bucket: clamp to the largest
+	// finite bound instead of inventing a value.
+	if got := h.P99(); got != sim.Time(200) {
+		t.Fatalf("overflow P99 = %v, want clamp to 200", got)
+	}
+}
+
+func TestHistogramQuantileEmptyAndNil(t *testing.T) {
+	var h *Histogram
+	if h.Quantile(0.5) != 0 || h.P50() != 0 || h.P99() != 0 {
+		t.Fatal("nil histogram produced a quantile")
+	}
+	o := run(t, false, func(p *sim.Proc, o *Obs) {
+		o.Histogram("empty", LatencyBounds)
+	})
+	if got := o.Histogram("empty", nil).Quantile(0.99); got != 0 {
+		t.Fatalf("empty histogram quantile = %v, want 0", got)
+	}
+}
+
+func TestInstrumentAccessors(t *testing.T) {
+	o := run(t, false, func(p *sim.Proc, o *Obs) {
+		o.Counter("b").Add(1)
+		o.Counter("a").Add(2)
+		o.Gauge("g1").Set(3)
+		o.Histogram("h1", LatencyBounds).Observe(sim.Time(1e6))
+	})
+	cs := o.Counters()
+	if len(cs) != 2 || cs[0].Name != "b" || cs[1].Name != "a" {
+		t.Fatalf("counters not in first-appearance order: %+v", cs)
+	}
+	if gs := o.Gauges(); len(gs) != 1 || gs[0].Name != "g1" {
+		t.Fatalf("gauges wrong: %+v", gs)
+	}
+	if hs := o.Histograms(); len(hs) != 1 || hs[0].Name != "h1" {
+		t.Fatalf("histograms wrong: %+v", hs)
+	}
+	var nilObs *Obs
+	if nilObs.Counters() != nil || nilObs.Gauges() != nil || nilObs.Histograms() != nil {
+		t.Fatal("nil Obs returned instruments")
+	}
+}
+
+func TestTimelineTrackFilter(t *testing.T) {
+	o := run(t, true, func(p *sim.Proc, o *Obs) {
+		o.Instant("disk0", "io", "A")
+		o.Instant("disk1", "io", "B")
+		o.Instant("disk0", "meta", "C")
+	})
+	var buf bytes.Buffer
+	o.WriteTimelineFiltered(&buf, []string{"disk0"}, nil)
+	out := buf.String()
+	if !strings.Contains(out, "A") || !strings.Contains(out, "C") || strings.Contains(out, "B") {
+		t.Fatalf("track filter wrong:\n%s", out)
+	}
+	// Both dimensions compose with AND.
+	buf.Reset()
+	o.WriteTimelineFiltered(&buf, []string{"disk0"}, []string{"io"})
+	out = buf.String()
+	if !strings.Contains(out, "Timeline (1 events)") || !strings.Contains(out, "A") {
+		t.Fatalf("track+cat filter wrong:\n%s", out)
+	}
+}
+
 func TestSummaryListsInstruments(t *testing.T) {
 	o := run(t, false, func(p *sim.Proc, o *Obs) {
 		t0 := p.Now()

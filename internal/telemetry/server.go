@@ -1,0 +1,109 @@
+package telemetry
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync/atomic"
+	"time"
+)
+
+// Server serves the most recently Published Snapshot over HTTP:
+//
+//	/metrics     Prometheus text exposition
+//	/heatmap     per-segment/per-file heat attribution, JSON
+//	/decisions   recent migration decision audit entries, JSON
+//	/debug/pprof wall-clock profiling of the simulator process itself
+//
+// Handlers only ever Load the snapshot pointer, so they are safe
+// against the simulation thread and cannot slow it down. A nil *Server
+// is valid everywhere and inert, so the same workload code runs with
+// telemetry on or off.
+type Server struct {
+	mux  *http.ServeMux
+	cur  atomic.Pointer[Snapshot]
+	http *http.Server
+	ln   net.Listener
+}
+
+// NewServer builds a server with all routes registered (not yet
+// listening; call Start, or mount Handler on a listener of your own).
+func NewServer() *Server {
+	s := &Server{mux: http.NewServeMux()}
+	s.mux.HandleFunc("/metrics", s.serve(func(sn *Snapshot) ([]byte, string) {
+		return sn.Metrics, "text/plain; version=0.0.4; charset=utf-8"
+	}))
+	s.mux.HandleFunc("/heatmap", s.serve(func(sn *Snapshot) ([]byte, string) {
+		return sn.Heatmap, "application/json"
+	}))
+	s.mux.HandleFunc("/decisions", s.serve(func(sn *Snapshot) ([]byte, string) {
+		return sn.Decisions, "application/json"
+	}))
+	// net/http/pprof registers on DefaultServeMux at import; route the
+	// explicit handlers instead so this mux stays self-contained.
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return s
+}
+
+func (s *Server) serve(pick func(*Snapshot) ([]byte, string)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		sn := s.cur.Load()
+		if sn == nil {
+			http.Error(w, "no snapshot published yet", http.StatusServiceUnavailable)
+			return
+		}
+		body, ctype := pick(sn)
+		w.Header().Set("Content-Type", ctype)
+		w.Write(body)
+	}
+}
+
+// Publish swaps in a new snapshot for subsequent requests. Nil-safe,
+// so workloads can publish unconditionally.
+func (s *Server) Publish(sn *Snapshot) {
+	if s == nil || sn == nil {
+		return
+	}
+	s.cur.Store(sn)
+}
+
+// Current returns the last published snapshot (nil if none, or on a
+// nil server). Tests use it to assert on exports without HTTP.
+func (s *Server) Current() *Snapshot {
+	if s == nil {
+		return nil
+	}
+	return s.cur.Load()
+}
+
+// Handler exposes the route mux (for tests and embedding).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Start listens on addr (e.g. "127.0.0.1:0") and serves in a
+// background goroutine, returning the bound address.
+func (s *Server) Start(addr string) (string, error) {
+	if s == nil {
+		return "", fmt.Errorf("telemetry: Start on nil server")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.ln = ln
+	s.http = &http.Server{Handler: s.mux, ReadHeaderTimeout: 10 * time.Second}
+	go s.http.Serve(ln)
+	return ln.Addr().String(), nil
+}
+
+// Close stops the listener. Safe on a nil or never-started server.
+func (s *Server) Close() error {
+	if s == nil || s.http == nil {
+		return nil
+	}
+	return s.http.Close()
+}

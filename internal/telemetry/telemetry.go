@@ -1,0 +1,165 @@
+// Package telemetry exports a deterministic simulation's state to live
+// HTTP consumers without perturbing it. The split is strict:
+//
+//   - Collect runs on the *simulation* side, at deterministic points of
+//     the run (phase marks, workload steps). It reads the obs registry,
+//     the heat-attribution table, and the decision audit, and renders
+//     them into an immutable Snapshot (Prometheus text, heat-map JSON,
+//     decision JSON). Collect only reads and allocates — it never
+//     advances virtual time, takes locks the sim holds, or mutates an
+//     instrument — so a run that collects is byte-identical to one that
+//     does not (pinned by the bench and crash determinism tests).
+//
+//   - Server runs on the *wall-clock* side: an http.Server whose
+//     handlers serve whichever Snapshot was last Published through an
+//     atomic pointer. HTTP requests therefore never touch live sim
+//     structures, and the sim never blocks on a slow scraper.
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/obs"
+	"repro/internal/obs/attr"
+	"repro/internal/sim"
+)
+
+// DecisionsExported caps how many recent audit entries /decisions
+// serves (the full ring stays queryable via hldump -why).
+const DecisionsExported = 256
+
+// Snapshot is one immutable, fully rendered export of the sim's state.
+type Snapshot struct {
+	Metrics   []byte // Prometheus text exposition format
+	Heatmap   []byte // attr.Snapshot JSON
+	Decisions []byte // recent audit entries, JSON
+}
+
+// Collect renders the current state of an observability domain, a heat
+// table, and a decision audit into a Snapshot as of virtual time now.
+// Any of the sources may be nil; the corresponding sections are empty.
+func Collect(o *obs.Obs, heat *attr.Table, audit *attr.Audit, now sim.Time) *Snapshot {
+	hm := heat.Snapshot(now)
+	return &Snapshot{
+		Metrics:   renderMetrics(o, hm, audit, now),
+		Heatmap:   marshal(hm),
+		Decisions: marshal(decisionsDoc{Total: audit.Total(), Recent: audit.Recent(DecisionsExported)}),
+	}
+}
+
+type decisionsDoc struct {
+	Total  int64           `json:"total"`
+	Recent []attr.Decision `json:"recent"`
+}
+
+func marshal(v any) []byte {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		// Every exported type marshals; reaching this is a programming
+		// error worth surfacing in the payload rather than panicking a
+		// serving process.
+		return []byte(fmt.Sprintf("{\"error\":%q}", err.Error()))
+	}
+	return append(b, '\n')
+}
+
+// renderMetrics emits the Prometheus text exposition format. Families
+// appear in a fixed order (virtual time, counters, gauges, histograms,
+// span aggregates, heat, audit) and instruments in first-appearance
+// order, so two collections of identical state are byte-identical.
+func renderMetrics(o *obs.Obs, hm *attr.Snapshot, audit *attr.Audit, now sim.Time) []byte {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# HELP hl_virtual_time_seconds Simulation virtual clock.\n")
+	fmt.Fprintf(&b, "# TYPE hl_virtual_time_seconds gauge\n")
+	fmt.Fprintf(&b, "hl_virtual_time_seconds %s\n", fnum(now.Seconds()))
+
+	for _, c := range o.Counters() {
+		name := "hl_" + sanitize(c.Name) + "_total"
+		fmt.Fprintf(&b, "# TYPE %s counter\n%s %d\n", name, name, c.Value())
+	}
+	for _, g := range o.Gauges() {
+		name := "hl_" + sanitize(g.Name)
+		fmt.Fprintf(&b, "# TYPE %s gauge\n%s %d\n", name, name, g.Value())
+		fmt.Fprintf(&b, "# TYPE %s_max gauge\n%s_max %d\n", name, name, g.Max())
+	}
+	for _, h := range o.Histograms() {
+		name := "hl_" + sanitize(h.Name) + "_seconds"
+		fmt.Fprintf(&b, "# TYPE %s histogram\n", name)
+		var cum int64
+		for i, c := range h.Counts {
+			cum += c
+			le := "+Inf"
+			if i < len(h.Bounds) {
+				le = fnum(h.Bounds[i].Seconds())
+			}
+			fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", name, le, cum)
+		}
+		fmt.Fprintf(&b, "%s_sum %s\n", name, fnum(h.Sum.Seconds()))
+		fmt.Fprintf(&b, "%s_count %d\n", name, h.N)
+		fmt.Fprintf(&b, "# TYPE %s_p50 gauge\n%s_p50 %s\n", name, name, fnum(h.P50().Seconds()))
+		fmt.Fprintf(&b, "# TYPE %s_p99 gauge\n%s_p99 %s\n", name, name, fnum(h.P99().Seconds()))
+	}
+	if aggs := o.Aggregates(); len(aggs) > 0 {
+		fmt.Fprintf(&b, "# TYPE hl_span_seconds_total counter\n")
+		for _, a := range aggs {
+			fmt.Fprintf(&b, "hl_span_seconds_total{track=%q,cat=%q} %s\n", a.Track, a.Cat, fnum(a.Total.Seconds()))
+		}
+		fmt.Fprintf(&b, "# TYPE hl_span_count_total counter\n")
+		for _, a := range aggs {
+			fmt.Fprintf(&b, "hl_span_count_total{track=%q,cat=%q} %d\n", a.Track, a.Cat, a.Count)
+		}
+	}
+	if hm != nil && len(hm.Segments) > 0 {
+		fmt.Fprintf(&b, "# HELP hl_segment_heat Exponentially decayed per-segment heat.\n")
+		fmt.Fprintf(&b, "# TYPE hl_segment_heat gauge\n")
+		for _, s := range hm.Segments {
+			fmt.Fprintf(&b, "hl_segment_heat{seg=\"%d\"} %s\n", s.Tag, fnum(s.Heat))
+		}
+	}
+	fmt.Fprintf(&b, "# TYPE hl_decisions_recorded_total counter\n")
+	fmt.Fprintf(&b, "hl_decisions_recorded_total %d\n", audit.Total())
+	return []byte(b.String())
+}
+
+// fnum formats a float the same way everywhere: shortest representation
+// that round-trips, fixed algorithm, no locale.
+func fnum(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// sanitize maps an instrument name ("cache.hits") onto the Prometheus
+// metric-name alphabet ([a-zA-Z0-9_]).
+func sanitize(name string) string {
+	var b strings.Builder
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			b.WriteRune(r)
+		default:
+			b.WriteRune('_')
+		}
+	}
+	return b.String()
+}
+
+// HottestSegments returns the n highest-heat segments of a heat-map
+// snapshot, hottest first (ties broken by tag). Exporters and dumps
+// share this so "top segments" always means the same thing.
+func HottestSegments(hm *attr.Snapshot, n int) []attr.SegEntry {
+	if hm == nil {
+		return nil
+	}
+	out := append([]attr.SegEntry(nil), hm.Segments...)
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Heat != out[b].Heat {
+			return out[a].Heat > out[b].Heat
+		}
+		return out[a].Tag < out[b].Tag
+	})
+	if n < len(out) {
+		out = out[:n]
+	}
+	return out
+}

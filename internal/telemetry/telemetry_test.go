@@ -1,0 +1,197 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/obs/attr"
+	"repro/internal/sim"
+)
+
+const second = sim.Time(time.Second)
+
+// buildState assembles a small deterministic obs/heat/audit state.
+func buildState(t *testing.T) (*obs.Obs, *attr.Table, *attr.Audit, sim.Time) {
+	t.Helper()
+	k := sim.NewKernel()
+	o := obs.New(k)
+	var now sim.Time
+	k.RunProc(func(p *sim.Proc) {
+		t0 := p.Now()
+		p.Sleep(2 * second)
+		o.Span("tertiary.io", "fp.read", "ReadSegment", t0)
+		o.Counter("cache.hits").Add(7)
+		o.Gauge("cache.lines").Set(3)
+		h := o.Histogram("tertiary.fetch_wait", obs.LatencyBounds)
+		h.Observe(5 * sim.Time(time.Millisecond))
+		h.Observe(2 * second)
+		now = p.Now()
+	})
+	k.Stop()
+	heat := attr.NewTable(0)
+	heat.Touch(4, attr.Fetch, second)
+	heat.Touch(4, attr.Hit, 2*second)
+	heat.Touch(9, attr.Stage, 2*second)
+	audit := attr.NewAudit(0)
+	audit.Record(attr.Decision{T: second, Actor: "migrator", Subject: "inode:5", Seg: 4,
+		Verdict: attr.VerdictStaged, Inputs: []attr.Input{attr.In("bytes", 4096)}})
+	audit.Record(attr.Decision{T: 2 * second, Actor: "tcleaner", Subject: "seg:9", Seg: 9,
+		Verdict: attr.VerdictSkipped, Reason: "no live data"})
+	return o, heat, audit, now
+}
+
+func TestCollectMetricsShape(t *testing.T) {
+	o, heat, audit, now := buildState(t)
+	sn := Collect(o, heat, audit, now)
+	m := string(sn.Metrics)
+	for _, want := range []string{
+		"hl_virtual_time_seconds 2",
+		"# TYPE hl_cache_hits_total counter",
+		"hl_cache_hits_total 7",
+		"# TYPE hl_cache_lines gauge",
+		"hl_cache_lines 3",
+		"hl_cache_lines_max 3",
+		"# TYPE hl_tertiary_fetch_wait_seconds histogram",
+		`hl_tertiary_fetch_wait_seconds_bucket{le="+Inf"} 2`,
+		"hl_tertiary_fetch_wait_seconds_count 2",
+		"hl_tertiary_fetch_wait_seconds_p50",
+		"hl_tertiary_fetch_wait_seconds_p99",
+		`hl_span_seconds_total{track="tertiary.io",cat="fp.read"} 2`,
+		`hl_segment_heat{seg="4"}`,
+		"hl_decisions_recorded_total 2",
+	} {
+		if !strings.Contains(m, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, m)
+		}
+	}
+	// Heatmap and decisions are valid JSON with the expected entries.
+	var hm attr.Snapshot
+	if err := json.Unmarshal(sn.Heatmap, &hm); err != nil {
+		t.Fatalf("heatmap not JSON: %v", err)
+	}
+	if len(hm.Segments) != 2 || hm.Segments[0].Tag != 4 {
+		t.Fatalf("heatmap segments wrong: %+v", hm.Segments)
+	}
+	var dd struct {
+		Total  int64           `json:"total"`
+		Recent []attr.Decision `json:"recent"`
+	}
+	if err := json.Unmarshal(sn.Decisions, &dd); err != nil {
+		t.Fatalf("decisions not JSON: %v", err)
+	}
+	if dd.Total != 2 || len(dd.Recent) != 2 || dd.Recent[1].Verdict != attr.VerdictSkipped {
+		t.Fatalf("decisions wrong: %+v", dd)
+	}
+}
+
+func TestCollectDeterministicBytes(t *testing.T) {
+	o1, h1, a1, now1 := buildState(t)
+	o2, h2, a2, now2 := buildState(t)
+	s1, s2 := Collect(o1, h1, a1, now1), Collect(o2, h2, a2, now2)
+	if string(s1.Metrics) != string(s2.Metrics) ||
+		string(s1.Heatmap) != string(s2.Heatmap) ||
+		string(s1.Decisions) != string(s2.Decisions) {
+		t.Fatal("two identical states rendered different snapshots")
+	}
+}
+
+func TestCollectNilSources(t *testing.T) {
+	sn := Collect(nil, nil, nil, second)
+	if !strings.Contains(string(sn.Metrics), "hl_virtual_time_seconds 1") {
+		t.Fatalf("nil-source metrics missing clock:\n%s", sn.Metrics)
+	}
+	if !json.Valid(sn.Heatmap) || !json.Valid(sn.Decisions) {
+		t.Fatal("nil-source exports not valid JSON")
+	}
+}
+
+func TestServerEndpoints(t *testing.T) {
+	o, heat, audit, now := buildState(t)
+	srv := NewServer()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	get := func(path string) (int, string) {
+		resp, err := ts.Client().Get(ts.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		var b strings.Builder
+		buf := make([]byte, 64<<10)
+		for {
+			n, err := resp.Body.Read(buf)
+			b.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		return resp.StatusCode, b.String()
+	}
+
+	// Before the first publish every data endpoint is 503.
+	for _, path := range []string{"/metrics", "/heatmap", "/decisions"} {
+		if code, _ := get(path); code != 503 {
+			t.Fatalf("GET %s before publish = %d, want 503", path, code)
+		}
+	}
+
+	srv.Publish(Collect(o, heat, audit, now))
+	if code, body := get("/metrics"); code != 200 || !strings.Contains(body, "hl_cache_hits_total 7") {
+		t.Fatalf("GET /metrics = %d:\n%s", code, body)
+	}
+	if code, body := get("/heatmap"); code != 200 || !strings.Contains(body, `"tag": 4`) {
+		t.Fatalf("GET /heatmap = %d:\n%s", code, body)
+	}
+	if code, body := get("/decisions"); code != 200 || !strings.Contains(body, attr.VerdictSkipped) {
+		t.Fatalf("GET /decisions = %d:\n%s", code, body)
+	}
+	if code, body := get("/debug/pprof/cmdline"); code != 200 || body == "" {
+		t.Fatalf("GET /debug/pprof/cmdline = %d", code)
+	}
+}
+
+func TestServerStartAndClose(t *testing.T) {
+	srv := NewServer()
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if addr == "" || !strings.Contains(addr, ":") {
+		t.Fatalf("bound address %q", addr)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNilServerIsInert(t *testing.T) {
+	var s *Server
+	s.Publish(&Snapshot{})
+	if s.Current() != nil {
+		t.Fatal("nil server has a snapshot")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Start("127.0.0.1:0"); err == nil {
+		t.Fatal("nil server started")
+	}
+}
+
+func TestHottestSegments(t *testing.T) {
+	hm := &attr.Snapshot{Segments: []attr.SegEntry{
+		{Tag: 1, Heat: 2}, {Tag: 2, Heat: 9}, {Tag: 3, Heat: 2},
+	}}
+	top := HottestSegments(hm, 2)
+	if len(top) != 2 || top[0].Tag != 2 || top[1].Tag != 1 {
+		t.Fatalf("HottestSegments = %+v", top)
+	}
+	if HottestSegments(nil, 3) != nil {
+		t.Fatal("nil snapshot produced segments")
+	}
+}

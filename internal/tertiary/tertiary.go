@@ -21,6 +21,7 @@ import (
 	"repro/internal/dev"
 	"repro/internal/jukebox"
 	"repro/internal/obs"
+	"repro/internal/obs/attr"
 	"repro/internal/sim"
 )
 
@@ -153,7 +154,8 @@ type Service struct {
 
 	stats Stats
 
-	obs        *obs.Obs // nil = not instrumented
+	obs        *obs.Obs    // nil = not instrumented
+	heat       *attr.Table // nil = no attribution
 	fetchWaitH *obs.Histogram
 	qdepth     *obs.Gauge
 	outCopyG   *obs.Gauge
@@ -217,6 +219,12 @@ func (s *Service) Stats() Stats { return s.stats }
 
 // Obs returns the service's observability domain (may be nil).
 func (s *Service) Obs() *obs.Obs { return s.obs }
+
+// SetAttr attaches a heat-attribution table: completed demand fetches
+// and copyouts are attributed to the tertiary segment they moved.
+// (Evictions — including ejections — are attributed by the cache
+// itself, so they are counted exactly once.)
+func (s *Service) SetAttr(t *attr.Table) { s.heat = t }
 
 // OutstandingCopyouts reports copyouts queued or in flight.
 func (s *Service) OutstandingCopyouts() int { return s.outCopy }
@@ -448,6 +456,7 @@ func (s *Service) finishFetch(p *sim.Proc, r request) {
 	s.stats.Fetches++
 	s.obs.Counter("tertiary.fetches").Add(1)
 	s.obs.Counter("tertiary.bytes_in").Add(int64(s.segBytes()))
+	s.heat.Touch(r.tag, attr.Fetch, p.Now())
 	s.resolveFetch(r.tag, nil)
 	if s.OnFetched != nil {
 		s.OnFetched(r.tag)
@@ -489,6 +498,7 @@ func (s *Service) finishCopyout(p *sim.Proc, r request) {
 		s.stats.Copyouts++
 		s.obs.Counter("tertiary.copyouts").Add(1)
 		s.obs.Counter("tertiary.bytes_out").Add(int64(s.segBytes()))
+		s.heat.Touch(r.tag, attr.Copyout, p.Now())
 		if s.hooks.CopyoutDone != nil {
 			s.hooks.CopyoutDone(r.tag, r.seg)
 		}
