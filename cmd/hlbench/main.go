@@ -57,7 +57,9 @@ func writeTo(path string, fn func(*os.File) error) error {
 func main() {
 	table := flag.Int("table", 0, "produce only this table (1-6); 0 = all")
 	quick := flag.Bool("quick", false, "reduced-scale configuration for a fast run")
-	ablations := flag.Bool("ablations", false, "also run the policy ablations (cache eviction, copy-out scheduling, STP exponents, migration granularity, media-fault rate, crash-recovery cost)")
+	ablations := flag.Bool("ablations", false, "also run the policy ablations (cache eviction, copy-out scheduling, STP exponents, migration granularity, media-fault rate, crash-recovery cost, replication)")
+	libraries := flag.Int("libraries", 1, "number of MO changers in the tertiary tier (replicated rigs)")
+	replicas := flag.Int("replicas", 0, "tertiary copies per staged segment; <2 disables replication")
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON of the migration workload to this file")
 	jsonOut := flag.String("json", "", "write a machine-readable snapshot of all tables + obs counters to this file")
 	serveAddr := flag.String("serve", "", "run the migration workload while serving live telemetry on this address (e.g. 127.0.0.1:8080)")
@@ -70,6 +72,8 @@ func main() {
 		scale = bench.QuickScale()
 		scaleName = "quick"
 	}
+	scale.Libraries = *libraries
+	scale.Replicas = *replicas
 
 	if *serveAddr != "" {
 		srv := telemetry.NewServer()
@@ -152,6 +156,7 @@ func main() {
 			bench.AblationBlockRange,
 			bench.AblationFaultRate,
 			bench.AblationCrashRecovery,
+			bench.AblationReplication,
 		} {
 			rep, err := run()
 			if err != nil {

@@ -72,11 +72,12 @@ func main() {
 	track := flag.String("track", "", "comma-separated list of tracks to keep in -timeline (empty = all)")
 	cat := flag.String("cat", "", "comma-separated list of categories to keep in -timeline (empty = the default pipeline set)")
 	why := flag.Int("why", -1, "print the heat record and audited decision chain for this tertiary segment")
+	replicas := flag.Bool("replicas", false, "tertiary replication report: per-library health/capacity, per-segment replica map, under-replicated list (the demo fails a library mid-run and repairs it)")
 	img := flag.String("img", "", "load a file system image directory (from hlfs) instead of the demo")
 	maxSegs := flag.Int("maxsegs", 64, "cap per-segment detail in -layout (0 = all)")
 	flag.Parse()
 
-	all := !*layout && !*addrmap && !*hierarchy && !*datapath && !*summary && !*volumes && !*faults && !*recovery && !*timeline && *why < 0
+	all := !*layout && !*addrmap && !*hierarchy && !*datapath && !*summary && !*volumes && !*faults && !*recovery && !*timeline && !*replicas && *why < 0
 
 	if *summary || all {
 		fmt.Println(bench.Table1())
@@ -141,6 +142,10 @@ func main() {
 			fmt.Println()
 			dump.Recovery(os.Stdout, hl.FS.Recovery(), hl.MountStats(), hl.RetiredSegments())
 		}
+		if (*replicas || all) && *img != "" {
+			fmt.Println()
+			dump.Replicas(os.Stdout, hl)
+		}
 		if *why >= 0 {
 			// A tertiary-cleaner pass on the demo instance gives the audit
 			// skipped and cleaned verdicts alongside the migration's
@@ -182,6 +187,102 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if (*replicas || all) && *img == "" {
+		fmt.Println()
+		if err := replicaDemo(); err != nil {
+			fmt.Fprintf(os.Stderr, "hldump: replicas: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// replicaDemo tells the -replicas story end to end: a two-library
+// instance with replication factor 2 migrates a file (each segment's
+// replica lands in the other library), permanently loses library 0,
+// serves a read through the surviving replicas, and runs a repair pass
+// that re-establishes full replication on the healthy library.
+func replicaDemo() error {
+	k := sim.NewKernel()
+	disk := dev.NewDisk(k, dev.RZ57, 256*64, nil)
+	jb0 := jukebox.MustNew(k, jukebox.MO6300, 2, 4, 32, 64*lfs.BlockSize, nil)
+	jb1 := jukebox.MustNew(k, jukebox.MO6300, 2, 4, 32, 64*lfs.BlockSize, nil)
+	var derr error
+	k.RunProc(func(p *sim.Proc) {
+		hl, err := core.New(p, core.Config{
+			SegBlocks: 64,
+			Disks:     []dev.BlockDev{disk},
+			Jukeboxes: []jukebox.Footprint{jb0, jb1},
+			CacheSegs: 24,
+			MaxInodes: 256,
+			Replicas:  2,
+			// Keep the buffer cache smaller than the file so the re-read
+			// below actually exercises the tertiary fetch path.
+			BufferBytes: 64 * lfs.BlockSize,
+		}, true)
+		if err != nil {
+			derr = err
+			return
+		}
+		f, err := hl.FS.Create(p, "/data")
+		if err != nil {
+			derr = err
+			return
+		}
+		data := make([]byte, 120*lfs.BlockSize)
+		for i := range data {
+			data[i] = byte(i)
+		}
+		if _, err := f.WriteAt(p, data, 0); err != nil {
+			derr = err
+			return
+		}
+		if err := hl.FS.Sync(p); err != nil {
+			derr = err
+			return
+		}
+		if _, err := hl.MigrateFiles(p, []uint32{f.Inum()}, false); err != nil {
+			derr = err
+			return
+		}
+		if err := hl.CompleteMigration(p); err != nil {
+			derr = err
+			return
+		}
+		fmt.Println("Two libraries, replication factor 2, one migrated file:")
+		dump.Replicas(os.Stdout, hl)
+
+		// Drop the cache so the read below must go to tertiary media, then
+		// lose library 0 for good.
+		for _, l := range hl.Cache.Lines() {
+			if !l.Staging && l.Pins == 0 {
+				if err := hl.Svc.Eject(l.Tag); err != nil {
+					derr = err
+					return
+				}
+			}
+		}
+		hl.Libraries()[0].SetDown(true)
+		fmt.Printf("\nlibrary 0 permanently failed at t=%.2fs; rereading /data through the survivors...\n", p.Now().Seconds())
+		buf := make([]byte, len(data))
+		if _, err := f.ReadAt(p, buf, 0); err != nil {
+			derr = fmt.Errorf("read after library loss: %w", err)
+			return
+		}
+		for i := range buf {
+			if buf[i] != data[i] {
+				derr = fmt.Errorf("read after library loss: byte %d corrupt", i)
+				return
+			}
+		}
+		fmt.Printf("read OK (%d replica redirects); running a repair pass...\n\n", hl.Svc.Stats().ReplicaRedirects)
+		if _, err := hl.RepairPass(p); err != nil {
+			derr = err
+			return
+		}
+		dump.Replicas(os.Stdout, hl)
+	})
+	k.Stop()
+	return derr
 }
 
 // recoveryDemo tells the -recovery story end to end: populate an

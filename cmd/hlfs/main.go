@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	hlfs -img DIR init [-disk-segs N] [-cache-segs N] [-vols N] [-segs-per-vol N]
+//	hlfs -img DIR init [-disk-segs N] [-cache-segs N] [-vols N] [-segs-per-vol N] [-libraries N] [-replicas N]
 //	hlfs -img DIR put LOCALFILE /path
 //	hlfs -img DIR get /path LOCALFILE
 //	hlfs -img DIR ls [/path]
@@ -17,6 +17,8 @@
 //	hlfs -img DIR eject            (drop every clean cache line)
 //	hlfs -img DIR volumes          (tertiary volume usage)
 //	hlfs -img DIR cleanvolume [DEV VOL]   (tertiary media cleaner, §10)
+//	hlfs -img DIR repair           (re-replicate under-replicated segments)
+//	hlfs -img DIR replicas         (per-library health + replica map)
 //	hlfs -img DIR info
 //	hlfs -img DIR fsck
 package main
@@ -29,6 +31,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/dump"
 	"repro/internal/fsck"
 	"repro/internal/imagefs"
 	"repro/internal/lfs"
@@ -55,11 +58,17 @@ func main() {
 		fs.IntVar(&cfg.CacheSegs, "cache-segs", cfg.CacheSegs, "tertiary cache limit in segments")
 		fs.IntVar(&cfg.Vols, "vols", cfg.Vols, "jukebox volumes")
 		fs.IntVar(&cfg.SegsPerVol, "segs-per-vol", cfg.SegsPerVol, "segments per volume")
+		fs.IntVar(&cfg.Libraries, "libraries", cfg.Libraries, "number of identical MO changers (failure domains)")
+		fs.IntVar(&cfg.Replicas, "replicas", cfg.Replicas, "tertiary copies per staged segment; <2 disables replication")
 		must(fs.Parse(rest))
 		inst, err = imagefs.Init(k, *img, cfg)
 		check(err)
-		fmt.Printf("initialized HighLight image in %s: %d MB disk, %d-volume jukebox (%d MB each), cache %d MB\n",
-			*img, cfg.DiskSegs*cfg.SegBlocks*lfs.BlockSize/(1<<20), cfg.Vols,
+		nlibs := cfg.Libraries
+		if nlibs < 1 {
+			nlibs = 1
+		}
+		fmt.Printf("initialized HighLight image in %s: %d MB disk, %d x %d-volume jukebox (%d MB each), cache %d MB\n",
+			*img, cfg.DiskSegs*cfg.SegBlocks*lfs.BlockSize/(1<<20), nlibs, cfg.Vols,
 			cfg.SegsPerVol*cfg.SegBlocks*lfs.BlockSize/(1<<20), cfg.CacheSegs*cfg.SegBlocks*lfs.BlockSize/(1<<20))
 		k.Stop()
 		return
@@ -191,6 +200,14 @@ func main() {
 			check(err)
 			fmt.Printf("cleaned device %d volume %d: relocated %d blocks, medium erased and reusable\n",
 				u.Device, u.Volume, moved)
+		case "repair":
+			repaired, err := hl.RepairPass(p)
+			check(err)
+			left := len(hl.ReplicationDeficits())
+			fmt.Printf("repaired %d segment replicas; %d still under-replicated\n", repaired, left)
+		case "replicas":
+			dump.Replicas(os.Stdout, hl)
+			dirty = false
 		case "grow":
 			segs := 64
 			if len(rest) >= 1 {
@@ -286,7 +303,7 @@ func check(err error) {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: hlfs -img DIR COMMAND ...
-commands: init, put, get, ls, mkdir, rm, mv, stat, migrate, eject, volumes, cleanvolume, grow, df, info, fsck
+commands: init, put, get, ls, mkdir, rm, mv, stat, migrate, eject, volumes, cleanvolume, repair, replicas, grow, df, info, fsck
 run "hlfs -img DIR init" first; see the command doc comment for flags`)
 	os.Exit(2)
 }

@@ -541,6 +541,132 @@ func AblationCrashRecovery() (*Report, error) {
 	return rep, nil
 }
 
+// AblationReplication measures what the replicated tertiary tier costs
+// and buys across libraries × replicas configurations (1×1 baseline,
+// 2×2, 3×2): demand-fetch latency with every library healthy, fetch
+// latency degraded onto surviving replicas after library 0 permanently
+// fails, and the bytes a repair pass copies to restore the replication
+// target on the remaining libraries.
+func AblationReplication() (*Report, error) {
+	rep := newReport("Ablation: replicated tertiary tier (libraries × replicas)")
+	rep.addf("%-8s %13s %14s %12s %11s", "config", "fetch avg", "degraded avg", "repaired", "redirects")
+	type cfg struct{ libs, replicas int }
+	for _, c := range []cfg{{1, 1}, {2, 2}, {3, 2}} {
+		const segBlocks = 32
+		k := sim.NewKernel()
+		bus := dev.NewBus(k, "scsi", dev.SCSIBusRate)
+		disk := dev.NewDisk(k, dev.RZ57, 384*segBlocks, bus)
+		jukes := make([]jukebox.Footprint, c.libs)
+		for i := range jukes {
+			jukes[i] = jukebox.MustNew(k, jukebox.MO6300, 2, 4, 40, segBlocks*lfs.BlockSize, bus)
+		}
+		var healthyMS, degradedMS float64
+		var repairedBytes, redirects int64
+		var err error
+		k.RunProc(func(p *sim.Proc) {
+			hl, e := core.New(p, core.Config{
+				SegBlocks:   segBlocks,
+				Disks:       []dev.BlockDev{disk},
+				Jukeboxes:   jukes,
+				CacheSegs:   8,
+				MaxInodes:   1024,
+				BufferBytes: 1 << 20,
+				Replicas:    c.replicas,
+			}, true)
+			if e != nil {
+				err = e
+				return
+			}
+			const nfiles = 10
+			const fblocks = 96
+			var inums []uint32
+			for i := 0; i < nfiles; i++ {
+				f, e := hl.FS.Create(p, fmt.Sprintf("/rep%02d", i))
+				if e != nil {
+					err = e
+					return
+				}
+				if _, e := f.WriteAt(p, make([]byte, fblocks*lfs.BlockSize), 0); e != nil {
+					err = e
+					return
+				}
+				inums = append(inums, f.Inum())
+			}
+			if _, e := hl.MigrateFiles(p, inums, false); e != nil {
+				err = e
+				return
+			}
+			if e := hl.CompleteMigration(p); e != nil {
+				err = e
+				return
+			}
+			// One full demand-fetch readback; returns ms per tertiary fetch.
+			readAll := func() (float64, error) {
+				for _, l := range hl.Cache.Lines() {
+					if l.Staging || l.Pins > 0 {
+						continue
+					}
+					if e := hl.Svc.Eject(l.Tag); e != nil {
+						return 0, e
+					}
+				}
+				f0 := hl.Svc.Stats().Fetches
+				buf := make([]byte, segBlocks*lfs.BlockSize)
+				start := p.Now()
+				for _, in := range inums {
+					f, e := hl.FS.OpenInum(p, in)
+					if e != nil {
+						return 0, e
+					}
+					hl.FS.DropFileBuffers(p, in)
+					for off := int64(0); off < fblocks*lfs.BlockSize; off += int64(len(buf)) {
+						if _, e := f.ReadAt(p, buf, off); e != nil && e != io.EOF {
+							return 0, e
+						}
+					}
+				}
+				n := hl.Svc.Stats().Fetches - f0
+				if n == 0 {
+					return 0, nil
+				}
+				return (p.Now() - start).Seconds() * 1000 / float64(n), nil
+			}
+			if healthyMS, e = readAll(); e != nil {
+				err = e
+				return
+			}
+			if c.libs > 1 {
+				hl.Libraries()[0].SetDown(true)
+				if degradedMS, e = readAll(); e != nil {
+					err = e
+					return
+				}
+				if _, e := hl.RepairPass(p); e != nil {
+					err = e
+					return
+				}
+				repairedBytes = hl.Obs.Counter("repair.bytes_repaired").Value()
+				redirects = hl.Svc.Stats().ReplicaRedirects
+			}
+		})
+		k.Stop()
+		if err != nil {
+			return rep, err
+		}
+		name := fmt.Sprintf("%dx%d", c.libs, c.replicas)
+		deg := "—"
+		if c.libs > 1 {
+			deg = fmt.Sprintf("%.1f ms", degradedMS)
+		}
+		rep.addf("%-8s %10.1f ms %14s %9.1f MB %11d", name, healthyMS, deg, float64(repairedBytes)/(1<<20), redirects)
+		rep.metric(name+"/fetch-ms", healthyMS)
+		rep.metric(name+"/degraded-ms", degradedMS)
+		rep.metric(name+"/repaired-bytes", float64(repairedBytes))
+		rep.metric(name+"/redirects", float64(redirects))
+	}
+	return rep, nil
+}
+
 // AblationBlockRange compares whole-file migration against block-range
 // (sub-file) migration (§5.2) on the database workload: a large relation
 // whose newest 10% stays hot. Quality metric: hot-query latency after

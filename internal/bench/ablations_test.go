@@ -111,6 +111,37 @@ func TestAblationCrashRecovery(t *testing.T) {
 	}
 }
 
+func TestAblationReplication(t *testing.T) {
+	rep, err := AblationReplication()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := rep.Metrics
+	for _, k := range []string{"1x1", "2x2", "3x2"} {
+		if m[k+"/fetch-ms"] <= 0 {
+			t.Errorf("%s: no healthy fetch latency recorded", k)
+		}
+	}
+	// The unreplicated baseline has nothing to redirect to or repair.
+	if m["1x1/repaired-bytes"] != 0 || m["1x1/redirects"] != 0 {
+		t.Errorf("1x1 recorded repair traffic (%.0f bytes, %.0f redirects)",
+			m["1x1/repaired-bytes"], m["1x1/redirects"])
+	}
+	// Replicated configs must survive losing library 0: reads redirect to
+	// surviving copies and a repair pass re-replicates real bytes.
+	for _, k := range []string{"2x2", "3x2"} {
+		if m[k+"/redirects"] == 0 {
+			t.Errorf("%s: library failure caused no replica redirects", k)
+		}
+		if m[k+"/repaired-bytes"] == 0 {
+			t.Errorf("%s: repair pass copied nothing", k)
+		}
+		if m[k+"/degraded-ms"] <= 0 {
+			t.Errorf("%s: no degraded fetch latency recorded", k)
+		}
+	}
+}
+
 func TestAblationBlockRange(t *testing.T) {
 	rep, err := AblationBlockRange()
 	if err != nil {

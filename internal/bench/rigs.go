@@ -30,6 +30,13 @@ type Scale struct {
 	SmallFrames int
 	FileSizes   []int64 // Table 3 file sizes
 	StageSegs   int     // staging-spindle size for Table 6 variants
+
+	// Libraries and Replicas parameterize the replicated tertiary tier.
+	// Zero values (the default, and what every committed baseline uses)
+	// mean one changer and no replication — bit-identical to the
+	// pre-replication rig.
+	Libraries int // extra identical MO changers beyond the first
+	Replicas  int // tertiary copies per staged segment; <2 disables
 }
 
 // HP9000/370 CPU model: the paper's test machine copies data slowly enough
@@ -169,11 +176,18 @@ func newHLRig(s Scale, kind stagingKind) *hlRig {
 	main.SetObs(o, "RZ57-main")
 	juke := jukebox.MustNew(k, jukebox.MO6300, 2, s.Vols, s.SegsPerVol, s.SegBlocks*lfs.BlockSize, bus)
 	juke.SetObs(o, "")
+	jukes := []jukebox.Footprint{juke}
+	for i := 1; i < s.Libraries; i++ {
+		extra := jukebox.MustNew(k, jukebox.MO6300, 2, s.Vols, s.SegsPerVol, s.SegBlocks*lfs.BlockSize, bus)
+		extra.SetObs(o, fmt.Sprintf("%s-lib%d", extra.Profile().Name, i))
+		jukes = append(jukes, extra)
+	}
 	r := &hlRig{k: k, bus: bus, main: main, juke: juke, obs: o}
 	cfg := core.Config{
 		SegBlocks:         s.SegBlocks,
 		Disks:             []dev.BlockDev{main},
-		Jukeboxes:         []jukebox.Footprint{juke},
+		Jukeboxes:         jukes,
+		Replicas:          s.Replicas,
 		CacheSegs:         s.CacheSegs,
 		MaxInodes:         4096,
 		BufferBytes:       s.BufferBytes,

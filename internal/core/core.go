@@ -52,6 +52,11 @@ type Config struct {
 	// Replicas configures tertiary segment replication (§5.4); see
 	// HighLight.Replicas. Values below 2 disable it.
 	Replicas int
+	// RepairEvery, when positive, starts the replica-repair daemon: a
+	// periodic virtual-time pass that re-copies under-replicated
+	// segments (after media retirement or a library outage) onto
+	// healthy libraries. Zero leaves repair manual (RepairPass).
+	RepairEvery sim.Time
 	// Seed feeds the random eviction policy.
 	Seed uint64
 	// Obs is the observability domain the instance traces into. When
@@ -113,6 +118,10 @@ type HighLight struct {
 	replicaOf  map[int][]int // primary tag -> replica tags
 	replicaTag map[int]int   // replica tag -> primary tag
 
+	// Repair bounds the replica-repair pass (concurrency, retries).
+	Repair RepairPolicy
+	libs   []*jukebox.Library // tertiary devices as failure domains
+
 	retiredSegs int64 // tertiary segments retired after permanent write errors
 
 	mountStats MountStats
@@ -148,6 +157,11 @@ func (hl *HighLight) RetiredSegments() int64 { return hl.retiredSegs }
 
 // Jukeboxes exposes the tertiary devices (for fault reports and dumps).
 func (hl *HighLight) Jukeboxes() []jukebox.Footprint { return hl.jukes }
+
+// Libraries exposes the tertiary devices as failure domains: one
+// *jukebox.Library per configured device, in device order. Fault plans
+// take a whole changer out of service through these handles.
+func (hl *HighLight) Libraries() []*jukebox.Library { return hl.libs }
 
 type copyoutRec struct {
 	tag    int
@@ -189,9 +203,11 @@ func New(p *sim.Proc, cfg Config, format bool) (*HighLight, error) {
 		Heat:       attr.NewTable(0),
 		Audit:      attr.NewAudit(0),
 		jukes:      cfg.Jukeboxes,
+		libs:       jukebox.AsLibraries(cfg.Jukeboxes),
 		stageTag:   -1,
 		replicaOf:  make(map[int][]int),
 		replicaTag: make(map[int]int),
+		Repair:     DefaultRepairPolicy,
 	}
 	bm := &blockMap{hl: hl}
 	opts := lfs.Options{
@@ -260,7 +276,13 @@ func New(p *sim.Proc, cfg Config, format bool) (*HighLight, error) {
 	hl.Cache = cache.New(cfg.CachePolicy, pool, cfg.Seed)
 	hl.Cache.SetObs(hl.Obs)
 	hl.Cache.SetAttr(hl.Heat)
-	hl.Svc = tertiary.New(p.Kernel(), hl.Obs, amap, cfg.Jukeboxes, disk, hl.Cache, tertiary.Hooks{
+	// The service routes through the Library wrappers so whole-changer
+	// outages gate I/O; an always-up wrapper delegates byte-for-byte.
+	fps := make([]jukebox.Footprint, len(hl.libs))
+	for i, l := range hl.libs {
+		fps[i] = l
+	}
+	hl.Svc = tertiary.New(p.Kernel(), hl.Obs, amap, fps, disk, hl.Cache, tertiary.Hooks{
 		LineBound: func(tag int, seg addr.SegNo, staging bool) {
 			fs.SetCacheBinding(seg, uint32(tag), staging)
 		},
@@ -281,9 +303,13 @@ func New(p *sim.Proc, cfg Config, format bool) (*HighLight, error) {
 		},
 	})
 	hl.Svc.SetAttr(hl.Heat)
+	hl.Svc.SetAudit(hl.Audit)
 	hl.Svc.AltCopies = func(tag int) []int { return hl.replicaOf[tag] }
 	if cfg.Replicas > 1 {
 		hl.Replicas = cfg.Replicas
+	}
+	if cfg.RepairEvery > 0 {
+		hl.StartRepairDaemon(cfg.RepairEvery)
 	}
 	if !format {
 		// Re-insert bound lines; re-schedule staging lines that never

@@ -35,7 +35,7 @@ func (hl *HighLight) ensureStaging(p *sim.Proc) error {
 	for tag < hl.FS.TsegCount() {
 		su := hl.FS.TsegUsage(tag)
 		_, cached := hl.Cache.Peek(tag)
-		if su.Flags == 0 && su.LiveBytes == 0 && !cached {
+		if su.Flags == 0 && su.LiveBytes == 0 && !cached && !hl.tagLibDown(tag) {
 			break
 		}
 		tag++
@@ -153,12 +153,32 @@ func (hl *HighLight) finishStaging(p *sim.Proc) error {
 	return nil
 }
 
-// allocReplicaTag finds a free tertiary segment on a different volume than
-// the primary and reserves it (no-storage in the tsegfile, so the regular
-// allocator skips it and it is never counted live — §5.4's bookkeeping
-// sidestep).
+// allocReplicaTag finds a free tertiary segment for a replica of primary
+// and reserves it (no-storage in the tsegfile, so the regular allocator
+// skips it and it is never counted live — §5.4's bookkeeping sidestep).
+// With several libraries the copy is spread across failure domains: it
+// goes to the healthy library with the most free segments that holds
+// neither the primary nor an existing replica. When no such library
+// exists (single changer, or every other domain down/full) placement
+// falls back to the original intra-library rule — any free segment on a
+// different volume than the primary.
 func (hl *HighLight) allocReplicaTag(primary int) (int, bool) {
+	if len(hl.libs) > 1 {
+		if idx, ok := hl.allocCrossLibrary(primary); ok {
+			return idx, true
+		}
+	}
+	// No copy of a segment may share a medium with another: exclude the
+	// primary's volume and every existing replica's volume.
+	type volKey struct{ d, v int }
+	avoid := make(map[volKey]bool)
 	pd, pv, _, _ := hl.Amap.Loc(hl.Amap.SegForIndex(primary))
+	avoid[volKey{pd, pv}] = true
+	for _, r := range hl.replicaOf[primary] {
+		if rd, rv, _, ok := hl.Amap.Loc(hl.Amap.SegForIndex(r)); ok {
+			avoid[volKey{rd, rv}] = true
+		}
+	}
 	for idx := 0; idx < hl.FS.TsegCount(); idx++ {
 		su := hl.FS.TsegUsage(idx)
 		if su.Flags != 0 || su.LiveBytes != 0 {
@@ -168,13 +188,102 @@ func (hl *HighLight) allocReplicaTag(primary int) (int, bool) {
 			continue
 		}
 		d, v, _, ok := hl.Amap.Loc(hl.Amap.SegForIndex(idx))
-		if !ok || (d == pd && v == pv) {
+		if !ok || avoid[volKey{d, v}] {
+			continue
+		}
+		if hl.libs[d].Down() {
 			continue
 		}
 		hl.FS.MarkTsegNoStore(idx)
+		hl.Audit.Record(attr.Decision{
+			T: hl.K.Now(), Actor: "placement", Subject: fmt.Sprintf("seg:%d", idx),
+			Seg: primary, Verdict: attr.VerdictPlaced, Reason: "intra-library",
+			Inputs: []attr.Input{attr.In("replica", float64(idx)), attr.In("dev", float64(d))},
+		})
 		return idx, true
 	}
 	return 0, false
+}
+
+// allocCrossLibrary places a replica of primary in a failure domain that
+// holds no copy yet: the healthy library with the most free segments
+// wins (ties to the lowest device index), and the replica takes that
+// library's first free segment.
+func (hl *HighLight) allocCrossLibrary(primary int) (int, bool) {
+	used := make(map[int]bool)
+	if pd, _, _, ok := hl.Amap.Loc(hl.Amap.SegForIndex(primary)); ok {
+		used[pd] = true
+	}
+	for _, r := range hl.replicaOf[primary] {
+		if d, _, _, ok := hl.Amap.Loc(hl.Amap.SegForIndex(r)); ok {
+			used[d] = true
+		}
+	}
+	bestDev, bestFree, bestIdx := -1, 0, -1
+	for d := range hl.libs {
+		if used[d] || hl.libs[d].Down() {
+			continue
+		}
+		free, first := hl.freeTsegsOnDevice(d)
+		if first >= 0 && free > bestFree {
+			bestDev, bestFree, bestIdx = d, free, first
+		}
+	}
+	if bestDev < 0 {
+		return 0, false
+	}
+	hl.FS.MarkTsegNoStore(bestIdx)
+	hl.Audit.Record(attr.Decision{
+		T: hl.K.Now(), Actor: "placement", Subject: fmt.Sprintf("seg:%d", bestIdx),
+		Seg: primary, Verdict: attr.VerdictPlaced, Reason: "cross-library",
+		Inputs: []attr.Input{
+			attr.In("replica", float64(bestIdx)),
+			attr.In("dev", float64(bestDev)),
+			attr.In("free", float64(bestFree)),
+		},
+	})
+	return bestIdx, true
+}
+
+// tagLibDown reports whether tag's library is out of service.
+func (hl *HighLight) tagLibDown(tag int) bool {
+	d, _, _, ok := hl.Amap.Loc(hl.Amap.SegForIndex(tag))
+	return ok && hl.libs[d].Down()
+}
+
+// deviceTsegRange returns the dense tertiary-index range [start, start+n)
+// device d's segments occupy (devices are laid out in order).
+func (hl *HighLight) deviceTsegRange(d int) (start, n int) {
+	devs := hl.Amap.Devices()
+	for i := 0; i < d; i++ {
+		start += devs[i].Vols * devs[i].SegsPerVol
+	}
+	return start, devs[d].Vols * devs[d].SegsPerVol
+}
+
+// freeTsegsOnDevice counts device d's allocatable tertiary segments and
+// returns the first one (-1 when the device is full).
+func (hl *HighLight) freeTsegsOnDevice(d int) (free, first int) {
+	start, n := hl.deviceTsegRange(d)
+	first = -1
+	end := start + n
+	if end > hl.FS.TsegCount() {
+		end = hl.FS.TsegCount()
+	}
+	for idx := start; idx < end; idx++ {
+		su := hl.FS.TsegUsage(idx)
+		if su.Flags != 0 || su.LiveBytes != 0 {
+			continue
+		}
+		if _, cached := hl.Cache.Peek(idx); cached {
+			continue
+		}
+		if first < 0 {
+			first = idx
+		}
+		free++
+	}
+	return free, first
 }
 
 // FlushCopyouts schedules every delayed copyout (the "later idle period"
@@ -324,6 +433,17 @@ func (hl *HighLight) CompleteMigration(p *sim.Proc) error {
 		return err
 	}
 	hl.FlushCopyouts(p)
+	if err := hl.drainCopyoutFailures(p); err != nil {
+		return err
+	}
+	return hl.FS.Checkpoint(p)
+}
+
+// drainCopyoutFailures waits out every scheduled copyout and resolves
+// the failures — end-of-medium retries, replica drops, bad-media
+// retirement and restaging — until a drain completes clean. Both
+// CompleteMigration and the replica-repair pass end with this loop.
+func (hl *HighLight) drainCopyoutFailures(p *sim.Proc) error {
 	for {
 		hl.Svc.DrainCopyouts(p)
 		failed := hl.Svc.FailedCopyouts()
@@ -367,7 +487,7 @@ func (hl *HighLight) CompleteMigration(p *sim.Proc) error {
 		}
 		hl.FlushCopyouts(p)
 	}
-	return hl.FS.Checkpoint(p)
+	return nil
 }
 
 // dropReplica removes one replica binding from the catalog.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -76,6 +77,13 @@ func (hl *HighLight) SelectCleanableVolume() (VolumeUsage, bool) {
 			})
 			continue
 		}
+		if hl.volumeHoldsSoleCopy(u.Device, u.Volume) {
+			hl.Audit.Record(attr.Decision{
+				T: now, Actor: "tcleaner", Subject: fmt.Sprintf("vol:%d/%d", u.Device, u.Volume),
+				Seg: -1, Verdict: attr.VerdictSkipped, Reason: "sole surviving replica; repair pending",
+			})
+			continue
+		}
 		hl.Audit.Record(attr.Decision{
 			T: now, Actor: "tcleaner", Subject: fmt.Sprintf("vol:%d/%d", u.Device, u.Volume),
 			Seg: -1, Verdict: attr.VerdictSelected, Reason: "least live data among used volumes",
@@ -88,6 +96,47 @@ func (hl *HighLight) SelectCleanableVolume() (VolumeUsage, bool) {
 		return u, true
 	}
 	return VolumeUsage{}, false
+}
+
+// ErrSoleSurvivingReplica guards the repair/cleaner ordering: a volume
+// holding the only reachable copy of some segment (its primary's library
+// is down, every other replica gone) must not be collected until the
+// repair pass has re-replicated it elsewhere.
+var ErrSoleSurvivingReplica = errors.New("core: volume holds a sole surviving replica; repair pending")
+
+// volumeHoldsSoleCopy reports whether erasing (device, vol) would destroy
+// the last reachable copy of any segment. Primaries on the volume are
+// safe — CleanVolume re-stages their live blocks before erasing — but
+// replicas are dropped without relocation, which is only sound while
+// another copy survives.
+func (hl *HighLight) volumeHoldsSoleCopy(device, vol int) bool {
+	g := hl.Amap.Devices()[device]
+	for s := 0; s < g.SegsPerVol; s++ {
+		idx, _ := hl.Amap.TertIndex(hl.Amap.SegForLoc(device, vol, s))
+		primary, isReplica := hl.replicaTag[idx]
+		if !isReplica {
+			continue
+		}
+		// A survivor must live off this volume (the erase destroys every
+		// copy on it) and in a library that is up.
+		onVolume := func(t int) bool {
+			td, tv, _, ok := hl.Amap.Loc(hl.Amap.SegForIndex(t))
+			return ok && td == device && tv == vol
+		}
+		survivors := 0
+		if !hl.tagLibDown(primary) && !onVolume(primary) && hl.FS.TsegUsage(primary).Flags&lfs.SegDirty != 0 {
+			survivors++
+		}
+		for _, r := range hl.replicaOf[primary] {
+			if r != idx && !hl.tagLibDown(r) && !onVolume(r) {
+				survivors++
+			}
+		}
+		if survivors == 0 {
+			return true
+		}
+	}
+	return false
 }
 
 // EraseVolumer is implemented by jukeboxes that can reclaim erased media
@@ -108,6 +157,9 @@ func (hl *HighLight) CleanVolume(p *sim.Proc, device, vol int) (int, error) {
 		hl.Obs.Span("core", "core.clean", "CleanVolume", t0,
 			obs.Arg{Key: "device", Val: int64(device)}, obs.Arg{Key: "vol", Val: int64(vol)})
 	}()
+	if hl.volumeHoldsSoleCopy(device, vol) {
+		return 0, fmt.Errorf("core: cleaning volume %d/%d: %w", device, vol, ErrSoleSurvivingReplica)
+	}
 	g := hl.Amap.Devices()[device]
 	// Fence allocation away from this volume first: an open staging
 	// segment on it is closed out, and its free segments are marked

@@ -58,7 +58,8 @@ func Why(w io.Writer, hl *core.HighLight, tag int) {
 			for _, v := range []string{
 				attr.VerdictSelected, attr.VerdictSkipped, attr.VerdictStaged,
 				attr.VerdictCopiedOut, attr.VerdictCleaned, attr.VerdictRestaged,
-				attr.VerdictRetired,
+				attr.VerdictRetired, attr.VerdictPlaced, attr.VerdictRouted,
+				attr.VerdictRepaired, attr.VerdictDeferred, attr.VerdictLost,
 			} {
 				if vs[v] {
 					verdicts = append(verdicts, v)

@@ -165,14 +165,29 @@ type scheduledOutage struct {
 	o Outage
 }
 
+// LibraryOutage takes a whole changer out of service for a window of
+// virtual time — power loss, robotics jam, or a severed link to a remote
+// library. End at or before Start means the outage is permanent: the
+// library goes down and never comes back (the repair daemon's job is to
+// re-replicate off the survivors).
+type LibraryOutage struct {
+	Start, End sim.Time
+}
+
+type scheduledLibOutage struct {
+	l *jukebox.Library
+	o LibraryOutage
+}
+
 // Plan is a compiled fault schedule over a set of devices.
 type Plan struct {
 	cfg       Config
 	salt      uint64
-	injectors map[string]*injector
-	order     []string // deterministic Stats/report order
-	outages   []scheduledOutage
-	started   bool
+	injectors  map[string]*injector
+	order      []string // deterministic Stats/report order
+	outages    []scheduledOutage
+	libOutages []scheduledLibOutage
+	started    bool
 }
 
 // NewPlan returns an empty plan with the given configuration.
@@ -219,23 +234,39 @@ func (pl *Plan) AddOutage(j *jukebox.Jukebox, o Outage) {
 	pl.outages = append(pl.outages, scheduledOutage{j, o})
 }
 
-// Start spawns the outage-driver daemon that flips drive health at the
-// scheduled virtual times. A plan with no outages needs no Start.
+// AddLibraryOutage schedules a whole-changer outage on l. Call before
+// Start. An End at or before Start makes the outage permanent.
+func (pl *Plan) AddLibraryOutage(l *jukebox.Library, o LibraryOutage) {
+	if pl.started {
+		panic("fault: AddLibraryOutage after Start")
+	}
+	pl.libOutages = append(pl.libOutages, scheduledLibOutage{l, o})
+}
+
+// Start spawns the outage-driver daemon that flips drive and library
+// health at the scheduled virtual times. A plan with no outages needs no
+// Start.
 func (pl *Plan) Start(k *sim.Kernel) {
 	pl.started = true
-	if len(pl.outages) == 0 {
+	if len(pl.outages) == 0 && len(pl.libOutages) == 0 {
 		return
 	}
 	type edge struct {
-		at      sim.Time
-		j       *jukebox.Jukebox
-		drive   int
-		offline bool
+		at    sim.Time
+		apply func()
 	}
 	var edges []edge
 	for _, so := range pl.outages {
-		edges = append(edges, edge{so.o.Start, so.j, so.o.Drive, true})
-		edges = append(edges, edge{so.o.End, so.j, so.o.Drive, false})
+		so := so
+		edges = append(edges, edge{so.o.Start, func() { so.j.SetDriveOffline(so.o.Drive, true) }})
+		edges = append(edges, edge{so.o.End, func() { so.j.SetDriveOffline(so.o.Drive, false) }})
+	}
+	for _, lo := range pl.libOutages {
+		lo := lo
+		edges = append(edges, edge{lo.o.Start, func() { lo.l.SetDown(true) }})
+		if lo.o.End > lo.o.Start {
+			edges = append(edges, edge{lo.o.End, func() { lo.l.SetDown(false) }})
+		}
 	}
 	// Stable order: by time, ties broken by insertion order (offline
 	// edges were appended before their matching online edges).
@@ -249,7 +280,7 @@ func (pl *Plan) Start(k *sim.Kernel) {
 			if d := e.at - p.Now(); d > 0 {
 				p.Sleep(d)
 			}
-			e.j.SetDriveOffline(e.drive, e.offline)
+			e.apply()
 		}
 	})
 }

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 
 	"repro/internal/core"
 	"repro/internal/dev"
@@ -29,6 +30,15 @@ type Config struct {
 	// ExtraDiskSegs lists disks added on-line with "hlfs grow" (§6.4),
 	// each in segments; they are re-attached in order at load time.
 	ExtraDiskSegs []int `json:"extra_disk_segs,omitempty"`
+	// Libraries is the total number of identical MO changers; values
+	// beyond 1 persist as juke1.img, juke2.img, ... Replicas is the
+	// tertiary copy count per staged segment (<2 disables replication).
+	Libraries int `json:"libraries,omitempty"`
+	Replicas  int `json:"replicas,omitempty"`
+	// ReplicaCatalog persists the in-memory replica map across mounts:
+	// each entry is [primary, replica, replica...] tertiary indices,
+	// sorted by primary.
+	ReplicaCatalog [][]int `json:"replica_catalog,omitempty"`
 	// EpochNs is the virtual time at the last save: resumed runs start
 	// here so file ages keep advancing monotonically across invocations.
 	EpochNs int64 `json:"epoch_ns"`
@@ -55,8 +65,11 @@ type Instance struct {
 	Disk  *dev.Disk
 	Extra []*dev.Disk // on-line additions, persisted as disk1.img, ...
 	Juke  *jukebox.Jukebox
-	k     *sim.Kernel
-	dir   string
+	// ExtraJukes holds libraries beyond the first, persisted as
+	// juke1.img, juke2.img, ...
+	ExtraJukes []*jukebox.Jukebox
+	k          *sim.Kernel
+	dir        string
 }
 
 func paths(dir string) (cfg, disk, juke string) {
@@ -67,6 +80,10 @@ func paths(dir string) (cfg, disk, juke string) {
 
 func extraPath(dir string, i int) string {
 	return filepath.Join(dir, fmt.Sprintf("disk%d.img", i+1))
+}
+
+func extraJukePath(dir string, i int) string {
+	return filepath.Join(dir, fmt.Sprintf("juke%d.img", i+1))
 }
 
 // AddDisk grows the instance by a fresh disk of segs segments (§6.4),
@@ -148,6 +165,17 @@ func Load(k *sim.Kernel, dir string) (*Instance, error) {
 	if err := inst.Juke.LoadStore(jf); err != nil {
 		return nil, err
 	}
+	for i, j := range inst.ExtraJukes {
+		ejf, err := os.Open(extraJukePath(dir, i))
+		if err != nil {
+			return nil, err
+		}
+		if err := j.LoadStore(ejf); err != nil {
+			ejf.Close()
+			return nil, err
+		}
+		ejf.Close()
+	}
 	return mount(k, inst, false)
 }
 
@@ -172,6 +200,14 @@ func buildDevices(k *sim.Kernel, dir string, cfg Config) (*Instance, error) {
 		return nil, fmt.Errorf("imagefs: %w", err)
 	}
 	inst.Juke = juke
+	for i := 1; i < cfg.Libraries; i++ {
+		extra, err := jukebox.New(k, jukebox.MO6300, cfg.Drives, cfg.Vols, cfg.SegsPerVol,
+			cfg.SegBlocks*lfs.BlockSize, bus)
+		if err != nil {
+			return nil, fmt.Errorf("imagefs: library %d: %w", i, err)
+		}
+		inst.ExtraJukes = append(inst.ExtraJukes, extra)
+	}
 	return inst, nil
 }
 
@@ -181,17 +217,31 @@ func mount(k *sim.Kernel, inst *Instance, format bool) (*Instance, error) {
 	for _, d := range inst.Extra {
 		disks = append(disks, d)
 	}
+	jukes := []jukebox.Footprint{inst.Juke}
+	for _, j := range inst.ExtraJukes {
+		jukes = append(jukes, j)
+	}
 	k.RunProc(func(p *sim.Proc) {
 		inst.HL, err = core.New(p, core.Config{
 			SegBlocks: inst.Cfg.SegBlocks,
 			Disks:     disks,
-			Jukeboxes: []jukebox.Footprint{inst.Juke},
+			Jukeboxes: jukes,
 			CacheSegs: inst.Cfg.CacheSegs,
 			MaxInodes: inst.Cfg.MaxInodes,
+			Replicas:  inst.Cfg.Replicas,
 		}, format)
 	})
 	if err != nil {
 		return nil, err
+	}
+	if !format && len(inst.Cfg.ReplicaCatalog) > 0 {
+		m := make(map[int][]int, len(inst.Cfg.ReplicaCatalog))
+		for _, row := range inst.Cfg.ReplicaCatalog {
+			if len(row) > 1 {
+				m[row[0]] = row[1:]
+			}
+		}
+		inst.HL.RestoreReplicaCatalog(m)
 	}
 	return inst, nil
 }
@@ -202,6 +252,16 @@ func mount(k *sim.Kernel, inst *Instance, format bool) (*Instance, error) {
 func (inst *Instance) Save() error {
 	cfgPath, diskPath, jukePath := paths(inst.dir)
 	inst.Cfg.EpochNs = int64(inst.k.Now())
+	catalog := inst.HL.ReplicaCatalog()
+	prims := make([]int, 0, len(catalog))
+	for p := range catalog {
+		prims = append(prims, p)
+	}
+	sort.Ints(prims)
+	inst.Cfg.ReplicaCatalog = nil
+	for _, p := range prims {
+		inst.Cfg.ReplicaCatalog = append(inst.Cfg.ReplicaCatalog, append([]int{p}, catalog[p]...))
+	}
 	meta, err := json.MarshalIndent(inst.Cfg, "", "  ")
 	if err != nil {
 		return err
@@ -241,5 +301,21 @@ func (inst *Instance) Save() error {
 		jf.Close()
 		return err
 	}
-	return jf.Close()
+	if err := jf.Close(); err != nil {
+		return err
+	}
+	for i, j := range inst.ExtraJukes {
+		ejf, err := os.Create(extraJukePath(inst.dir, i))
+		if err != nil {
+			return err
+		}
+		if err := j.SaveStore(ejf); err != nil {
+			ejf.Close()
+			return err
+		}
+		if err := ejf.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
 }

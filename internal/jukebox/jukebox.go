@@ -146,14 +146,15 @@ type drive struct {
 
 // Jukebox is a simulated robotic storage device implementing Footprint.
 type Jukebox struct {
-	k        *sim.Kernel
-	prof     MediaProfile
-	segBytes int
-	drives   []*drive
-	vols     []*volume
-	picker   *sim.Resource
-	bus      *dev.Bus
-	stats    Stats
+	k          *sim.Kernel
+	prof       MediaProfile
+	segBytes   int
+	segsPerVol int
+	drives     []*drive
+	vols       []*volume
+	picker     *sim.Resource
+	bus        *dev.Bus
+	stats      Stats
 
 	obs   *obs.Obs // nil = not instrumented
 	track string
@@ -198,6 +199,7 @@ func New(k *sim.Kernel, prof MediaProfile, ndrives, nvols, segsPerVol, segBytes 
 		k:          k,
 		prof:       prof,
 		segBytes:   segBytes,
+		segsPerVol: segsPerVol,
 		picker:     k.NewResource(prof.Name + ".picker"),
 		bus:        bus,
 		WriteDrive: 0,
@@ -236,8 +238,15 @@ func MustNew(k *sim.Kernel, prof MediaProfile, ndrives, nvols, segsPerVol, segBy
 // Volumes implements Footprint.
 func (j *Jukebox) Volumes() int { return len(j.vols) }
 
-// SegmentsPerVolume implements Footprint.
-func (j *Jukebox) SegmentsPerVolume() int { return j.vols[0].nominalSegs }
+// SegmentsPerVolume implements Footprint. The nominal geometry is kept in
+// the jukebox itself, not derived from vols[0], so an emptied or retired
+// library (zero volumes) can still be introspected without panicking.
+func (j *Jukebox) SegmentsPerVolume() int {
+	if len(j.vols) == 0 {
+		return 0
+	}
+	return j.segsPerVol
+}
 
 // SegmentBytes implements Footprint.
 func (j *Jukebox) SegmentBytes() int { return j.segBytes }
@@ -378,6 +387,20 @@ func (j *Jukebox) SetDriveOffline(d int, offline bool) {
 
 // DriveOffline reports whether drive d is out of service.
 func (j *Jukebox) DriveOffline(d int) bool { return j.drives[d].offline }
+
+// IdleHealthyDrives reports how many healthy drives are not currently
+// serving a request (their arms are free). The library-aware fetch
+// router prefers a copy in a library that can start a read without
+// queueing behind in-flight transfers.
+func (j *Jukebox) IdleHealthyDrives() int {
+	n := 0
+	for _, d := range j.drives {
+		if !d.offline && !d.arm.Busy() {
+			n++
+		}
+	}
+	return n
+}
 
 // healthyDrives reports how many drives accept new requests.
 func (j *Jukebox) healthyDrives() int {

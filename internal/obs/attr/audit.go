@@ -18,6 +18,11 @@ const (
 	VerdictRestaged  = "restaged"   // contents moved after a failed copy-out
 	VerdictRetired   = "retired"    // segment/volume tail marked no-store
 	VerdictRun       = "run"        // one migrator/cleaner invocation summary
+	VerdictPlaced    = "placed"     // replica assigned a tertiary location
+	VerdictRouted    = "routed"     // fetch redirected to a non-primary copy
+	VerdictRepaired  = "repaired"   // replication restored by the repair pass
+	VerdictDeferred  = "deferred"   // repair postponed (no space / all down)
+	VerdictLost      = "lost"       // no surviving copy remains
 )
 
 // Input is one named policy input (heat, age, utilization, pressure)

@@ -14,6 +14,7 @@ package tertiary
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/addr"
@@ -156,6 +157,7 @@ type Service struct {
 
 	obs        *obs.Obs    // nil = not instrumented
 	heat       *attr.Table // nil = no attribution
+	audit      *attr.Audit // nil = routing decisions not audited
 	fetchWaitH *obs.Histogram
 	qdepth     *obs.Gauge
 	outCopyG   *obs.Gauge
@@ -226,6 +228,11 @@ func (s *Service) Obs() *obs.Obs { return s.obs }
 // itself, so they are counted exactly once.)
 func (s *Service) SetAttr(t *attr.Table) { s.heat = t }
 
+// SetAudit attaches a decision audit: whenever the fetch router serves a
+// copy other than the primary, the redirect and its reason are recorded
+// so `hldump -why` can explain which library answered and why.
+func (s *Service) SetAudit(a *attr.Audit) { s.audit = a }
+
 // OutstandingCopyouts reports copyouts queued or in flight.
 func (s *Service) OutstandingCopyouts() int { return s.outCopy }
 
@@ -251,7 +258,10 @@ func (s *Service) FailedWrites() []int {
 func (s *Service) DeviceFaults() []DeviceFaults {
 	var out []DeviceFaults
 	for i, fp := range s.fps {
-		j, ok := fp.(*jukebox.Jukebox)
+		j, ok := fp.(interface {
+			Stats() jukebox.Stats
+			Profile() jukebox.MediaProfile
+		})
 		if !ok {
 			continue
 		}
@@ -564,25 +574,120 @@ func (s *Service) withRetry(p *sim.Proc, op func() error) error {
 	}
 }
 
-// readOrder lists the physical copies of tag to try, closest first: a
-// replica whose volume is already loaded beats the primary, and the
-// remaining replicas serve as failover sources when earlier reads fail
-// past the retry budget.
+// Routing ranks, closest copy first. The router never rejects a copy
+// outright — even a copy in a down library stays in the order as the
+// last-resort failover source — it only sorts by how cheaply a read can
+// start right now.
+const (
+	routeLoaded   = iota // healthy library, volume already in a drive
+	routeIdleLib         // healthy library with an idle drive (swap, no queue)
+	routeBusyLib         // healthy library, all drives busy (queue)
+	routeDownLib         // library out of service
+	routeUnmapped        // copy index does not resolve to a location
+)
+
+func routeRankName(rank int) string {
+	switch rank {
+	case routeLoaded:
+		return "volume-loaded"
+	case routeIdleLib:
+		return "idle-drive"
+	case routeBusyLib:
+		return "busy-library"
+	case routeDownLib:
+		return "library-down"
+	}
+	return "unmapped"
+}
+
+// readOrder lists the physical copies of tag to try, closest first:
+// loaded volume beats an idle drive in another library, which beats a
+// busy library, which beats a down one (§5.4 "closest copy",
+// generalized across failure domains). The sort is stable, so with a
+// single library and no rank differences the historical order — primary
+// first, replicas in catalog order — is preserved bit-for-bit. Replica
+// redirects are recorded in the decision audit.
 func (s *Service) readOrder(tag int) []int {
 	cands := []int{tag}
 	if s.AltCopies != nil {
 		cands = append(cands, s.AltCopies(tag)...)
 	}
-	if best := s.closestCopy(tag); best != tag {
-		out := []int{best}
-		for _, c := range cands {
-			if c != best {
-				out = append(out, c)
+	if len(cands) == 1 {
+		return cands
+	}
+	ranks := make([]int, len(cands))
+	idle := make([]int, len(cands))
+	for i, c := range cands {
+		ranks[i] = routeUnmapped
+		d, vol, _, err := s.locate(c)
+		if err != nil {
+			continue
+		}
+		switch {
+		case s.libDown(d):
+			ranks[i] = routeDownLib
+		case s.volumeLoaded(d, vol):
+			ranks[i] = routeLoaded
+		default:
+			idle[i] = s.idleDrives(d)
+			if idle[i] > 0 {
+				ranks[i] = routeIdleLib
+			} else {
+				ranks[i] = routeBusyLib
 			}
 		}
-		return out
 	}
-	return cands
+	order := make([]int, len(cands))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		if ranks[order[a]] != ranks[order[b]] {
+			return ranks[order[a]] < ranks[order[b]]
+		}
+		// Among idle libraries prefer the one with more free drives —
+		// crude load balancing across changers.
+		if ranks[order[a]] == routeIdleLib {
+			return idle[order[a]] > idle[order[b]]
+		}
+		return false
+	})
+	out := make([]int, len(cands))
+	for i, oi := range order {
+		out[i] = cands[oi]
+	}
+	if out[0] != tag {
+		s.audit.Record(attr.Decision{
+			T: s.k.Now(), Actor: "tert.route", Subject: fmt.Sprintf("copy %d", out[0]),
+			Seg: tag, Verdict: attr.VerdictRouted, Reason: routeRankName(ranks[order[0]]),
+			Inputs: []attr.Input{attr.In("copy", float64(out[0])), attr.In("rank", float64(ranks[order[0]]))},
+		})
+	}
+	return out
+}
+
+// libDown reports whether the device is a library that is out of
+// service; bare devices are always in service.
+func (s *Service) libDown(d int) bool {
+	if l, ok := s.fps[d].(interface{ Down() bool }); ok {
+		return l.Down()
+	}
+	return false
+}
+
+// idleDrives reports how many of the device's drives could start a
+// request without queueing (0 for devices that cannot say).
+func (s *Service) idleDrives(d int) int {
+	if c, ok := s.fps[d].(interface{ IdleHealthyDrives() int }); ok {
+		return c.IdleHealthyDrives()
+	}
+	return 0
+}
+
+// volumeLoaded reports whether the device already holds vol in a drive.
+func (s *Service) volumeLoaded(d, vol int) bool {
+	vc, ok := s.fps[d].(VolumeLoadedChecker)
+	return ok && vc.VolumeLoaded(vol)
 }
 
 // ioLoop is the I/O process: it executes whole-segment transfers between
@@ -650,26 +755,6 @@ func (s *Service) ioLoop(p *sim.Proc) {
 // a volume is already in a drive.
 type VolumeLoadedChecker interface {
 	VolumeLoaded(vol int) bool
-}
-
-// closestCopy picks which physical copy of tag to read: the primary, or a
-// replica whose volume is already loaded in a drive (avoiding a media
-// swap). Without replicas or loaded alternatives it returns tag itself.
-func (s *Service) closestCopy(tag int) int {
-	if s.AltCopies == nil {
-		return tag
-	}
-	cands := append([]int{tag}, s.AltCopies(tag)...)
-	for _, c := range cands {
-		d, vol, _, err := s.locate(c)
-		if err != nil {
-			continue
-		}
-		if vc, ok := s.fps[d].(VolumeLoadedChecker); ok && vc.VolumeLoaded(vol) {
-			return c
-		}
-	}
-	return tag
 }
 
 // locate resolves a tertiary segment index to (device, volume, volseg).
