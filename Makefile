@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race verify bench bench-json bench-check crash
+.PHONY: all build test vet race verify bench bench-json bench-check crash profile
 
 all: verify
 
@@ -41,3 +41,16 @@ bench-json:
 # intended performance change, regenerate the baseline with bench-json.
 bench-check:
 	$(GO) run ./cmd/benchcheck
+
+# CPU profile of the multi-round migration + demand-fetch workload: run
+# hlbench -serve (which exposes net/http/pprof) against the loopback,
+# capture a profile into profiles/cpu.pprof, then shut the server down.
+# Inspect with `go tool pprof profiles/cpu.pprof`.
+PROFILE_ADDR ?= 127.0.0.1:18925
+profile:
+	mkdir -p profiles
+	$(GO) build -o profiles/hlbench.bin ./cmd/hlbench
+	profiles/hlbench.bin -quick -serve $(PROFILE_ADDR) -rounds 8 & pid=$$!; \
+	sleep 2; \
+	$(GO) tool pprof -seconds 15 -proto -output profiles/cpu.pprof http://$(PROFILE_ADDR)/debug/pprof/profile; \
+	status=$$?; kill $$pid 2>/dev/null; exit $$status

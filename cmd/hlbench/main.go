@@ -6,13 +6,20 @@
 //
 // Usage:
 //
-//	hlbench [-table N] [-quick] [-trace FILE] [-json FILE] [-serve ADDR [-rounds N]]
+//	hlbench [-table N] [-quick] [-disks N] [-stripe U] [-parity] [-streams K]
+//	        [-trace FILE] [-json FILE] [-serve ADDR [-rounds N]]
 //
 // Without -table every table is produced. -quick runs a reduced-scale
 // configuration (seconds instead of a minute); the default reproduces the
 // paper's configuration: an 848 MB RZ57 partition, a 3.2 MB buffer cache,
 // an HP 6300 MO jukebox constrained to 40 MB per platter, and a 51.2 MB
 // large object.
+//
+// -disks splits the main disk's capacity over N spindles; -stripe U
+// interleaves them with a stripe unit of U 4 KB blocks (0 concatenates)
+// and -parity adds a rotating parity unit per stripe row. -streams K runs
+// K concurrent tertiary I/O streams. The defaults keep the paper's
+// single-spindle, single-stream configuration.
 //
 // -trace FILE additionally runs the migration + demand-fetch workload
 // with full span retention and writes a Chrome trace-event JSON file
@@ -57,9 +64,13 @@ func writeTo(path string, fn func(*os.File) error) error {
 func main() {
 	table := flag.Int("table", 0, "produce only this table (1-6); 0 = all")
 	quick := flag.Bool("quick", false, "reduced-scale configuration for a fast run")
-	ablations := flag.Bool("ablations", false, "also run the policy ablations (cache eviction, copy-out scheduling, STP exponents, migration granularity, media-fault rate, crash-recovery cost, replication)")
+	ablations := flag.Bool("ablations", false, "also run the policy ablations (cache eviction, copy-out scheduling, STP exponents, migration granularity, media-fault rate, crash-recovery cost, replication, disk-farm scaling)")
 	libraries := flag.Int("libraries", 1, "number of MO changers in the tertiary tier (replicated rigs)")
 	replicas := flag.Int("replicas", 0, "tertiary copies per staged segment; <2 disables replication")
+	disks := flag.Int("disks", 1, "spindles in the disk farm (capacity split evenly, private channels when >1)")
+	stripeUnit := flag.Int("stripe", 0, "stripe unit in 4 KB blocks; 0 concatenates the farm")
+	parity := flag.Bool("parity", false, "rotating parity unit per stripe row (needs -stripe and >=3 disks)")
+	streams := flag.Int("streams", 1, "concurrent tertiary I/O streams; <2 keeps the single historical stream")
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON of the migration workload to this file")
 	jsonOut := flag.String("json", "", "write a machine-readable snapshot of all tables + obs counters to this file")
 	serveAddr := flag.String("serve", "", "run the migration workload while serving live telemetry on this address (e.g. 127.0.0.1:8080)")
@@ -74,6 +85,10 @@ func main() {
 	}
 	scale.Libraries = *libraries
 	scale.Replicas = *replicas
+	scale.FarmDisks = *disks
+	scale.StripeUnit = *stripeUnit
+	scale.Parity = *parity
+	scale.Streams = *streams
 
 	if *serveAddr != "" {
 		srv := telemetry.NewServer()
@@ -157,6 +172,7 @@ func main() {
 			bench.AblationFaultRate,
 			bench.AblationCrashRecovery,
 			bench.AblationReplication,
+			bench.AblationDiskScaling,
 		} {
 			rep, err := run()
 			if err != nil {

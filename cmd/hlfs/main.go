@@ -6,6 +6,7 @@
 // Usage:
 //
 //	hlfs -img DIR init [-disk-segs N] [-cache-segs N] [-vols N] [-segs-per-vol N] [-libraries N] [-replicas N]
+//	                   [-spindles N [-stripe U [-parity]]] [-streams K]
 //	hlfs -img DIR put LOCALFILE /path
 //	hlfs -img DIR get /path LOCALFILE
 //	hlfs -img DIR ls [/path]
@@ -60,6 +61,10 @@ func main() {
 		fs.IntVar(&cfg.SegsPerVol, "segs-per-vol", cfg.SegsPerVol, "segments per volume")
 		fs.IntVar(&cfg.Libraries, "libraries", cfg.Libraries, "number of identical MO changers (failure domains)")
 		fs.IntVar(&cfg.Replicas, "replicas", cfg.Replicas, "tertiary copies per staged segment; <2 disables replication")
+		fs.IntVar(&cfg.Spindles, "spindles", cfg.Spindles, "farm spindles the disk capacity is split over; <2 keeps one disk")
+		fs.IntVar(&cfg.StripeUnit, "stripe", cfg.StripeUnit, "stripe unit in 4 KB blocks; 0 concatenates the farm")
+		fs.BoolVar(&cfg.Parity, "parity", cfg.Parity, "rotating parity unit per stripe row (needs -stripe and >=3 spindles)")
+		fs.IntVar(&cfg.Streams, "streams", cfg.Streams, "concurrent tertiary I/O streams; <2 keeps the single stream")
 		must(fs.Parse(rest))
 		inst, err = imagefs.Init(k, *img, cfg)
 		check(err)

@@ -763,3 +763,171 @@ func AblationBlockRange() (*Report, error) {
 	}
 	return rep, nil
 }
+
+// diskScalingResult is one cell of the AblationDiskScaling matrix.
+type diskScalingResult struct {
+	stageS   float64 // staging phase (disk-bound): gather + staging writes
+	drainS   float64 // copy-out drain (jukebox-bound)
+	stagedMB float64
+}
+
+// runDiskScaling migrates a fixed multi-file workload on an nd-spindle
+// striped farm with the given number of tertiary I/O streams. Copy-outs
+// are delayed so the two pipeline phases are separately timeable: the
+// staging phase exercises the farm (chunked gather reads and staging
+// writes stripe over all arms), the drain phase exercises the concurrent
+// I/O streams against the two-drive jukebox.
+func runDiskScaling(nd, streams int, parity bool) (diskScalingResult, error) {
+	const (
+		segBlocks  = 128           // 512 KB segments: region-switch seeks amortize
+		perDisk    = 96            // segments per spindle
+		nfiles     = 12            // 12 MB staged: the two initial media loads amortize
+		fileBlocks = 2 * segBlocks // 1 MB per file
+	)
+	k := sim.NewKernel()
+	var farm []dev.BlockDev
+	for i := 0; i < nd; i++ {
+		// Private channels: the shared SCSI bus would cap the farm at
+		// about two spindles' worth of bandwidth.
+		farm = append(farm, dev.NewDisk(k, dev.RZ57, int64(perDisk*segBlocks), nil))
+	}
+	juke := jukebox.MustNew(k, jukebox.MO6300, 2, 8, 24, segBlocks*lfs.BlockSize, nil)
+	// The paper's single-writer policy reserves drive 0 for the active
+	// writing volume; a parallel drain needs every drive writable (each
+	// keeps one volume of the allocation stripe loaded). Released in all
+	// cells so stream count is the only variable.
+	juke.WriteDrive = -1
+	unit := 0
+	if nd > 1 {
+		unit = 8 // 32 KB stripe unit
+	}
+	var res diskScalingResult
+	var err error
+	k.RunProc(func(p *sim.Proc) {
+		hl, e := core.New(p, core.Config{
+			SegBlocks:  segBlocks,
+			Disks:      farm,
+			StripeUnit: unit,
+			Parity:     parity,
+			Streams:    streams,
+			// Two-volume allocation stripe (every cell, so single-stream
+			// baselines pay the same placement): consecutive staged
+			// segments land on different cartridges and the changer's two
+			// drives each keep one loaded — concurrent streams then write
+			// both drives with no volume contention and no swaps.
+			VolStripe:   2,
+			Jukeboxes:   []jukebox.Footprint{juke},
+			CacheSegs:   32,
+			MaxInodes:   256,
+			BufferBytes: 1 << 20,
+			// Disk-bound on purpose: no CPU copy costs, and gather reads
+			// chunked at a full segment so they stripe over every arm.
+			GatherChunkBlocks: segBlocks,
+		}, true)
+		if e != nil {
+			err = e
+			return
+		}
+		var inums []uint32
+		data := make([]byte, fileBlocks*lfs.BlockSize)
+		for i := 0; i < nfiles; i++ {
+			f, e := hl.FS.Create(p, fmt.Sprintf("/f%d", i))
+			if e != nil {
+				err = e
+				return
+			}
+			if _, e := f.WriteAt(p, data, 0); e != nil {
+				err = e
+				return
+			}
+			inums = append(inums, f.Inum())
+		}
+		if e := hl.FS.Sync(p); e != nil {
+			err = e
+			return
+		}
+		hl.DelayCopyouts = true
+		start := p.Now()
+		staged, e := hl.MigrateFiles(p, inums, false)
+		if e != nil {
+			err = e
+			return
+		}
+		tStage := p.Now()
+		hl.FlushCopyouts(p)
+		if e := hl.CompleteMigration(p); e != nil {
+			err = e
+			return
+		}
+		res = diskScalingResult{
+			stageS:   (tStage - start).Seconds(),
+			drainS:   (p.Now() - tStage).Seconds(),
+			stagedMB: float64(staged) / (1 << 20),
+		}
+	})
+	k.Stop()
+	return res, err
+}
+
+// AblationDiskScaling produces the 1→8 spindle × 1→4 stream scaling
+// curves (ROADMAP item 2): staging throughput against farm size, drain
+// throughput against concurrent tertiary I/O streams, and the rotating-
+// parity overhead. The shape to expect follows the Dagenais RAID model:
+// near-linear staging gains while transfers dominate, flattening as
+// per-arm chunks shrink toward the stripe unit; drain gains capped by the
+// jukebox's two drives.
+func AblationDiskScaling() (*Report, error) {
+	rep := newReport("Ablation: disk-farm scaling (32 KB stripe unit, 12 MB migration)")
+	rep.addf("%-16s %8s %10s %10s %10s", "config", "disks", "stage KB/s", "drain KB/s", "overall KB/s")
+	type cell struct {
+		name   string
+		nd, st int
+		parity bool
+	}
+	cells := []cell{
+		{"d1_s1", 1, 1, false},
+		{"d2_s1", 2, 1, false},
+		{"d4_s1", 4, 1, false},
+		{"d8_s1", 8, 1, false},
+		{"d4_s2", 4, 2, false},
+		{"d4_s4", 4, 4, false},
+		{"d8_s2", 8, 2, false},
+		{"d8_s4", 8, 4, false},
+		{"d4_s2_parity", 4, 2, true},
+		{"d8_s2_parity", 8, 2, true},
+	}
+	got := map[string]diskScalingResult{}
+	for _, c := range cells {
+		r, err := runDiskScaling(c.nd, c.st, c.parity)
+		if err != nil {
+			return rep, fmt.Errorf("disk scaling %s: %w", c.name, err)
+		}
+		got[c.name] = r
+		kbs := func(mb, s float64) float64 {
+			if s <= 0 {
+				return 0
+			}
+			return mb * 1024 / s
+		}
+		stage := kbs(r.stagedMB, r.stageS)
+		drain := kbs(r.stagedMB, r.drainS)
+		overall := kbs(r.stagedMB, r.stageS+r.drainS)
+		rep.addf("%-16s %8d %10.0f %10.0f %10.0f", c.name, c.nd, stage, drain, overall)
+		rep.metric(c.name+"/stage_KBs", stage)
+		rep.metric(c.name+"/drain_KBs", drain)
+		rep.metric(c.name+"/overall_KBs", overall)
+	}
+	// Headline curve points, in the shape bench-check gates on.
+	rep.metric("speedup_d4_vs_d1/stage", got["d1_s1"].stageS/got["d4_s1"].stageS)
+	rep.metric("speedup_d8_vs_d1/stage", got["d1_s1"].stageS/got["d8_s1"].stageS)
+	rep.metric("speedup_s2_vs_s1_d4/drain", got["d4_s1"].drainS/got["d4_s2"].drainS)
+	rep.metric("parity_overhead_d4/stage_pct",
+		100*(got["d4_s2_parity"].stageS-got["d4_s2"].stageS)/got["d4_s2"].stageS)
+	rep.addf("")
+	rep.addf("stage speedup: 4 disks %.2fx, 8 disks %.2fx over 1; drain speedup 2 streams %.2fx over 1 (4 disks); parity stage overhead %.0f%%",
+		got["d1_s1"].stageS/got["d4_s1"].stageS,
+		got["d1_s1"].stageS/got["d8_s1"].stageS,
+		got["d4_s1"].drainS/got["d4_s2"].drainS,
+		100*(got["d4_s2_parity"].stageS-got["d4_s2"].stageS)/got["d4_s2"].stageS)
+	return rep, nil
+}

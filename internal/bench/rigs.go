@@ -37,6 +37,17 @@ type Scale struct {
 	// pre-replication rig.
 	Libraries int // extra identical MO changers beyond the first
 	Replicas  int // tertiary copies per staged segment; <2 disables
+
+	// Farm parameters: FarmDisks > 1 splits the main disk's capacity over
+	// that many RZ57 spindles on private channels (so scaling is not
+	// capped by the shared SCSI bus), striped with StripeUnit blocks
+	// (0 = concatenated) and optional rotating Parity. Streams > 1 adds
+	// concurrent tertiary I/O streams. All zero values keep the committed
+	// single-spindle baselines bit-identical.
+	FarmDisks  int
+	StripeUnit int
+	Parity     bool
+	Streams    int
 }
 
 // HP9000/370 CPU model: the paper's test machine copies data slowly enough
@@ -172,8 +183,24 @@ func newHLRig(s Scale, kind stagingKind) *hlRig {
 	k := sim.NewKernel()
 	o := obs.New(k)
 	bus := dev.NewBus(k, "scsi", dev.SCSIBusRate)
-	main := dev.NewDisk(k, dev.RZ57, int64(s.DiskSegs*s.SegBlocks), bus)
-	main.SetObs(o, "RZ57-main")
+	var farm []dev.BlockDev
+	var main *dev.Disk
+	if s.FarmDisks > 1 {
+		// Multi-spindle farm: capacity split evenly, each spindle on its
+		// own channel (the shared 3.9 MB/s SCSI bus would cap the farm at
+		// about two disks' bandwidth).
+		per := int64(s.DiskSegs * s.SegBlocks / s.FarmDisks)
+		for i := 0; i < s.FarmDisks; i++ {
+			d := dev.NewDisk(k, dev.RZ57, per, nil)
+			d.SetObs(o, fmt.Sprintf("RZ57-farm%d", i))
+			farm = append(farm, d)
+		}
+		main = farm[0].(*dev.Disk)
+	} else {
+		main = dev.NewDisk(k, dev.RZ57, int64(s.DiskSegs*s.SegBlocks), bus)
+		main.SetObs(o, "RZ57-main")
+		farm = []dev.BlockDev{main}
+	}
 	juke := jukebox.MustNew(k, jukebox.MO6300, 2, s.Vols, s.SegsPerVol, s.SegBlocks*lfs.BlockSize, bus)
 	juke.SetObs(o, "")
 	jukes := []jukebox.Footprint{juke}
@@ -185,7 +212,10 @@ func newHLRig(s Scale, kind stagingKind) *hlRig {
 	r := &hlRig{k: k, bus: bus, main: main, juke: juke, obs: o}
 	cfg := core.Config{
 		SegBlocks:         s.SegBlocks,
-		Disks:             []dev.BlockDev{main},
+		Disks:             farm,
+		StripeUnit:        s.StripeUnit,
+		Parity:            s.Parity,
+		Streams:           s.Streams,
 		Jukeboxes:         jukes,
 		Replicas:          s.Replicas,
 		CacheSegs:         s.CacheSegs,
@@ -204,6 +234,11 @@ func newHLRig(s Scale, kind stagingKind) *hlRig {
 		r.staging = dev.NewDisk(k, dev.HP7958A, int64(s.StageSegs*s.SegBlocks), nil)
 	}
 	if r.staging != nil {
+		if s.StripeUnit > 0 && s.FarmDisks > 1 {
+			// A dedicated staging spindle relies on the concatenated
+			// farm's contiguous per-component segment ranges.
+			panic("bench: staging spindle configs require a concatenated farm (StripeUnit 0)")
+		}
 		r.staging.SetObs(o, r.staging.Profile().Name+"-staging")
 		cfg.Disks = append(cfg.Disks, r.staging)
 		cfg.CacheSegs = s.StageSegs

@@ -67,6 +67,19 @@ func BuildSnapshotWith(s Scale, scaleName string, srv *telemetry.Server) (*Bench
 		}
 		snap.Tables[t.name] = m
 	}
+	// The disk-farm scaling curves run at their own fixed geometry (the
+	// striped farm, not the table rig), so one entry covers both scales.
+	{
+		rep, err := AblationDiskScaling()
+		if err != nil {
+			return nil, fmt.Errorf("bench: snapshot disk scaling: %w", err)
+		}
+		m := map[string]float64{}
+		for k, v := range rep.Metrics {
+			m[k] = v
+		}
+		snap.Tables["ablation_disk_scaling"] = m
+	}
 	// One instrumented migration + demand-fetch run for the obs counters
 	// and span totals.
 	r := newHLRig(s, stageOnMain)

@@ -242,6 +242,9 @@ func (c *Cache) Victim() *Line {
 		if len(unworthy) > 0 {
 			cands = unworthy
 		}
+		// cands was built from map iteration; order it before the draw or
+		// the seeded RNG still yields run-dependent victims.
+		sort.Slice(cands, func(i, j int) bool { return cands[i].Tag < cands[j].Tag })
 		return cands[c.rng.Intn(len(cands))]
 	}
 	for _, l := range cands {

@@ -28,6 +28,21 @@ type Config struct {
 	SegBlocks int
 	// Disks form the disk farm, concatenated by the striping driver.
 	Disks []dev.BlockDev
+	// StripeUnit, when positive and more than one disk is given, stripes
+	// the farm (stripe.Interleave) with this stripe unit in 4 KB blocks
+	// instead of concatenating. Zero keeps the paper's concatenation.
+	StripeUnit int
+	// Parity adds a rotating RAID-5-style parity unit per stripe row
+	// (requires StripeUnit and at least three disks).
+	Parity bool
+	// Streams is the number of concurrent tertiary I/O streams (staging
+	// fills and copy-out drains). Values below 2 keep the single
+	// historical stream.
+	Streams int
+	// VolStripe stripes tertiary segment allocation across this many
+	// volumes so concurrent Streams drive different cartridges (see
+	// HighLight.VolStripe). Values below 2 keep sequential allocation.
+	VolStripe int
 	// Jukeboxes are the tertiary devices (device 0 is consumed first).
 	Jukeboxes []jukebox.Footprint
 	// CacheSegs is the static limit of disk segments used as the
@@ -70,7 +85,7 @@ type Config struct {
 type HighLight struct {
 	K     *sim.Kernel
 	Amap  *addr.Map
-	Disk  *stripe.Concat
+	Disk  stripe.Farm
 	FS    *lfs.FS
 	Cache *cache.Cache
 	Svc   *tertiary.Service
@@ -93,6 +108,15 @@ type HighLight struct {
 	stageSeg addr.SegNo // cache-line disk segment holding the image
 	stageOff int        // next free block in the staging segment
 	nextTert int        // next never-used tertiary segment index
+
+	// VolStripe, when > 1, stripes tertiary segment allocation round-robin
+	// across that many volumes of the first library, so concurrent copy-out
+	// streams (Config.Streams) write different cartridges and a multi-drive
+	// changer can service them in parallel. The default sequential
+	// allocation packs volumes in order — bit-identical to the historical
+	// allocator — but serializes concurrent streams on one loaded volume.
+	VolStripe int
+	stripeVol int // next volume in the rotation
 
 	// DelayCopyouts holds completed staging segments until FlushCopyouts
 	// instead of scheduling them immediately ("delaying segment writes to
@@ -177,9 +201,17 @@ func New(p *sim.Proc, cfg Config, format bool) (*HighLight, error) {
 	if len(cfg.Disks) == 0 {
 		return nil, fmt.Errorf("core: no disks")
 	}
-	// Always concatenate, even a single disk: AddDisk appends spindles
-	// to the farm on-line (§6.4).
-	disk, err := stripe.New(cfg.Disks...)
+	// Concatenate by default, even a single disk: AddDisk appends
+	// spindles to the farm on-line (§6.4). A stripe unit switches the
+	// farm to the interleaved layout, trading on-line growth for
+	// bandwidth.
+	var disk stripe.Farm
+	var err error
+	if cfg.StripeUnit > 0 && len(cfg.Disks) > 1 {
+		disk, err = stripe.NewInterleave(cfg.StripeUnit, cfg.Parity, cfg.Disks...)
+	} else {
+		disk, err = stripe.New(cfg.Disks...)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("core: assembling disk farm: %w", err)
 	}
@@ -304,6 +336,14 @@ func New(p *sim.Proc, cfg Config, format bool) (*HighLight, error) {
 	})
 	hl.Svc.SetAttr(hl.Heat)
 	hl.Svc.SetAudit(hl.Audit)
+	if cfg.Streams > 1 {
+		// Extra tertiary I/O streams: staging fills and copy-out drains
+		// overlap instead of strictly alternating on one daemon.
+		hl.Svc.AddIOStreams(cfg.Streams - 1)
+	}
+	if cfg.VolStripe > 1 {
+		hl.VolStripe = cfg.VolStripe
+	}
 	hl.Svc.AltCopies = func(tag int) []int { return hl.replicaOf[tag] }
 	if cfg.Replicas > 1 {
 		hl.Replicas = cfg.Replicas

@@ -6,6 +6,7 @@ import (
 	"repro/internal/addr"
 	"repro/internal/dev"
 	"repro/internal/sim"
+	"repro/internal/stripe"
 )
 
 // On-line storage reconfiguration (§6.4 / §10): disks can join and leave
@@ -15,6 +16,12 @@ import (
 // zone, its segments are initialized clean, and the log can use them
 // immediately. Returns the number of segments added.
 func (hl *HighLight) AddDisk(p *sim.Proc, d dev.BlockDev) (int, error) {
+	c, ok := hl.Disk.(*stripe.Concat)
+	if !ok {
+		// An interleaved farm spreads every stripe row over all spindles;
+		// appending one cannot extend the address space in place.
+		return 0, fmt.Errorf("core: on-line growth requires a concatenated farm, not %T", hl.Disk)
+	}
 	segs := int(d.NumBlocks()) / hl.Amap.SegBlocks()
 	if segs < 1 {
 		return 0, fmt.Errorf("core: disk too small for even one segment")
@@ -23,7 +30,7 @@ func (hl *HighLight) AddDisk(p *sim.Proc, d dev.BlockDev) (int, error) {
 		return 0, err
 	}
 	hl.Amap.GrowDisk(segs) // panics only if regions collide; CanGrow ran first
-	hl.Disk.Append(d)
+	c.Append(d)
 	if err := hl.FS.GrowDisk(p, segs); err != nil {
 		return 0, err
 	}
@@ -72,9 +79,15 @@ func (hl *HighLight) RetireDiskRange(p *sim.Proc, lo, hi addr.SegNo) error {
 }
 
 // ComponentRange reports the disk-segment range [lo, hi) served by farm
-// component i, for use with RetireDiskRange.
+// component i, for use with RetireDiskRange. Only a concatenated farm maps
+// components to contiguous segment ranges; for an interleaved farm the
+// range is empty.
 func (hl *HighLight) ComponentRange(i int) (lo, hi addr.SegNo) {
-	d, start := hl.Disk.Component(i)
+	c, ok := hl.Disk.(*stripe.Concat)
+	if !ok {
+		return 0, 0
+	}
+	d, start := c.Component(i)
 	lo = addr.SegNo(start / int64(hl.Amap.SegBlocks()))
 	hi = lo + addr.SegNo(d.NumBlocks()/int64(hl.Amap.SegBlocks()))
 	return lo, hi

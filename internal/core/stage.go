@@ -27,21 +27,9 @@ func (hl *HighLight) ensureStaging(p *sim.Proc) error {
 	if hl.stageTag >= 0 {
 		return nil
 	}
-	// Scan for the next never-used tertiary segment. After a volume
-	// clean rewinds the cursor, in-use (dirty), reserved (no-store,
-	// e.g. replicas and retired volume tails) and still-cached indices
-	// must all be skipped, not just no-store ones.
-	tag := hl.nextTert
-	for tag < hl.FS.TsegCount() {
-		su := hl.FS.TsegUsage(tag)
-		_, cached := hl.Cache.Peek(tag)
-		if su.Flags == 0 && su.LiveBytes == 0 && !cached && !hl.tagLibDown(tag) {
-			break
-		}
-		tag++
-	}
-	if tag >= hl.FS.TsegCount() {
-		return ErrNoTertiarySpace
+	tag, terr := hl.allocTertTag()
+	if terr != nil {
+		return terr
 	}
 	var seg addr.SegNo
 	for {
@@ -151,6 +139,72 @@ func (hl *HighLight) finishStaging(p *sim.Proc) error {
 	})
 	hl.stageTag = -1
 	return nil
+}
+
+// tagFree reports whether tertiary segment tag can take a new staging
+// image: never used, not reserved (no-store), not still cached, and its
+// library in service.
+func (hl *HighLight) tagFree(tag int) bool {
+	su := hl.FS.TsegUsage(tag)
+	if su.Flags != 0 || su.LiveBytes != 0 {
+		return false
+	}
+	if _, cached := hl.Cache.Peek(tag); cached {
+		return false
+	}
+	return !hl.tagLibDown(tag)
+}
+
+// allocTertTag picks the tertiary segment the next staging line copies
+// out to.
+//
+// The default is the historical scan for the first free tag at or after
+// nextTert. After a volume clean rewinds the cursor, in-use (dirty),
+// reserved (no-store, e.g. replicas and retired volume tails) and
+// still-cached indices must all be skipped, not just no-store ones.
+//
+// With VolStripe > 1 allocation instead rotates across that many volumes
+// of the first library, one segment per volume per turn: consecutive
+// staging segments land on different cartridges, so concurrent copy-out
+// streams keep several changer drives busy instead of serializing on one
+// loaded volume — striping the migration log across media, the tertiary
+// analogue of the disk farm's block interleave.
+func (hl *HighLight) allocTertTag() (int, error) {
+	if hl.VolStripe > 1 {
+		devs := hl.Amap.Devices()
+		nv := hl.VolStripe
+		if nv > devs[0].Vols {
+			nv = devs[0].Vols
+		}
+		for i := 0; i < nv; i++ {
+			v := (hl.stripeVol + i) % nv
+			base, ok := hl.Amap.TertIndex(hl.Amap.SegForLoc(0, v, 0))
+			if !ok {
+				continue
+			}
+			for s := 0; s < devs[0].SegsPerVol; s++ {
+				if tag := base + s; hl.tagFree(tag) {
+					hl.stripeVol = (v + 1) % nv
+					return tag, nil
+				}
+			}
+		}
+		// The striped volumes are full: take anything left anywhere.
+		for tag := 0; tag < hl.FS.TsegCount(); tag++ {
+			if hl.tagFree(tag) {
+				return tag, nil
+			}
+		}
+		return 0, ErrNoTertiarySpace
+	}
+	tag := hl.nextTert
+	for tag < hl.FS.TsegCount() && !hl.tagFree(tag) {
+		tag++
+	}
+	if tag >= hl.FS.TsegCount() {
+		return 0, ErrNoTertiarySpace
+	}
+	return tag, nil
 }
 
 // allocReplicaTag finds a free tertiary segment for a replica of primary

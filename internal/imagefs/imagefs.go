@@ -30,6 +30,16 @@ type Config struct {
 	// ExtraDiskSegs lists disks added on-line with "hlfs grow" (§6.4),
 	// each in segments; they are re-attached in order at load time.
 	ExtraDiskSegs []int `json:"extra_disk_segs,omitempty"`
+	// Spindles splits the DiskSegs capacity over that many farm spindles
+	// (spindle 0 persists as disk.img, the rest as farm1.img, ...).
+	// StripeUnit interleaves them with that stripe unit in 4 KB blocks
+	// (0 concatenates) and Parity adds a rotating parity unit per row.
+	// Streams runs that many concurrent tertiary I/O streams at mount.
+	// Zero values keep the historical single-spindle, single-stream image.
+	Spindles   int  `json:"spindles,omitempty"`
+	StripeUnit int  `json:"stripe_unit,omitempty"`
+	Parity     bool `json:"parity,omitempty"`
+	Streams    int  `json:"streams,omitempty"`
 	// Libraries is the total number of identical MO changers; values
 	// beyond 1 persist as juke1.img, juke2.img, ... Replicas is the
 	// tertiary copy count per staged segment (<2 disables replication).
@@ -63,6 +73,7 @@ type Instance struct {
 	Cfg   Config
 	HL    *core.HighLight
 	Disk  *dev.Disk
+	Farm  []*dev.Disk // farm spindles beyond the first, persisted as farm1.img, ...
 	Extra []*dev.Disk // on-line additions, persisted as disk1.img, ...
 	Juke  *jukebox.Jukebox
 	// ExtraJukes holds libraries beyond the first, persisted as
@@ -84,6 +95,10 @@ func extraPath(dir string, i int) string {
 
 func extraJukePath(dir string, i int) string {
 	return filepath.Join(dir, fmt.Sprintf("juke%d.img", i+1))
+}
+
+func farmPath(dir string, i int) string {
+	return filepath.Join(dir, fmt.Sprintf("farm%d.img", i+1))
 }
 
 // AddDisk grows the instance by a fresh disk of segs segments (§6.4),
@@ -146,6 +161,17 @@ func Load(k *sim.Kernel, dir string) (*Instance, error) {
 	if err := inst.Disk.LoadStore(df); err != nil {
 		return nil, err
 	}
+	for i, d := range inst.Farm {
+		ff, err := os.Open(farmPath(dir, i))
+		if err != nil {
+			return nil, err
+		}
+		if err := d.LoadStore(ff); err != nil {
+			ff.Close()
+			return nil, err
+		}
+		ff.Close()
+	}
 	for i, d := range inst.Extra {
 		ef, err := os.Open(extraPath(dir, i))
 		if err != nil {
@@ -189,8 +215,18 @@ func build(k *sim.Kernel, dir string, cfg Config, format bool) (*Instance, error
 
 func buildDevices(k *sim.Kernel, dir string, cfg Config) (*Instance, error) {
 	bus := dev.NewBus(k, "scsi", dev.SCSIBusRate)
-	disk := dev.NewDisk(k, dev.RZ57, int64(cfg.DiskSegs*cfg.SegBlocks), bus)
-	inst := &Instance{Cfg: cfg, Disk: disk, k: k, dir: dir}
+	inst := &Instance{Cfg: cfg, k: k, dir: dir}
+	if cfg.Spindles > 1 {
+		// Farm spindles on private channels, capacity split evenly (the
+		// shared SCSI bus would cap the farm at about two disks' worth).
+		per := int64(cfg.DiskSegs * cfg.SegBlocks / cfg.Spindles)
+		inst.Disk = dev.NewDisk(k, dev.RZ57, per, nil)
+		for i := 1; i < cfg.Spindles; i++ {
+			inst.Farm = append(inst.Farm, dev.NewDisk(k, dev.RZ57, per, nil))
+		}
+	} else {
+		inst.Disk = dev.NewDisk(k, dev.RZ57, int64(cfg.DiskSegs*cfg.SegBlocks), bus)
+	}
 	for _, segs := range cfg.ExtraDiskSegs {
 		inst.Extra = append(inst.Extra, dev.NewDisk(k, dev.RZ58, int64(segs*cfg.SegBlocks), bus))
 	}
@@ -214,6 +250,9 @@ func buildDevices(k *sim.Kernel, dir string, cfg Config) (*Instance, error) {
 func mount(k *sim.Kernel, inst *Instance, format bool) (*Instance, error) {
 	var err error
 	disks := []dev.BlockDev{inst.Disk}
+	for _, d := range inst.Farm {
+		disks = append(disks, d)
+	}
 	for _, d := range inst.Extra {
 		disks = append(disks, d)
 	}
@@ -223,12 +262,15 @@ func mount(k *sim.Kernel, inst *Instance, format bool) (*Instance, error) {
 	}
 	k.RunProc(func(p *sim.Proc) {
 		inst.HL, err = core.New(p, core.Config{
-			SegBlocks: inst.Cfg.SegBlocks,
-			Disks:     disks,
-			Jukeboxes: jukes,
-			CacheSegs: inst.Cfg.CacheSegs,
-			MaxInodes: inst.Cfg.MaxInodes,
-			Replicas:  inst.Cfg.Replicas,
+			SegBlocks:  inst.Cfg.SegBlocks,
+			Disks:      disks,
+			StripeUnit: inst.Cfg.StripeUnit,
+			Parity:     inst.Cfg.Parity,
+			Streams:    inst.Cfg.Streams,
+			Jukeboxes:  jukes,
+			CacheSegs:  inst.Cfg.CacheSegs,
+			MaxInodes:  inst.Cfg.MaxInodes,
+			Replicas:   inst.Cfg.Replicas,
 		}, format)
 	})
 	if err != nil {
@@ -279,6 +321,19 @@ func (inst *Instance) Save() error {
 	}
 	if err := df.Close(); err != nil {
 		return err
+	}
+	for i, d := range inst.Farm {
+		ff, err := os.Create(farmPath(inst.dir, i))
+		if err != nil {
+			return err
+		}
+		if err := d.SaveStore(ff); err != nil {
+			ff.Close()
+			return err
+		}
+		if err := ff.Close(); err != nil {
+			return err
+		}
 	}
 	for i, d := range inst.Extra {
 		ef, err := os.Create(extraPath(inst.dir, i))

@@ -445,8 +445,14 @@ func (j *Jukebox) driveFor(p *sim.Proc, vol int, forWrite bool) (*drive, error) 
 		}
 		// Choose a drive to (re)load: the reserved write drive for
 		// writes, otherwise the least-recently-used non-reserved drive —
-		// offline drives excluded in both cases.
+		// offline drives excluded in both cases. Idle arms are preferred
+		// over busy ones: with several I/O streams in flight, the LRU
+		// drive is often the one a concurrent request just started
+		// loading, and picking it would swap that volume straight back
+		// out. With a single stream every arm is idle at pick time, so
+		// the historical LRU choice is unchanged.
 		var pick *drive
+		pickBusy := false
 		if forWrite && j.WriteDrive >= 0 && !j.drives[j.WriteDrive].offline {
 			pick = j.drives[j.WriteDrive]
 		} else {
@@ -461,7 +467,11 @@ func (j *Jukebox) driveFor(p *sim.Proc, vol int, forWrite bool) (*drive, error) 
 					j.healthyDrives() > 1 && !j.drives[j.WriteDrive].offline {
 					continue
 				}
-				if pick == nil || d.lastUse < pick.lastUse {
+				busy := d.arm.Busy()
+				switch {
+				case pick == nil || (pickBusy && !busy):
+					pick, pickBusy = d, busy
+				case busy == pickBusy && d.lastUse < pick.lastUse:
 					pick = d
 				}
 			}
@@ -485,7 +495,13 @@ func (j *Jukebox) driveFor(p *sim.Proc, vol int, forWrite bool) (*drive, error) 
 			}
 			// Swap: the picker works while the simple (non-disconnecting)
 			// driver hogs the SCSI bus for the entire media change (§7).
+			// The drive↔volume binding is recorded up front, while the arm
+			// is held: a concurrent request for the same volume must queue
+			// on this drive rather than conclude the volume is unloaded and
+			// start a second swap of the same cartridge elsewhere.
 			t0 := p.Now()
+			pick.loaded = vol
+			pick.pos = 0
 			j.picker.Acquire(p)
 			if j.bus != nil {
 				j.bus.Hold(p, j.prof.SwapTime)
@@ -493,8 +509,6 @@ func (j *Jukebox) driveFor(p *sim.Proc, vol int, forWrite bool) (*drive, error) 
 				p.Sleep(j.prof.SwapTime)
 			}
 			j.picker.Release(p)
-			pick.loaded = vol
-			pick.pos = 0
 			j.stats.Swaps++
 			j.stats.SwapTime += j.prof.SwapTime
 			j.obs.Span(j.track, "jb.swap", "swap", t0,

@@ -280,6 +280,9 @@ func (fs *FS) SelectCleanable(max int) []addr.SegNo {
 		if fs.pendingCleanSet[addr.SegNo(i)] {
 			continue // already cleaned, awaiting checkpoint commit
 		}
+		if fs.migrateBusy[addr.SegNo(i)] {
+			continue // a migration stream is copying out of this segment
+		}
 		live := su.LiveBytes
 		if live > segBytes {
 			live = segBytes
@@ -298,6 +301,28 @@ func (fs *FS) SelectCleanable(max int) []addr.SegNo {
 		out[i] = c.seg
 	}
 	return out
+}
+
+// ReserveSegments marks segments as owned by an in-flight migration
+// stream: SelectCleanable and SelectLeastLive skip them until
+// ReleaseSegments, so a concurrently running cleaner and migrator operate
+// on disjoint segment sets. Reservations are advisory (they only steer
+// the cleaner's choice) and need no lock beyond the caller already
+// running inside the simulation kernel.
+func (fs *FS) ReserveSegments(segs []addr.SegNo) {
+	if fs.migrateBusy == nil {
+		fs.migrateBusy = make(map[addr.SegNo]bool)
+	}
+	for _, s := range segs {
+		fs.migrateBusy[s] = true
+	}
+}
+
+// ReleaseSegments drops reservations made by ReserveSegments.
+func (fs *FS) ReleaseSegments(segs []addr.SegNo) {
+	for _, s := range segs {
+		delete(fs.migrateBusy, s)
+	}
 }
 
 // cleanerReserve is the number of clean segments normal writes may not
@@ -320,6 +345,9 @@ func (fs *FS) SelectLeastLive(max int) []addr.SegNo {
 		}
 		if fs.pendingCleanSet[addr.SegNo(i)] {
 			continue // already cleaned, awaiting checkpoint commit
+		}
+		if fs.migrateBusy[addr.SegNo(i)] {
+			continue // a migration stream is copying out of this segment
 		}
 		cands = append(cands, cand{addr.SegNo(i), su.LiveBytes})
 	}

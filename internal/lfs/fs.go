@@ -180,6 +180,12 @@ type FS struct {
 	pendingClean    []addr.SegNo
 	pendingCleanSet map[addr.SegNo]bool
 
+	// Segments whose block references a migrator has gathered but not yet
+	// finished copying out. The cleaner skips them so it cannot relocate
+	// blocks out from under an in-flight migration stream; see
+	// ReserveSegments.
+	migrateBusy map[addr.SegNo]bool
+
 	recovery RecoveryInfo // filled by Mount
 
 	// EmergencyClean, if set, is invoked (lock held) when the allocator

@@ -1,6 +1,7 @@
 package migrate
 
 import (
+	"repro/internal/addr"
 	"repro/internal/core"
 	"repro/internal/lfs"
 	"repro/internal/obs"
@@ -26,6 +27,17 @@ type Migrator struct {
 	LowWaterSegs, HighWaterSegs int
 	// Interval is the daemon poll period (default 5 virtual seconds).
 	Interval sim.Time
+
+	// Streams, above 1, runs the copy-out pipeline with that many
+	// concurrent tertiary I/O streams (configure core.Config.Streams to
+	// match) and migrates candidates file by file with a bounded
+	// in-flight copy-out window, so staging fills overlap with drains
+	// instead of strictly alternating.
+	Streams int
+	// MaxInFlight bounds outstanding copy-outs in the windowed path.
+	// Zero derives 2×Streams; the window only applies when Streams > 1
+	// or MaxInFlight is set explicitly.
+	MaxInFlight int
 
 	// Stats.
 	Runs        int64
@@ -89,6 +101,32 @@ func (m *Migrator) RunOnce(p *sim.Proc, targetBytes int64) (int64, error) {
 				return staged, err
 			}
 		}
+	} else if w := m.window(); w > 0 {
+		// Pipelined migration: one candidate at a time so completed
+		// staging segments start draining to tertiary while later
+		// candidates are still being gathered, with outstanding
+		// copy-outs capped at the window (the repair daemon's
+		// bounded-concurrency shape). Each file's source segments are
+		// reserved against the cleaner while its refs are in flight.
+		if err := m.HL.FS.Sync(p); err != nil {
+			return 0, err
+		}
+		for _, c := range cands {
+			segs, err := m.sourceSegments(p, c.Inum)
+			if err != nil {
+				return staged, err
+			}
+			m.HL.FS.ReserveSegments(segs)
+			n, err := m.HL.MigrateFiles(p, []uint32{c.Inum}, m.MigrateInodes)
+			m.HL.FS.ReleaseSegments(segs)
+			staged += n
+			if err != nil {
+				return staged, err
+			}
+			for m.HL.Svc.OutstandingCopyouts() >= w {
+				m.HL.Svc.WaitCopyoutProgress(p)
+			}
+		}
 	} else {
 		inums := make([]uint32, len(cands))
 		for i, c := range cands {
@@ -105,6 +143,37 @@ func (m *Migrator) RunOnce(p *sim.Proc, targetBytes int64) (int64, error) {
 	m.Runs++
 	m.BytesStaged += staged
 	return staged, nil
+}
+
+// window reports the copy-out window of the pipelined path, or 0 for the
+// historical single-batch migration.
+func (m *Migrator) window() int {
+	if m.MaxInFlight > 0 {
+		return m.MaxInFlight
+	}
+	if m.Streams > 1 {
+		return 2 * m.Streams
+	}
+	return 0
+}
+
+// sourceSegments lists the distinct disk segments holding a file's blocks
+// — the set to reserve against the cleaner while the file migrates.
+func (m *Migrator) sourceSegments(p *sim.Proc, inum uint32) ([]addr.SegNo, error) {
+	refs, err := m.HL.FS.FileBlockRefs(p, inum)
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[addr.SegNo]bool)
+	var segs []addr.SegNo
+	for _, r := range refs {
+		s := m.HL.Amap.SegOf(r.Addr)
+		if m.HL.Amap.IsDiskSeg(s) && !seen[s] {
+			seen[s] = true
+			segs = append(segs, s)
+		}
+	}
+	return segs, nil
 }
 
 // Daemon runs the migrator as a background process: when the clean-segment

@@ -1,0 +1,103 @@
+package sim
+
+import (
+	"container/heap"
+	"testing"
+)
+
+// refHeap is the historical container/heap implementation of the event
+// queue, kept here as the reference the concrete heap must match.
+type refHeap []event
+
+func (h refHeap) Len() int { return len(h) }
+func (h refHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h refHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *refHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *refHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// TestEventHeapMatchesContainerHeap pins the concrete sift-up/sift-down
+// implementation to container/heap: for an adversarial mix of pushes and
+// pops (including equal timestamps, where only seq breaks the tie) the
+// pop sequence must be identical element for element. Identical pop order
+// is what keeps every virtual-time trace bit-identical across the
+// container/heap removal.
+func TestEventHeapMatchesContainerHeap(t *testing.T) {
+	rng := NewRNG(7)
+	var got eventHeap
+	var want refHeap
+	seq := uint64(0)
+	for round := 0; round < 2000; round++ {
+		// Biased toward pushes so the heaps grow, with bursts of pops.
+		if rng.Intn(3) != 0 || len(got) == 0 {
+			seq++
+			e := event{t: Time(rng.Intn(50)), seq: seq} // heavy tie density
+			got.push(e)
+			heap.Push(&want, e)
+		} else {
+			n := rng.Intn(len(got)) + 1
+			for i := 0; i < n; i++ {
+				g := got.pop()
+				w := heap.Pop(&want).(event)
+				if g.t != w.t || g.seq != w.seq {
+					t.Fatalf("round %d pop %d: concrete heap popped (t=%v seq=%d), container/heap popped (t=%v seq=%d)",
+						round, i, g.t, g.seq, w.t, w.seq)
+				}
+			}
+		}
+	}
+	for len(got) > 0 {
+		g := got.pop()
+		w := heap.Pop(&want).(event)
+		if g.t != w.t || g.seq != w.seq {
+			t.Fatalf("drain: concrete heap popped (t=%v seq=%d), container/heap popped (t=%v seq=%d)",
+				g.t, g.seq, w.t, w.seq)
+		}
+	}
+	if want.Len() != 0 {
+		t.Fatalf("reference heap still holds %d events", want.Len())
+	}
+}
+
+// BenchmarkEventHeap measures the concrete heap against the container/heap
+// reference on the kernel's push/pop pattern (the wall-clock nibble the
+// concrete implementation exists for).
+func BenchmarkEventHeap(b *testing.B) {
+	const window = 512
+	b.Run("concrete", func(b *testing.B) {
+		h := make(eventHeap, 0, window)
+		rng := NewRNG(11)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			h.push(event{t: Time(rng.Intn(1 << 20)), seq: uint64(i)})
+			if len(h) >= window {
+				for len(h) > window/2 {
+					h.pop()
+				}
+			}
+		}
+	})
+	b.Run("container-heap", func(b *testing.B) {
+		h := make(refHeap, 0, window)
+		rng := NewRNG(11)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			heap.Push(&h, event{t: Time(rng.Intn(1 << 20)), seq: uint64(i)})
+			if len(h) >= window {
+				for len(h) > window/2 {
+					heap.Pop(&h)
+				}
+			}
+		}
+	})
+}

@@ -12,7 +12,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"runtime/debug"
 	"sort"
@@ -80,22 +79,59 @@ type event struct {
 	p   *Proc
 }
 
+// eventHeap is a binary min-heap ordered by (time, seq). It is a concrete
+// implementation rather than container/heap: push and pop sit on the
+// kernel's dispatch path for every blocking operation in the simulation,
+// and the interface{} boxing of heap.Push/heap.Pop costs an allocation per
+// event. The sift-up/sift-down order matches container/heap exactly, so
+// event dispatch order — and therefore every virtual-time trace — is
+// unchanged (pinned by TestEventHeapMatchesContainerHeap).
 type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].t != h[j].t {
 		return h[i].t < h[j].t
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
+
+func (h *eventHeap) push(e event) {
+	s := append(*h, e)
+	j := len(s) - 1
+	for j > 0 {
+		parent := (j - 1) / 2
+		if !s.less(j, parent) {
+			break
+		}
+		s[j], s[parent] = s[parent], s[j]
+		j = parent
+	}
+	*h = s
+}
+
+func (h *eventHeap) pop() event {
+	s := *h
+	n := len(s) - 1
+	s[0], s[n] = s[n], s[0]
+	j := 0
+	for {
+		left := 2*j + 1
+		if left >= n {
+			break
+		}
+		small := left
+		if right := left + 1; right < n && s.less(right, left) {
+			small = right
+		}
+		if !s.less(small, j) {
+			break
+		}
+		s[j], s[small] = s[small], s[j]
+		j = small
+	}
+	e := s[n]
+	s[n] = event{} // drop the Proc reference so the backing array does not pin it
+	*h = s[:n]
 	return e
 }
 
@@ -115,7 +151,13 @@ type Kernel struct {
 
 // NewKernel returns a kernel with virtual time zero and no processes.
 func NewKernel() *Kernel {
-	return &Kernel{yield: make(chan struct{})}
+	return &Kernel{
+		yield: make(chan struct{}),
+		// Preallocate the event queue: steady-state simulations keep a
+		// few hundred pending wake-ups, and growing the array on the
+		// dispatch path is pure overhead.
+		events: make(eventHeap, 0, 256),
+	}
 }
 
 // Now reports the current virtual time.
@@ -185,7 +227,7 @@ func (k *Kernel) schedule(t Time, p *Proc) {
 		t = k.now
 	}
 	k.seq++
-	heap.Push(&k.events, event{t: t, seq: k.seq, p: p})
+	k.events.push(event{t: t, seq: k.seq, p: p})
 	if p.state != stateNew {
 		p.state = stateRunnable
 	}
@@ -245,7 +287,7 @@ func (k *Kernel) Run() {
 		if len(k.events) == 0 {
 			panic("sim: deadlock — " + k.describeBlocked())
 		}
-		e := heap.Pop(&k.events).(event)
+		e := k.events.pop()
 		if e.p.state == stateDone {
 			continue // proc was unwound by Stop while an event was pending
 		}

@@ -1,16 +1,29 @@
-// Package stripe implements the concatenating pseudo-device driver of §6.6:
+// Package stripe implements the disk-farm pseudo-device drivers of §6.6:
 // several independent disks presented as a single logical block address
-// space. Requests that span component boundaries are split and directed to
-// each underlying device in order.
+// space. Concat reproduces the paper's simple concatenation; Interleave
+// (interleave.go) adds true striping with an optional rotating parity.
+// Both split spanning requests into per-component sub-requests and issue
+// them on their own simulated processes, so independent disk arms overlap
+// in virtual time.
 package stripe
 
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"repro/internal/dev"
 	"repro/internal/sim"
 )
+
+// Farm is the interface a disk-farm pseudo-device presents to the file
+// system: block I/O, a whole-farm write-cache flush, and component
+// introspection. Concat and Interleave implement it.
+type Farm interface {
+	dev.BlockDev
+	Flush(p *sim.Proc) error
+	Components() int
+}
 
 // Concat is a concatenation of block devices: component 0 owns blocks
 // [0, n0), component 1 owns [n0, n0+n1), and so on.
@@ -19,6 +32,8 @@ type Concat struct {
 	starts []int64 // starts[i] = first block of component i
 	total  int64
 }
+
+var _ Farm = (*Concat)(nil)
 
 // ErrNoDevices is returned by New for an empty component list.
 var ErrNoDevices = errors.New("stripe: no component devices")
@@ -67,15 +82,15 @@ func (c *Concat) Component(i int) (dev.BlockDev, int64) {
 	return c.devs[i], c.starts[i]
 }
 
-// locate finds the component holding blk.
+// locate finds the component holding blk by binary search over the
+// component start table (it sits on every block I/O of the file system).
 func (c *Concat) locate(blk int64) (int, int64) {
-	// Linear scan: disk farms are a handful of spindles.
-	for i := len(c.starts) - 1; i >= 0; i-- {
-		if blk >= c.starts[i] {
-			return i, blk - c.starts[i]
-		}
+	if blk < 0 || blk >= c.total {
+		return -1, 0
 	}
-	return -1, 0
+	// The first component starting beyond blk; its predecessor holds blk.
+	i := sort.Search(len(c.starts), func(i int) bool { return c.starts[i] > blk }) - 1
+	return i, blk - c.starts[i]
 }
 
 func (c *Concat) do(p *sim.Proc, blk int64, buf []byte, write bool) error {
@@ -86,6 +101,7 @@ func (c *Concat) do(p *sim.Proc, blk int64, buf []byte, write bool) error {
 	if blk < 0 || blk+nb > c.total {
 		return fmt.Errorf("stripe: blocks [%d,%d) out of range [0,%d)", blk, blk+nb, c.total)
 	}
+	groups := make([][]op, len(c.devs))
 	for nb > 0 {
 		i, off := c.locate(blk)
 		if i < 0 {
@@ -95,21 +111,12 @@ func (c *Concat) do(p *sim.Proc, blk int64, buf []byte, write bool) error {
 		if span > nb {
 			span = nb
 		}
-		chunk := buf[:span*dev.BlockSize]
-		var err error
-		if write {
-			err = c.devs[i].WriteBlocks(p, off, chunk)
-		} else {
-			err = c.devs[i].ReadBlocks(p, off, chunk)
-		}
-		if err != nil {
-			return err
-		}
+		groups[i] = append(groups[i], op{d: c.devs[i], blk: off, buf: buf[:span*dev.BlockSize]})
 		buf = buf[span*dev.BlockSize:]
 		blk += span
 		nb -= span
 	}
-	return nil
+	return dispatch(p, "stripe.concat", groups, write)
 }
 
 // ReadBlocks implements dev.BlockDev.
@@ -123,14 +130,165 @@ func (c *Concat) WriteBlocks(p *sim.Proc, blk int64, buf []byte) error {
 }
 
 // Flush implements dev.Flusher by draining the write cache of every
-// component that has one.
+// component that has one, all components in parallel.
 func (c *Concat) Flush(p *sim.Proc) error {
-	for _, d := range c.devs {
-		if f, ok := d.(dev.Flusher); ok {
-			if err := f.Flush(p); err != nil {
-				return err
+	return flushAll(p, "stripe.concat", c.devs)
+}
+
+// op is one contiguous transfer against a single component device. When a
+// striped request maps several stripe units to physically adjacent blocks
+// of one spindle, coalesce merges them into a single transfer through a
+// bounce buffer; scatter then lists the request slices the bounce buffer
+// is copied back to after a read (scatter-gather, as an HBA would do it).
+type op struct {
+	d       dev.BlockDev
+	blk     int64
+	buf     []byte
+	scatter [][]byte
+}
+
+// coalesce merges physically adjacent transfers of one component into
+// single larger ops, so a request striped across N spindles costs each
+// arm one rotation instead of one per stripe unit. The ops must be sorted
+// by physical block, which Interleave's row-order split and Concat's
+// span-order split both produce for a contiguous request.
+func coalesce(g []op, write bool) []op {
+	out := g[:0]
+	for _, o := range g {
+		if n := len(out); n > 0 {
+			prev := &out[n-1]
+			if o.blk == prev.blk+int64(len(prev.buf)/dev.BlockSize) {
+				if prev.scatter == nil {
+					prev.scatter = [][]byte{prev.buf}
+				}
+				prev.scatter = append(prev.scatter, o.buf)
+				continue
+			}
+		}
+		out = append(out, o)
+	}
+	for i := range out {
+		o := &out[i]
+		if o.scatter == nil {
+			continue
+		}
+		total := 0
+		for _, part := range o.scatter {
+			total += len(part)
+		}
+		bounce := make([]byte, 0, total)
+		for _, part := range o.scatter {
+			bounce = append(bounce, part...)
+		}
+		o.buf = bounce
+		if write {
+			o.scatter = nil // the gather copy above is all a write needs
+		}
+	}
+	return out
+}
+
+// runOps issues a component's transfers in order from process p.
+func runOps(p *sim.Proc, ops []op, write bool) error {
+	for _, o := range ops {
+		var err error
+		if write {
+			err = o.d.WriteBlocks(p, o.blk, o.buf)
+		} else {
+			err = o.d.ReadBlocks(p, o.blk, o.buf)
+		}
+		if err != nil {
+			return err
+		}
+		if o.scatter != nil {
+			off := 0
+			for _, part := range o.scatter {
+				off += copy(part, o.buf[off:])
 			}
 		}
 	}
 	return nil
+}
+
+// fanout runs the non-nil tasks, one per component index. A single task
+// runs inline in the caller's process — byte-identical in virtual time to
+// the historical serial path, which keeps single-spindle baselines
+// bit-for-bit unchanged. Several tasks each get their own simulated
+// process, spawned in component-index order so kernel event sequence
+// numbers (and thus every FIFO tie-break) are deterministic, and joined on
+// a condition variable. The join is first-error-wins with the lowest
+// component index winning — a rule independent of completion order.
+func fanout(p *sim.Proc, name string, tasks []func(*sim.Proc) error) error {
+	busy, last := 0, -1
+	for i, t := range tasks {
+		if t != nil {
+			busy++
+			last = i
+		}
+	}
+	switch busy {
+	case 0:
+		return nil
+	case 1:
+		return tasks[last](p)
+	}
+	k := p.Kernel()
+	errs := make([]error, len(tasks))
+	done := 0
+	join := k.NewCond(name + ".join")
+	for i, t := range tasks {
+		if t == nil {
+			continue
+		}
+		i, t := i, t
+		k.Go(fmt.Sprintf("%s[%d]", name, i), func(cp *sim.Proc) {
+			errs[i] = t(cp)
+			done++
+			join.Broadcast()
+		})
+	}
+	for done < busy {
+		join.Wait(p)
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// dispatch executes per-component op lists through fanout, coalescing
+// each component's adjacent transfers first.
+func dispatch(p *sim.Proc, name string, groups [][]op, write bool) error {
+	tasks := make([]func(*sim.Proc) error, len(groups))
+	for i, g := range groups {
+		if len(g) == 0 {
+			continue
+		}
+		g := coalesce(g, write)
+		tasks[i] = func(cp *sim.Proc) error { return runOps(cp, g, write) }
+	}
+	return dispatchTasks(p, name, tasks, write)
+}
+
+func dispatchTasks(p *sim.Proc, name string, tasks []func(*sim.Proc) error, write bool) error {
+	kind := ".read"
+	if write {
+		kind = ".write"
+	}
+	return fanout(p, name+kind, tasks)
+}
+
+// flushAll drains every component's write cache in parallel.
+func flushAll(p *sim.Proc, name string, devs []dev.BlockDev) error {
+	tasks := make([]func(*sim.Proc) error, len(devs))
+	for i, d := range devs {
+		f, ok := d.(dev.Flusher)
+		if !ok {
+			continue
+		}
+		tasks[i] = func(cp *sim.Proc) error { return f.Flush(cp) }
+	}
+	return fanout(p, name+".flush", tasks)
 }

@@ -216,6 +216,17 @@ func New(k *sim.Kernel, o *obs.Obs, amap *addr.Map, fps []jukebox.Footprint, dis
 	return s
 }
 
+// AddIOStreams starts n additional I/O daemons draining the same request
+// channel, so several whole-segment transfers (staging fills, copy-out
+// drains) proceed concurrently in virtual time. Each daemon owns its own
+// transfer buffer; the shared channel keeps dispatch order deterministic
+// (FIFO handoff, daemons spawned in a fixed order).
+func (s *Service) AddIOStreams(n int) {
+	for i := 0; i < n; i++ {
+		s.k.GoDaemon(fmt.Sprintf("hl-io-%d", i+1), s.ioLoop)
+	}
+}
+
 // Stats returns a snapshot of the counters.
 func (s *Service) Stats() Stats { return s.stats }
 
