@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race verify bench bench-json bench-check crash profile
+.PHONY: all build test vet race verify bench bench-json bench-check crash soak profile
 
 all: verify
 
@@ -22,6 +22,13 @@ race:
 # run even when the package test cache is warm.
 crash:
 	$(GO) test ./internal/crash/ -run TestCrashMatrix -count=1
+
+# Chaos/overload soaks under the race detector: the combined overload +
+# library-outage storm (double-run digest equality), the replication and
+# repair soaks, and the deadline/cancel suite. -count=1 forces fresh runs.
+soak:
+	$(GO) test -race -count=1 ./internal/svc/ -run 'TestOverloadLibraryOutageSoak|TestCancelMidCopyout|TestQueuedExpiry'
+	$(GO) test -race -count=1 ./internal/core/ -run 'Soak|Repair'
 
 # Tier-1 verification: everything CI runs, in order.
 verify: build vet test race crash

@@ -8,6 +8,7 @@
 //
 //	hlbench [-table N] [-quick] [-disks N] [-stripe U] [-parity] [-streams K]
 //	        [-trace FILE] [-json FILE] [-serve ADDR [-rounds N]]
+//	        [-clients N [-arrival closed|poisson|bursty] [-deadline D]]
 //
 // Without -table every table is produced. -quick runs a reduced-scale
 // configuration (seconds instead of a minute); the default reproduces the
@@ -28,6 +29,13 @@
 // files. -json FILE writes a machine-readable snapshot of every table's
 // metrics plus the observability counters (see `make bench-json`).
 //
+// -clients N runs the closed-loop multi-client overload workload instead
+// of the tables: N clients submit deadline-tagged reads through the
+// admission-controlled front end (internal/svc), with the arrival process
+// chosen by -arrival and the per-request virtual-time deadline by
+// -deadline, and the run reports goodput, shed rate, and interactive
+// latency quantiles.
+//
 // -serve ADDR runs a multi-round migration + demand-fetch workload while
 // serving live telemetry over HTTP: Prometheus-format /metrics, the
 // per-segment heat map as /heatmap JSON, the migration decision audit as
@@ -43,9 +51,12 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"time"
 
 	"repro/internal/bench"
+	"repro/internal/sim"
 	"repro/internal/telemetry"
+	"repro/internal/wl"
 )
 
 // writeTo creates path and streams fn into it.
@@ -75,6 +86,9 @@ func main() {
 	jsonOut := flag.String("json", "", "write a machine-readable snapshot of all tables + obs counters to this file")
 	serveAddr := flag.String("serve", "", "run the migration workload while serving live telemetry on this address (e.g. 127.0.0.1:8080)")
 	rounds := flag.Int("rounds", 3, "workload rounds for -serve")
+	clients := flag.Int("clients", 0, "run the closed-loop overload workload with this many clients through the admission-controlled front end (0 = off)")
+	arrival := flag.String("arrival", "closed", "arrival process for -clients: closed|poisson|bursty")
+	deadline := flag.Duration("deadline", 5*time.Second, "per-request virtual-time deadline for -clients")
 	flag.Parse()
 
 	scale := bench.FullScale()
@@ -89,6 +103,25 @@ func main() {
 	scale.StripeUnit = *stripeUnit
 	scale.Parity = *parity
 	scale.Streams = *streams
+
+	if *clients > 0 {
+		arr, err := wl.ParseArrival(*arrival)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hlbench: -arrival: %v\n", err)
+			os.Exit(2)
+		}
+		rep, err := bench.OverloadReport(bench.OverloadSpec{
+			Clients:  *clients,
+			Arrival:  arr,
+			Deadline: sim.Time(*deadline),
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hlbench: -clients: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(rep)
+		return
+	}
 
 	if *serveAddr != "" {
 		srv := telemetry.NewServer()
@@ -173,6 +206,7 @@ func main() {
 			bench.AblationCrashRecovery,
 			bench.AblationReplication,
 			bench.AblationDiskScaling,
+			bench.AblationOverload,
 		} {
 			rep, err := run()
 			if err != nil {

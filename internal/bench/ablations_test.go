@@ -155,3 +155,49 @@ func TestAblationBlockRange(t *testing.T) {
 			m["block-range/hotquery-ms"], m["whole-file/hotquery-ms"])
 	}
 }
+
+func TestAblationOverload(t *testing.T) {
+	rep, err := AblationOverload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := rep.Metrics
+	// Below capacity nothing is shed; at 4x the queue must overflow and
+	// goodput must degrade by shedding, not by stalling.
+	if m["x0.5/shed_rate"] != 0 {
+		t.Errorf("x0.5 shed %.3f of requests below capacity", m["x0.5/shed_rate"])
+	}
+	if m["x4/shed_rate"] == 0 {
+		t.Error("x4 offered load never shed: the queue bound is not binding")
+	}
+	for _, prev := range []struct{ lo, hi string }{
+		{"x0.5", "x1"}, {"x1", "x2"}, {"x2", "x4"},
+	} {
+		if m[prev.hi+"/shed_rate"] < m[prev.lo+"/shed_rate"] {
+			t.Errorf("shed rate not monotone: %s %.3f > %s %.3f",
+				prev.lo, m[prev.lo+"/shed_rate"], prev.hi, m[prev.hi+"/shed_rate"])
+		}
+		if m[prev.hi+"/goodput"] > m[prev.lo+"/goodput"] {
+			t.Errorf("goodput rose with load: %s %.3f < %s %.3f",
+				prev.lo, m[prev.lo+"/goodput"], prev.hi, m[prev.hi+"/goodput"])
+		}
+	}
+	// Bounded interactive p99 under 4x load: the deadline (5 s) caps how
+	// long any admitted request can linger, so p99 stays within the
+	// histogram bucket holding the deadline instead of growing without
+	// bound as queues deepen.
+	if cap := 10000.0; m["x4/p99_ms"] > cap {
+		t.Errorf("x4 interactive p99 %.0f ms not bounded by the deadline bucket (%.0f ms)",
+			m["x4/p99_ms"], cap)
+	}
+	// Determinism: the table bench-check gates on must reproduce exactly.
+	rep2, err := AblationOverload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range m {
+		if rep2.Metrics[k] != v {
+			t.Errorf("metric %s not deterministic: %v vs %v", k, v, rep2.Metrics[k])
+		}
+	}
+}

@@ -1,0 +1,214 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dev"
+	"repro/internal/jukebox"
+	"repro/internal/lfs"
+	"repro/internal/sim"
+	"repro/internal/svc"
+	"repro/internal/wl"
+)
+
+// Overload study: offered load versus goodput through the admission-
+// controlled front end. The rig is deliberately fetch-bound (a segment
+// cache half the size of the migrated working set, a small file-system
+// buffer) so request service time is dominated by tertiary demand
+// fetches and the two workers saturate at a measurable capacity; load
+// multiples are then applied by scaling the client population.
+
+// OverloadSpec parameterizes one closed-loop overload run (the hlbench
+// -clients/-arrival/-deadline entry point and the ablation cells).
+// Clients defaults to overloadBaseClients x Load: in a closed-loop system
+// offered load scales with concurrency, not think time — N clients can
+// never have more than N requests outstanding, so doubling the arrival
+// rate of a fixed population just makes them wait, while doubling the
+// population actually doubles the pressure on the admission queue.
+type OverloadSpec struct {
+	Clients  int
+	Requests int // per client
+	Arrival  wl.Arrival
+	Deadline sim.Time
+	Load     float64 // offered-load multiple of the 1x base concurrency
+}
+
+// OverloadResult is one measured cell of the overload study.
+type OverloadResult struct {
+	Stats    wl.ClientStats
+	Svc      svc.Stats
+	ShedRate float64 // sheds / distinct requests
+	P99ms    float64 // interactive admission-to-completion p99
+}
+
+// overloadBaseClients x overloadBaseGap set the 1x operating point: four
+// clients with 1.2 s think time keep the two fetch-bound workers busy
+// without queueing; each doubling of the population pushes the admission
+// queue (capacity 4) deeper until it sheds.
+const (
+	overloadBaseClients = 4
+	overloadBaseGap     = 1200 * sim.Time(1e6)
+)
+
+func (spec *OverloadSpec) fill() {
+	if spec.Load <= 0 {
+		spec.Load = 1
+	}
+	if spec.Clients <= 0 {
+		spec.Clients = int(float64(overloadBaseClients)*spec.Load + 0.5)
+		if spec.Clients < 1 {
+			spec.Clients = 1
+		}
+	}
+	if spec.Requests <= 0 {
+		spec.Requests = 25
+	}
+	if spec.Deadline <= 0 {
+		spec.Deadline = 5 * sim.Time(1e9)
+	}
+}
+
+// RunOverload executes one overload cell on a fresh rig.
+func RunOverload(spec OverloadSpec) (OverloadResult, error) {
+	spec.fill()
+	k := sim.NewKernel()
+	var res OverloadResult
+	var err error
+	k.RunProc(func(p *sim.Proc) {
+		res, err = runOverloadCell(p, k, spec)
+	})
+	k.Stop()
+	return res, err
+}
+
+func runOverloadCell(p *sim.Proc, k *sim.Kernel, spec OverloadSpec) (OverloadResult, error) {
+	disk := dev.NewDisk(k, dev.RZ57, 256*64, nil)
+	juke := jukebox.MustNew(k, jukebox.MO6300, 2, 6, 32, 64*lfs.BlockSize, nil)
+	hl, err := core.New(p, core.Config{
+		SegBlocks:   64,
+		Disks:       []dev.BlockDev{disk},
+		Jukeboxes:   []jukebox.Footprint{juke},
+		CacheSegs:   4, // half the migrated working set: reads stay fetch-bound
+		MaxInodes:   256,
+		BufferBytes: 32 * lfs.BlockSize,
+	}, true)
+	if err != nil {
+		return OverloadResult{}, err
+	}
+	fe := svc.New(hl, svc.Config{
+		Workers: 2, ReservedInteractive: 1,
+		InteractiveQueue: 4, BackgroundQueue: 4,
+	})
+
+	// Working set: 20 files across ~8 tertiary segments, fully migrated
+	// and ejected so reads demand-fetch through the cache.
+	var paths []string
+	var inums []uint32
+	for i := 0; i < 20; i++ {
+		path := fmt.Sprintf("/f%02d", i)
+		f, e := hl.FS.Create(p, path)
+		if e != nil {
+			return OverloadResult{}, e
+		}
+		data := make([]byte, 24*lfs.BlockSize)
+		for j := range data {
+			data[j] = byte(i*31 + j)
+		}
+		if _, e := f.WriteAt(p, data, 0); e != nil {
+			return OverloadResult{}, e
+		}
+		paths = append(paths, path)
+		inums = append(inums, f.Inum())
+	}
+	if e := hl.FS.Sync(p); e != nil {
+		return OverloadResult{}, e
+	}
+	if _, e := hl.MigrateFiles(p, inums, false); e != nil {
+		return OverloadResult{}, e
+	}
+	if e := hl.CompleteMigration(p); e != nil {
+		return OverloadResult{}, e
+	}
+	for _, l := range hl.Cache.Lines() {
+		if !l.Staging && l.Pins == 0 {
+			if e := hl.Svc.Eject(l.Tag); e != nil {
+				return OverloadResult{}, e
+			}
+		}
+	}
+
+	cs, err := wl.RunClients(p, fe, hl, paths, wl.ClientSpec{
+		Clients:           spec.Clients,
+		RequestsPerClient: spec.Requests,
+		Arrival:           spec.Arrival,
+		MeanGap:           overloadBaseGap,
+		Deadline:          spec.Deadline,
+		ReadBlocks:        2,
+		Seed:              20260808,
+	})
+	if err != nil {
+		return OverloadResult{}, err
+	}
+	st := fe.Stats()
+	distinct := cs.Submitted - cs.Retries
+	res := OverloadResult{Stats: cs, Svc: st}
+	if distinct > 0 {
+		res.ShedRate = float64(cs.Shed) / float64(distinct)
+	}
+	res.P99ms = float64(st.P99Interactive.Milliseconds())
+	return res, nil
+}
+
+// AblationOverload sweeps offered load at 0.5x/1x/2x/4x the base rate and
+// reports goodput, shed rate, and interactive p99 — the graceful-
+// degradation curve: goodput holds near capacity while the excess is shed
+// explicitly (ErrOverload) or expired at its deadline, and p99 stays
+// bounded by the deadline instead of growing with the queue.
+func AblationOverload() (*Report, error) {
+	rep := newReport("Ablation: offered load vs goodput through the front end (closed-loop poisson clients, 5 s deadline)")
+	rep.addf("%-6s %10s %10s %10s %10s %10s", "load", "goodput", "shed rate", "p99 ms", "completed", "shed")
+	for _, load := range []float64{0.5, 1, 2, 4} {
+		res, err := RunOverload(OverloadSpec{Arrival: wl.ArrivalPoisson, Load: load})
+		if err != nil {
+			return rep, fmt.Errorf("overload x%g: %w", load, err)
+		}
+		name := fmt.Sprintf("x%g", load)
+		rep.addf("%-6s %10.3f %10.3f %10.0f %10d %10d",
+			name, res.Stats.Goodput(), res.ShedRate, res.P99ms, res.Stats.Completed, res.Stats.Shed)
+		rep.metric(name+"/goodput", res.Stats.Goodput())
+		rep.metric(name+"/shed_rate", res.ShedRate)
+		rep.metric(name+"/p99_ms", res.P99ms)
+	}
+	return rep, nil
+}
+
+// OverloadReport runs one cell with the given spec and formats it — the
+// hlbench -clients/-arrival/-deadline entry point.
+func OverloadReport(spec OverloadSpec) (*Report, error) {
+	explicit := spec.Clients > 0
+	spec.fill()
+	res, err := RunOverload(spec)
+	if err != nil {
+		return nil, err
+	}
+	// The load multiple only means something when it derived the
+	// population; an explicit -clients count speaks for itself.
+	head := fmt.Sprintf("Overload run: %d %s clients, %s deadline",
+		spec.Clients, spec.Arrival, spec.Deadline)
+	if !explicit {
+		head = fmt.Sprintf("Overload run: %d %s clients (x%g load), %s deadline",
+			spec.Clients, spec.Arrival, spec.Load, spec.Deadline)
+	}
+	rep := newReport(head)
+	rep.addf("submitted %d (retries %d)  completed %d  shed %d  expired %d  failed %d",
+		res.Stats.Submitted, res.Stats.Retries, res.Stats.Completed,
+		res.Stats.Shed, res.Stats.Expired, res.Stats.Failed)
+	rep.addf("goodput %.3f  shed rate %.3f  interactive p50 %v p99 %v  deadline misses %d",
+		res.Stats.Goodput(), res.ShedRate,
+		res.Svc.P50Interactive, res.Svc.P99Interactive, res.Svc.DeadlineMisses)
+	rep.metric("goodput", res.Stats.Goodput())
+	rep.metric("shed_rate", res.ShedRate)
+	rep.metric("p99_ms", res.P99ms)
+	return rep, nil
+}

@@ -80,6 +80,19 @@ func BuildSnapshotWith(s Scale, scaleName string, srv *telemetry.Server) (*Bench
 		}
 		snap.Tables["ablation_disk_scaling"] = m
 	}
+	// The overload study runs at its own fixed geometry too: the front-end
+	// admission rig, not the table rig, so one entry covers both scales.
+	{
+		rep, err := AblationOverload()
+		if err != nil {
+			return nil, fmt.Errorf("bench: snapshot overload: %w", err)
+		}
+		m := map[string]float64{}
+		for k, v := range rep.Metrics {
+			m[k] = v
+		}
+		snap.Tables["ablation_overload"] = m
+	}
 	// One instrumented migration + demand-fetch run for the obs counters
 	// and span totals.
 	r := newHLRig(s, stageOnMain)

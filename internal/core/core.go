@@ -144,7 +144,13 @@ type HighLight struct {
 
 	// Repair bounds the replica-repair pass (concurrency, retries).
 	Repair RepairPolicy
-	libs   []*jukebox.Library // tertiary devices as failure domains
+
+	// RepairThrottle, if set, is consulted by the repair daemon before
+	// each pass; a true return skips the pass (graceful-degradation
+	// "brownout": background repair yields to interactive traffic).
+	RepairThrottle func() bool
+
+	libs []*jukebox.Library // tertiary devices as failure domains
 
 	retiredSegs int64 // tertiary segments retired after permanent write errors
 
@@ -514,6 +520,12 @@ func (bm *blockMap) ReadBlocks(p *sim.Proc, b addr.BlockNo, buf []byte) error {
 			tag, _ := hl.Amap.TertIndex(seg)
 			line, ok := hl.Cache.Lookup(tag, p.Now())
 			if !ok {
+				// The cache-layer cancellation point: an expired or
+				// canceled request is refused before a demand fetch is
+				// even queued, so shedding leaves no side effects.
+				if err := p.CtxErr(); err != nil {
+					return err
+				}
 				var err error
 				line, err = hl.Svc.DemandFetch(p, tag)
 				if err != nil {

@@ -185,7 +185,7 @@ func (hl *HighLight) repairOne(p *sim.Proc, d Deficit) (int, error) {
 		hl.Audit.Record(attr.Decision{
 			T: p.Now(), Actor: "repair", Subject: fmt.Sprintf("seg:%d", rtag),
 			Seg: d.Tag, Verdict: attr.VerdictRepaired, Reason: "replica re-copied",
-			Inputs: []attr.Input{attr.In("replica", float64(rtag)), attr.In("copies", float64(d.Copies + repaired + 1))},
+			Inputs: []attr.Input{attr.In("replica", float64(rtag)), attr.In("copies", float64(d.Copies+repaired+1))},
 		})
 		hl.Obs.Counter("repair.segments_repaired").Add(1)
 		hl.Obs.Counter("repair.bytes_repaired").Add(int64(hl.Amap.SegBlocks() * lfs.BlockSize))
@@ -295,6 +295,9 @@ func (hl *HighLight) StartRepairDaemon(every sim.Time) {
 			p.Sleep(every)
 			if hl.StagingOpen() || hl.Svc.OutstandingCopyouts() > 0 {
 				continue
+			}
+			if hl.RepairThrottle != nil && hl.RepairThrottle() {
+				continue // brownout: repair yields to interactive traffic
 			}
 			if _, err := hl.RepairPass(p); err != nil {
 				hl.Audit.Record(attr.Decision{

@@ -358,6 +358,13 @@ func (hl *HighLight) StagingOpen() bool { return hl.stageTag >= 0 }
 func (hl *HighLight) MigrateRefs(p *sim.Proc, refs []lfs.BlockRef) (int64, error) {
 	var staged int64
 	for len(refs) > 0 {
+		// The stage-layer cancellation point: a canceled or expired
+		// request stops between staging chunks, never mid-chunk, so the
+		// open staging segment and every scheduled copyout stay
+		// consistent (CompleteMigration later closes them normally).
+		if err := p.CtxErr(); err != nil {
+			return staged, err
+		}
 		if err := hl.ensureStaging(p); err != nil {
 			return staged, err
 		}
@@ -421,6 +428,9 @@ func (hl *HighLight) MigrateFiles(p *sim.Proc, inums []uint32, migrateInodes boo
 	}
 	var inodeBatch []uint32
 	for _, inum := range inums {
+		if err := p.CtxErr(); err != nil {
+			return staged, err // canceled between files; staged work stands
+		}
 		refs, err := hl.FS.FileBlockRefs(p, inum)
 		if err != nil {
 			return staged, err

@@ -54,6 +54,16 @@ type Config struct {
 	EOMVol           int // volume given a reduced actual capacity ...
 	EOMSegs          int // ... of this many segments, to force end-of-medium
 
+	// Streams > 1 runs the copy-out pipeline with that many concurrent
+	// tertiary I/O streams, and VolStripe > 1 stripes tertiary segment
+	// allocation across volumes so those streams drive different
+	// cartridges — the parallel pipeline of the K-stream migration work.
+	// Cuts then land inside concurrent copy-outs, proving recovery with
+	// several tertiary segments in flight at once, not just the serial
+	// path. Zero keeps the historical single stream.
+	Streams   int
+	VolStripe int
+
 	// Trace attaches a full-retention obs domain to every device and the
 	// core during both the workload and recovery. Tracing reads only the
 	// virtual clock and adds no virtual time, so a traced matrix must
@@ -332,6 +342,8 @@ func coreConfig(cfg Config, o *obs.Obs, disk *dev.Disk, juke *jukebox.Jukebox) c
 		CacheSegs:   cfg.CacheSegs,
 		MaxInodes:   cfg.MaxInodes,
 		BufferBytes: 1 << 20,
+		Streams:     cfg.Streams,
+		VolStripe:   cfg.VolStripe,
 		Obs:         o,
 	}
 }

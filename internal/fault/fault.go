@@ -28,6 +28,7 @@ import (
 	"repro/internal/dev"
 	"repro/internal/jukebox"
 	"repro/internal/sim"
+	"repro/internal/stripe"
 )
 
 // Config sets the fault rates of a Plan. All rates are per-operation
@@ -181,8 +182,8 @@ type scheduledLibOutage struct {
 
 // Plan is a compiled fault schedule over a set of devices.
 type Plan struct {
-	cfg       Config
-	salt      uint64
+	cfg        Config
+	salt       uint64
 	injectors  map[string]*injector
 	order      []string // deterministic Stats/report order
 	outages    []scheduledOutage
@@ -224,6 +225,53 @@ func (pl *Plan) InstallDisk(name string, d *dev.Disk) {
 	d.Fault = func(op string, blk int64) error {
 		return in.decide(op, target{vol: -1, seg: blk >> 8})
 	}
+}
+
+// InstallFarmComponent targets one spindle of a disk farm: component i of
+// f gets its own injector under the given name. This is how a chaos plan
+// takes out a single arm of a striped (RAID-5) farm while its siblings
+// stay healthy — the parity read path must then serve degraded-mode reads
+// through the faulted arm. Returns false when the component is not a
+// simulated disk (nothing to hook).
+func (pl *Plan) InstallFarmComponent(name string, f stripe.Farm, i int) bool {
+	d, ok := farmDisk(f, i)
+	if !ok {
+		return false
+	}
+	pl.InstallDisk(name, d)
+	return true
+}
+
+// InstallFarm installs one injector per *dev.Disk component of f, named
+// prefix[i], and reports how many spindles were hooked.
+func (pl *Plan) InstallFarm(prefix string, f stripe.Farm) int {
+	n := 0
+	for i := 0; i < f.Components(); i++ {
+		if pl.InstallFarmComponent(fmt.Sprintf("%s[%d]", prefix, i), f, i) {
+			n++
+		}
+	}
+	return n
+}
+
+// farmDisk resolves component i of a farm to its simulated disk, seeing
+// through both farm layouts (Concat exposes a start offset alongside the
+// device; Interleave does not).
+func farmDisk(f stripe.Farm, i int) (*dev.Disk, bool) {
+	if i < 0 || i >= f.Components() {
+		return nil, false
+	}
+	var bd dev.BlockDev
+	switch farm := f.(type) {
+	case *stripe.Interleave:
+		bd = farm.Component(i)
+	case *stripe.Concat:
+		bd, _ = farm.Component(i)
+	default:
+		return nil, false
+	}
+	d, ok := bd.(*dev.Disk)
+	return d, ok
 }
 
 // AddOutage schedules a drive outage on j. Call before Start.

@@ -538,6 +538,9 @@ func (j *Jukebox) position(p *sim.Proc, d *drive, seg int) {
 
 // ReadSegment implements Footprint.
 func (j *Jukebox) ReadSegment(p *sim.Proc, vol, seg int, buf []byte) error {
+	if err := p.CtxErr(); err != nil {
+		return err // canceled/expired request: refuse before touching a drive
+	}
 	if err := j.checkArgs(vol, seg, buf); err != nil {
 		return err
 	}
@@ -579,6 +582,9 @@ func (j *Jukebox) ReadSegment(p *sim.Proc, vol, seg int, buf []byte) error {
 
 // WriteSegment implements Footprint.
 func (j *Jukebox) WriteSegment(p *sim.Proc, vol, seg int, buf []byte) error {
+	if err := p.CtxErr(); err != nil {
+		return err // canceled/expired request: refuse before touching a drive
+	}
 	if err := j.checkArgs(vol, seg, buf); err != nil {
 		return err
 	}

@@ -39,6 +39,11 @@ type Migrator struct {
 	// or MaxInFlight is set explicitly.
 	MaxInFlight int
 
+	// Throttle, if set, is consulted by Daemon before each migration
+	// round; a true return skips the round (graceful-degradation
+	// "brownout": background migration yields to interactive traffic).
+	Throttle func() bool
+
 	// Stats.
 	Runs        int64
 	BytesStaged int64
@@ -188,6 +193,9 @@ func (m *Migrator) Daemon(p *sim.Proc) {
 	segBytes := int64(m.HL.Amap.SegBlocks()) * lfs.BlockSize
 	for {
 		p.Sleep(interval)
+		if m.Throttle != nil && m.Throttle() {
+			continue // brownout: stand down until pressure clears
+		}
 		free := m.HL.FS.CleanSegs()
 		if free >= m.LowWaterSegs {
 			continue

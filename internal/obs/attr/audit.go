@@ -23,6 +23,14 @@ const (
 	VerdictRepaired  = "repaired"   // replication restored by the repair pass
 	VerdictDeferred  = "deferred"   // repair postponed (no space / all down)
 	VerdictLost      = "lost"       // no surviving copy remains
+
+	// Front-end (admission control / overload protection) verdicts.
+	VerdictAdmitted = "admitted" // request accepted into an admission queue
+	VerdictShed     = "shed"     // request refused (queue full, retry budget, expired deadline)
+	VerdictTripped  = "tripped"  // circuit breaker opened on consecutive failures
+	VerdictProbed   = "probed"   // half-open breaker let one probe request through
+	VerdictRestored = "restored" // breaker closed again after a successful probe
+	VerdictBrownout = "brownout" // graceful-degradation mode entered or left
 )
 
 // Input is one named policy input (heat, age, utilization, pressure)

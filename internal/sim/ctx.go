@@ -1,0 +1,112 @@
+package sim
+
+import "errors"
+
+// Cancellation / deadline errors. They are package-level sentinels so
+// every layer (cache, stage, tertiary, jukebox) can classify an abandoned
+// request with errors.Is without importing the front end.
+var (
+	// ErrDeadlineExceeded marks a request whose virtual-time deadline
+	// passed before it completed.
+	ErrDeadlineExceeded = errors.New("sim: deadline exceeded")
+	// ErrCanceled marks a request canceled by its submitter.
+	ErrCanceled = errors.New("sim: request canceled")
+)
+
+// Ctx is a per-request cancellation scope in virtual time, the simulator's
+// analogue of context.Context. It travels with the Proc executing the
+// request (Proc.PushCtx/PopCtx) so deep layers — the block map, the
+// staging mechanism, the tertiary service, the jukebox drivers — can honor
+// deadlines and cancellation without threading a new parameter through
+// every call signature.
+//
+// The kernel is single-threaded, so no locking: Cancel, Err, and OnCancel
+// all run inside the dispatch loop. A nil *Ctx is valid everywhere and
+// never expires.
+type Ctx struct {
+	k        *Kernel
+	deadline Time // 0 = none
+	err      error
+	wakers   []func()
+}
+
+// NewCtx creates a cancellation scope. deadline is an absolute virtual
+// time; 0 means no deadline (cancel-only).
+func (k *Kernel) NewCtx(deadline Time) *Ctx {
+	return &Ctx{k: k, deadline: deadline}
+}
+
+// Deadline reports the absolute deadline (0 = none). Nil-safe.
+func (c *Ctx) Deadline() Time {
+	if c == nil {
+		return 0
+	}
+	return c.deadline
+}
+
+// Err reports why the scope is dead: ErrCanceled / ErrDeadlineExceeded,
+// or nil while the request may still proceed. The deadline is checked
+// passively against the kernel clock, so blocking layers that poll Err in
+// their wait loops observe expiry as soon as they are woken. Nil-safe.
+func (c *Ctx) Err() error {
+	if c == nil {
+		return nil
+	}
+	if c.err != nil {
+		return c.err
+	}
+	if c.deadline > 0 && c.k.Now() > c.deadline {
+		c.err = ErrDeadlineExceeded
+		return c.err
+	}
+	return nil
+}
+
+// Cancel kills the scope with the given cause (ErrCanceled when nil) and
+// runs the registered wakers so procs blocked on condition variables
+// re-check their predicates. Idempotent; the first cause wins. Nil-safe.
+func (c *Ctx) Cancel(cause error) {
+	if c == nil || c.err != nil {
+		return
+	}
+	if cause == nil {
+		cause = ErrCanceled
+	}
+	c.err = cause
+	ws := c.wakers
+	c.wakers = nil
+	for _, w := range ws {
+		w()
+	}
+}
+
+// OnCancel registers a waker — typically a Cond.Broadcast closure — run
+// when the scope is canceled. If the scope is already dead the waker runs
+// immediately. Nil-safe (no-op on a nil scope).
+func (c *Ctx) OnCancel(w func()) {
+	if c == nil {
+		return
+	}
+	if c.err != nil {
+		w()
+		return
+	}
+	c.wakers = append(c.wakers, w)
+}
+
+// Ctx returns the cancellation scope attached to the process (nil when
+// none is attached).
+func (p *Proc) Ctx() *Ctx { return p.ctx }
+
+// CtxErr is shorthand for p.Ctx().Err().
+func (p *Proc) CtxErr() error { return p.ctx.Err() }
+
+// PushCtx attaches a cancellation scope to the process for the duration
+// of a request, returning a restore function for the previous scope.
+// Layers below read it with p.Ctx(); the worker running requests
+// back-to-back pushes a fresh scope per request.
+func (p *Proc) PushCtx(c *Ctx) (restore func()) {
+	prev := p.ctx
+	p.ctx = c
+	return func() { p.ctx = prev }
+}

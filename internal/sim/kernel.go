@@ -59,6 +59,7 @@ type Proc struct {
 	daemon bool
 	state  procState
 	block  string // description of what the proc is blocked on
+	ctx    *Ctx   // cancellation scope of the request being executed, if any
 
 	resume chan struct{}
 }

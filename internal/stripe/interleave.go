@@ -202,8 +202,23 @@ func (il *Interleave) ReadBlocks(p *sim.Proc, blk int64, buf []byte) error {
 		}
 		groups[e.disk] = append(groups[e.disk], op{d: il.devs[e.disk], blk: e.phys, buf: e.buf})
 	}
-	if err := dispatch(p, "stripe.ileave", groups, false); err != nil {
-		return err
+	errs := dispatchAll(p, "stripe.ileave", groups, false)
+	for d, err := range errs {
+		if err == nil {
+			continue
+		}
+		// A spindle refused the read (injected media fault, dying arm)
+		// without being marked failed. With parity, serve its extents in
+		// degraded mode — reconstruct from the survivors — instead of
+		// failing the request; without parity the error stands.
+		if !il.parity {
+			return err
+		}
+		for _, e := range exts {
+			if e.disk == d {
+				degraded = append(degraded, e)
+			}
+		}
 	}
 	if len(degraded) == 0 {
 		return nil

@@ -219,6 +219,21 @@ func runOps(p *sim.Proc, ops []op, write bool) error {
 // a condition variable. The join is first-error-wins with the lowest
 // component index winning — a rule independent of completion order.
 func fanout(p *sim.Proc, name string, tasks []func(*sim.Proc) error) error {
+	for _, err := range fanoutAll(p, name, tasks) {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fanoutAll is fanout returning every component's error by index instead
+// of just the first — the degraded-read path needs to know *which* spindle
+// refused so it can reconstruct exactly those extents from the survivors.
+// The execution schedule (inline single task, spawn order, join) is
+// identical to fanout's.
+func fanoutAll(p *sim.Proc, name string, tasks []func(*sim.Proc) error) []error {
+	errs := make([]error, len(tasks))
 	busy, last := 0, -1
 	for i, t := range tasks {
 		if t != nil {
@@ -228,12 +243,12 @@ func fanout(p *sim.Proc, name string, tasks []func(*sim.Proc) error) error {
 	}
 	switch busy {
 	case 0:
-		return nil
+		return errs
 	case 1:
-		return tasks[last](p)
+		errs[last] = tasks[last](p)
+		return errs
 	}
 	k := p.Kernel()
-	errs := make([]error, len(tasks))
 	done := 0
 	join := k.NewCond(name + ".join")
 	for i, t := range tasks {
@@ -250,12 +265,7 @@ func fanout(p *sim.Proc, name string, tasks []func(*sim.Proc) error) error {
 	for done < busy {
 		join.Wait(p)
 	}
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
+	return errs
 }
 
 // dispatch executes per-component op lists through fanout, coalescing
@@ -270,6 +280,23 @@ func dispatch(p *sim.Proc, name string, groups [][]op, write bool) error {
 		tasks[i] = func(cp *sim.Proc) error { return runOps(cp, g, write) }
 	}
 	return dispatchTasks(p, name, tasks, write)
+}
+
+// dispatchAll is dispatch returning per-component errors (fanoutAll).
+func dispatchAll(p *sim.Proc, name string, groups [][]op, write bool) []error {
+	tasks := make([]func(*sim.Proc) error, len(groups))
+	for i, g := range groups {
+		if len(g) == 0 {
+			continue
+		}
+		g := coalesce(g, write)
+		tasks[i] = func(cp *sim.Proc) error { return runOps(cp, g, write) }
+	}
+	kind := ".read"
+	if write {
+		kind = ".write"
+	}
+	return fanoutAll(p, name+kind, tasks)
 }
 
 func dispatchTasks(p *sim.Proc, name string, tasks []func(*sim.Proc) error, write bool) error {

@@ -1,0 +1,490 @@
+// Package svc is HighLight's overload-hardened request front end: the
+// admission-control layer between clients (the workload generators, the
+// CLIs) and the core file system.
+//
+// Requests move through a typed lifecycle — submit → admit → queue →
+// execute → complete/fail — with per-request virtual-time deadlines and
+// cancellation propagated down through the cache, staging, tertiary, and
+// jukebox layers via sim.Ctx. Admission queues are bounded per class
+// (interactive reads vs. background migration work); a full queue sheds
+// the request immediately with ErrOverload rather than letting it stall
+// silently. Per-library circuit breakers (breaker.go) trip on consecutive
+// infrastructure failures and route fetches around the sick library via
+// the rank-based router, then half-open probe it back into service.
+//
+// Graceful degradation is ordered: under interactive-queue pressure the
+// front end enters "brownout", throttling background migration and
+// replica repair first while interactive requests keep a reserved worker
+// quota. Every admit, shed, trip, probe, restore, and brownout transition
+// is recorded in the decision audit, and queue depths, shed rates,
+// breaker states, and admission-to-completion latency histograms are
+// exported through the shared observability domain (visible at the
+// telemetry server's /metrics and /decisions endpoints).
+package svc
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/migrate"
+	"repro/internal/obs"
+	"repro/internal/obs/attr"
+	"repro/internal/sim"
+)
+
+// ErrOverload marks a request shed at admission because its class queue
+// was full. Clients match it with errors.Is and either retry (against the
+// front end's retry budget) or report the shed upward — the one thing the
+// front end guarantees is that overload is an explicit error, never a
+// silent stall.
+var ErrOverload = errors.New("svc: overloaded, request shed")
+
+// Class partitions the admission queues.
+type Class int
+
+const (
+	// Interactive is the latency-sensitive class: demand reads, user
+	// requests. It has the larger queue and a reserved worker quota.
+	Interactive Class = iota
+	// Background is the throughput class: migration batches, repair-ish
+	// bulk work. It sheds first and is throttled during brownout.
+	Background
+
+	numClasses
+)
+
+func (c Class) String() string {
+	switch c {
+	case Interactive:
+		return "interactive"
+	case Background:
+		return "background"
+	}
+	return "unknown"
+}
+
+// Config bounds the front end.
+type Config struct {
+	// Workers is the number of request-executing processes (default 4).
+	Workers int
+	// ReservedInteractive is how many workers serve only the interactive
+	// queue — the quota that keeps interactive requests moving during
+	// background floods (default 1, clamped below Workers).
+	ReservedInteractive int
+	// InteractiveQueue / BackgroundQueue bound the per-class admission
+	// queues (defaults 64 / 16). A submit against a full queue is shed
+	// with ErrOverload.
+	InteractiveQueue int
+	BackgroundQueue  int
+	// RetryBudget caps banked retry tokens; RetryPerAdmits is how many
+	// admissions earn one token (defaults 8 and 10: at most ~10% of
+	// admitted traffic can be retries, so retries cannot amplify an
+	// overload into a collapse).
+	RetryBudget    int
+	RetryPerAdmits int
+	// BrownoutHi / BrownoutLo are the interactive queue-depth watermarks
+	// with hysteresis: at Hi the front end enters brownout (background
+	// migration and replica repair stand down), at Lo it exits.
+	// Defaults: half and an eighth of InteractiveQueue.
+	BrownoutHi int
+	BrownoutLo int
+	// Breaker configures the per-library circuit breakers.
+	Breaker BreakerConfig
+}
+
+func (c *Config) fill() {
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.ReservedInteractive <= 0 {
+		c.ReservedInteractive = 1
+	}
+	if c.ReservedInteractive >= c.Workers {
+		c.ReservedInteractive = c.Workers - 1
+	}
+	if c.InteractiveQueue <= 0 {
+		c.InteractiveQueue = 64
+	}
+	if c.BackgroundQueue <= 0 {
+		c.BackgroundQueue = 16
+	}
+	if c.RetryBudget <= 0 {
+		c.RetryBudget = 8
+	}
+	if c.RetryPerAdmits <= 0 {
+		c.RetryPerAdmits = 10
+	}
+	if c.BrownoutHi <= 0 {
+		c.BrownoutHi = c.InteractiveQueue / 2
+	}
+	if c.BrownoutLo <= 0 {
+		c.BrownoutLo = c.InteractiveQueue / 8
+	}
+	if c.BrownoutLo >= c.BrownoutHi {
+		c.BrownoutLo = c.BrownoutHi / 2
+	}
+}
+
+// Request is one unit of admitted work moving through the lifecycle.
+type Request struct {
+	ID       int64
+	Class    Class
+	Deadline sim.Time // absolute virtual time; 0 = none
+
+	fn  func(p *sim.Proc) error
+	ctx *sim.Ctx
+
+	submitT  sim.Time
+	startT   sim.Time // 0 until execution begins
+	endT     sim.Time
+	finished bool
+	err      error
+	done     *sim.Cond
+}
+
+// Cancel abandons the request: a queued request is shed when a worker
+// reaches it, a running one is unwound at its next cancellation point
+// (cache miss, fetch wait, staging chunk boundary, jukebox entry).
+func (r *Request) Cancel() {
+	if !r.finished {
+		r.ctx.Cancel(nil)
+	}
+}
+
+// Wait blocks until the request completes or is shed, returning its error.
+func (r *Request) Wait(p *sim.Proc) error {
+	for !r.finished {
+		r.done.Wait(p)
+	}
+	return r.err
+}
+
+// Err returns the terminal error (nil while unfinished or on success).
+func (r *Request) Err() error { return r.err }
+
+// Finished reports whether the request reached a terminal state.
+func (r *Request) Finished() bool { return r.finished }
+
+// FrontEnd is the admission-controlled request front end over one
+// HighLight instance. Create it with New; all methods must be called from
+// procs of the instance's kernel.
+type FrontEnd struct {
+	HL       *core.HighLight
+	Cfg      Config
+	Breakers *BreakerSet
+
+	k      *sim.Kernel
+	queues [numClasses][]*Request
+	work   *sim.Cond
+	nextID int64
+
+	brownout        bool
+	retryTokens     int
+	admitsSinceEarn int
+
+	// Instruments (all exported via the shared obs domain).
+	qGauge    [numClasses]*obs.Gauge
+	latH      [numClasses]*obs.Histogram
+	admitted  *obs.Counter
+	shed      *obs.Counter
+	expiredQ  *obs.Counter
+	completed *obs.Counter
+	failed    *obs.Counter
+	misses    *obs.Counter
+	retryOK   *obs.Counter
+	retryNo   *obs.Counter
+	brownG    *obs.Gauge
+}
+
+// New builds the front end over hl, wires the circuit breakers into the
+// tertiary fetch router and the brownout signal into the repair daemon,
+// and starts the worker processes. Attach the migrator's throttle with
+// AttachMigrator.
+func New(hl *core.HighLight, cfg Config) *FrontEnd {
+	cfg.fill()
+	fe := &FrontEnd{
+		HL:          hl,
+		Cfg:         cfg,
+		k:           hl.K,
+		work:        hl.K.NewCond("svc.work"),
+		retryTokens: cfg.RetryBudget,
+	}
+	fe.Breakers = NewBreakerSet(hl.K, len(hl.Libraries()), cfg.Breaker, hl.Obs, hl.Audit)
+	hl.Svc.Breaker = fe.Breakers
+	hl.RepairThrottle = fe.InBrownout
+
+	o := hl.Obs
+	for c := Class(0); c < numClasses; c++ {
+		fe.qGauge[c] = o.Gauge("svc.queue." + c.String())
+		fe.latH[c] = o.Histogram("svc.latency."+c.String(), obs.LatencyBounds)
+	}
+	fe.admitted = o.Counter("svc.admitted")
+	fe.shed = o.Counter("svc.shed")
+	fe.expiredQ = o.Counter("svc.expired_in_queue")
+	fe.completed = o.Counter("svc.completed")
+	fe.failed = o.Counter("svc.failed")
+	fe.misses = o.Counter("svc.deadline_misses")
+	fe.retryOK = o.Counter("svc.retries_granted")
+	fe.retryNo = o.Counter("svc.retries_denied")
+	fe.brownG = o.Gauge("svc.brownout")
+
+	for i := 0; i < cfg.Workers; i++ {
+		reserved := i < cfg.ReservedInteractive
+		fe.k.GoDaemon(fmt.Sprintf("svc-worker-%d", i), func(p *sim.Proc) {
+			fe.worker(p, reserved)
+		})
+	}
+	return fe
+}
+
+// AttachMigrator points the migrator's brownout throttle at the front
+// end, so background migration stands down while interactive queues are
+// deep.
+func (fe *FrontEnd) AttachMigrator(m *migrate.Migrator) {
+	m.Throttle = fe.InBrownout
+}
+
+// InBrownout reports whether the front end is currently shedding
+// background work to protect interactive latency.
+func (fe *FrontEnd) InBrownout() bool { return fe.brownout }
+
+// QueueDepth reports the current admission-queue depth of one class.
+func (fe *FrontEnd) QueueDepth(c Class) int { return len(fe.queues[c]) }
+
+// Submit admits fn under class with an absolute virtual-time deadline
+// (0 = none), waits for it to complete, and returns its error. A full
+// queue returns ErrOverload immediately.
+func (fe *FrontEnd) Submit(p *sim.Proc, class Class, deadline sim.Time, fn func(p *sim.Proc) error) error {
+	r, err := fe.SubmitAsync(p, class, deadline, fn)
+	if err != nil {
+		return err
+	}
+	return r.Wait(p)
+}
+
+// SubmitAsync admits fn and returns without waiting; call Wait on the
+// returned request. A full queue sheds with ErrOverload (nil request).
+func (fe *FrontEnd) SubmitAsync(p *sim.Proc, class Class, deadline sim.Time, fn func(p *sim.Proc) error) (*Request, error) {
+	capacity := fe.Cfg.InteractiveQueue
+	if class == Background {
+		capacity = fe.Cfg.BackgroundQueue
+	}
+	fe.nextID++
+	id := fe.nextID
+	if len(fe.queues[class]) >= capacity {
+		fe.shed.Add(1)
+		fe.HL.Audit.Record(attr.Decision{
+			T: p.Now(), Actor: "svc", Subject: fmt.Sprintf("req:%d", id),
+			Seg: -1, Verdict: attr.VerdictShed, Reason: class.String() + " queue full",
+			Inputs: []attr.Input{
+				attr.In("class", float64(class)),
+				attr.In("depth", float64(len(fe.queues[class]))),
+				attr.In("capacity", float64(capacity)),
+			},
+		})
+		return nil, fmt.Errorf("%w: %s queue full (%d)", ErrOverload, class, capacity)
+	}
+	r := &Request{
+		ID:       id,
+		Class:    class,
+		Deadline: deadline,
+		fn:       fn,
+		ctx:      fe.k.NewCtx(deadline),
+		submitT:  p.Now(),
+		done:     fe.k.NewCond(fmt.Sprintf("svc.req-%d", id)),
+	}
+	fe.admitted.Add(1)
+	fe.earnRetryToken()
+	fe.HL.Audit.Record(attr.Decision{
+		T: p.Now(), Actor: "svc", Subject: fmt.Sprintf("req:%d", id),
+		Seg: -1, Verdict: attr.VerdictAdmitted, Reason: class.String(),
+		Inputs: []attr.Input{
+			attr.In("class", float64(class)),
+			attr.In("depth", float64(len(fe.queues[class]))),
+			attr.In("deadline_ms", float64(deadline.Milliseconds())),
+		},
+	})
+	fe.queues[class] = append(fe.queues[class], r)
+	fe.qGauge[class].Set(int64(len(fe.queues[class])))
+	fe.updateBrownout(p.Now())
+	if deadline > 0 {
+		fe.startWatchdog(r)
+	}
+	fe.work.Broadcast()
+	return r, nil
+}
+
+// startWatchdog spawns the per-request deadline process: it sleeps until
+// the deadline and, if the request is still live, cancels its scope —
+// waking any layer blocked on the request (fetch waits re-check their
+// context and abandon).
+func (fe *FrontEnd) startWatchdog(r *Request) {
+	fe.k.GoDaemon(fmt.Sprintf("svc-deadline-%d", r.ID), func(p *sim.Proc) {
+		if d := r.Deadline - p.Now(); d > 0 {
+			p.Sleep(d)
+		}
+		if !r.finished {
+			r.ctx.Cancel(sim.ErrDeadlineExceeded)
+		}
+	})
+}
+
+// AllowRetry spends one retry token if any are banked. Clients call it
+// after an ErrOverload shed; a false return means the budget is exhausted
+// and the client must surface the shed instead of retrying.
+func (fe *FrontEnd) AllowRetry() bool {
+	if fe.retryTokens > 0 {
+		fe.retryTokens--
+		fe.retryOK.Add(1)
+		return true
+	}
+	fe.retryNo.Add(1)
+	return false
+}
+
+// earnRetryToken banks one retry token per RetryPerAdmits admissions,
+// up to RetryBudget.
+func (fe *FrontEnd) earnRetryToken() {
+	fe.admitsSinceEarn++
+	if fe.admitsSinceEarn >= fe.Cfg.RetryPerAdmits {
+		fe.admitsSinceEarn = 0
+		if fe.retryTokens < fe.Cfg.RetryBudget {
+			fe.retryTokens++
+		}
+	}
+}
+
+// updateBrownout applies the hysteresis watermarks to the interactive
+// queue depth and records transitions in the audit.
+func (fe *FrontEnd) updateBrownout(now sim.Time) {
+	depth := len(fe.queues[Interactive])
+	switch {
+	case !fe.brownout && depth >= fe.Cfg.BrownoutHi:
+		fe.brownout = true
+		fe.brownG.Set(1)
+		fe.HL.Audit.Record(attr.Decision{
+			T: now, Actor: "svc", Subject: "brownout",
+			Seg: -1, Verdict: attr.VerdictBrownout, Reason: "enter: interactive queue over high watermark",
+			Inputs: []attr.Input{
+				attr.In("depth", float64(depth)),
+				attr.In("hi", float64(fe.Cfg.BrownoutHi)),
+			},
+		})
+	case fe.brownout && depth <= fe.Cfg.BrownoutLo:
+		fe.brownout = false
+		fe.brownG.Set(0)
+		fe.HL.Audit.Record(attr.Decision{
+			T: now, Actor: "svc", Subject: "brownout",
+			Seg: -1, Verdict: attr.VerdictBrownout, Reason: "exit: interactive queue under low watermark",
+			Inputs: []attr.Input{
+				attr.In("depth", float64(depth)),
+				attr.In("lo", float64(fe.Cfg.BrownoutLo)),
+			},
+		})
+	}
+}
+
+// worker is one request-executing process. Reserved workers serve only
+// the interactive queue; the rest serve interactive first, then
+// background — strict priority, which combined with the reserved quota is
+// what keeps interactive latency bounded while background work floods.
+func (fe *FrontEnd) worker(p *sim.Proc, reservedInteractive bool) {
+	for {
+		r := fe.dequeue(p, reservedInteractive)
+		// Queued expiry: a request whose deadline passed (or that was
+		// canceled) while waiting is shed here, before any layer below
+		// sees it — no fetch is queued, no staging line touched.
+		if err := r.ctx.Err(); err != nil {
+			fe.expiredQ.Add(1)
+			fe.HL.Audit.Record(attr.Decision{
+				T: p.Now(), Actor: "svc", Subject: fmt.Sprintf("req:%d", r.ID),
+				Seg: -1, Verdict: attr.VerdictShed, Reason: "expired in queue: " + err.Error(),
+				Inputs: []attr.Input{
+					attr.In("class", float64(r.Class)),
+					attr.In("waited_ms", float64((p.Now() - r.submitT).Milliseconds())),
+				},
+			})
+			fe.complete(r, fmt.Errorf("svc: request %d shed before execution: %w", r.ID, err))
+			continue
+		}
+		r.startT = p.Now()
+		restore := p.PushCtx(r.ctx)
+		err := r.fn(p)
+		restore()
+		if r.Deadline > 0 && p.Now() > r.Deadline {
+			fe.misses.Add(1)
+		}
+		fe.complete(r, err)
+	}
+}
+
+// dequeue pops the next request this worker may run, blocking while its
+// queues are empty.
+func (fe *FrontEnd) dequeue(p *sim.Proc, reservedInteractive bool) *Request {
+	for {
+		if q := fe.queues[Interactive]; len(q) > 0 {
+			r := q[0]
+			fe.queues[Interactive] = q[1:]
+			fe.qGauge[Interactive].Set(int64(len(fe.queues[Interactive])))
+			fe.updateBrownout(p.Now())
+			return r
+		}
+		if !reservedInteractive {
+			if q := fe.queues[Background]; len(q) > 0 {
+				r := q[0]
+				fe.queues[Background] = q[1:]
+				fe.qGauge[Background].Set(int64(len(fe.queues[Background])))
+				return r
+			}
+		}
+		fe.work.Wait(p)
+	}
+}
+
+// complete moves a request to its terminal state and wakes its waiters.
+func (fe *FrontEnd) complete(r *Request, err error) {
+	r.finished = true
+	r.err = err
+	r.endT = fe.k.Now()
+	fe.latH[r.Class].Observe(r.endT - r.submitT)
+	if err == nil {
+		fe.completed.Add(1)
+	} else {
+		fe.failed.Add(1)
+	}
+	r.done.Broadcast()
+}
+
+// Stats is a front-end snapshot for reports and tests.
+type Stats struct {
+	Admitted, Shed, ExpiredInQueue    int64
+	Completed, Failed                 int64
+	DeadlineMisses                    int64
+	RetriesGranted, RetriesDenied     int64
+	QueueInteractive, QueueBackground int
+	Brownout                          bool
+	P50Interactive, P99Interactive    sim.Time
+	P50Background, P99Background      sim.Time
+}
+
+// Stats snapshots the counters and latency quantiles.
+func (fe *FrontEnd) Stats() Stats {
+	return Stats{
+		Admitted:         fe.admitted.Value(),
+		Shed:             fe.shed.Value(),
+		ExpiredInQueue:   fe.expiredQ.Value(),
+		Completed:        fe.completed.Value(),
+		Failed:           fe.failed.Value(),
+		DeadlineMisses:   fe.misses.Value(),
+		RetriesGranted:   fe.retryOK.Value(),
+		RetriesDenied:    fe.retryNo.Value(),
+		QueueInteractive: len(fe.queues[Interactive]),
+		QueueBackground:  len(fe.queues[Background]),
+		Brownout:         fe.brownout,
+		P50Interactive:   fe.latH[Interactive].P50(),
+		P99Interactive:   fe.latH[Interactive].P99(),
+		P50Background:    fe.latH[Background].P50(),
+		P99Background:    fe.latH[Background].P99(),
+	}
+}

@@ -188,6 +188,22 @@ type Service struct {
 	// This is more likely to reflect true access locality"). It must
 	// not block.
 	OnFetched func(tag int)
+
+	// Breaker, if set, is the per-library circuit-breaker gate consulted
+	// by the fetch router: copies on a library whose breaker is open rank
+	// just above down libraries (routed around, last-resort only), and
+	// the I/O process reports every per-library attempt outcome so the
+	// gate can trip on consecutive failures and half-open probe later.
+	Breaker BreakerGate
+}
+
+// BreakerGate is the circuit-breaker interface the front end plugs into
+// the fetch router. Allow reports whether library lib should be offered
+// traffic right now (a half-open breaker says yes exactly once per probe
+// window); OnResult feeds back the outcome of one attempt against lib.
+type BreakerGate interface {
+	Allow(lib int) bool
+	OnResult(lib int, err error)
 }
 
 // New creates the service over the given devices and cache and starts the
@@ -303,6 +319,9 @@ func (s *Service) segBytes() int { return s.amap.SegBlocks() * dev.BlockSize }
 // returns its cache line. Callers may hold the file system lock: the
 // service path never acquires it.
 func (s *Service) DemandFetch(p *sim.Proc, tag int) (*cache.Line, error) {
+	if err := p.CtxErr(); err != nil {
+		return nil, fmt.Errorf("tertiary: fetch of segment %d abandoned: %w", tag, err)
+	}
 	if l, ok := s.cache.Lookup(tag, p.Now()); ok && !l.Staging {
 		return l, nil
 	} else if ok {
@@ -317,8 +336,18 @@ func (s *Service) DemandFetch(p *sim.Proc, tag int) (*cache.Line, error) {
 	if s.Notify != nil {
 		s.Notify(tag, 0, false)
 	}
+	// A canceled or expired request abandons the wait (the fetch itself
+	// completes in the background and lands in the cache — no work is
+	// lost, only this waiter's interest). The cancel waker broadcasts the
+	// fetch cond so the abandonment is observed immediately, not at the
+	// next completion.
+	ctx := p.Ctx()
+	ctx.OnCancel(w.done.Broadcast)
 	start := p.Now()
 	for !w.over {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("tertiary: fetch of segment %d abandoned: %w", tag, err)
+		}
 		w.done.Wait(p)
 	}
 	if s.Notify != nil {
@@ -593,6 +622,7 @@ const (
 	routeLoaded   = iota // healthy library, volume already in a drive
 	routeIdleLib         // healthy library with an idle drive (swap, no queue)
 	routeBusyLib         // healthy library, all drives busy (queue)
+	routeTripped         // circuit breaker open for the library
 	routeDownLib         // library out of service
 	routeUnmapped        // copy index does not resolve to a location
 )
@@ -605,6 +635,8 @@ func routeRankName(rank int) string {
 		return "idle-drive"
 	case routeBusyLib:
 		return "busy-library"
+	case routeTripped:
+		return "breaker-open"
 	case routeDownLib:
 		return "library-down"
 	}
@@ -637,6 +669,8 @@ func (s *Service) readOrder(tag int) []int {
 		switch {
 		case s.libDown(d):
 			ranks[i] = routeDownLib
+		case s.Breaker != nil && !s.Breaker.Allow(d):
+			ranks[i] = routeTripped
 		case s.volumeLoaded(d, vol):
 			ranks[i] = routeLoaded
 		default:
@@ -725,6 +759,9 @@ func (s *Service) ioLoop(p *sim.Proc) {
 				err = s.withRetry(p, func() error { return s.fps[d].ReadSegment(p, vol, volseg, buf) })
 				s.obs.Span("tertiary.io", "fp.read", "ReadSegment", t0,
 					obs.Arg{Key: "tag", Val: int64(r.tag)}, obs.Arg{Key: "copy", Val: int64(c)})
+				if s.Breaker != nil {
+					s.Breaker.OnResult(d, err)
+				}
 				if err == nil {
 					if c != r.tag {
 						s.stats.ReplicaRedirects++
@@ -756,6 +793,9 @@ func (s *Service) ioLoop(p *sim.Proc) {
 				err = s.withRetry(p, func() error { return s.fps[d].WriteSegment(p, vol, volseg, buf) })
 				s.obs.Span("tertiary.io", "fp.write", "WriteSegment", t0,
 					obs.Arg{Key: "tag", Val: int64(r.tag)})
+				if s.Breaker != nil {
+					s.Breaker.OnResult(d, err)
+				}
 			}
 			s.reqs.Send(p, request{kind: reqCopyoutDone, tag: r.tag, seg: r.seg, pinTag: r.pinTag, err: err, enqueued: p.Now()})
 		}
