@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race verify bench bench-json bench-check crash soak profile
+.PHONY: all build test vet lint race verify bench bench-json bench-check crash soak profile
 
 all: verify
 
@@ -12,6 +12,16 @@ test:
 
 vet:
 	$(GO) vet ./...
+
+# Static analysis: staticcheck when available (CI installs it), otherwise
+# fall back to go vet so the target works on a bare toolchain.
+lint:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		echo staticcheck ./...; staticcheck ./...; \
+	else \
+		echo "lint: staticcheck not on PATH, falling back to go vet"; \
+		$(GO) vet ./...; \
+	fi
 
 race:
 	$(GO) test -race ./...
@@ -30,8 +40,8 @@ soak:
 	$(GO) test -race -count=1 ./internal/svc/ -run 'TestOverloadLibraryOutageSoak|TestCancelMidCopyout|TestQueuedExpiry'
 	$(GO) test -race -count=1 ./internal/core/ -run 'Soak|Repair'
 
-# Tier-1 verification: everything CI runs, in order.
-verify: build vet test race crash
+# Tier-1 verification: everything CI's verify job runs, in order.
+verify: build vet lint test race crash
 
 # Paper-scale table/figure benchmarks live in the root package (see
 # bench_test.go); -benchtime 1x runs each experiment once, as documented

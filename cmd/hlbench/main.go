@@ -54,6 +54,7 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/cliutil"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
 	"repro/internal/wl"
@@ -90,6 +91,15 @@ func main() {
 	arrival := flag.String("arrival", "closed", "arrival process for -clients: closed|poisson|bursty")
 	deadline := flag.Duration("deadline", 5*time.Second, "per-request virtual-time deadline for -clients")
 	flag.Parse()
+
+	if err := cliutil.ValidateFarm(*disks, *stripeUnit, *parity); err != nil {
+		fmt.Fprintf(os.Stderr, "hlbench: %v\n", err)
+		os.Exit(2)
+	}
+	if err := cliutil.ValidateTertiary(*libraries, *replicas); err != nil {
+		fmt.Fprintf(os.Stderr, "hlbench: %v\n", err)
+		os.Exit(2)
+	}
 
 	scale := bench.FullScale()
 	scaleName := "full"
@@ -207,6 +217,7 @@ func main() {
 			bench.AblationReplication,
 			bench.AblationDiskScaling,
 			bench.AblationOverload,
+			bench.AblationPolicy,
 		} {
 			rep, err := run()
 			if err != nil {

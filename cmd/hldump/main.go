@@ -18,6 +18,12 @@
 //	            per-device utilization, counters, and latency histograms
 //	            (-track and -cat narrow it to comma-separated track and
 //	            category lists)
+//	-requests   the HSM request ledger: stage/pin/unpin/evict requests
+//	            with queue states and outcomes (the demo runs a small
+//	            scripted HSM session so the ledger is non-empty)
+//	-pins       active HSM pins and the segments they hold in the cache
+//	-quotas     per-principal HSM quota standing (staged/pinned usage
+//	            against soft and hard limits)
 //	-why N      the policy story for tertiary segment N: its heat record
 //	            and the audited decision chain (selected / skipped /
 //	            staged / copied-out / cleaned) recorded by the migrator,
@@ -31,6 +37,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -41,6 +48,7 @@ import (
 	"repro/internal/dev"
 	"repro/internal/dump"
 	"repro/internal/fault"
+	"repro/internal/hsm"
 	"repro/internal/imagefs"
 	"repro/internal/jukebox"
 	"repro/internal/lfs"
@@ -71,13 +79,16 @@ func main() {
 	timeline := flag.Bool("timeline", false, "virtual-time event timeline + observability summary of the demo run")
 	track := flag.String("track", "", "comma-separated list of tracks to keep in -timeline (empty = all)")
 	cat := flag.String("cat", "", "comma-separated list of categories to keep in -timeline (empty = the default pipeline set)")
+	requests := flag.Bool("requests", false, "HSM request ledger (stage/pin/unpin queue states and outcomes)")
+	pins := flag.Bool("pins", false, "active HSM pins and their pinned segments")
+	quotas := flag.Bool("quotas", false, "per-principal HSM quota standing")
 	why := flag.Int("why", -1, "print the heat record and audited decision chain for this tertiary segment")
 	replicas := flag.Bool("replicas", false, "tertiary replication report: per-library health/capacity, per-segment replica map, under-replicated list (the demo fails a library mid-run and repairs it)")
 	img := flag.String("img", "", "load a file system image directory (from hlfs) instead of the demo")
 	maxSegs := flag.Int("maxsegs", 64, "cap per-segment detail in -layout (0 = all)")
 	flag.Parse()
 
-	all := !*layout && !*addrmap && !*hierarchy && !*datapath && !*summary && !*volumes && !*faults && !*recovery && !*timeline && !*replicas && *why < 0
+	all := !*layout && !*addrmap && !*hierarchy && !*datapath && !*summary && !*volumes && !*faults && !*recovery && !*timeline && !*replicas && !*requests && !*pins && !*quotas && *why < 0
 
 	if *summary || all {
 		fmt.Println(bench.Table1())
@@ -145,6 +156,25 @@ func main() {
 		if (*replicas || all) && *img != "" {
 			fmt.Println()
 			dump.Replicas(os.Stdout, hl)
+		}
+		if *requests || *pins || *quotas || all {
+			hs, err := attachHSM(p, hl, *img == "")
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "hldump: hsm: %v\n", err)
+			} else {
+				if *requests || all {
+					fmt.Println()
+					dump.HSMRequests(os.Stdout, hs)
+				}
+				if *pins || all {
+					fmt.Println()
+					dump.HSMPins(os.Stdout, hs)
+				}
+				if *quotas || all {
+					fmt.Println()
+					dump.HSMQuotas(os.Stdout, hs)
+				}
+			}
 		}
 		if *why >= 0 {
 			// A tertiary-cleaner pass on the demo instance gives the audit
@@ -408,6 +438,47 @@ func recoveryDemo() error {
 	})
 	k2.Stop()
 	return derr
+}
+
+// attachHSM attaches the HSM service surface to the instance. In demo
+// mode it first plays a small scripted session — set quotas, stage in the
+// migrated /beta, pin it, provoke one quota shed and one failed request —
+// so the ledger, pin set, and quota report all have something to show.
+// For a loaded image it just attaches and reports the persisted state.
+func attachHSM(p *sim.Proc, hl *core.HighLight, demo bool) (*hsm.Service, error) {
+	s, err := hsm.Attach(p, hl, hsm.Config{})
+	if err != nil {
+		return nil, err
+	}
+	if !demo {
+		return s, nil
+	}
+	if err := s.SetQuota(p, "analyst", hsm.Quota{
+		StagedSoft: 64 * lfs.BlockSize,
+		StagedHard: 256 * lfs.BlockSize,
+		PinnedHard: 96 * lfs.BlockSize,
+	}); err != nil {
+		return nil, err
+	}
+	if err := s.SetQuota(p, "guest", hsm.Quota{StagedHard: 8 * lfs.BlockSize}); err != nil {
+		return nil, err
+	}
+	if _, err := s.SubmitWait(p, hsm.OpStageIn, "/beta", "analyst"); err != nil {
+		return nil, fmt.Errorf("stage-in /beta: %w", err)
+	}
+	if _, err := s.SubmitWait(p, hsm.OpPin, "/beta", "analyst"); err != nil {
+		return nil, fmt.Errorf("pin /beta: %w", err)
+	}
+	// Two deliberate failures for the ledger and the audit trail: guest's
+	// stage-in is shed at admission (over its hard staged quota, so it never
+	// queues), and unpinning the never-pinned /alpha fails in execution.
+	if _, err := s.Submit(p, hsm.OpStageIn, "/beta", "guest"); !errors.Is(err, hsm.ErrQuotaExceeded) {
+		return nil, fmt.Errorf("guest stage-in: want quota shed, got %v", err)
+	}
+	if r, err := s.SubmitWait(p, hsm.OpUnpin, "/alpha", "analyst"); err == nil || r == nil || r.State != hsm.Failed {
+		return nil, fmt.Errorf("unpin /alpha: want failed request, got %v", err)
+	}
+	return s, nil
 }
 
 // demo builds a small populated HighLight instance on the given obs

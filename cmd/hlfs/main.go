@@ -20,6 +20,12 @@
 //	hlfs -img DIR cleanvolume [DEV VOL]   (tertiary media cleaner, §10)
 //	hlfs -img DIR repair           (re-replicate under-replicated segments)
 //	hlfs -img DIR replicas         (per-library health + replica map)
+//	hlfs -img DIR stage [-user U] [-out] /path   (HSM stage-in, or stage-out with -out)
+//	hlfs -img DIR pin [-user U] /path            (stage in and lock against eviction/cleaning/migration)
+//	hlfs -img DIR unpin [-user U] /path
+//	hlfs -img DIR quota [-staged-soft MB] [-staged-hard MB] [-pinned-hard MB] [USER]
+//	                   (no USER: list every principal's standing; with USER and
+//	                    limit flags: set that principal's limits, 0 clears one)
 //	hlfs -img DIR info
 //	hlfs -img DIR fsck
 package main
@@ -31,9 +37,11 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/cliutil"
 	"repro/internal/core"
 	"repro/internal/dump"
 	"repro/internal/fsck"
+	"repro/internal/hsm"
 	"repro/internal/imagefs"
 	"repro/internal/lfs"
 	"repro/internal/migrate"
@@ -66,6 +74,12 @@ func main() {
 		fs.BoolVar(&cfg.Parity, "parity", cfg.Parity, "rotating parity unit per stripe row (needs -stripe and >=3 spindles)")
 		fs.IntVar(&cfg.Streams, "streams", cfg.Streams, "concurrent tertiary I/O streams; <2 keeps the single stream")
 		must(fs.Parse(rest))
+		if err := cliutil.ValidateFarm(cfg.Spindles, cfg.StripeUnit, cfg.Parity); err != nil {
+			usageErr(err)
+		}
+		if err := cliutil.ValidateTertiary(cfg.Libraries, cfg.Replicas); err != nil {
+			usageErr(err)
+		}
 		inst, err = imagefs.Init(k, *img, cfg)
 		check(err)
 		nlibs := cfg.Libraries
@@ -213,6 +227,58 @@ func main() {
 		case "replicas":
 			dump.Replicas(os.Stdout, hl)
 			dirty = false
+		case "stage", "pin", "unpin":
+			fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+			user := fs.String("user", "local", "principal the request is accounted to")
+			var out *bool
+			if cmd == "stage" {
+				out = fs.Bool("out", false, "stage out to tertiary instead of in")
+			}
+			must(fs.Parse(rest))
+			need(fs.Args(), 1)
+			path := fs.Args()[0]
+			s, err := hsm.Attach(p, hl, hsm.Config{})
+			check(err)
+			op := map[string]hsm.Op{"stage": hsm.OpStageIn, "pin": hsm.OpPin, "unpin": hsm.OpUnpin}[cmd]
+			if out != nil && *out {
+				op = hsm.OpStageOut
+			}
+			r, err := s.SubmitWait(p, op, path, *user)
+			check(err)
+			fmt.Printf("%s %s: %s, %d bytes (request %d for %s, %.2f virtual seconds)\n",
+				op, path, r.State, r.Bytes, r.ID, *user, elapsed())
+			dirty = false // the service checkpoints per drain
+		case "quota":
+			fs := flag.NewFlagSet("quota", flag.ExitOnError)
+			ss := fs.Int("staged-soft", -1, "soft staged-bytes limit in MB (quota GC reclaims above it; 0 clears)")
+			sh := fs.Int("staged-hard", -1, "hard staged-bytes limit in MB (admission sheds above it; 0 clears)")
+			ph := fs.Int("pinned-hard", -1, "hard pinned-bytes limit in MB (0 clears)")
+			must(fs.Parse(rest))
+			s, err := hsm.Attach(p, hl, hsm.Config{})
+			check(err)
+			if fs.NArg() == 0 {
+				if *ss >= 0 || *sh >= 0 || *ph >= 0 {
+					usageErr(cliutil.Usagef("quota: limit flags need a USER to apply to"))
+				}
+				dump.HSMQuotas(os.Stdout, s)
+				dirty = false
+				break
+			}
+			user := fs.Arg(0)
+			q := s.QuotaOf(user)
+			if *ss >= 0 {
+				q.StagedSoft = int64(*ss) << 20
+			}
+			if *sh >= 0 {
+				q.StagedHard = int64(*sh) << 20
+			}
+			if *ph >= 0 {
+				q.PinnedHard = int64(*ph) << 20
+			}
+			check(s.SetQuota(p, user, q))
+			fmt.Printf("quota for %s: staged soft %s hard %s, pinned hard %s\n",
+				user, mb(q.StagedSoft), mb(q.StagedHard), mb(q.PinnedHard))
+			dirty = false // SetQuota persists the HSM state itself
 		case "grow":
 			segs := 64
 			if len(rest) >= 1 {
@@ -287,6 +353,19 @@ func info(p *sim.Proc, hl *core.HighLight) {
 		fs.PartialSegs, fs.Checkpoints, fs.SegsCleaned)
 }
 
+// mb renders a byte limit for the quota confirmation line.
+func mb(v int64) string {
+	if v <= 0 {
+		return "unlimited"
+	}
+	return fmt.Sprintf("%d MB", v>>20)
+}
+
+func usageErr(err error) {
+	fmt.Fprintf(os.Stderr, "hlfs: %v\n", err)
+	os.Exit(2)
+}
+
 func need(args []string, n int) {
 	if len(args) < n {
 		usage()
@@ -308,7 +387,7 @@ func check(err error) {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: hlfs -img DIR COMMAND ...
-commands: init, put, get, ls, mkdir, rm, mv, stat, migrate, eject, volumes, cleanvolume, repair, replicas, grow, df, info, fsck
+commands: init, put, get, ls, mkdir, rm, mv, stat, migrate, eject, volumes, cleanvolume, repair, replicas, stage, pin, unpin, quota, grow, df, info, fsck
 run "hlfs -img DIR init" first; see the command doc comment for flags`)
 	os.Exit(2)
 }

@@ -1,0 +1,219 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dev"
+	"repro/internal/hsm"
+	"repro/internal/jukebox"
+	"repro/internal/lfs"
+	"repro/internal/migrate"
+	"repro/internal/sim"
+	"repro/internal/svc"
+)
+
+// The policy shootout: the paper's STP ranker against the pure-LRU and
+// heat-weighted-cost competitors from internal/hsm, each driving the same
+// migrator over the same seeded workloads. The quality question is the one
+// §5.1 poses for migration policy: does the policy move dormant data (cheap
+// to have moved) or data the interactive future comes back for (stalls)?
+//
+// Each cell runs three phases on a fresh rig: a seeded access phase that
+// differentiates file ages and heat, one migration round under the policy
+// (fixed byte target), and a seeded "future" phase replaying the same access
+// distribution through the admission front end. Reported per cell:
+//
+//	hit_rate    fraction of future reads served without a demand fetch
+//	p99_ms      future interactive p99 latency (the stall metric)
+//	bytes_moved bytes the policy staged out
+const (
+	shootFiles = 20
+	shootSeed  = 20260808
+)
+
+// shootBlocks is file i's size in blocks: sizes cycle 8..56 so the
+// space-time product actually diverges from pure recency ordering (equal
+// sizes would collapse STP onto LRU).
+func shootBlocks(i int) int { return 8 + (i%4)*16 }
+
+// shootPolicies returns the contenders, fresh per cell (policies are
+// stateless but cheap to rebuild, and fresh values keep cells independent).
+func shootPolicies() []struct {
+	name string
+	pol  hsm.Policy
+} {
+	return []struct {
+		name string
+		pol  hsm.Policy
+	}{
+		{"stp", hsm.Ranker{P: migrate.NewSTP()}},
+		{"lru", &hsm.LRU{}},
+		{"heatcost", &hsm.HeatCost{}},
+	}
+}
+
+// shootWorkloads are the access distributions: skewed concentrates 80% of
+// reads on a 4-file hot set (the policy can win by leaving those on disk);
+// uniform spreads reads evenly (no policy can look much better than
+// another — a sanity row).
+var shootWorkloads = []string{"skewed", "uniform"}
+
+// shootPick draws one file index from the named distribution.
+func shootPick(rng *sim.RNG, workload string) int {
+	if workload == "skewed" && rng.Intn(100) < 80 {
+		return rng.Intn(4)
+	}
+	return rng.Intn(shootFiles)
+}
+
+// shootRig is a small single-library instance with a scarce cache.
+func shootRig() (*sim.Kernel, *core.HighLight, error) {
+	k := sim.NewKernel()
+	disk := dev.NewDisk(k, dev.RZ57, 256*64, nil)
+	juke := jukebox.MustNew(k, jukebox.MO6300, 2, 6, 32, 64*lfs.BlockSize, nil)
+	var hl *core.HighLight
+	var err error
+	k.RunProc(func(p *sim.Proc) {
+		hl, err = core.New(p, core.Config{
+			SegBlocks:   64,
+			Disks:       []dev.BlockDev{disk},
+			Jukeboxes:   []jukebox.Footprint{juke},
+			CacheSegs:   4,
+			MaxInodes:   256,
+			BufferBytes: 32 * lfs.BlockSize,
+		}, true)
+	})
+	return k, hl, err
+}
+
+// shootCell runs one policy × workload cell.
+func shootCell(pol hsm.Policy, workload string) (hitRate, p99ms, bytesMoved float64, err error) {
+	k, hl, err := shootRig()
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	defer k.Stop()
+	k.RunProc(func(p *sim.Proc) {
+		var inums []uint32
+		for i := 0; i < shootFiles; i++ {
+			f, e := hl.FS.Create(p, fmt.Sprintf("/f%02d", i))
+			if e != nil {
+				err = e
+				return
+			}
+			if _, e := f.WriteAt(p, make([]byte, shootBlocks(i)*lfs.BlockSize), 0); e != nil {
+				err = e
+				return
+			}
+			inums = append(inums, f.Inum())
+			p.Sleep(sim.Time(2 * time.Second))
+		}
+		if e := hl.FS.Sync(p); e != nil {
+			err = e
+			return
+		}
+
+		// Access phase: differentiate atimes and heat under the workload's
+		// distribution.
+		rng := sim.NewRNG(shootSeed)
+		buf := make([]byte, lfs.BlockSize)
+		for q := 0; q < 150; q++ {
+			i := shootPick(rng, workload)
+			f, e := hl.FS.OpenInum(p, inums[i])
+			if e != nil {
+				err = e
+				return
+			}
+			if _, e := f.ReadAt(p, buf, int64(rng.Intn(shootBlocks(i)))*lfs.BlockSize); e != nil && e != io.EOF {
+				err = e
+				return
+			}
+			p.Sleep(sim.Time(500 * time.Millisecond))
+		}
+		p.Sleep(sim.Time(30 * time.Second))
+
+		// Migration round: the policy picks, the same migrator moves. The
+		// byte target (60% of the data set) forces real choices.
+		m := migrate.NewMigrator(hl)
+		m.Policy = hsm.AsMigratePolicy(pol, nil)
+		var totalBlocks int
+		for i := 0; i < shootFiles; i++ {
+			totalBlocks += shootBlocks(i)
+		}
+		target := int64(totalBlocks) * lfs.BlockSize * 6 / 10
+		staged, e := m.RunOnce(p, target)
+		if e != nil {
+			err = e
+			return
+		}
+		bytesMoved = float64(staged)
+		for _, l := range hl.Cache.Lines() {
+			if !l.Staging && l.Pins == 0 {
+				if e := hl.Svc.Eject(l.Tag); e != nil {
+					err = e
+					return
+				}
+			}
+		}
+
+		// Future phase: the same distribution replays through the front
+		// end; demand fetches and interactive latency are the price of the
+		// policy's choices.
+		fe := svc.New(hl, svc.Config{})
+		fetches0 := hl.Svc.Stats().Fetches
+		const futureReads = 150
+		frng := sim.NewRNG(shootSeed + 1)
+		for q := 0; q < futureReads; q++ {
+			i := shootPick(frng, workload)
+			e := fe.Submit(p, svc.Interactive, 0, func(wp *sim.Proc) error {
+				f, e := hl.FS.OpenInum(wp, inums[i])
+				if e != nil {
+					return e
+				}
+				hl.FS.DropFileBuffers(wp, inums[i])
+				if _, e := f.ReadAt(wp, buf, int64(frng.Intn(shootBlocks(i)))*lfs.BlockSize); e != nil && e != io.EOF {
+					return e
+				}
+				return nil
+			})
+			if e != nil {
+				err = e
+				return
+			}
+			p.Sleep(sim.Time(200 * time.Millisecond))
+		}
+		fetched := hl.Svc.Stats().Fetches - fetches0
+		hitRate = 1 - float64(fetched)/float64(futureReads)
+		if hitRate < 0 {
+			hitRate = 0
+		}
+		p99ms = fe.Stats().P99Interactive.Seconds() * 1000
+	})
+	return hitRate, p99ms, bytesMoved, err
+}
+
+// AblationPolicy is the migration-policy shootout table: every contender
+// policy against every workload at a fixed geometry (the table rigs' scale
+// knob does not apply; one entry covers both scales).
+func AblationPolicy() (*Report, error) {
+	rep := newReport("Ablation: migration policy shootout (STP vs LRU vs heat-weighted cost, 60% byte target)")
+	rep.addf("%-10s %-9s %10s %10s %12s", "policy", "workload", "hit rate", "p99 ms", "moved MB")
+	for _, c := range shootPolicies() {
+		for _, workload := range shootWorkloads {
+			hitRate, p99ms, moved, err := shootCell(c.pol, workload)
+			if err != nil {
+				return rep, fmt.Errorf("policy shootout %s/%s: %w", c.name, workload, err)
+			}
+			rep.addf("%-10s %-9s %10.3f %10.1f %12.2f",
+				c.name, workload, hitRate, p99ms, moved/(1<<20))
+			key := c.name + "/" + workload
+			rep.metric(key+"/hit_rate", hitRate)
+			rep.metric(key+"/p99_ms", p99ms)
+			rep.metric(key+"/bytes_moved", moved)
+		}
+	}
+	return rep, nil
+}

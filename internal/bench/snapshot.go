@@ -93,6 +93,19 @@ func BuildSnapshotWith(s Scale, scaleName string, srv *telemetry.Server) (*Bench
 		}
 		snap.Tables["ablation_overload"] = m
 	}
+	// The migration-policy shootout also runs at its own fixed geometry:
+	// one entry covers both scales.
+	{
+		rep, err := AblationPolicy()
+		if err != nil {
+			return nil, fmt.Errorf("bench: snapshot policy shootout: %w", err)
+		}
+		m := map[string]float64{}
+		for k, v := range rep.Metrics {
+			m[k] = v
+		}
+		snap.Tables["ablation_policy"] = m
+	}
 	// One instrumented migration + demand-fetch run for the obs counters
 	// and span totals.
 	r := newHLRig(s, stageOnMain)

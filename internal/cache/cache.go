@@ -31,6 +31,10 @@ var (
 	// ErrEvictPinned marks an Evict of a line with active readers or an
 	// in-flight copyout.
 	ErrEvictPinned = errors.New("cache: evicting a pinned line")
+	// ErrEvictLocked marks an Evict of a line whose tertiary segment is
+	// HSM-pinned: the hierarchical storage manager promised the data stays
+	// staged, so the evictor must route around it.
+	ErrEvictLocked = errors.New("cache: evicting an HSM-pinned line")
 	// ErrEvictUnknown marks an Evict of a line not in the directory.
 	ErrEvictUnknown = errors.New("cache: evicting unknown line")
 )
@@ -98,6 +102,12 @@ type Cache struct {
 	// they are preferred eviction victims until referenced again (the
 	// §10 future-work variant approximating cache-bypassing reads).
 	BypassFirstRef bool
+
+	// Locked, when set, reports whether a tertiary segment is HSM-pinned:
+	// Victim never selects a locked line and Evict refuses one with
+	// ErrEvictLocked. Installed by the core layer so the directory itself
+	// stays free of HSM state.
+	Locked func(tag int) bool
 }
 
 // New returns a cache over the given pre-claimed disk segments.
@@ -206,6 +216,9 @@ func (c *Cache) Victim() *Line {
 		if l.Staging || l.Pins > 0 {
 			continue
 		}
+		if c.Locked != nil && c.Locked(l.Tag) {
+			continue
+		}
 		cands = append(cands, l)
 	}
 	if len(cands) == 0 {
@@ -265,6 +278,9 @@ func (c *Cache) Evict(l *Line) (addr.SegNo, error) {
 	}
 	if l.Pins > 0 {
 		return 0, fmt.Errorf("%w: tag %d (%d pins)", ErrEvictPinned, l.Tag, l.Pins)
+	}
+	if c.Locked != nil && c.Locked(l.Tag) {
+		return 0, fmt.Errorf("%w: tag %d", ErrEvictLocked, l.Tag)
 	}
 	if c.lines[l.Tag] != l {
 		return 0, fmt.Errorf("%w: tag %d", ErrEvictUnknown, l.Tag)

@@ -431,6 +431,15 @@ func (hl *HighLight) MigrateFiles(p *sim.Proc, inums []uint32, migrateInodes boo
 		if err := p.CtxErr(); err != nil {
 			return staged, err // canceled between files; staged work stands
 		}
+		if hl.InodePinned(inum) {
+			// Defense in depth: policies already skip pinned files, but a
+			// direct MigrateFiles caller must not move one either.
+			hl.Audit.Record(attr.Decision{
+				T: p.Now(), Actor: "migrator", Subject: fmt.Sprintf("inode:%d", inum),
+				Seg: -1, Verdict: attr.VerdictPinGuard, Reason: "inode is HSM-pinned",
+			})
+			continue
+		}
 		refs, err := hl.FS.FileBlockRefs(p, inum)
 		if err != nil {
 			return staged, err

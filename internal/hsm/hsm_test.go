@@ -1,0 +1,494 @@
+package hsm_test
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/dev"
+	"repro/internal/hsm"
+	"repro/internal/jukebox"
+	"repro/internal/lfs"
+	"repro/internal/sim"
+	"repro/internal/svc"
+	"repro/internal/wl"
+)
+
+// rig builds a single-library HighLight instance with a small segment
+// cache, so eviction pressure is easy to provoke in pin-guard tests.
+func rig(t *testing.T, p *sim.Proc, k *sim.Kernel) (*core.HighLight, *dev.Disk, *jukebox.Jukebox) {
+	t.Helper()
+	hl, disk, jb, err := buildRig(p, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return hl, disk, jb
+}
+
+func buildRig(p *sim.Proc, k *sim.Kernel) (*core.HighLight, *dev.Disk, *jukebox.Jukebox, error) {
+	disk := dev.NewDisk(k, dev.RZ57, 256*64, nil)
+	jb := jukebox.MustNew(k, jukebox.MO6300, 2, 4, 32, 64*lfs.BlockSize, nil)
+	hl, err := core.New(p, core.Config{
+		SegBlocks:   64,
+		Disks:       []dev.BlockDev{disk},
+		Jukeboxes:   []jukebox.Footprint{jb},
+		CacheSegs:   8,
+		MaxInodes:   256,
+		BufferBytes: 64 * lfs.BlockSize,
+	}, true)
+	return hl, disk, jb, err
+}
+
+// migrateAndEject creates path with nblocks deterministic blocks, migrates
+// it to tertiary, and drops every cache line so stage-ins must fetch.
+func migrateAndEject(t *testing.T, p *sim.Proc, hl *core.HighLight, path string, nblocks int) []byte {
+	t.Helper()
+	data, err := makeTertiaryFile(p, hl, path, nblocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func makeTertiaryFile(p *sim.Proc, hl *core.HighLight, path string, nblocks int) ([]byte, error) {
+	f, err := hl.FS.Create(p, path)
+	if err != nil {
+		return nil, err
+	}
+	data := make([]byte, nblocks*lfs.BlockSize)
+	for i := range data {
+		data[i] = byte(i*13 + 5)
+	}
+	if _, err := f.WriteAt(p, data, 0); err != nil {
+		return nil, err
+	}
+	if err := hl.FS.Sync(p); err != nil {
+		return nil, err
+	}
+	if _, err := hl.MigrateFiles(p, []uint32{f.Inum()}, false); err != nil {
+		return nil, err
+	}
+	if err := hl.CompleteMigration(p); err != nil {
+		return nil, err
+	}
+	return data, ejectEverything(hl)
+}
+
+func ejectEverything(hl *core.HighLight) error {
+	for _, l := range hl.Cache.Lines() {
+		if !l.Staging && l.Pins == 0 && !hl.SegmentPinned(l.Tag) {
+			if err := hl.Svc.Eject(l.Tag); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func auditVerdicts(hl *core.HighLight) map[string]int {
+	out := map[string]int{}
+	for _, d := range hl.Audit.All() {
+		out[d.Verdict]++
+	}
+	return out
+}
+
+func attach(t *testing.T, p *sim.Proc, hl *core.HighLight, cfg hsm.Config) *hsm.Service {
+	t.Helper()
+	s, err := hsm.Attach(p, hl, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestStageInPinUnpinLifecycle walks requests through the full service
+// surface: stage-in caches and attributes the file's tertiary segments,
+// pin makes them immovable (evict refused with the typed guard sentinel,
+// stage-out refused), unpin releases them, and every transition is
+// audited.
+func TestStageInPinUnpinLifecycle(t *testing.T) {
+	k := sim.NewKernel()
+	k.RunProc(func(p *sim.Proc) {
+		hl, _, _ := rig(t, p, k)
+		migrateAndEject(t, p, hl, "/a", 8)
+		want := migrateAndEject(t, p, hl, "/b", 8)
+		s := attach(t, p, hl, hsm.Config{})
+
+		r, err := s.SubmitWait(p, hsm.OpStageIn, "/a", "alice")
+		if err != nil {
+			t.Fatalf("stage-in: %v", err)
+		}
+		if r.State != hsm.Done || r.Bytes != 8*lfs.BlockSize {
+			t.Fatalf("stage-in request: state=%v bytes=%d", r.State, r.Bytes)
+		}
+		staged := s.StagedEntries()
+		if len(staged) != 1 || staged[0].Path != "/a" || staged[0].Principal != "alice" {
+			t.Fatalf("staged entries: %+v", staged)
+		}
+		for _, tag := range staged[0].Segs {
+			if _, ok := hl.Cache.Peek(tag); !ok {
+				t.Fatalf("staged segment %d not cached", tag)
+			}
+		}
+
+		if _, err := s.SubmitWait(p, hsm.OpPin, "/b", "alice"); err != nil {
+			t.Fatalf("pin: %v", err)
+		}
+		pins := s.Pins()
+		if len(pins) != 1 || pins[0].Path != "/b" || len(pins[0].Segs) == 0 {
+			t.Fatalf("pins: %+v", pins)
+		}
+		for _, tag := range pins[0].Segs {
+			if !hl.SegmentPinned(tag) || !hl.FS.TsegPinned(tag) {
+				t.Fatalf("segment %d not pinned end-to-end", tag)
+			}
+			if err := hl.Svc.Eject(tag); !errors.Is(err, cache.ErrEvictLocked) {
+				t.Fatalf("eject of pinned segment %d: %v", tag, err)
+			}
+		}
+		if !hl.InodePinned(pins[0].Inum) {
+			t.Fatalf("inode %d not pinned", pins[0].Inum)
+		}
+
+		// Pinning twice and moving a pinned file are both refused.
+		if r, _ := s.SubmitWait(p, hsm.OpPin, "/b", "alice"); r.State != hsm.Failed || !strings.Contains(r.Err, "already pinned") {
+			t.Fatalf("double pin: %+v", r)
+		}
+		if r, _ := s.SubmitWait(p, hsm.OpStageOut, "/b", "alice"); r.State != hsm.Failed || !strings.Contains(r.Err, "pinned") {
+			t.Fatalf("stage-out of pinned file: %+v", r)
+		}
+		if r, _ := s.SubmitWait(p, hsm.OpEvict, "/b", "alice"); r.State != hsm.Failed || !strings.Contains(r.Err, "pinned") {
+			t.Fatalf("evict of pinned file: %+v", r)
+		}
+
+		// Unpin releases everything; the segments become evictable again.
+		if _, err := s.SubmitWait(p, hsm.OpUnpin, "/b", "alice"); err != nil {
+			t.Fatalf("unpin: %v", err)
+		}
+		if got := len(s.Pins()); got != 0 {
+			t.Fatalf("pins after unpin: %d", got)
+		}
+		if got := hl.PinnedSegments(); len(got) != 0 {
+			t.Fatalf("core pinned segments after unpin: %v", got)
+		}
+		if _, err := s.SubmitWait(p, hsm.OpEvict, "/b", "alice"); err != nil {
+			t.Fatalf("evict after unpin: %v", err)
+		}
+
+		// Content still reads back (refetched on demand).
+		f, err := hl.FS.Open(p, "/b")
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]byte, len(want))
+		if _, err := f.ReadAt(p, buf, 0); err != nil {
+			t.Fatal(err)
+		}
+		for i := range buf {
+			if buf[i] != want[i] {
+				t.Fatalf("content mismatch at %d", i)
+			}
+		}
+
+		v := auditVerdicts(hl)
+		for _, verdict := range []string{"queued", "done", "failed", "pinned", "unpinned"} {
+			if v[verdict] == 0 {
+				t.Fatalf("no %q audit verdicts: %v", verdict, v)
+			}
+		}
+		reqs := s.Requests()
+		for i, r := range reqs {
+			if r.ID != int64(i+1) {
+				t.Fatalf("request IDs not dense: %+v", reqs)
+			}
+		}
+	})
+}
+
+// TestQuotaAdmissionShed checks the hard limits: a stage-in or pin whose
+// projected usage crosses the principal's hard quota is shed at admission
+// with the typed error, audited, and never enters the queue.
+func TestQuotaAdmissionShed(t *testing.T) {
+	k := sim.NewKernel()
+	k.RunProc(func(p *sim.Proc) {
+		hl, _, _ := rig(t, p, k)
+		migrateAndEject(t, p, hl, "/q1", 8)
+		migrateAndEject(t, p, hl, "/q2", 8)
+		s := attach(t, p, hl, hsm.Config{})
+
+		if err := s.SetQuota(p, "alice", hsm.Quota{StagedHard: 10 * lfs.BlockSize}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.SubmitWait(p, hsm.OpStageIn, "/q1", "alice"); err != nil {
+			t.Fatalf("first stage-in: %v", err)
+		}
+		r, err := s.SubmitWait(p, hsm.OpStageIn, "/q2", "alice")
+		if !errors.Is(err, hsm.ErrQuotaExceeded) || r != nil {
+			t.Fatalf("over-quota stage-in: r=%v err=%v", r, err)
+		}
+		if v := auditVerdicts(hl); v["quota-shed"] == 0 {
+			t.Fatalf("no quota-shed audit verdict: %v", v)
+		}
+
+		// Quotas are per principal: bob is unlimited.
+		if _, err := s.SubmitWait(p, hsm.OpStageIn, "/q2", "bob"); err != nil {
+			t.Fatalf("bob stage-in: %v", err)
+		}
+
+		// Pinned-bytes hard limit sheds pins specifically.
+		if err := s.SetQuota(p, "bob", hsm.Quota{PinnedHard: 4 * lfs.BlockSize}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.SubmitWait(p, hsm.OpPin, "/q2", "bob"); !errors.Is(err, hsm.ErrQuotaExceeded) {
+			t.Fatalf("over-quota pin: %v", err)
+		}
+
+		st := s.StagedEntries()
+		if len(st) != 2 {
+			t.Fatalf("staged entries: %+v", st)
+		}
+		aliceStaged, _ := s.UsageOf("alice")
+		if aliceStaged != 8*lfs.BlockSize {
+			t.Fatalf("alice staged usage: %d", aliceStaged)
+		}
+	})
+}
+
+// TestQuotaGCReclaimsColdest checks the soft-limit GC: a principal over
+// its watermark has its least-hot unpinned staged entries ejected (coldest
+// first, audited), and pinned entries are never touched.
+func TestQuotaGCReclaimsColdest(t *testing.T) {
+	k := sim.NewKernel()
+	k.RunProc(func(p *sim.Proc) {
+		hl, _, _ := rig(t, p, k)
+		migrateAndEject(t, p, hl, "/cold", 8)
+		migrateAndEject(t, p, hl, "/hot", 8)
+		s := attach(t, p, hl, hsm.Config{})
+
+		if _, err := s.SubmitWait(p, hsm.OpStageIn, "/cold", "alice"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.SubmitWait(p, hsm.OpStageIn, "/hot", "alice"); err != nil {
+			t.Fatal(err)
+		}
+		// Heat up /hot's segments so the GC ordering has a clear winner.
+		var hotSegs, coldSegs []int
+		for _, st := range s.StagedEntries() {
+			if st.Path == "/hot" {
+				hotSegs = st.Segs
+			} else {
+				coldSegs = st.Segs
+			}
+		}
+		for i := 0; i < 16; i++ {
+			for _, tag := range hotSegs {
+				hl.Heat.Touch(tag, 0, p.Now())
+			}
+		}
+
+		if err := s.SetQuota(p, "alice", hsm.Quota{StagedSoft: 8 * lfs.BlockSize}); err != nil {
+			t.Fatal(err)
+		}
+		reclaimed, err := s.RunQuotaGC(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if reclaimed != 8*lfs.BlockSize {
+			t.Fatalf("reclaimed %d bytes, want one 8-block file", reclaimed)
+		}
+		st := s.StagedEntries()
+		if len(st) != 1 || st[0].Path != "/hot" {
+			t.Fatalf("staged entries after GC: %+v", st)
+		}
+		for _, tag := range coldSegs {
+			if _, ok := hl.Cache.Peek(tag); ok {
+				t.Fatalf("cold segment %d still cached after GC", tag)
+			}
+		}
+		if v := auditVerdicts(hl); v["reclaimed"] != 1 {
+			t.Fatalf("reclaimed audit verdicts: %v", v)
+		}
+
+		// A pinned entry is over-quota but untouchable.
+		if _, err := s.SubmitWait(p, hsm.OpPin, "/hot", "alice"); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.SetQuota(p, "alice", hsm.Quota{StagedSoft: 1}); err != nil {
+			t.Fatal(err)
+		}
+		reclaimed, err = s.RunQuotaGC(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if reclaimed != 0 {
+			t.Fatalf("GC reclaimed %d bytes from a pinned entry", reclaimed)
+		}
+		if len(s.StagedEntries()) != 1 {
+			t.Fatalf("pinned staged entry dropped: %+v", s.StagedEntries())
+		}
+	})
+}
+
+// TestFrontEndStagingClass routes request execution through the admission
+// front end and checks the work lands in the staging class accounting.
+func TestFrontEndStagingClass(t *testing.T) {
+	k := sim.NewKernel()
+	k.RunProc(func(p *sim.Proc) {
+		hl, _, _ := rig(t, p, k)
+		migrateAndEject(t, p, hl, "/fe", 8)
+		fe := svc.New(hl, svc.Config{})
+		s := attach(t, p, hl, hsm.Config{FrontEnd: fe})
+
+		if _, err := s.SubmitWait(p, hsm.OpStageIn, "/fe", "alice"); err != nil {
+			t.Fatal(err)
+		}
+		st := fe.Stats()
+		if st.Admitted == 0 || st.Completed == 0 {
+			t.Fatalf("front-end stats after staged request: %+v", st)
+		}
+		if st.P50Staging <= 0 {
+			t.Fatalf("staging latency quantile not populated: %+v", st)
+		}
+	})
+}
+
+// TestRequestDaemonDrainsQueue checks the asynchronous path: Submit alone
+// leaves requests queued; the processing daemon drains them in FIFO order.
+func TestRequestDaemonDrainsQueue(t *testing.T) {
+	k := sim.NewKernel()
+	k.RunProc(func(p *sim.Proc) {
+		hl, _, _ := rig(t, p, k)
+		migrateAndEject(t, p, hl, "/d1", 4)
+		migrateAndEject(t, p, hl, "/d2", 4)
+		s := attach(t, p, hl, hsm.Config{})
+
+		if _, err := s.Submit(p, hsm.OpStageIn, "/d1", "alice"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Submit(p, hsm.OpStageIn, "/d2", "bob"); err != nil {
+			t.Fatal(err)
+		}
+		if s.QueueDepth() != 2 {
+			t.Fatalf("queue depth: %d", s.QueueDepth())
+		}
+		s.StartDaemon(sim.Time(100 * time.Millisecond))
+		p.Sleep(sim.Time(5 * time.Second))
+		if s.QueueDepth() != 0 {
+			t.Fatalf("daemon left %d requests queued", s.QueueDepth())
+		}
+		for _, r := range s.Requests() {
+			if r.State != hsm.Done {
+				t.Fatalf("request %d: %+v", r.ID, r)
+			}
+		}
+	})
+}
+
+// scenario runs a fixed seeded multi-principal workload against a fresh
+// rig and returns a digest of every externally observable artifact: the
+// audit stream, the request ledger, pins, staged attributions, quota GC
+// outcome, and final virtual time.
+func scenario(seed uint64) (string, error) {
+	k := sim.NewKernel()
+	var digest string
+	var fail error
+	k.RunProc(func(p *sim.Proc) {
+		hl, _, _, err := buildRig(p, k)
+		if err != nil {
+			fail = err
+			return
+		}
+		paths := []string{"/w/a", "/w/b", "/w/c", "/w/d"}
+		if err := hl.FS.Mkdir(p, "/w"); err != nil {
+			fail = err
+			return
+		}
+		for i, path := range paths {
+			if _, err := makeTertiaryFile(p, hl, path, 4+2*i); err != nil {
+				fail = err
+				return
+			}
+		}
+		fe := svc.New(hl, svc.Config{})
+		s, err := hsm.Attach(p, hl, hsm.Config{FrontEnd: fe})
+		if err != nil {
+			fail = err
+			return
+		}
+		if err := s.SetQuota(p, "alice", hsm.Quota{StagedSoft: 6 * lfs.BlockSize, StagedHard: 64 * lfs.BlockSize}); err != nil {
+			fail = err
+			return
+		}
+		if err := s.SetQuota(p, "bob", hsm.Quota{StagedSoft: 10 * lfs.BlockSize, PinnedHard: 32 * lfs.BlockSize}); err != nil {
+			fail = err
+			return
+		}
+		stats, err := wl.RunPrincipals(p, s, []wl.PrincipalSpec{
+			{Name: "alice", Requests: 12, MeanGap: sim.Time(200 * time.Millisecond), Paths: paths, PinEvery: 3, Seed: seed},
+			{Name: "bob", Requests: 12, MeanGap: sim.Time(300 * time.Millisecond), Paths: paths, PinEvery: 4, Seed: seed + 7},
+		})
+		if err != nil {
+			fail = err
+			return
+		}
+		reclaimed, err := s.RunQuotaGC(p)
+		if err != nil {
+			fail = err
+			return
+		}
+
+		h := sha256.New()
+		for _, d := range hl.Audit.All() {
+			fmt.Fprintln(h, d.String())
+		}
+		for _, r := range s.Requests() {
+			fmt.Fprintf(h, "req %d %s %s %s %s %d %d %d %d %q\n",
+				r.ID, r.Op, r.Path, r.Principal, r.State,
+				int64(r.Submitted), int64(r.Started), int64(r.Finished), r.Bytes, r.Err)
+		}
+		for _, pin := range s.Pins() {
+			fmt.Fprintf(h, "pin %s %d %s %d %v %d\n", pin.Path, pin.Inum, pin.Principal, pin.Bytes, pin.Segs, int64(pin.PinnedAt))
+		}
+		for _, st := range s.StagedEntries() {
+			fmt.Fprintf(h, "staged %s %s %d %v %d\n", st.Path, st.Principal, st.Bytes, st.Segs, int64(st.StagedAt))
+		}
+		for _, ps := range stats {
+			fmt.Fprintf(h, "wl %+v\n", ps)
+		}
+		fmt.Fprintf(h, "reclaimed %d now %d audit %d\n", reclaimed, int64(p.Now()), hl.Audit.Total())
+		digest = hex.EncodeToString(h.Sum(nil))
+	})
+	return digest, fail
+}
+
+// TestDoubleRunDeterminism runs the seeded multi-principal scenario twice
+// on fresh kernels and requires byte-identical digests: the HSM queue,
+// quota GC, and policy/audit verdicts must not depend on map order or
+// wall-clock state.
+func TestDoubleRunDeterminism(t *testing.T) {
+	d1, err := scenario(20260808)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := scenario(20260808)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 != d2 {
+		t.Fatalf("seeded runs diverged:\n  %s\n  %s", d1, d2)
+	}
+	d3, err := scenario(99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d3 == d1 {
+		t.Fatalf("different seeds produced identical digests (digest not sensitive)")
+	}
+}

@@ -1,0 +1,239 @@
+package hsm
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/lfs"
+	"repro/internal/migrate"
+	"repro/internal/obs/attr"
+	"repro/internal/sim"
+)
+
+// PolicyInputs is everything a migration policy may consult: the mounted
+// instance (namespace, segment metadata), the heat-attribution table, the
+// current virtual time, the byte target, and the HSM state hooks — which
+// files are pinned, and how much quota pressure the staged tier is under.
+type PolicyInputs struct {
+	HL          *core.HighLight
+	Heat        *attr.Table
+	Now         sim.Time
+	TargetBytes int64
+	// Pinned reports whether an inode is HSM-pinned; pinned files are
+	// never candidates. Never nil (filled by the adapter).
+	Pinned func(inum uint32) bool
+	// QuotaPressure is the fraction of quota-bearing principals over
+	// their soft staged limit (0 with no quotas): policies may migrate
+	// more aggressively when the staged tier is under pressure.
+	QuotaPressure float64
+}
+
+// Policy ranks migration candidates from the inputs, best first, recording
+// its verdicts (selected / skipped / pin-guard) in the instance's decision
+// audit. Implementations must be deterministic: same inputs, same ranking,
+// same audit records.
+type Policy interface {
+	Name() string
+	Rank(p *sim.Proc, in PolicyInputs) ([]migrate.Candidate, error)
+}
+
+// Ranker adapts an existing migrate.Policy (the paper's STP and namespace
+// rankers) to the hsm.Policy interface. It is a bit-identical pass-through:
+// the wrapped policy runs exactly as it would under the migrator directly,
+// and the pin guard is the one already inside the rankers.
+type Ranker struct{ P migrate.Policy }
+
+// Name implements Policy.
+func (r Ranker) Name() string { return r.P.Name() }
+
+// Rank implements Policy.
+func (r Ranker) Rank(p *sim.Proc, in PolicyInputs) ([]migrate.Candidate, error) {
+	return r.P.Select(p, in.HL, in.TargetBytes)
+}
+
+// LRU is the pure least-recently-used competitor: rank strictly by access
+// age, oldest first, ignoring size. The classic archive policy the early
+// migration studies (and §5.1) compare STP against — it moves the coldest
+// files but wastes staging passes on small ones.
+type LRU struct {
+	// MinAge excludes recently active files entirely.
+	MinAge sim.Time
+}
+
+// Name implements Policy.
+func (l *LRU) Name() string { return "lru" }
+
+// Rank implements Policy.
+func (l *LRU) Rank(p *sim.Proc, in PolicyInputs) ([]migrate.Candidate, error) {
+	cands, err := walkCandidates(p, in, "policy:lru", l.MinAge, func(age sim.Time, size uint64) float64 {
+		return age.Seconds()
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rankAndTake(in, "policy:lru", cands)
+}
+
+// HeatCost is the heat-weighted-cost competitor: the space-time product
+// discounted by the file's recent heat, so a large old file that is still
+// being touched ranks below a slightly smaller stone-cold one. Score =
+// age × size / (1 + HeatWeight × 2^(-age/halfLife)): for ages much larger
+// than the half-life the discount vanishes and the ranking converges to
+// STP; for recently touched files the denominator demotes them sharply —
+// exactly the files whose eviction would cause interactive stalls.
+type HeatCost struct {
+	MinAge sim.Time
+	// HeatWeight scales the recency discount (default 8 when zero).
+	HeatWeight float64
+}
+
+// Name implements Policy.
+func (h *HeatCost) Name() string { return "heatcost" }
+
+// Rank implements Policy.
+func (h *HeatCost) Rank(p *sim.Proc, in PolicyInputs) ([]migrate.Candidate, error) {
+	w := h.HeatWeight
+	if w == 0 {
+		w = 8
+	}
+	half := attr.DefaultHalfLife.Seconds()
+	if in.Heat != nil && in.Heat.HalfLife > 0 {
+		half = in.Heat.HalfLife.Seconds()
+	}
+	cands, err := walkCandidates(p, in, "policy:heatcost", h.MinAge, func(age sim.Time, size uint64) float64 {
+		hot := math.Exp2(-age.Seconds() / half)
+		return age.Seconds() * float64(size) / (1 + w*hot)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rankAndTake(in, "policy:heatcost", cands)
+}
+
+// walkCandidates walks the namespace collecting scoreable files, skipping
+// pinned ones (audited) and those younger than minAge.
+func walkCandidates(p *sim.Proc, in PolicyInputs, actor string, minAge sim.Time,
+	score func(age sim.Time, size uint64) float64) ([]migrate.Candidate, error) {
+	var cands []migrate.Candidate
+	err := in.HL.FS.Walk(p, "/", func(path string, fi lfs.FileInfo) error {
+		if fi.Type != lfs.TypeFile || fi.Size == 0 {
+			return nil
+		}
+		if in.Pinned(fi.Inum) {
+			in.HL.Audit.Record(attr.Decision{
+				T: in.Now, Actor: actor, Subject: "file:" + path,
+				Seg: -1, Verdict: attr.VerdictPinGuard, Reason: "file is HSM-pinned",
+				Inputs: []attr.Input{attr.In("size", float64(fi.Size))},
+			})
+			return nil
+		}
+		age := in.Now - sim.Time(fi.Atime)
+		if age < 0 {
+			age = 0
+		}
+		if age < minAge {
+			in.HL.Audit.Record(attr.Decision{
+				T: in.Now, Actor: actor, Subject: "file:" + path,
+				Seg: -1, Verdict: attr.VerdictSkipped, Reason: "younger than min age",
+				Inputs: []attr.Input{attr.In("age_s", age.Seconds()), attr.In("size", float64(fi.Size))},
+			})
+			return nil
+		}
+		cands = append(cands, migrate.Candidate{
+			Inum: fi.Inum, Path: path, Size: fi.Size, Atime: fi.Atime,
+			Score: score(age, fi.Size),
+		})
+		return nil
+	})
+	return cands, err
+}
+
+// rankAndTake sorts candidates best-first, keeps enough to reach the byte
+// target, and audits one verdict per candidate.
+func rankAndTake(in PolicyInputs, actor string, cands []migrate.Candidate) ([]migrate.Candidate, error) {
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].Score != cands[b].Score {
+			return cands[a].Score > cands[b].Score
+		}
+		return cands[a].Inum < cands[b].Inum
+	})
+	taken := len(cands)
+	if in.TargetBytes > 0 {
+		var total int64
+		taken = 0
+		for _, c := range cands {
+			total += int64(c.Size)
+			taken++
+			if total >= in.TargetBytes {
+				break
+			}
+		}
+	}
+	for i, c := range cands {
+		d := attr.Decision{
+			T: in.Now, Actor: actor, Subject: "file:" + c.Path,
+			Seg: -1, Verdict: attr.VerdictSelected,
+			Inputs: []attr.Input{
+				attr.In("rank", float64(i)),
+				attr.In("score", c.Score),
+				attr.In("age_s", (in.Now - sim.Time(c.Atime)).Seconds()),
+				attr.In("size", float64(c.Size)),
+			},
+		}
+		if i >= taken {
+			d.Verdict = attr.VerdictSkipped
+			d.Reason = "ranked past byte target"
+		}
+		in.HL.Audit.Record(d)
+	}
+	return cands[:taken], nil
+}
+
+// adapted turns an hsm.Policy into a migrate.Policy so the existing
+// Migrator (daemon, throttle, pipelined RunOnce) can drive it unchanged.
+type adapted struct {
+	pol Policy
+	svc *Service // nil: no quota state, pins come straight from core
+}
+
+// AsMigratePolicy wraps pol for the Migrator. svc may be nil when no HSM
+// service is attached; pin state then comes from the core registries
+// (which the service keeps in sync anyway).
+func AsMigratePolicy(pol Policy, svc *Service) migrate.Policy {
+	return &adapted{pol: pol, svc: svc}
+}
+
+// Name implements migrate.Policy.
+func (a *adapted) Name() string { return a.pol.Name() }
+
+// Select implements migrate.Policy.
+func (a *adapted) Select(p *sim.Proc, hl *core.HighLight, targetBytes int64) ([]migrate.Candidate, error) {
+	in := PolicyInputs{
+		HL: hl, Heat: hl.Heat, Now: p.Now(), TargetBytes: targetBytes,
+		Pinned: hl.InodePinned,
+	}
+	if a.svc != nil {
+		in.QuotaPressure = a.svc.quotaPressure()
+	}
+	return a.pol.Rank(p, in)
+}
+
+// quotaPressure is the fraction of quota-bearing principals over their
+// soft staged limit.
+func (s *Service) quotaPressure() float64 {
+	var n, over int
+	for pr, q := range s.quotas {
+		if q.StagedSoft <= 0 {
+			continue
+		}
+		n++
+		if staged, _ := s.UsageOf(pr); staged > q.StagedSoft {
+			over++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(over) / float64(n)
+}

@@ -1,0 +1,221 @@
+package hsm_test
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/hsm"
+	"repro/internal/lfs"
+	"repro/internal/migrate"
+	"repro/internal/sim"
+)
+
+// TestRankerMatchesSTP checks the pass-through contract: the Ranker
+// adapter over the paper's STP policy selects exactly what STP selects
+// directly, so extracting the policy interface changes nothing for the
+// default ranker.
+func TestRankerMatchesSTP(t *testing.T) {
+	k := sim.NewKernel()
+	k.RunProc(func(p *sim.Proc) {
+		hl, _, _ := rig(t, p, k)
+		for i, nblocks := range []int{4, 12, 8} {
+			path := "/f" + string(rune('a'+i))
+			f, err := hl.FS.Create(p, path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := f.WriteAt(p, make([]byte, nblocks*lfs.BlockSize), 0); err != nil {
+				t.Fatal(err)
+			}
+			p.Sleep(sim.Time(30 * time.Second))
+		}
+		if err := hl.FS.Sync(p); err != nil {
+			t.Fatal(err)
+		}
+		p.Sleep(sim.Time(60 * time.Second))
+
+		direct, err := migrate.NewSTP().Select(p, hl, 10*lfs.BlockSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		viaRanker, err := hsm.Ranker{P: migrate.NewSTP()}.Rank(p, hsm.PolicyInputs{
+			HL: hl, Heat: hl.Heat, Now: p.Now(), TargetBytes: 10 * lfs.BlockSize,
+			Pinned: hl.InodePinned,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(direct, viaRanker) {
+			t.Fatalf("ranker diverged from direct STP:\n direct: %+v\n ranker: %+v", direct, viaRanker)
+		}
+	})
+}
+
+// TestLRUOrdersByAgeOnly checks the pure-LRU competitor: candidates rank
+// strictly oldest-first regardless of size.
+func TestLRUOrdersByAgeOnly(t *testing.T) {
+	k := sim.NewKernel()
+	k.RunProc(func(p *sim.Proc) {
+		hl, _, _ := rig(t, p, k)
+		mk := func(path string, nblocks int) {
+			f, err := hl.FS.Create(p, path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := f.WriteAt(p, make([]byte, nblocks*lfs.BlockSize), 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+		mk("/old-small", 2)
+		p.Sleep(sim.Time(100 * time.Second))
+		mk("/young-big", 32)
+		if err := hl.FS.Sync(p); err != nil {
+			t.Fatal(err)
+		}
+		p.Sleep(sim.Time(10 * time.Second))
+
+		lru := &hsm.LRU{}
+		cands, err := lru.Rank(p, hsm.PolicyInputs{
+			HL: hl, Heat: hl.Heat, Now: p.Now(), Pinned: hl.InodePinned,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(cands) != 2 || cands[0].Path != "/old-small" || cands[1].Path != "/young-big" {
+			t.Fatalf("LRU ranking: %+v", cands)
+		}
+	})
+}
+
+// TestHeatCostDemotesRecentFiles checks the heat-weighted-cost competitor
+// against the pure space-time product: a big file touched moments ago has
+// the larger raw space-time score, but the recency discount ranks the
+// stone-cold small file first — exactly the behavior that avoids staging
+// out files an interactive user is about to come back to.
+func TestHeatCostDemotesRecentFiles(t *testing.T) {
+	k := sim.NewKernel()
+	k.RunProc(func(p *sim.Proc) {
+		hl, _, _ := rig(t, p, k)
+		mk := func(path string, nblocks int) {
+			f, err := hl.FS.Create(p, path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := f.WriteAt(p, make([]byte, nblocks*lfs.BlockSize), 0); err != nil {
+				t.Fatal(err)
+			}
+			if err := hl.FS.Sync(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		mk("/cold-small", 1) // age 120s, 1 block
+		p.Sleep(sim.Time(117 * time.Second))
+		mk("/warm-big", 64) // age 3s, 64 blocks
+		p.Sleep(sim.Time(3 * time.Second))
+
+		in := hsm.PolicyInputs{HL: hl, Heat: hl.Heat, Now: p.Now(), Pinned: hl.InodePinned}
+		stp, err := (hsm.Ranker{P: migrate.NewSTP()}).Rank(p, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stp[0].Path != "/warm-big" {
+			t.Fatalf("STP control ranking unexpected: %+v", stp)
+		}
+		hc, err := (&hsm.HeatCost{}).Rank(p, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(hc) != 2 || hc[0].Path != "/cold-small" {
+			t.Fatalf("heat-cost ranking: %+v", hc)
+		}
+	})
+}
+
+// TestPoliciesSkipPinned checks every competitor honors the pin guard.
+func TestPoliciesSkipPinned(t *testing.T) {
+	k := sim.NewKernel()
+	k.RunProc(func(p *sim.Proc) {
+		hl, _, _ := rig(t, p, k)
+		var inums []uint32
+		for _, path := range []string{"/pa", "/pb"} {
+			f, err := hl.FS.Create(p, path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := f.WriteAt(p, make([]byte, 4*lfs.BlockSize), 0); err != nil {
+				t.Fatal(err)
+			}
+			inums = append(inums, f.Inum())
+		}
+		if err := hl.FS.Sync(p); err != nil {
+			t.Fatal(err)
+		}
+		p.Sleep(sim.Time(60 * time.Second))
+		hl.PinInode(inums[0])
+
+		in := hsm.PolicyInputs{HL: hl, Heat: hl.Heat, Now: p.Now(), Pinned: hl.InodePinned}
+		for _, pol := range []hsm.Policy{
+			hsm.Ranker{P: migrate.NewSTP()},
+			&hsm.LRU{},
+			&hsm.HeatCost{},
+		} {
+			cands, err := pol.Rank(p, in)
+			if err != nil {
+				t.Fatalf("%s: %v", pol.Name(), err)
+			}
+			for _, c := range cands {
+				if c.Inum == inums[0] {
+					t.Fatalf("%s selected the pinned inode: %+v", pol.Name(), cands)
+				}
+			}
+			if len(cands) == 0 || cands[0].Inum != inums[1] {
+				t.Fatalf("%s missed the unpinned file: %+v", pol.Name(), cands)
+			}
+		}
+	})
+}
+
+// TestAsMigratePolicyDrivesMigrator plugs a competitor into the existing
+// Migrator and checks it actually moves what the policy ranked.
+func TestAsMigratePolicyDrivesMigrator(t *testing.T) {
+	k := sim.NewKernel()
+	k.RunProc(func(p *sim.Proc) {
+		hl, _, _ := rig(t, p, k)
+		f, err := hl.FS.Create(p, "/mig")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.WriteAt(p, make([]byte, 16*lfs.BlockSize), 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := hl.FS.Sync(p); err != nil {
+			t.Fatal(err)
+		}
+		p.Sleep(sim.Time(120 * time.Second))
+
+		m := migrate.NewMigrator(hl)
+		m.Policy = hsm.AsMigratePolicy(&hsm.LRU{}, nil)
+		staged, err := m.RunOnce(p, 1<<40)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if staged == 0 {
+			t.Fatal("LRU-driven migrator staged nothing")
+		}
+		refs, err := hl.FS.FileBlockRefs(p, f.Inum())
+		if err != nil {
+			t.Fatal(err)
+		}
+		tert := 0
+		for _, ref := range refs {
+			if hl.Amap.IsTertiarySeg(hl.Amap.SegOf(ref.Addr)) {
+				tert++
+			}
+		}
+		// 16 data blocks plus the file's indirect block.
+		if tert < 16 {
+			t.Fatalf("migrated only %d of 16 blocks under the LRU policy", tert)
+		}
+	})
+}

@@ -1,0 +1,192 @@
+package hsm
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/lfs"
+	"repro/internal/sim"
+)
+
+// DefaultStatePath is where the service persists its state inside the
+// HighLight file system. The file is ordinary file data, so it rides the
+// log's durability path: synced on every save and recovered by the normal
+// roll-forward after a crash.
+const DefaultStatePath = "/.hsm/state"
+
+// The persisted representation. Slices are sorted before encoding so two
+// identical service states always serialize byte-identically (the
+// double-run determinism contract covers this file too).
+type stateFile struct {
+	NextID   int64        `json:"next_id"`
+	Requests []requestRec `json:"requests"`
+	Pins     []pinRec     `json:"pins"`
+	Staged   []stagedRec  `json:"staged"`
+	Quotas   []quotaRec   `json:"quotas"`
+}
+
+type requestRec struct {
+	ID        int64  `json:"id"`
+	Op        int    `json:"op"`
+	Path      string `json:"path"`
+	Principal string `json:"principal"`
+	State     int    `json:"state"`
+	Submitted int64  `json:"submitted_ns"`
+	Started   int64  `json:"started_ns"`
+	Finished  int64  `json:"finished_ns"`
+	Bytes     int64  `json:"bytes"`
+	Err       string `json:"err,omitempty"`
+}
+
+type pinRec struct {
+	Path      string `json:"path"`
+	Inum      uint32 `json:"inum"`
+	Principal string `json:"principal"`
+	Bytes     int64  `json:"bytes"`
+	Segs      []int  `json:"segs"`
+	PinnedAt  int64  `json:"pinned_ns"`
+}
+
+type stagedRec struct {
+	Path      string `json:"path"`
+	Principal string `json:"principal"`
+	Bytes     int64  `json:"bytes"`
+	Segs      []int  `json:"segs"`
+	StagedAt  int64  `json:"staged_ns"`
+}
+
+type quotaRec struct {
+	Principal  string `json:"principal"`
+	StagedSoft int64  `json:"staged_soft"`
+	StagedHard int64  `json:"staged_hard"`
+	PinnedHard int64  `json:"pinned_hard"`
+}
+
+// save serializes the service state into the state file and syncs it. An
+// in-progress queue persists too: a crash between save and the next
+// Process leaves the backlog intact for the remounted service.
+func (s *Service) save(p *sim.Proc) error {
+	st := stateFile{NextID: s.nextID}
+	for _, r := range s.requests {
+		st.Requests = append(st.Requests, requestRec{
+			ID: r.ID, Op: int(r.Op), Path: r.Path, Principal: r.Principal,
+			State:     int(r.State),
+			Submitted: int64(r.Submitted), Started: int64(r.Started), Finished: int64(r.Finished),
+			Bytes: r.Bytes, Err: r.Err,
+		})
+	}
+	for _, path := range sortedKeys(s.pins) {
+		pin := s.pins[path]
+		st.Pins = append(st.Pins, pinRec{
+			Path: pin.Path, Inum: pin.Inum, Principal: pin.Principal,
+			Bytes: pin.Bytes, Segs: pin.Segs, PinnedAt: int64(pin.PinnedAt),
+		})
+	}
+	for _, path := range sortedKeys(s.staged) {
+		rec := s.staged[path]
+		st.Staged = append(st.Staged, stagedRec{
+			Path: rec.Path, Principal: rec.Principal,
+			Bytes: rec.Bytes, Segs: rec.Segs, StagedAt: int64(rec.StagedAt),
+		})
+	}
+	for _, pr := range sortedKeys(s.quotas) {
+		q := s.quotas[pr]
+		st.Quotas = append(st.Quotas, quotaRec{
+			Principal: pr, StagedSoft: q.StagedSoft, StagedHard: q.StagedHard, PinnedHard: q.PinnedHard,
+		})
+	}
+	data, err := json.Marshal(&st)
+	if err != nil {
+		return fmt.Errorf("hsm: encoding state: %w", err)
+	}
+	f, err := s.HL.FS.Open(p, s.statePath)
+	if err != nil {
+		if f, err = s.HL.FS.Create(p, s.statePath); err != nil {
+			return fmt.Errorf("hsm: creating state file: %w", err)
+		}
+	}
+	if err := f.Truncate(p, 0); err != nil {
+		return err
+	}
+	if _, err := f.WriteAt(p, data, 0); err != nil {
+		return err
+	}
+	return s.HL.FS.Sync(p)
+}
+
+// load reads the state file (creating the /.hsm directory and an empty
+// state on first attach) and rebuilds the in-memory maps.
+func (s *Service) load(p *sim.Proc) error {
+	f, err := s.HL.FS.Open(p, s.statePath)
+	if err != nil {
+		if !errors.Is(err, lfs.ErrNotFound) {
+			return fmt.Errorf("hsm: opening state file: %w", err)
+		}
+		if derr := s.HL.FS.Mkdir(p, stateDir(s.statePath)); derr != nil && !errors.Is(derr, lfs.ErrExists) {
+			return fmt.Errorf("hsm: creating state dir: %w", derr)
+		}
+		return s.save(p)
+	}
+	size, err := f.Size(p)
+	if err != nil {
+		return err
+	}
+	data := make([]byte, size)
+	if _, err := f.ReadAt(p, data, 0); err != nil {
+		return err
+	}
+	var st stateFile
+	if err := json.Unmarshal(data, &st); err != nil {
+		return fmt.Errorf("hsm: decoding state file: %w", err)
+	}
+	s.nextID = st.NextID
+	for _, rec := range st.Requests {
+		r := &Request{
+			ID: rec.ID, Op: Op(rec.Op), Path: rec.Path, Principal: rec.Principal,
+			State:     State(rec.State),
+			Submitted: sim.Time(rec.Submitted), Started: sim.Time(rec.Started), Finished: sim.Time(rec.Finished),
+			Bytes: rec.Bytes, Err: rec.Err,
+		}
+		// A request caught mid-execution by a crash is re-queued: its
+		// operations are idempotent (fetch, pin, eject), so re-running is
+		// safe and simpler than guessing how far it got.
+		if r.State == Active {
+			r.State = Queued
+		}
+		s.requests = append(s.requests, r)
+		if r.State == Queued {
+			s.queue = append(s.queue, r)
+		}
+	}
+	sort.Slice(s.queue, func(a, b int) bool { return s.queue[a].ID < s.queue[b].ID })
+	for _, rec := range st.Pins {
+		s.pins[rec.Path] = &Pin{
+			Path: rec.Path, Inum: rec.Inum, Principal: rec.Principal,
+			Bytes: rec.Bytes, Segs: rec.Segs, PinnedAt: sim.Time(rec.PinnedAt),
+		}
+	}
+	for _, rec := range st.Staged {
+		s.staged[rec.Path] = &Staged{
+			Path: rec.Path, Principal: rec.Principal,
+			Bytes: rec.Bytes, Segs: rec.Segs, StagedAt: sim.Time(rec.StagedAt),
+		}
+	}
+	for _, rec := range st.Quotas {
+		s.quotas[rec.Principal] = Quota{
+			StagedSoft: rec.StagedSoft, StagedHard: rec.StagedHard, PinnedHard: rec.PinnedHard,
+		}
+	}
+	return nil
+}
+
+// stateDir returns the parent directory of the state path.
+func stateDir(path string) string {
+	for i := len(path) - 1; i > 0; i-- {
+		if path[i] == '/' {
+			return path[:i]
+		}
+	}
+	return "/"
+}

@@ -1,0 +1,80 @@
+package jukebox
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// A cancel that lands mid-swap must not interrupt the cartridge swap: the
+// jukebox honors the request scope only at operation entry, because the
+// robot's media change is an atomic hardware motion. The in-flight
+// operation completes, the drive↔volume binding stays consistent, and the
+// next operation under the dead scope is refused up front.
+func TestCancelDuringSwapCompletesOperation(t *testing.T) {
+	k := sim.NewKernel()
+	j := newMO(k, 1, 2, 4)
+	buf := make([]byte, segBytes)
+	k.RunProc(func(p *sim.Proc) {
+		// Load volume 0 so the next read (volume 1) must swap cartridges.
+		if err := j.ReadSegment(p, 0, 0, buf); err != nil {
+			t.Fatal(err)
+		}
+		ctx := k.NewCtx(0)
+		k.Go("mid-swap-cancel", func(q *sim.Proc) {
+			q.Sleep(j.prof.SwapTime / 2) // squarely inside the swap window
+			ctx.Cancel(nil)
+		})
+		restore := p.PushCtx(ctx)
+		if err := j.ReadSegment(p, 1, 0, buf); err != nil {
+			t.Fatalf("read canceled mid-swap should still complete: %v", err)
+		}
+		if err := ctx.Err(); !errors.Is(err, sim.ErrCanceled) {
+			t.Fatalf("cancel never fired: %v", err)
+		}
+		// The scope is dead now: the next operation is refused at entry,
+		// before touching a drive.
+		if err := j.ReadSegment(p, 1, 1, buf); !errors.Is(err, sim.ErrCanceled) {
+			t.Fatalf("op under a dead scope = %v, want ErrCanceled", err)
+		}
+		if err := j.WriteSegment(p, 1, 1, buf); !errors.Is(err, sim.ErrCanceled) {
+			t.Fatalf("write under a dead scope = %v, want ErrCanceled", err)
+		}
+		restore()
+		// Drive state stayed consistent: volume 1 finished loading, so a
+		// fresh-scope read is served with no second swap.
+		swaps := j.Stats().Swaps
+		if err := j.ReadSegment(p, 1, 1, buf); err != nil {
+			t.Fatal(err)
+		}
+		if got := j.Stats().Swaps; got != swaps {
+			t.Fatalf("read after mid-swap cancel paid %d extra swaps", got-swaps)
+		}
+	})
+}
+
+// Same edge with a deadline instead of an explicit cancel: the scope
+// expires inside the swap the request itself triggered, the operation
+// still completes, and only subsequent operations observe the expiry.
+func TestDeadlineExpiryMidSwapCompletesOperation(t *testing.T) {
+	k := sim.NewKernel()
+	j := newMO(k, 1, 2, 4)
+	buf := make([]byte, segBytes)
+	k.RunProc(func(p *sim.Proc) {
+		if err := j.ReadSegment(p, 0, 0, buf); err != nil {
+			t.Fatal(err)
+		}
+		// The 13.4 s swap blows well past a 2 s deadline.
+		ctx := k.NewCtx(p.Now() + sim.Time(2*time.Second))
+		restore := p.PushCtx(ctx)
+		defer restore()
+		if err := j.ReadSegment(p, 1, 0, buf); err != nil {
+			t.Fatalf("read expiring mid-swap should still complete: %v", err)
+		}
+		if err := j.ReadSegment(p, 1, 1, buf); !errors.Is(err, sim.ErrDeadlineExceeded) {
+			t.Fatalf("op under an expired scope = %v, want ErrDeadlineExceeded", err)
+		}
+	})
+}

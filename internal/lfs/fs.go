@@ -900,6 +900,23 @@ func (fs *FS) ResetTseg(idx int) {
 	fs.tseg[idx] = Seguse{}
 }
 
+// MarkTsegPinned flags a tertiary segment as HSM-pinned. The flag lives
+// in the checkpointed tsegfile, so pins ride the same durability path as
+// every other segment state and survive crash recovery.
+func (fs *FS) MarkTsegPinned(idx int) {
+	fs.tseg[idx].Flags |= SegPinned
+}
+
+// ClearTsegPinned drops the HSM pin flag from a tertiary segment.
+func (fs *FS) ClearTsegPinned(idx int) {
+	fs.tseg[idx].Flags &^= SegPinned
+}
+
+// TsegPinned reports whether a tertiary segment carries the HSM pin flag.
+func (fs *FS) TsegPinned(idx int) bool {
+	return fs.tseg[idx].Flags&SegPinned != 0
+}
+
 // RestoreTsegUsage reconstructs a tertiary segment's usage entry during
 // crash recovery from the checksum-valid prefix of its recovered staging
 // image: the in-memory accounting done by Migratev (live bytes plus

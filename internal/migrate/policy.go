@@ -59,6 +59,14 @@ func (s *STP) Select(p *sim.Proc, hl *core.HighLight, targetBytes int64) ([]Cand
 		if fi.Type != lfs.TypeFile || fi.Size == 0 {
 			return nil
 		}
+		if hl.InodePinned(fi.Inum) {
+			hl.Audit.Record(attr.Decision{
+				T: now, Actor: "policy:stp", Subject: "file:" + path,
+				Seg: -1, Verdict: attr.VerdictPinGuard, Reason: "file is HSM-pinned",
+				Inputs: []attr.Input{attr.In("size", float64(fi.Size))},
+			})
+			return nil
+		}
 		age := now - sim.Time(fi.Atime)
 		if age < 0 {
 			age = 0 // resumed image: access times may be "in the future"
@@ -176,6 +184,14 @@ func (n *Namespace) Select(p *sim.Proc, hl *core.HighLight, targetBytes int64) (
 	units := map[string]*unit{}
 	err := hl.FS.Walk(p, "/", func(path string, fi lfs.FileInfo) error {
 		if fi.Type != lfs.TypeFile || fi.Size == 0 {
+			return nil
+		}
+		if hl.InodePinned(fi.Inum) {
+			hl.Audit.Record(attr.Decision{
+				T: now, Actor: "policy:namespace", Subject: "file:" + path,
+				Seg: -1, Verdict: attr.VerdictPinGuard, Reason: "file is HSM-pinned",
+				Inputs: []attr.Input{attr.In("size", float64(fi.Size))},
+			})
 			return nil
 		}
 		dir := parentDir(path)

@@ -31,6 +31,17 @@ const (
 	VerdictProbed   = "probed"   // half-open breaker let one probe request through
 	VerdictRestored = "restored" // breaker closed again after a successful probe
 	VerdictBrownout = "brownout" // graceful-degradation mode entered or left
+
+	// HSM service-surface verdicts (pin lifecycle, quota enforcement,
+	// request-queue transitions).
+	VerdictPinned    = "pinned"     // a file/segment entered the pinned set
+	VerdictUnpinned  = "unpinned"   // a pin was released
+	VerdictPinGuard  = "pin-guard"  // evictor/cleaner/migrator refused a pinned subject
+	VerdictQuotaShed = "quota-shed" // request refused at admission: principal over quota
+	VerdictReclaimed = "reclaimed"  // quota GC evicted staged data of an over-soft-limit principal
+	VerdictQueued    = "queued"     // HSM request entered the persistent queue
+	VerdictDone      = "done"       // HSM request completed
+	VerdictFailed    = "failed"     // HSM request reached the failed state
 )
 
 // Input is one named policy input (heat, age, utilization, pressure)

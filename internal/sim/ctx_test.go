@@ -1,0 +1,105 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// Double-cancel is idempotent: the first cause sticks, later causes are
+// dropped, and each registered waker runs exactly once.
+func TestCtxDoubleCancelFirstCauseWins(t *testing.T) {
+	k := NewKernel()
+	c := k.NewCtx(0)
+	woken := 0
+	c.OnCancel(func() { woken++ })
+	first := errors.New("first cause")
+	c.Cancel(first)
+	c.Cancel(errors.New("second cause"))
+	c.Cancel(nil)
+	if !errors.Is(c.Err(), first) {
+		t.Fatalf("Err() = %v, want the first cause", c.Err())
+	}
+	if woken != 1 {
+		t.Fatalf("waker ran %d times, want exactly once", woken)
+	}
+	// A waker registered after death runs immediately — and still only once
+	// even if the scope is "canceled" again.
+	late := 0
+	c.OnCancel(func() { late++ })
+	c.Cancel(errors.New("third cause"))
+	if late != 1 {
+		t.Fatalf("late waker ran %d times, want exactly once", late)
+	}
+}
+
+func TestCtxCancelNilCauseDefaultsToCanceled(t *testing.T) {
+	k := NewKernel()
+	c := k.NewCtx(0)
+	c.Cancel(nil)
+	if !errors.Is(c.Err(), ErrCanceled) {
+		t.Fatalf("Err() = %v, want ErrCanceled", c.Err())
+	}
+}
+
+// A deadline that has already expired is the scope's cause of death; a
+// cancel arriving afterwards must not replace it.
+func TestCtxDeadlineBeatsLateCancel(t *testing.T) {
+	k := NewKernel()
+	c := k.NewCtx(Time(5 * time.Second))
+	k.RunProc(func(p *Proc) {
+		if err := c.Err(); err != nil {
+			t.Fatalf("Err() before the deadline = %v", err)
+		}
+		p.Sleep(Time(6 * time.Second))
+		if !errors.Is(c.Err(), ErrDeadlineExceeded) {
+			t.Fatalf("Err() past the deadline = %v, want ErrDeadlineExceeded", c.Err())
+		}
+		c.Cancel(errors.New("too late"))
+		if !errors.Is(c.Err(), ErrDeadlineExceeded) {
+			t.Fatalf("late cancel replaced the deadline cause: %v", c.Err())
+		}
+	})
+}
+
+// A nil *Ctx is documented as valid everywhere: it never expires, Cancel
+// is a no-op, and OnCancel never fires.
+func TestCtxNilSafe(t *testing.T) {
+	var c *Ctx
+	if c.Err() != nil {
+		t.Fatalf("nil ctx Err() = %v", c.Err())
+	}
+	if c.Deadline() != 0 {
+		t.Fatalf("nil ctx Deadline() = %v", c.Deadline())
+	}
+	c.Cancel(errors.New("ignored"))
+	ran := false
+	c.OnCancel(func() { ran = true })
+	if ran {
+		t.Fatal("waker ran on a nil ctx")
+	}
+}
+
+// PushCtx scopes nest: the restore function reinstates the previous scope,
+// so a worker running requests back-to-back never leaks one request's
+// cancellation into the next.
+func TestPushCtxRestoresPreviousScope(t *testing.T) {
+	k := NewKernel()
+	outer, inner := k.NewCtx(0), k.NewCtx(0)
+	k.RunProc(func(p *Proc) {
+		popOuter := p.PushCtx(outer)
+		popInner := p.PushCtx(inner)
+		inner.Cancel(nil)
+		if !errors.Is(p.CtxErr(), ErrCanceled) {
+			t.Fatalf("inner scope not visible: %v", p.CtxErr())
+		}
+		popInner()
+		if err := p.CtxErr(); err != nil {
+			t.Fatalf("outer scope tainted by inner cancel: %v", err)
+		}
+		popOuter()
+		if p.Ctx() != nil {
+			t.Fatal("base scope not restored")
+		}
+	})
+}

@@ -51,6 +51,14 @@ const (
 	// bulk work. It sheds first and is throttled during brownout.
 	Background
 
+	// Staging is the HSM service class: explicit stage-in/stage-out and
+	// pin requests from the internal/hsm request queue. It ranks between
+	// the other two — a user asked for the data movement (unlike
+	// background migration) but did not block on a demand read (unlike
+	// interactive), so non-reserved workers serve it after interactive
+	// and before background.
+	Staging
+
 	numClasses
 )
 
@@ -60,6 +68,8 @@ func (c Class) String() string {
 		return "interactive"
 	case Background:
 		return "background"
+	case Staging:
+		return "staging"
 	}
 	return "unknown"
 }
@@ -72,11 +82,12 @@ type Config struct {
 	// queue — the quota that keeps interactive requests moving during
 	// background floods (default 1, clamped below Workers).
 	ReservedInteractive int
-	// InteractiveQueue / BackgroundQueue bound the per-class admission
-	// queues (defaults 64 / 16). A submit against a full queue is shed
-	// with ErrOverload.
+	// InteractiveQueue / BackgroundQueue / StagingQueue bound the
+	// per-class admission queues (defaults 64 / 16 / 32). A submit
+	// against a full queue is shed with ErrOverload.
 	InteractiveQueue int
 	BackgroundQueue  int
+	StagingQueue     int
 	// RetryBudget caps banked retry tokens; RetryPerAdmits is how many
 	// admissions earn one token (defaults 8 and 10: at most ~10% of
 	// admitted traffic can be retries, so retries cannot amplify an
@@ -108,6 +119,9 @@ func (c *Config) fill() {
 	}
 	if c.BackgroundQueue <= 0 {
 		c.BackgroundQueue = 16
+	}
+	if c.StagingQueue <= 0 {
+		c.StagingQueue = 32
 	}
 	if c.RetryBudget <= 0 {
 		c.RetryBudget = 8
@@ -267,8 +281,11 @@ func (fe *FrontEnd) Submit(p *sim.Proc, class Class, deadline sim.Time, fn func(
 // returned request. A full queue sheds with ErrOverload (nil request).
 func (fe *FrontEnd) SubmitAsync(p *sim.Proc, class Class, deadline sim.Time, fn func(p *sim.Proc) error) (*Request, error) {
 	capacity := fe.Cfg.InteractiveQueue
-	if class == Background {
+	switch class {
+	case Background:
 		capacity = fe.Cfg.BackgroundQueue
+	case Staging:
+		capacity = fe.Cfg.StagingQueue
 	}
 	fe.nextID++
 	id := fe.nextID
@@ -431,11 +448,13 @@ func (fe *FrontEnd) dequeue(p *sim.Proc, reservedInteractive bool) *Request {
 			return r
 		}
 		if !reservedInteractive {
-			if q := fe.queues[Background]; len(q) > 0 {
-				r := q[0]
-				fe.queues[Background] = q[1:]
-				fe.qGauge[Background].Set(int64(len(fe.queues[Background])))
-				return r
+			for _, c := range [...]Class{Staging, Background} {
+				if q := fe.queues[c]; len(q) > 0 {
+					r := q[0]
+					fe.queues[c] = q[1:]
+					fe.qGauge[c].Set(int64(len(fe.queues[c])))
+					return r
+				}
 			}
 		}
 		fe.work.Wait(p)
@@ -458,14 +477,17 @@ func (fe *FrontEnd) complete(r *Request, err error) {
 
 // Stats is a front-end snapshot for reports and tests.
 type Stats struct {
-	Admitted, Shed, ExpiredInQueue    int64
-	Completed, Failed                 int64
-	DeadlineMisses                    int64
-	RetriesGranted, RetriesDenied     int64
-	QueueInteractive, QueueBackground int
-	Brownout                          bool
-	P50Interactive, P99Interactive    sim.Time
-	P50Background, P99Background      sim.Time
+	Admitted, Shed, ExpiredInQueue int64
+	Completed, Failed              int64
+	DeadlineMisses                 int64
+	RetriesGranted, RetriesDenied  int64
+	QueueInteractive               int
+	QueueBackground                int
+	QueueStaging                   int
+	Brownout                       bool
+	P50Interactive, P99Interactive sim.Time
+	P50Background, P99Background   sim.Time
+	P50Staging, P99Staging         sim.Time
 }
 
 // Stats snapshots the counters and latency quantiles.
@@ -481,10 +503,13 @@ func (fe *FrontEnd) Stats() Stats {
 		RetriesDenied:    fe.retryNo.Value(),
 		QueueInteractive: len(fe.queues[Interactive]),
 		QueueBackground:  len(fe.queues[Background]),
+		QueueStaging:     len(fe.queues[Staging]),
 		Brownout:         fe.brownout,
 		P50Interactive:   fe.latH[Interactive].P50(),
 		P99Interactive:   fe.latH[Interactive].P99(),
 		P50Background:    fe.latH[Background].P50(),
 		P99Background:    fe.latH[Background].P99(),
+		P50Staging:       fe.latH[Staging].P50(),
+		P99Staging:       fe.latH[Staging].P99(),
 	}
 }

@@ -351,6 +351,52 @@ func TestCancelMidCopyoutLeavesConsistentState(t *testing.T) {
 	k.Stop()
 }
 
+// TestCancelAfterCompleteIsIdempotent cancels a request that already
+// finished — once and then again — and checks the recorded outcome and the
+// front-end accounting are untouched: cancellation is a no-op after
+// completion, not a retroactive failure.
+func TestCancelAfterCompleteIsIdempotent(t *testing.T) {
+	k := sim.NewKernel()
+	k.RunProc(func(p *sim.Proc) {
+		hl, _, _ := rig(t, p, k)
+		fe := svc.New(hl, svc.Config{})
+		migrateAndEject(t, p, hl, "/data", 8)
+
+		r, err := fe.SubmitAsync(p, svc.Interactive, 0, func(wp *sim.Proc) error {
+			f, oerr := hl.FS.Open(wp, "/data")
+			if oerr != nil {
+				return oerr
+			}
+			buf := make([]byte, lfs.BlockSize)
+			_, rerr := f.ReadAt(wp, buf, 0)
+			return rerr
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if werr := r.Wait(p); werr != nil {
+			t.Fatal(werr)
+		}
+		if !r.Finished() {
+			t.Fatal("request not finished after Wait")
+		}
+		before := fe.Stats()
+		r.Cancel()
+		r.Cancel()
+		if r.Err() != nil {
+			t.Fatalf("cancel after completion rewrote the outcome: %v", r.Err())
+		}
+		if werr := r.Wait(p); werr != nil {
+			t.Fatalf("Wait after late cancel: %v", werr)
+		}
+		after := fe.Stats()
+		if after.Completed != before.Completed || after.Failed != before.Failed {
+			t.Fatalf("late cancel disturbed accounting: before %+v, after %+v", before, after)
+		}
+	})
+	k.Stop()
+}
+
 // TestBreakerTripRerouteRestore drives the per-library circuit breaker
 // through its whole life from real I/O outcomes: consecutive infrastructure
 // failures trip it, an open breaker is routed around so reads are served
