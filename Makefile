@@ -35,10 +35,14 @@ crash:
 
 # Chaos/overload soaks under the race detector: the combined overload +
 # library-outage storm (double-run digest equality), the replication and
-# repair soaks, and the deadline/cancel suite. -count=1 forces fresh runs.
+# repair soaks, the deadline/cancel suite, and the request-tracing
+# determinism gate (tracing must not perturb the run, and the /requests
+# document must be byte-identical across a double run). -count=1 forces
+# fresh runs.
 soak:
 	$(GO) test -race -count=1 ./internal/svc/ -run 'TestOverloadLibraryOutageSoak|TestCancelMidCopyout|TestQueuedExpiry'
 	$(GO) test -race -count=1 ./internal/core/ -run 'Soak|Repair'
+	$(GO) test -race -count=1 ./internal/bench/ -run 'TestReqtraceAblationFree|TestRequestsJSONBitReproducible'
 
 # Tier-1 verification: everything CI's verify job runs, in order.
 verify: build vet lint test race crash

@@ -9,6 +9,7 @@
 //	hlbench [-table N] [-quick] [-disks N] [-stripe U] [-parity] [-streams K]
 //	        [-trace FILE] [-json FILE] [-serve ADDR [-rounds N]]
 //	        [-clients N [-arrival closed|poisson|bursty] [-deadline D]]
+//	        [-profile] [-requests FILE]
 //
 // Without -table every table is produced. -quick runs a reduced-scale
 // configuration (seconds instead of a minute); the default reproduces the
@@ -36,10 +37,24 @@
 // -deadline, and the run reports goodput, shed rate, and interactive
 // latency quantiles.
 //
+// -profile measures the simulator itself on the wall clock: events
+// dispatched per second, scheduler overhead per event, event-heap depth,
+// and the most-dispatched processes over the migration workload. These
+// are physical measurements (they vary by machine) and are never part of
+// the deterministic benchmark snapshot.
+//
+// -requests FILE runs the traced overload cell and writes the /requests
+// JSON document: per-request causal traces with critical-path breakdowns
+// (queue-wait, cache-lookup, fetch-wait, stripe-io, drive-swap,
+// media-transfer, retry-backoff) whose stage durations sum exactly to
+// each request's end-to-end latency. Byte-reproducible across runs.
+//
 // -serve ADDR runs a multi-round migration + demand-fetch workload while
-// serving live telemetry over HTTP: Prometheus-format /metrics, the
-// per-segment heat map as /heatmap JSON, the migration decision audit as
-// /decisions JSON, and net/http/pprof under /debug/pprof/. Snapshots are
+// serving live telemetry over HTTP: Prometheus-format /metrics (with the
+// kernel self-profile appended), the per-segment heat map as /heatmap
+// JSON, the migration decision audit as /decisions JSON, per-request
+// traces as /requests JSON, and net/http/pprof under /debug/pprof/.
+// Snapshots are
 // published at deterministic virtual-time points, so the simulation runs
 // the identical schedule whether or not anyone is scraping. After the
 // workload the final snapshot stays up until interrupted. -rounds sets
@@ -90,6 +105,8 @@ func main() {
 	clients := flag.Int("clients", 0, "run the closed-loop overload workload with this many clients through the admission-controlled front end (0 = off)")
 	arrival := flag.String("arrival", "closed", "arrival process for -clients: closed|poisson|bursty")
 	deadline := flag.Duration("deadline", 5*time.Second, "per-request virtual-time deadline for -clients")
+	profile := flag.Bool("profile", false, "measure the sim kernel itself on the wall clock (events/sec, dispatch overhead, heap depth) over the migration workload")
+	requestsOut := flag.String("requests", "", "write the traced overload run's /requests JSON (per-request critical-path breakdowns) to this file")
 	flag.Parse()
 
 	if err := cliutil.ValidateFarm(*disks, *stripeUnit, *parity); err != nil {
@@ -113,6 +130,31 @@ func main() {
 	scale.StripeUnit = *stripeUnit
 	scale.Parity = *parity
 	scale.Streams = *streams
+
+	if *profile {
+		rep, err := bench.ProfileReport(scale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hlbench: -profile: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(rep)
+		return
+	}
+
+	if *requestsOut != "" {
+		res, err := bench.RunOverload(bench.OverloadSpec{Arrival: wl.ArrivalPoisson, Load: 2})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hlbench: -requests: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*requestsOut, res.RequestsJSON, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "hlbench: -requests: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d traced requests (%d stages) to %s\n",
+			res.TracedRequests, res.StagesRecorded, *requestsOut)
+		return
+	}
 
 	if *clients > 0 {
 		arr, err := wl.ParseArrival(*arrival)
@@ -140,7 +182,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "hlbench: -serve: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Printf("telemetry on http://%s  (/metrics /heatmap /decisions /debug/pprof/)\n", addr)
+		fmt.Printf("telemetry on http://%s  (/metrics /heatmap /decisions /requests /debug/pprof/)\n", addr)
 		if err := bench.ServeMigration(scale, srv, *rounds); err != nil {
 			fmt.Fprintf(os.Stderr, "hlbench: -serve workload: %v\n", err)
 			os.Exit(1)
@@ -218,6 +260,7 @@ func main() {
 			bench.AblationDiskScaling,
 			bench.AblationOverload,
 			bench.AblationPolicy,
+			bench.AblationReqtrace,
 		} {
 			rep, err := run()
 			if err != nil {

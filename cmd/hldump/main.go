@@ -24,6 +24,15 @@
 //	-pins       active HSM pins and the segments they hold in the cache
 //	-quotas     per-principal HSM quota standing (staged/pinned usage
 //	            against soft and hard limits)
+//	-request N  the traced waterfall and critical-path breakdown for
+//	            request N: the demo submits two demand reads of the
+//	            migrated /beta through the admission-controlled front
+//	            end — request 1 with the loaded drive offline (a
+//	            jukebox-swap fetch) and request 2 against the warm
+//	            segment cache — and every stage's duration sums exactly
+//	            to the request's end-to-end latency
+//	-slowest K  the K slowest traced requests per class with their
+//	            dominant critical-path stages
 //	-why N      the policy story for tertiary segment N: its heat record
 //	            and the audited decision chain (selected / skipped /
 //	            staged / copied-out / cleaned) recorded by the migrator,
@@ -42,6 +51,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/bench"
 	"repro/internal/core"
@@ -54,6 +64,7 @@ import (
 	"repro/internal/lfs"
 	"repro/internal/obs"
 	"repro/internal/sim"
+	"repro/internal/svc"
 )
 
 // splitList turns a comma-separated flag value into its non-empty items.
@@ -83,12 +94,14 @@ func main() {
 	pins := flag.Bool("pins", false, "active HSM pins and their pinned segments")
 	quotas := flag.Bool("quotas", false, "per-principal HSM quota standing")
 	why := flag.Int("why", -1, "print the heat record and audited decision chain for this tertiary segment")
+	request := flag.Int("request", -1, "print the traced waterfall and critical-path breakdown for this request ID (the demo traces request 1, a jukebox-swap fetch, and request 2, a cache hit)")
+	slowest := flag.Int("slowest", 0, "print the K slowest traced requests per class (0 = off; the full dump shows 5)")
 	replicas := flag.Bool("replicas", false, "tertiary replication report: per-library health/capacity, per-segment replica map, under-replicated list (the demo fails a library mid-run and repairs it)")
 	img := flag.String("img", "", "load a file system image directory (from hlfs) instead of the demo")
 	maxSegs := flag.Int("maxsegs", 64, "cap per-segment detail in -layout (0 = all)")
 	flag.Parse()
 
-	all := !*layout && !*addrmap && !*hierarchy && !*datapath && !*summary && !*volumes && !*faults && !*recovery && !*timeline && !*replicas && !*requests && !*pins && !*quotas && *why < 0
+	all := !*layout && !*addrmap && !*hierarchy && !*datapath && !*summary && !*volumes && !*faults && !*recovery && !*timeline && !*replicas && !*requests && !*pins && !*quotas && *why < 0 && *request < 0 && *slowest == 0
 
 	if *summary || all {
 		fmt.Println(bench.Table1())
@@ -96,6 +109,7 @@ func main() {
 
 	k := sim.NewKernel()
 	var hl *core.HighLight
+	var juke *jukebox.Jukebox
 	var o *obs.Obs
 	var err error
 	if *img != "" {
@@ -109,7 +123,7 @@ func main() {
 		if *timeline || all {
 			o.EnableTrace()
 		}
-		hl, err = demo(k, *faults || all, o)
+		hl, juke, err = demo(k, *faults || all, o)
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "hldump: %v\n", err)
@@ -119,6 +133,7 @@ func main() {
 		dump.AddrMap(os.Stdout, hl)
 		fmt.Println()
 	}
+	var fe *svc.FrontEnd
 	k.RunProc(func(p *sim.Proc) {
 		if (*hierarchy || all) && *img == "" {
 			if err := dump.Hierarchy(p, os.Stdout, hl); err != nil {
@@ -131,6 +146,17 @@ func main() {
 				fmt.Fprintf(os.Stderr, "hldump: datapath: %v\n", err)
 			}
 			fmt.Println()
+		}
+		if (*request >= 0 || *slowest > 0 || all) && *img == "" {
+			// The two traced reads the -request and -slowest views render.
+			// Runs after hierarchy/datapath (which replay the figure
+			// workloads against the same seeded fault schedule regardless)
+			// but before the HSM session pins /beta lines — pinned lines
+			// can't be ejected for the cold traced read.
+			var terr error
+			if fe, terr = traceDemo(p, hl, juke); terr != nil {
+				fmt.Fprintf(os.Stderr, "hldump: trace demo: %v\n", terr)
+			}
 		}
 		if *layout || all {
 			if err := dump.Layout(p, os.Stdout, hl, *maxSegs); err != nil {
@@ -191,6 +217,32 @@ func main() {
 			dump.Why(os.Stdout, hl, *why)
 		}
 	})
+	if (*request >= 0 || *slowest > 0) && *img != "" {
+		fmt.Fprintln(os.Stderr, "hldump: -request/-slowest need the demo instance (loaded images carry no traces)")
+	}
+	if fe != nil {
+		if *slowest > 0 || all {
+			fmt.Println()
+			n := *slowest
+			if n == 0 {
+				n = 5
+			}
+			dump.Slowest(os.Stdout, fe.Tracer, n)
+		}
+		ids := []int64{1, 2} // the swap read and the cache-hit read
+		if *request >= 0 {
+			ids = []int64{int64(*request)}
+		}
+		if *request >= 0 || all {
+			for _, id := range ids {
+				fmt.Println()
+				if err := dump.Waterfall(os.Stdout, fe.Tracer, id); err != nil {
+					fmt.Fprintf(os.Stderr, "hldump: -request: %v\n", err)
+					os.Exit(1)
+				}
+			}
+		}
+	}
 	if (*timeline || all) && *img == "" {
 		// The pipeline-level story: mounts, migrations, staging, volume
 		// swaps, Footprint transfers, and demand-fetch waits. (Per-block
@@ -481,10 +533,57 @@ func attachHSM(p *sim.Proc, hl *core.HighLight, demo bool) (*hsm.Service, error)
 	return s, nil
 }
 
+// traceDemo runs two traced demand reads of the migrated /beta through
+// the admission-controlled front end. Request 1 runs with drive 0
+// offline, so the fetch must swap the cartridge into drive 1 — its
+// waterfall shows queue-wait, cache-lookup miss, fetch-wait, drive-swap,
+// media-transfer, and the staging stripe I/O. Request 2 re-reads the now
+// segment-cached file: a pure cache-hit trace. Must run before the HSM
+// section, which pins /beta lines (pinned lines can't be ejected for the
+// cold read).
+func traceDemo(p *sim.Proc, hl *core.HighLight, juke *jukebox.Jukebox) (*svc.FrontEnd, error) {
+	fe := svc.New(hl, svc.Config{Workers: 2, ReservedInteractive: 1, InteractiveQueue: 4, BackgroundQueue: 4})
+	f, err := hl.FS.Open(p, "/beta")
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 8*lfs.BlockSize)
+	read := func() error {
+		return fe.Submit(p, svc.Interactive, p.Now()+sim.Time(60*time.Second), func(wp *sim.Proc) error {
+			_, e := f.ReadAt(wp, buf, 0)
+			return e
+		})
+	}
+	// Cold read: drop buffers and eject the cached segments so the read
+	// goes to tertiary, with the loaded drive offline to force a swap.
+	hl.FS.DropFileBuffers(p, f.Inum())
+	for _, l := range hl.Cache.Lines() {
+		if !l.Staging && l.Pins == 0 {
+			if err := hl.Svc.Eject(l.Tag); err != nil {
+				return nil, err
+			}
+		}
+	}
+	juke.SetDriveOffline(0, true)
+	if err := read(); err != nil {
+		return nil, fmt.Errorf("swap read: %w", err)
+	}
+	juke.SetDriveOffline(0, false)
+	// Warm read: the segment now sits in the disk segment cache, so the
+	// trace resolves at the cache lookup.
+	hl.FS.DropFileBuffers(p, f.Inum())
+	if err := read(); err != nil {
+		return nil, fmt.Errorf("cache-hit read: %w", err)
+	}
+	return fe, nil
+}
+
 // demo builds a small populated HighLight instance on the given obs
 // domain. With faults set, the demo workload runs under a seeded
 // transient-fault plan so the recovery report has something to show.
-func demo(k *sim.Kernel, faults bool, o *obs.Obs) (*core.HighLight, error) {
+// The jukebox is returned alongside so the trace demo can force a
+// cartridge swap (nil for -img loads).
+func demo(k *sim.Kernel, faults bool, o *obs.Obs) (*core.HighLight, *jukebox.Jukebox, error) {
 	disk := dev.NewDisk(k, dev.RZ57, 256*64, nil)
 	juke := jukebox.MustNew(k, jukebox.MO6300, 2, 4, 32, 64*lfs.BlockSize, nil)
 	disk.SetObs(o, "")
@@ -532,5 +631,5 @@ func demo(k *sim.Kernel, faults bool, o *obs.Obs) (*core.HighLight, error) {
 		}
 		err = hl.CompleteMigration(p)
 	})
-	return hl, err
+	return hl, juke, err
 }

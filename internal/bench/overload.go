@@ -9,6 +9,7 @@ import (
 	"repro/internal/lfs"
 	"repro/internal/sim"
 	"repro/internal/svc"
+	"repro/internal/telemetry"
 	"repro/internal/wl"
 )
 
@@ -32,6 +33,9 @@ type OverloadSpec struct {
 	Arrival  wl.Arrival
 	Deadline sim.Time
 	Load     float64 // offered-load multiple of the 1x base concurrency
+	// DisableTracing turns the per-request tracer off — the control arm
+	// of the ablation proving tracing never moves a metric.
+	DisableTracing bool
 }
 
 // OverloadResult is one measured cell of the overload study.
@@ -40,6 +44,11 @@ type OverloadResult struct {
 	Svc      svc.Stats
 	ShedRate float64 // sheds / distinct requests
 	P99ms    float64 // interactive admission-to-completion p99
+
+	TracedRequests int64  // traces sealed (0 with tracing disabled)
+	StagesRecorded int64  // stages across all sealed traces
+	TraceErrs      int64  // retained traces violating the sum invariant
+	RequestsJSON   []byte // telemetry.RenderRequests at end of run
 }
 
 // overloadBaseClients x overloadBaseGap set the 1x operating point: four
@@ -99,6 +108,7 @@ func runOverloadCell(p *sim.Proc, k *sim.Kernel, spec OverloadSpec) (OverloadRes
 	fe := svc.New(hl, svc.Config{
 		Workers: 2, ReservedInteractive: 1,
 		InteractiveQueue: 4, BackgroundQueue: 4,
+		DisableTracing: spec.DisableTracing,
 	})
 
 	// Working set: 20 files across ~8 tertiary segments, fully migrated
@@ -157,6 +167,24 @@ func runOverloadCell(p *sim.Proc, k *sim.Kernel, spec OverloadSpec) (OverloadRes
 		res.ShedRate = float64(cs.Shed) / float64(distinct)
 	}
 	res.P99ms = float64(st.P99Interactive.Milliseconds())
+	if fe.Tracer != nil {
+		_, res.TracedRequests, res.StagesRecorded = fe.Tracer.Counts()
+		res.RequestsJSON = telemetry.RenderRequests(fe.Tracer, p.Now())
+		// Property-check every retained trace: stages sealed, breakdown
+		// summing exactly to the end-to-end latency.
+		for _, tr := range fe.Tracer.Recent() {
+			if tr.Validate() != nil {
+				res.TraceErrs++
+			}
+		}
+		for _, c := range fe.Tracer.Classes() {
+			for _, tr := range fe.Tracer.Slowest(c, 1<<30) {
+				if tr.Validate() != nil {
+					res.TraceErrs++
+				}
+			}
+		}
+	}
 	return res, nil
 }
 

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/migrate"
 	"repro/internal/sim"
+	"repro/internal/svc"
 	"repro/internal/telemetry"
 	"repro/internal/wl"
 )
@@ -16,10 +17,23 @@ import (
 // server execute the same virtual-time schedule — the determinism pins
 // in snapshot_test.go and the crash package hold the line.
 func publish(r *hlRig, srv *telemetry.Server) {
+	publishFull(r, srv, nil)
+}
+
+// publishFull additionally renders the front end's per-request traces
+// (/requests) and the kernel self-profile (appended to /metrics). The
+// profile is the one wall-clock section; everything else stays a pure
+// function of virtual time.
+func publishFull(r *hlRig, srv *telemetry.Server, fe *svc.FrontEnd) {
 	if srv == nil {
 		return
 	}
-	srv.Publish(telemetry.Collect(r.obs, r.hl.Heat, r.hl.Audit, r.k.Now()))
+	sn := telemetry.Collect(r.obs, r.hl.Heat, r.hl.Audit, r.k.Now())
+	if fe != nil && fe.Tracer != nil {
+		sn.Requests = telemetry.RenderRequests(fe.Tracer, r.k.Now())
+	}
+	sn.Profile = telemetry.RenderProfile(r.k.ProfileSnapshot())
+	srv.Publish(sn)
 }
 
 // ServeMigration drives a multi-round create → age → migrate → eject →
@@ -35,14 +49,20 @@ func ServeMigration(s Scale, srv *telemetry.Server, rounds int) error {
 	}
 	r := newHLRig(s, stageOnMain)
 	defer r.stop()
+	r.k.EnableProfile()
 	framesPer := s.Frames / (2 * rounds)
 	if framesPer < 64 {
 		framesPer = 64
 	}
 	var err error
+	var fe *svc.FrontEnd
 	r.k.RunProc(func(p *sim.Proc) {
 		t := wl.HLTarget("hl", r.hl)
 		m := migrate.NewMigrator(r.hl)
+		fe = svc.New(r.hl, svc.Config{
+			Workers: 2, ReservedInteractive: 1,
+			InteractiveQueue: 8, BackgroundQueue: 8,
+		})
 		for round := 0; round < rounds; round++ {
 			path := fmt.Sprintf("/obj%d", round)
 			spec := wl.LargeObjectSpec{
@@ -82,12 +102,20 @@ func ServeMigration(s Scale, srv *telemetry.Server, rounds int) error {
 					return
 				}
 			}
-			buf := make([]byte, 64*1024)
-			if _, e := f.ReadAt(p, buf, 0); e != nil {
+			// The demand-fetch read goes through the front end so it is
+			// admission-controlled and traced end to end: the /requests
+			// endpoint shows its queue-wait, cache misses, fetch-wait, and
+			// the jukebox work underneath.
+			deadline := p.Now() + 120*sim.Time(time.Second)
+			if e := fe.Submit(p, svc.Interactive, deadline, func(wp *sim.Proc) error {
+				buf := make([]byte, 64*1024)
+				_, re := f.ReadAt(wp, buf, 0)
+				return re
+			}); e != nil {
 				err = e
 				return
 			}
-			publish(r, srv)
+			publishFull(r, srv, fe)
 		}
 		// Reclaim the cheapest used volume so the cleaner's decisions
 		// (selected, cleaned, skipped segments) show up in the audit.
@@ -97,7 +125,7 @@ func ServeMigration(s Scale, srv *telemetry.Server, rounds int) error {
 				return
 			}
 		}
-		publish(r, srv)
+		publishFull(r, srv, fe)
 	})
 	if err != nil {
 		return fmt.Errorf("bench: serve workload: %w", err)

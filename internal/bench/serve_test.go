@@ -87,6 +87,21 @@ func TestServeMigrationPublishesAndIsDeterministic(t *testing.T) {
 	if !bytes.Equal(a.Metrics, b.Metrics) || !bytes.Equal(a.Heatmap, b.Heatmap) || !bytes.Equal(a.Decisions, b.Decisions) {
 		t.Fatal("two serve runs published different snapshots")
 	}
+	// The /requests export is virtual-time-derived, so it is held to the
+	// same bit-reproducibility bar. The kernel profile (a.Profile) is
+	// wall-clock and deliberately NOT compared.
+	if !bytes.Equal(a.Requests, b.Requests) {
+		t.Fatal("two serve runs published different /requests documents")
+	}
+	r := string(a.Requests)
+	for _, want := range []string{`"class": "interactive"`, `"kind": "queue-wait"`, `"breakdown_seconds"`} {
+		if !strings.Contains(r, want) {
+			t.Fatalf("served /requests missing %q:\n%s", want, r)
+		}
+	}
+	if !strings.Contains(string(a.Profile), "hl_sim_events_per_sec") {
+		t.Fatalf("served profile missing events/sec:\n%s", a.Profile)
+	}
 	m := string(a.Metrics)
 	for _, want := range []string{"hl_segment_heat{seg=", "hl_tertiary_fetches_total", "hl_decisions_recorded_total"} {
 		if !strings.Contains(m, want) {

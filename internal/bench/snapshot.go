@@ -106,6 +106,19 @@ func BuildSnapshotWith(s Scale, scaleName string, srv *telemetry.Server) (*Bench
 		}
 		snap.Tables["ablation_policy"] = m
 	}
+	// The tracing ablation proves the per-request tracer is free: its own
+	// fixed geometry, one entry for both scales.
+	{
+		rep, err := AblationReqtrace()
+		if err != nil {
+			return nil, fmt.Errorf("bench: snapshot reqtrace ablation: %w", err)
+		}
+		m := map[string]float64{}
+		for k, v := range rep.Metrics {
+			m[k] = v
+		}
+		snap.Tables["ablation_reqtrace"] = m
+	}
 	// One instrumented migration + demand-fetch run for the obs counters
 	// and span totals.
 	r := newHLRig(s, stageOnMain)

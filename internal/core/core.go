@@ -17,6 +17,7 @@ import (
 	"repro/internal/lfs"
 	"repro/internal/obs"
 	"repro/internal/obs/attr"
+	"repro/internal/obs/reqtrace"
 	"repro/internal/sim"
 	"repro/internal/stripe"
 	"repro/internal/tertiary"
@@ -529,6 +530,13 @@ func (bm *blockMap) ReadBlocks(p *sim.Proc, b addr.BlockNo, buf []byte) error {
 		case hl.Amap.IsTertiarySeg(seg):
 			tag, _ := hl.Amap.TertIndex(seg)
 			line, ok := hl.Cache.Lookup(tag, p.Now())
+			if tr := reqtrace.From(p); tr != nil {
+				note := "hit"
+				if !ok {
+					note = "miss"
+				}
+				tr.Mark(reqtrace.KindCacheLookup, p.Now(), note)
+			}
 			if !ok {
 				// The cache-layer cancellation point: an expired or
 				// canceled request is refused before a demand fetch is

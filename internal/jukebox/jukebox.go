@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/dev"
 	"repro/internal/obs"
+	"repro/internal/obs/reqtrace"
 	"repro/internal/sim"
 )
 
@@ -502,6 +503,12 @@ func (j *Jukebox) driveFor(p *sim.Proc, vol int, forWrite bool) (*drive, error) 
 			t0 := p.Now()
 			pick.loaded = vol
 			pick.pos = 0
+			tr := reqtrace.From(p)
+			var note string
+			if tr != nil {
+				note = fmt.Sprintf("vol %d drive %d", vol, pick.id)
+			}
+			st := tr.StageStart(reqtrace.KindDriveSwap, t0, note)
 			j.picker.Acquire(p)
 			if j.bus != nil {
 				j.bus.Hold(p, j.prof.SwapTime)
@@ -509,6 +516,7 @@ func (j *Jukebox) driveFor(p *sim.Proc, vol int, forWrite bool) (*drive, error) 
 				p.Sleep(j.prof.SwapTime)
 			}
 			j.picker.Release(p)
+			tr.StageEnd(st, p.Now())
 			j.stats.Swaps++
 			j.stats.SwapTime += j.prof.SwapTime
 			j.obs.Span(j.track, "jb.swap", "swap", t0,
@@ -553,8 +561,18 @@ func (j *Jukebox) ReadSegment(p *sim.Proc, vol, seg int, buf []byte) error {
 		}
 	}
 	start := p.Now()
+	// The media-transfer stage spans drive acquisition through the bus
+	// transfer; a swap performed inside driveFor nests as its own stage
+	// and wins the critical-path attribution for its interval.
+	tr := reqtrace.From(p)
+	var note string
+	if tr != nil {
+		note = fmt.Sprintf("read vol %d seg %d", vol, seg)
+	}
+	st := tr.StageStart(reqtrace.KindMediaTransfer, start, note)
 	d, err := j.driveFor(p, vol, false)
 	if err != nil {
+		tr.StageEnd(st, p.Now())
 		return err
 	}
 	j.position(p, d, seg)
@@ -572,6 +590,7 @@ func (j *Jukebox) ReadSegment(p *sim.Proc, vol, seg int, buf []byte) error {
 	if j.bus != nil {
 		j.bus.Transfer(p, j.segBytes)
 	}
+	tr.StageEnd(st, p.Now())
 	j.stats.Reads++
 	j.stats.BytesRead += int64(j.segBytes)
 	j.stats.ReadTime += p.Now() - start
@@ -607,11 +626,18 @@ func (j *Jukebox) WriteSegment(p *sim.Proc, vol, seg int, buf []byte) error {
 		}
 	}
 	start := p.Now()
+	tr := reqtrace.From(p)
+	var note string
+	if tr != nil {
+		note = fmt.Sprintf("write vol %d seg %d", vol, seg)
+	}
+	st := tr.StageStart(reqtrace.KindMediaTransfer, start, note)
 	if j.bus != nil {
 		j.bus.Transfer(p, j.segBytes)
 	}
 	d, err := j.driveFor(p, vol, true)
 	if err != nil {
+		tr.StageEnd(st, p.Now())
 		return err
 	}
 	j.position(p, d, seg)
@@ -636,6 +662,7 @@ func (j *Jukebox) WriteSegment(p *sim.Proc, vol, seg int, buf []byte) error {
 	}
 	v.writes++
 	d.arm.Release(p)
+	tr.StageEnd(st, p.Now())
 	j.stats.Writes++
 	j.stats.BytesWritten += int64(j.segBytes)
 	j.stats.WriteTime += p.Now() - start

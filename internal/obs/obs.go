@@ -27,6 +27,7 @@
 package obs
 
 import (
+	"math"
 	"sort"
 
 	"repro/internal/sim"
@@ -145,10 +146,17 @@ var LatencyBounds = []sim.Time{
 	sim.Time(1e9), sim.Time(1e10), sim.Time(1e11),
 }
 
-// Observe adds one duration. Safe on a nil receiver.
+// Observe adds one duration. Safe on a nil receiver, and on a
+// hand-built histogram whose Counts slice was never sized (one bucket
+// per bound plus the unbounded overflow bucket).
 func (h *Histogram) Observe(d sim.Time) {
 	if h == nil {
 		return
+	}
+	if len(h.Counts) != len(h.Bounds)+1 {
+		nc := make([]int64, len(h.Bounds)+1)
+		copy(nc, h.Counts)
+		h.Counts = nc
 	}
 	i := sort.Search(len(h.Bounds), func(i int) bool { return d <= h.Bounds[i] })
 	h.Counts[i]++
@@ -169,7 +177,9 @@ func (h *Histogram) Mean() sim.Time {
 // bucket that holds the target rank (bucket lower edge .. upper edge).
 // The unbounded last bucket is clamped to its lower edge, so a p99 of
 // an overflowing histogram reports "at least the largest bound".
-// Returns 0 for an empty or nil histogram.
+// Returns 0 for an empty or nil histogram. Out-of-range p clamps to
+// [0, 1]; NaN clamps to 0 (the smallest retained rank) rather than
+// poisoning the interpolation.
 func (h *Histogram) Quantile(p float64) sim.Time {
 	if h == nil || h.N == 0 {
 		return 0
@@ -177,7 +187,7 @@ func (h *Histogram) Quantile(p float64) sim.Time {
 	if len(h.Bounds) == 0 {
 		return h.Mean() // degenerate single-bucket histogram
 	}
-	if p <= 0 {
+	if p <= 0 || math.IsNaN(p) {
 		p = 0
 	}
 	if p > 1 {

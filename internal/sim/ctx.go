@@ -28,6 +28,7 @@ type Ctx struct {
 	deadline Time // 0 = none
 	err      error
 	wakers   []func()
+	trace    any // opaque per-request trace (internal/obs/reqtrace)
 }
 
 // NewCtx creates a cancellation scope. deadline is an absolute virtual
@@ -92,6 +93,26 @@ func (c *Ctx) OnCancel(w func()) {
 		return
 	}
 	c.wakers = append(c.wakers, w)
+}
+
+// SetTrace attaches an opaque per-request trace to the scope. The kernel
+// never looks inside it — it exists so the request tracer
+// (internal/obs/reqtrace) can ride the scope through every layer that
+// already propagates Ctx, without sim importing the tracer. Nil-safe.
+func (c *Ctx) SetTrace(v any) {
+	if c == nil {
+		return
+	}
+	c.trace = v
+}
+
+// Trace returns the opaque trace attached with SetTrace (nil when none,
+// or on a nil scope).
+func (c *Ctx) Trace() any {
+	if c == nil {
+		return nil
+	}
+	return c.trace
 }
 
 // Ctx returns the cancellation scope attached to the process (nil when

@@ -62,6 +62,8 @@ type Proc struct {
 	ctx    *Ctx   // cancellation scope of the request being executed, if any
 
 	resume chan struct{}
+
+	switches int64 // times the dispatcher handed this proc the CPU
 }
 
 // Name returns the process name given to Go or GoDaemon.
@@ -148,6 +150,19 @@ type Kernel struct {
 	stopped bool
 	failure interface{} // panic value captured from a proc
 	stack   []byte      // stack trace of the captured panic
+
+	// Self-profiling (profile.go). Event and heap counters are always
+	// maintained — they are single integer ops on the dispatch path —
+	// while the wall-clock timers run only when profEnabled is set, so an
+	// unprofiled run pays no time.Now() calls.
+	profEnabled    bool
+	profEvents     int64 // events dispatched to a proc
+	profEventsMark int64 // profEvents at EnableProfile, for the window rate
+	profSkipped    int64 // popped events whose proc was already done
+	profWallNs     int64 // wall time spent inside Run while profiling
+	profDispatchNs int64 // wall time in scheduler bookkeeping (heap pop, clock)
+	profProcNs     int64 // wall time procs held the CPU (incl. channel handoff)
+	heapHighWater  int   // deepest the event heap has ever been
 }
 
 // NewKernel returns a kernel with virtual time zero and no processes.
@@ -229,6 +244,9 @@ func (k *Kernel) schedule(t Time, p *Proc) {
 	}
 	k.seq++
 	k.events.push(event{t: t, seq: k.seq, p: p})
+	if len(k.events) > k.heapHighWater {
+		k.heapHighWater = len(k.events)
+	}
 	if p.state != stateNew {
 		p.state = stateRunnable
 	}
@@ -284,22 +302,45 @@ func (p *Proc) yieldToKernel() {
 // panics if a process panicked, or if non-daemon processes remain but no
 // event can ever wake them (deadlock).
 func (k *Kernel) Run() {
+	// profiled is latched at entry: enabling mid-run takes effect at the
+	// next Run call, so the timer arithmetic inside one loop is uniform.
+	profiled := k.profEnabled
+	var runStart, t0, t1 time.Time
+	if profiled {
+		runStart = time.Now()
+	}
 	for k.live > 0 {
 		if len(k.events) == 0 {
 			panic("sim: deadlock — " + k.describeBlocked())
 		}
+		if profiled {
+			t0 = time.Now()
+		}
 		e := k.events.pop()
 		if e.p.state == stateDone {
+			k.profSkipped++
 			continue // proc was unwound by Stop while an event was pending
 		}
 		k.now = e.t
+		k.profEvents++
+		e.p.switches++
+		if profiled {
+			t1 = time.Now()
+			k.profDispatchNs += t1.Sub(t0).Nanoseconds()
+		}
 		e.p.resume <- struct{}{}
 		<-k.yield
+		if profiled {
+			k.profProcNs += time.Since(t1).Nanoseconds()
+		}
 		if k.failure != nil {
 			f, st := k.failure, k.stack
 			k.failure, k.stack = nil, nil
 			panic(fmt.Sprintf("%v\n%s", f, st))
 		}
+	}
+	if profiled {
+		k.profWallNs += time.Since(runStart).Nanoseconds()
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/dev"
+	"repro/internal/obs/reqtrace"
 	"repro/internal/sim"
 )
 
@@ -189,6 +190,18 @@ func (il *Interleave) ReadBlocks(p *sim.Proc, blk int64, buf []byte) error {
 	if _, err := il.validate(blk, buf); err != nil {
 		return err
 	}
+	tr := reqtrace.From(p)
+	var note string
+	if tr != nil {
+		note = ioNote(false, buf)
+	}
+	st := tr.StageStart(reqtrace.KindStripeIO, p.Now(), note)
+	err := il.readBlocks(p, blk, buf)
+	tr.StageEnd(st, p.Now())
+	return err
+}
+
+func (il *Interleave) readBlocks(p *sim.Proc, blk int64, buf []byte) error {
 	exts := il.split(blk, buf)
 	groups := make([][]op, len(il.devs))
 	var degraded []extent
@@ -267,6 +280,18 @@ func (il *Interleave) WriteBlocks(p *sim.Proc, blk int64, buf []byte) error {
 	if err != nil {
 		return err
 	}
+	tr := reqtrace.From(p)
+	var note string
+	if tr != nil {
+		note = ioNote(true, buf)
+	}
+	st := tr.StageStart(reqtrace.KindStripeIO, p.Now(), note)
+	err = il.writeBlocks(p, blk, nb, buf)
+	tr.StageEnd(st, p.Now())
+	return err
+}
+
+func (il *Interleave) writeBlocks(p *sim.Proc, blk, nb int64, buf []byte) error {
 	if !il.parity {
 		groups := make([][]op, len(il.devs))
 		for _, e := range il.split(blk, buf) {

@@ -13,8 +13,18 @@ import (
 	"sort"
 
 	"repro/internal/dev"
+	"repro/internal/obs/reqtrace"
 	"repro/internal/sim"
 )
+
+// ioNote labels a stripe-io trace stage with direction and size.
+func ioNote(write bool, buf []byte) string {
+	dir := "read"
+	if write {
+		dir = "write"
+	}
+	return fmt.Sprintf("%s %d blk", dir, len(buf)/dev.BlockSize)
+}
 
 // Farm is the interface a disk-farm pseudo-device presents to the file
 // system: block I/O, a whole-farm write-cache flush, and component
@@ -101,6 +111,11 @@ func (c *Concat) do(p *sim.Proc, blk int64, buf []byte, write bool) error {
 	if blk < 0 || blk+nb > c.total {
 		return fmt.Errorf("stripe: blocks [%d,%d) out of range [0,%d)", blk, blk+nb, c.total)
 	}
+	tr := reqtrace.From(p)
+	var note string
+	if tr != nil {
+		note = ioNote(write, buf)
+	}
 	groups := make([][]op, len(c.devs))
 	for nb > 0 {
 		i, off := c.locate(blk)
@@ -116,7 +131,10 @@ func (c *Concat) do(p *sim.Proc, blk int64, buf []byte, write bool) error {
 		blk += span
 		nb -= span
 	}
-	return dispatch(p, "stripe.concat", groups, write)
+	st := tr.StageStart(reqtrace.KindStripeIO, p.Now(), note)
+	err := dispatch(p, "stripe.concat", groups, write)
+	tr.StageEnd(st, p.Now())
+	return err
 }
 
 // ReadBlocks implements dev.BlockDev.

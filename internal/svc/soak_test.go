@@ -14,6 +14,7 @@ import (
 	"repro/internal/jukebox"
 	"repro/internal/lfs"
 	"repro/internal/obs/attr"
+	"repro/internal/obs/reqtrace"
 	"repro/internal/sim"
 	"repro/internal/svc"
 	"repro/internal/wl"
@@ -186,6 +187,34 @@ func runOverloadOutageSoak(t *testing.T, seed uint64) string {
 			}
 			fmt.Fprintf(h, "%s %x\n", path, sha256.Sum256(data))
 		}
+		// Property check over every retained trace of the storm: even
+		// requests that shed, expired, were canceled by breaker trips, or
+		// unwound mid-fetch must have sealed with all stages closed and
+		// their critical-path breakdown summing exactly to their latency.
+		checked := 0
+		validateAll := func(trs []*reqtrace.Trace) {
+			for _, tr := range trs {
+				if !tr.Done {
+					t.Fatalf("request %d: trace left open after the soak", tr.ID)
+				}
+				if err := tr.Validate(); err != nil {
+					t.Fatalf("soak trace invariant: %v", err)
+				}
+				checked++
+			}
+		}
+		validateAll(fe.Tracer.Recent())
+		for _, c := range fe.Tracer.Classes() {
+			validateAll(fe.Tracer.Slowest(c, 1<<30))
+		}
+		if checked == 0 {
+			t.Fatal("soak retained no traces to check")
+		}
+		started, sealed, stages := fe.Tracer.Counts()
+		if started != sealed {
+			t.Fatalf("trace leak: %d started, %d sealed", started, sealed)
+		}
+
 		st := fe.Stats()
 		fmt.Fprintf(h, "clients %+v\n", cs)
 		fmt.Fprintf(h, "svc %d %d %d %d %d %d\n",
@@ -193,6 +222,7 @@ func runOverloadOutageSoak(t *testing.T, seed uint64) string {
 		fmt.Fprintf(h, "verdicts shed=%d trip=%d probe=%d restore=%d brownout=%d\n",
 			v[attr.VerdictShed], v[attr.VerdictTripped], v[attr.VerdictProbed],
 			v[attr.VerdictRestored], v[attr.VerdictBrownout])
+		fmt.Fprintf(h, "traces %d %d %d checked %d\n", started, sealed, stages, checked)
 		fmt.Fprintf(h, "audit %d now %d\n", hl.Audit.Total(), p.Now())
 		digest = hex.EncodeToString(h.Sum(nil))
 	})

@@ -30,6 +30,7 @@ import (
 	"repro/internal/migrate"
 	"repro/internal/obs"
 	"repro/internal/obs/attr"
+	"repro/internal/obs/reqtrace"
 	"repro/internal/sim"
 )
 
@@ -102,6 +103,18 @@ type Config struct {
 	BrownoutLo int
 	// Breaker configures the per-library circuit breakers.
 	Breaker BreakerConfig
+	// DisableTracing turns off the per-request causal tracer. Tracing is
+	// pure observation (no virtual time, no RNG) so the default is on;
+	// the switch exists for the ablation_reqtrace bench row, which proves
+	// a traced run's metrics are bit-identical to an untraced one.
+	DisableTracing bool
+	// SLOBudget is the tolerated bad-request fraction (deadline misses +
+	// failures) for the burn-rate gauges: burn = observed bad fraction /
+	// budget, so burn 1.0 means exactly spending the error budget.
+	// Default 0.01. SLOWindow is the sliding window of completions the
+	// fraction is computed over (default 64).
+	SLOBudget float64
+	SLOWindow int
 }
 
 func (c *Config) fill() {
@@ -138,6 +151,12 @@ func (c *Config) fill() {
 	if c.BrownoutLo >= c.BrownoutHi {
 		c.BrownoutLo = c.BrownoutHi / 2
 	}
+	if c.SLOBudget <= 0 {
+		c.SLOBudget = 0.01
+	}
+	if c.SLOWindow <= 0 {
+		c.SLOWindow = 64
+	}
 }
 
 // Request is one unit of admitted work moving through the lifecycle.
@@ -148,6 +167,9 @@ type Request struct {
 
 	fn  func(p *sim.Proc) error
 	ctx *sim.Ctx
+
+	trace  *reqtrace.Trace
+	qstage int // queue-wait stage index in trace
 
 	submitT  sim.Time
 	startT   sim.Time // 0 until execution begins
@@ -187,6 +209,11 @@ type FrontEnd struct {
 	HL       *core.HighLight
 	Cfg      Config
 	Breakers *BreakerSet
+	// Tracer is the per-request causal tracer (nil when
+	// Config.DisableTracing). Every admitted request gets a Trace riding
+	// its sim.Ctx; the slowest exemplars per class and a recent ring are
+	// retained for hldump -request/-slowest and the /requests endpoint.
+	Tracer *reqtrace.Tracer
 
 	k      *sim.Kernel
 	queues [numClasses][]*Request
@@ -209,6 +236,16 @@ type FrontEnd struct {
 	retryOK   *obs.Counter
 	retryNo   *obs.Counter
 	brownG    *obs.Gauge
+
+	// SLO burn rate, per class: a sliding window of recent completions
+	// scoring deadline misses and failures against the error budget.
+	// The gauge holds burn x1000 (obs gauges are integers): 1000 means
+	// the window exactly spends the budget, above is burning hot.
+	sloG    [numClasses]*obs.Gauge
+	sloRing [numClasses][]bool // true = bad (missed deadline or failed)
+	sloNext [numClasses]int
+	sloSeen [numClasses]int
+	sloBad  [numClasses]int
 }
 
 // New builds the front end over hl, wires the circuit breakers into the
@@ -229,9 +266,15 @@ func New(hl *core.HighLight, cfg Config) *FrontEnd {
 	hl.RepairThrottle = fe.InBrownout
 
 	o := hl.Obs
+	if !cfg.DisableTracing {
+		fe.Tracer = reqtrace.New(0, 0)
+		fe.Tracer.SetObs(o)
+	}
 	for c := Class(0); c < numClasses; c++ {
 		fe.qGauge[c] = o.Gauge("svc.queue." + c.String())
 		fe.latH[c] = o.Histogram("svc.latency."+c.String(), obs.LatencyBounds)
+		fe.sloG[c] = o.Gauge("svc.slo_burn_milli." + c.String())
+		fe.sloRing[c] = make([]bool, cfg.SLOWindow)
 	}
 	fe.admitted = o.Counter("svc.admitted")
 	fe.shed = o.Counter("svc.shed")
@@ -311,6 +354,10 @@ func (fe *FrontEnd) SubmitAsync(p *sim.Proc, class Class, deadline sim.Time, fn 
 		submitT:  p.Now(),
 		done:     fe.k.NewCond(fmt.Sprintf("svc.req-%d", id)),
 	}
+	r.trace = fe.Tracer.Start(id, class.String(), p.Now(), deadline)
+	reqtrace.Attach(r.ctx, r.trace)
+	r.trace.Mark(reqtrace.KindAdmission, p.Now(), "admitted")
+	r.qstage = r.trace.StageStart(reqtrace.KindQueueWait, p.Now(), "")
 	fe.admitted.Add(1)
 	fe.earnRetryToken()
 	fe.HL.Audit.Record(attr.Decision{
@@ -409,6 +456,7 @@ func (fe *FrontEnd) updateBrownout(now sim.Time) {
 func (fe *FrontEnd) worker(p *sim.Proc, reservedInteractive bool) {
 	for {
 		r := fe.dequeue(p, reservedInteractive)
+		r.trace.StageEnd(r.qstage, p.Now())
 		// Queued expiry: a request whose deadline passed (or that was
 		// canceled) while waiting is shed here, before any layer below
 		// sees it — no fetch is queued, no staging line touched.
@@ -426,6 +474,9 @@ func (fe *FrontEnd) worker(p *sim.Proc, reservedInteractive bool) {
 			continue
 		}
 		r.startT = p.Now()
+		if r.trace != nil {
+			r.trace.Start = r.startT
+		}
 		restore := p.PushCtx(r.ctx)
 		err := r.fn(p)
 		restore()
@@ -467,12 +518,47 @@ func (fe *FrontEnd) complete(r *Request, err error) {
 	r.err = err
 	r.endT = fe.k.Now()
 	fe.latH[r.Class].Observe(r.endT - r.submitT)
+	fe.Tracer.Seal(r.trace, r.endT, err)
+	fe.observeSLO(r, err)
 	if err == nil {
 		fe.completed.Add(1)
 	} else {
 		fe.failed.Add(1)
 	}
 	r.done.Broadcast()
+}
+
+// observeSLO scores one completion against the class error budget and
+// refreshes the burn-rate gauge. "Bad" means the request failed or
+// overran its deadline; the burn rate is the bad fraction of the last
+// SLOWindow completions divided by SLOBudget, published x1000.
+func (fe *FrontEnd) observeSLO(r *Request, err error) {
+	c := r.Class
+	bad := err != nil || (r.Deadline > 0 && r.endT > r.Deadline)
+	ring := fe.sloRing[c]
+	if fe.sloSeen[c] >= len(ring) {
+		if ring[fe.sloNext[c]] {
+			fe.sloBad[c]--
+		}
+	} else {
+		fe.sloSeen[c]++
+	}
+	ring[fe.sloNext[c]] = bad
+	if bad {
+		fe.sloBad[c]++
+	}
+	fe.sloNext[c] = (fe.sloNext[c] + 1) % len(ring)
+	frac := float64(fe.sloBad[c]) / float64(fe.sloSeen[c])
+	fe.sloG[c].Set(int64(frac/fe.Cfg.SLOBudget*1000 + 0.5))
+}
+
+// BurnRate reports the class's current SLO burn rate (bad fraction over
+// the sliding window divided by the budget; 1.0 = exactly spending it).
+func (fe *FrontEnd) BurnRate(c Class) float64 {
+	if fe.sloSeen[c] == 0 {
+		return 0
+	}
+	return float64(fe.sloBad[c]) / float64(fe.sloSeen[c]) / fe.Cfg.SLOBudget
 }
 
 // Stats is a front-end snapshot for reports and tests.

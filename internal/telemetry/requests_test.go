@@ -1,0 +1,168 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs/reqtrace"
+	"repro/internal/sim"
+)
+
+func buildTracer() *reqtrace.Tracer {
+	tc := reqtrace.New(4, 2)
+	ms := func(n int) sim.Time { return sim.Time(n) * sim.Time(time.Millisecond) }
+	for i := 1; i <= 3; i++ {
+		tr := tc.Start(int64(i), "interactive", ms(10*i), ms(10*i+500))
+		q := tr.StageStart(reqtrace.KindQueueWait, ms(10*i), "")
+		tr.StageEnd(q, ms(10*i+2))
+		f := tr.StageStart(reqtrace.KindFetchWait, ms(10*i+2), "seg 7")
+		tr.StageEnd(f, ms(10*i+2+5*i))
+		tc.Seal(tr, ms(10*i+2+5*i), nil)
+	}
+	return tc
+}
+
+func TestRenderRequestsShapeAndDeterminism(t *testing.T) {
+	b1 := RenderRequests(buildTracer(), 2*second)
+	b2 := RenderRequests(buildTracer(), 2*second)
+	if string(b1) != string(b2) {
+		t.Fatal("two identical tracers rendered different /requests documents")
+	}
+	var doc struct {
+		Started int64 `json:"started"`
+		Sealed  int64 `json:"sealed"`
+		Classes []struct {
+			Class   string `json:"class"`
+			Slowest []struct {
+				ID        int64              `json:"id"`
+				Latency   float64            `json:"latency_seconds"`
+				Breakdown map[string]float64 `json:"breakdown_seconds"`
+			} `json:"slowest"`
+		} `json:"classes"`
+		Recent []struct {
+			ID int64 `json:"id"`
+		} `json:"recent"`
+	}
+	if err := json.Unmarshal(b1, &doc); err != nil {
+		t.Fatalf("/requests not JSON: %v", err)
+	}
+	if doc.Started != 3 || doc.Sealed != 3 || len(doc.Recent) != 3 {
+		t.Fatalf("counts wrong: %+v", doc)
+	}
+	if len(doc.Classes) != 1 || doc.Classes[0].Class != "interactive" {
+		t.Fatalf("classes wrong: %+v", doc.Classes)
+	}
+	slow := doc.Classes[0].Slowest
+	if len(slow) != 2 || slow[0].ID != 3 {
+		t.Fatalf("slowest wrong: %+v", slow)
+	}
+	// Breakdown covers the whole request: values sum to the latency.
+	var sum float64
+	for _, v := range slow[0].Breakdown {
+		sum += v
+	}
+	if sum != slow[0].Latency {
+		t.Fatalf("breakdown sum %g != latency %g", sum, slow[0].Latency)
+	}
+}
+
+func TestRenderRequestsNilTracer(t *testing.T) {
+	b := RenderRequests(nil, second)
+	var doc requestsDoc
+	if err := json.Unmarshal(b, &doc); err != nil {
+		t.Fatalf("nil-tracer document not JSON: %v", err)
+	}
+	if doc.Started != 0 || len(doc.Recent) != 0 {
+		t.Fatalf("nil tracer rendered traces: %+v", doc)
+	}
+}
+
+func TestRenderProfileAndMetricsConcat(t *testing.T) {
+	k := sim.NewKernel()
+	k.EnableProfile()
+	k.RunProc(func(p *sim.Proc) { p.Sleep(second) })
+	pb := RenderProfile(k.ProfileSnapshot())
+	for _, want := range []string{"hl_sim_events_total", "hl_sim_events_per_sec", "hl_sim_heap_high_water"} {
+		if !strings.Contains(string(pb), want) {
+			t.Fatalf("profile missing %q:\n%s", want, pb)
+		}
+	}
+
+	srv := NewServer()
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	srv.Publish(&Snapshot{Metrics: []byte("hl_virtual_time_seconds 1\n"), Profile: pb})
+	body := httpGet(t, "http://"+addr+"/metrics")
+	if !strings.Contains(body, "hl_virtual_time_seconds 1") || !strings.Contains(body, "hl_sim_events_per_sec") {
+		t.Fatalf("/metrics did not concatenate profile:\n%s", body)
+	}
+}
+
+func httpGet(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var b strings.Builder
+	buf := make([]byte, 64<<10)
+	for {
+		n, rerr := resp.Body.Read(buf)
+		b.Write(buf[:n])
+		if rerr != nil {
+			return b.String()
+		}
+	}
+}
+
+// TestServeOnCallerListener pins satellite behavior: the server can run
+// on a listener the caller created, and Close releases the port so the
+// next round can bind it again — no leak between benchmark rounds.
+func TestServeOnCallerListener(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer()
+	addr, err := srv.Serve(ln)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if addr != ln.Addr().String() {
+		t.Fatalf("Serve reported %q, listener is %q", addr, ln.Addr())
+	}
+	if _, err := srv.Serve(ln); err == nil {
+		t.Fatal("second Serve on a live server did not fail")
+	}
+	srv.Publish(&Snapshot{Requests: []byte(`{"started":0}`)})
+	if body := httpGet(t, "http://"+addr+"/requests"); !strings.Contains(body, `"started"`) {
+		t.Fatalf("/requests body:\n%s", body)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	// The port is free again: bind the exact same address.
+	ln2, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatalf("port not released after Close: %v", err)
+	}
+	ln2.Close()
+	// And a closed server can be reused with a fresh listener.
+	if _, err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"net/http"
@@ -32,7 +33,18 @@ type Server struct {
 func NewServer() *Server {
 	s := &Server{mux: http.NewServeMux()}
 	s.mux.HandleFunc("/metrics", s.serve(func(sn *Snapshot) ([]byte, string) {
-		return sn.Metrics, "text/plain; version=0.0.4; charset=utf-8"
+		ctype := "text/plain; version=0.0.4; charset=utf-8"
+		if len(sn.Profile) == 0 {
+			return sn.Metrics, ctype
+		}
+		// Append the wall-clock kernel profile without mutating the
+		// immutable snapshot the sim side owns.
+		out := make([]byte, 0, len(sn.Metrics)+len(sn.Profile))
+		out = append(append(out, sn.Metrics...), sn.Profile...)
+		return out, ctype
+	}))
+	s.mux.HandleFunc("/requests", s.serve(func(sn *Snapshot) ([]byte, string) {
+		return sn.Requests, "application/json"
 	}))
 	s.mux.HandleFunc("/heatmap", s.serve(func(sn *Snapshot) ([]byte, string) {
 		return sn.Heatmap, "application/json"
@@ -94,16 +106,41 @@ func (s *Server) Start(addr string) (string, error) {
 	if err != nil {
 		return "", err
 	}
+	return s.Serve(ln)
+}
+
+// Serve serves on a caller-provided listener in a background goroutine,
+// returning the bound address. The caller keeps ownership of listener
+// creation (a test can bind "127.0.0.1:0" itself and know the port
+// before the server ever sees it); Close still tears the listener down.
+func (s *Server) Serve(ln net.Listener) (string, error) {
+	if s == nil {
+		return "", fmt.Errorf("telemetry: Serve on nil server")
+	}
+	if s.http != nil {
+		return "", fmt.Errorf("telemetry: server already serving on %s", s.ln.Addr())
+	}
 	s.ln = ln
 	s.http = &http.Server{Handler: s.mux, ReadHeaderTimeout: 10 * time.Second}
 	go s.http.Serve(ln)
 	return ln.Addr().String(), nil
 }
 
-// Close stops the listener. Safe on a nil or never-started server.
+// Close shuts the server down and releases its port: a graceful drain
+// of in-flight requests first, then a hard close if any linger. Safe on
+// a nil or never-started server, and idempotent, so benchmark rounds
+// that start one server per round never leak listeners between rounds.
 func (s *Server) Close() error {
 	if s == nil || s.http == nil {
 		return nil
 	}
-	return s.http.Close()
+	srv := s.http
+	s.http = nil
+	s.ln = nil
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		return srv.Close()
+	}
+	return nil
 }

@@ -33,10 +33,16 @@ import (
 const DecisionsExported = 256
 
 // Snapshot is one immutable, fully rendered export of the sim's state.
+// Metrics, Heatmap, Decisions, and Requests are pure functions of the
+// virtual-time run and byte-reproducible; Profile holds the wall-clock
+// kernel self-profile and is the one section the determinism tests must
+// never compare.
 type Snapshot struct {
 	Metrics   []byte // Prometheus text exposition format
 	Heatmap   []byte // attr.Snapshot JSON
 	Decisions []byte // recent audit entries, JSON
+	Requests  []byte // per-request traces (RenderRequests JSON)
+	Profile   []byte // sim kernel self-profile, Prometheus text (wall clock!)
 }
 
 // Collect renders the current state of an observability domain, a heat

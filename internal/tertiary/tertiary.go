@@ -23,6 +23,7 @@ import (
 	"repro/internal/jukebox"
 	"repro/internal/obs"
 	"repro/internal/obs/attr"
+	"repro/internal/obs/reqtrace"
 	"repro/internal/sim"
 )
 
@@ -123,6 +124,10 @@ type request struct {
 	pinTag   int        // cache line pinned for the duration (copyouts)
 	enqueued sim.Time
 	err      error
+	// tr is the first waiter's request trace, carried along so the I/O
+	// daemon's work on this fetch (drive swaps, media transfers, staging
+	// writes) is recorded against the request that caused it.
+	tr *reqtrace.Trace
 }
 
 type fetchWait struct {
@@ -327,11 +332,14 @@ func (s *Service) DemandFetch(p *sim.Proc, tag int) (*cache.Line, error) {
 	} else if ok {
 		return l, nil // staging lines are disk-resident by construction
 	}
+	tr := reqtrace.From(p)
 	w, ok := s.pending[tag]
 	if !ok {
 		w = &fetchWait{done: s.k.NewCond(fmt.Sprintf("fetch-%d", tag))}
 		s.pending[tag] = w
-		s.reqs.Send(p, request{kind: reqFetch, tag: tag, enqueued: p.Now()})
+		// The first waiter's trace rides the fetch into the I/O daemon;
+		// later waiters for the same tag only record their own fetch-wait.
+		s.reqs.Send(p, request{kind: reqFetch, tag: tag, enqueued: p.Now(), tr: tr})
 	}
 	if s.Notify != nil {
 		s.Notify(tag, 0, false)
@@ -344,12 +352,19 @@ func (s *Service) DemandFetch(p *sim.Proc, tag int) (*cache.Line, error) {
 	ctx := p.Ctx()
 	ctx.OnCancel(w.done.Broadcast)
 	start := p.Now()
+	var note string
+	if tr != nil {
+		note = fmt.Sprintf("seg %d", tag)
+	}
+	st := tr.StageStart(reqtrace.KindFetchWait, start, note)
 	for !w.over {
 		if err := ctx.Err(); err != nil {
+			tr.StageEnd(st, p.Now())
 			return nil, fmt.Errorf("tertiary: fetch of segment %d abandoned: %w", tag, err)
 		}
 		w.done.Wait(p)
 	}
+	tr.StageEnd(st, p.Now())
 	if s.Notify != nil {
 		s.Notify(tag, p.Now()-start, true)
 	}
@@ -482,7 +497,7 @@ func (s *Service) startFetch(p *sim.Proc, r request) {
 			s.hooks.LineEvicted(v.Tag, seg)
 		}
 	}
-	s.ioreqs.Send(p, request{kind: reqFetch, tag: r.tag, seg: seg, enqueued: r.enqueued})
+	s.ioreqs.Send(p, request{kind: reqFetch, tag: r.tag, seg: seg, enqueued: r.enqueued, tr: r.tr})
 }
 
 func (s *Service) finishFetch(p *sim.Proc, r request) {
@@ -605,7 +620,10 @@ func (s *Service) withRetry(p *sim.Proc, op func() error) error {
 		s.stats.TransientRetries++
 		s.obs.Instant("tertiary.io", "io.retry", "retry")
 		if backoff > 0 {
+			tr := reqtrace.From(p)
+			st := tr.StageStart(reqtrace.KindRetryBackoff, p.Now(), "")
 			p.Sleep(backoff)
+			tr.StageEnd(st, p.Now())
 		}
 		backoff *= 2
 		if backoff > s.Retry.MaxBackoff {
@@ -650,7 +668,7 @@ func routeRankName(rank int) string {
 // single library and no rank differences the historical order — primary
 // first, replicas in catalog order — is preserved bit-for-bit. Replica
 // redirects are recorded in the decision audit.
-func (s *Service) readOrder(tag int) []int {
+func (s *Service) readOrder(tag int, tr *reqtrace.Trace) []int {
 	cands := []int{tag}
 	if s.AltCopies != nil {
 		cands = append(cands, s.AltCopies(tag)...)
@@ -701,6 +719,15 @@ func (s *Service) readOrder(tag int) []int {
 	for i, oi := range order {
 		out[i] = cands[oi]
 	}
+	// Record breaker influence on the trace without touching the breaker
+	// itself (Allow above consumes half-open probe tokens — never re-ask):
+	// a tripped primary means the read detours, a tripped winner means
+	// every copy sits behind an open breaker.
+	if tr != nil && ranks[order[0]] == routeTripped {
+		tr.Mark(reqtrace.KindBreakerWait, s.k.Now(), "best copy breaker-open")
+	} else if tr != nil && ranks[0] == routeTripped {
+		tr.Mark(reqtrace.KindBreakerWait, s.k.Now(), "primary breaker open")
+	}
 	if out[0] != tag {
 		s.audit.Record(attr.Decision{
 			T: s.k.Now(), Actor: "tert.route", Subject: fmt.Sprintf("copy %d", out[0]),
@@ -748,8 +775,19 @@ func (s *Service) ioLoop(p *sim.Proc) {
 		r := v.(request)
 		switch r.kind {
 		case reqFetch:
+			// Run the transfer under a carrier scope holding the waiter's
+			// trace, so the layers below (jukebox swap and transfer, the
+			// staging write through the stripe farm, retry backoffs) record
+			// against the request that demanded the fetch. The scope never
+			// cancels — the fetch completes regardless of the waiter's fate.
+			restore := func() {}
+			if r.tr != nil {
+				cc := s.k.NewCtx(0)
+				cc.SetTrace(r.tr)
+				restore = p.PushCtx(cc)
+			}
 			var err error
-			for _, c := range s.readOrder(r.tag) {
+			for _, c := range s.readOrder(r.tag, r.tr) {
 				d, vol, volseg, lerr := s.locate(c)
 				if lerr != nil {
 					err = lerr
@@ -777,6 +815,7 @@ func (s *Service) ioLoop(p *sim.Proc) {
 				s.obs.Span("tertiary.io", "io.write", "WriteBlocks", t0,
 					obs.Arg{Key: "tag", Val: int64(r.tag)}, obs.Arg{Key: "seg", Val: int64(r.seg)})
 			}
+			restore()
 			s.reqs.Send(p, request{kind: reqFetchDone, tag: r.tag, seg: r.seg, err: err, enqueued: p.Now()})
 		case reqCopyout:
 			d, vol, volseg, err := s.locate(r.tag)
